@@ -1,0 +1,66 @@
+//! Criterion bench — energy evaluation primitives.
+//!
+//! Compares the full O(n²) QUBO/Ising energy against the O(n) incremental
+//! delta, and times the QUBO → Ising conversion and the SAIM λ field
+//! rewrite — the operations whose costs shape the SAIM outer loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saim_core::{penalty_qubo, ConstrainedProblem, LagrangianSystem};
+use saim_ising::BinaryState;
+use saim_knapsack::generate;
+
+fn setup(n: usize) -> (saim_knapsack::QkpEncoded, BinaryState) {
+    let inst = generate::qkp(n, 0.5, 11).expect("valid parameters");
+    let enc = inst.encode().expect("encodes");
+    let x = BinaryState::from_bits(
+        &(0..enc.num_vars()).map(|i| (i % 3 == 0) as u8).collect::<Vec<_>>(),
+    );
+    (enc, x)
+}
+
+fn bench_full_vs_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubo_energy");
+    for n in [50usize, 100, 200] {
+        let (enc, x) = setup(n);
+        let qubo = penalty_qubo(&enc, enc.penalty_for_alpha(2.0)).expect("valid penalty");
+        group.bench_with_input(BenchmarkId::new("full", n), &qubo, |b, q| {
+            b.iter(|| q.energy(&x));
+        });
+        group.bench_with_input(BenchmarkId::new("delta_flip", n), &qubo, |b, q| {
+            b.iter(|| q.delta_energy(&x, n / 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubo_to_ising");
+    for n in [50usize, 100, 200] {
+        let (enc, _) = setup(n);
+        let qubo = penalty_qubo(&enc, enc.penalty_for_alpha(2.0)).expect("valid penalty");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &qubo, |b, q| {
+            b.iter(|| q.to_ising());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lambda_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saim_lambda_rewrite");
+    for n in [50usize, 100, 200] {
+        let (enc, _) = setup(n);
+        let mut sys =
+            LagrangianSystem::new(&enc, enc.penalty_for_alpha(2.0)).expect("valid penalty");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut lambda = 0.0;
+            b.iter(|| {
+                lambda += 0.01;
+                sys.set_lambda(&[lambda]).expect("well-formed lambda");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_vs_delta, bench_conversion, bench_lambda_update);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench — cost of one full SAIM outer iteration.
+//!
+//! One iteration = one annealed run (the dominant term, ∝ MCS·n²) plus the
+//! CPU-side bookkeeping (feasibility check, λ update, field rewrite). The
+//! paper's premise is that the λ machinery adds negligible overhead to the
+//! Ising-machine time; this bench quantifies both parts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saim_core::{presets, ConstrainedProblem, SaimConfig, SaimRunner};
+use saim_knapsack::generate;
+use saim_machine::derive_seed;
+
+fn bench_one_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saim_one_iteration");
+    group.sample_size(10);
+    let preset = presets::qkp();
+    for n in [50usize, 100] {
+        let inst = generate::qkp(n, 0.5, 5).expect("valid parameters");
+        let enc = inst.encode().expect("encodes");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &enc, |b, enc| {
+            let config = SaimConfig {
+                penalty: enc.penalty_for_alpha(preset.alpha),
+                eta: preset.eta,
+                iterations: 1,
+                seed: 0,
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                SaimRunner::new(config).run(enc, preset.solver(derive_seed(seed, 1)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_outer_loop_overhead(c: &mut Criterion) {
+    // isolate the CPU part: a 1-MCS inner run makes annealing negligible,
+    // so the measurement is dominated by evaluate + λ ascent + field rewrite
+    let mut group = c.benchmark_group("saim_cpu_overhead_per_iteration");
+    for n in [50usize, 100, 200] {
+        let inst = generate::qkp(n, 0.5, 6).expect("valid parameters");
+        let enc = inst.encode().expect("encodes");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &enc, |b, enc| {
+            let config = SaimConfig {
+                penalty: enc.penalty_for_alpha(2.0),
+                eta: 20.0,
+                iterations: 8,
+                seed: 0,
+            };
+            let solver = saim_machine::SimulatedAnnealing::new(
+                saim_machine::BetaSchedule::linear(10.0),
+                1,
+                9,
+            );
+            b.iter_batched(
+                || solver.clone(),
+                |s| SaimRunner::new(config).run(enc, s),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_iteration, bench_outer_loop_overhead);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench — wall-clock of the solver substrates at fixed work.
+//!
+//! Times one solve call of each solver (SA run, PT run, greedy descent, GA
+//! generation batch, B&B on a small instance) so the per-sample costs behind
+//! Fig. 4b's budget comparison are measured on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saim_core::{penalty_qubo, ConstrainedProblem};
+use saim_exact::bb::{self, BbLimits};
+use saim_heuristics::ga::{ChuBeasleyGa, GaConfig};
+use saim_knapsack::generate;
+use saim_machine::{
+    BetaSchedule, GreedyDescent, IsingSolver, ParallelTempering, PtConfig, SimulatedAnnealing,
+};
+
+fn bench_solvers(c: &mut Criterion) {
+    let inst = generate::qkp(60, 0.5, 3).expect("valid parameters");
+    let enc = inst.encode().expect("encodes");
+    let model = penalty_qubo(&enc, enc.penalty_for_alpha(40.0))
+        .expect("valid penalty")
+        .to_ising();
+
+    let mut group = c.benchmark_group("solver_one_call");
+    group.sample_size(10);
+
+    group.bench_function("sa_1000mcs", |b| {
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(10.0), 1000, 1);
+        b.iter(|| sa.solve(&model));
+    });
+
+    group.bench_function("pt_8replicas_125mcs", |b| {
+        let cfg = PtConfig { replicas: 8, sweeps: 125, ..PtConfig::default() };
+        let mut pt = ParallelTempering::new(cfg, 2);
+        b.iter(|| pt.solve(&model));
+    });
+
+    group.bench_function("greedy_descent", |b| {
+        let mut gd = GreedyDescent::new(3);
+        b.iter(|| gd.solve(&model));
+    });
+
+    group.finish();
+}
+
+fn bench_reference_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_solvers");
+    group.sample_size(10);
+
+    let mkp = generate::mkp_with_max_weight(24, 5, 0.5, 100, 4).expect("valid parameters");
+    group.bench_function("bb_mkp_24items", |b| {
+        b.iter(|| bb::solve_mkp(&mkp, BbLimits::default()));
+    });
+
+    group.bench_function("ga_mkp_1000gen", |b| {
+        let cfg = GaConfig { population: 50, generations: 1000, ..GaConfig::default() };
+        b.iter(|| ChuBeasleyGa::new(cfg, 5).run(&mkp));
+    });
+
+    let qkp = generate::qkp(22, 0.5, 5).expect("valid parameters");
+    group.bench_function("bb_qkp_22items", |b| {
+        b.iter(|| bb::solve_qkp(&qkp, BbLimits::default()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_reference_solvers);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Minimal CLI argument handling shared by all bench binaries.
+
+/// Common options for the table/figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessArgs {
+    /// Fraction of the paper's budgets to run (0 < scale ≤ 1).
+    pub scale: f64,
+    /// Master seed for instance generation and solvers.
+    pub seed: u64,
+    /// Emit machine-readable CSV alongside the human tables.
+    pub csv: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { scale: 0.05, seed: 2025, csv: false }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale <f>`, `--full`, `--seed <u64>`, `--csv` from an
+    /// iterator of raw arguments (pass `std::env::args().skip(1)`).
+    ///
+    /// `default_scale` is the binary's laptop-scale default; `--full` forces
+    /// scale 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments — these binaries
+    /// are developer tools, not library API.
+    pub fn parse(default_scale: f64, raw: impl Iterator<Item = String>) -> Self {
+        let mut args = HarnessArgs { scale: default_scale, ..HarnessArgs::default() };
+        let mut iter = raw.peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().expect("--scale needs a value");
+                    args.scale = v.parse().expect("--scale needs a number");
+                    assert!(
+                        args.scale > 0.0 && args.scale <= 1.0,
+                        "--scale must be in (0, 1]"
+                    );
+                }
+                "--full" => args.scale = 1.0,
+                "--seed" => {
+                    let v = iter.next().expect("--seed needs a value");
+                    args.seed = v.parse().expect("--seed needs an integer");
+                }
+                "--csv" => args.csv = true,
+                other => panic!(
+                    "unknown argument {other}; supported: --scale <f>, --full, --seed <u64>, --csv"
+                ),
+            }
+        }
+        args
+    }
+
+    /// Scales an integer budget, keeping at least `min`.
+    pub fn scaled(&self, full: usize, min: usize) -> usize {
+        ((full as f64 * self.scale).round() as usize).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(0.1, words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.seed, 2025);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn full_overrides_scale() {
+        assert_eq!(parse(&["--full"]).scale, 1.0);
+        assert_eq!(parse(&["--scale", "0.5"]).scale, 0.5);
+    }
+
+    #[test]
+    fn seed_and_csv() {
+        let a = parse(&["--seed", "7", "--csv"]);
+        assert_eq!(a.seed, 7);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn scaled_budget_respects_minimum() {
+        let a = parse(&["--scale", "0.01"]);
+        assert_eq!(a.scaled(2000, 50), 50);
+        assert_eq!(a.scaled(10_000, 10), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_flags() {
+        let _ = parse(&["--bogus"]);
+    }
+}

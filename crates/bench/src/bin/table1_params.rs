@@ -1,0 +1,30 @@
+//! Table I — parameters used in the QKP and MKP experiments.
+//!
+//! ```text
+//! cargo run -p saim-bench --release --bin table1_params
+//! ```
+
+use saim_bench::report::Table;
+use saim_core::presets;
+
+fn main() {
+    let mut table = Table::new(&["Experiment", "Penalty", "MCS/run", "Number of runs", "beta_max", "eta"]);
+    for preset in [presets::qkp(), presets::mkp()] {
+        table.row_owned(vec![
+            preset.name.to_string(),
+            format!("{}dN", preset.alpha),
+            preset.mcs_per_run.to_string(),
+            preset.runs.to_string(),
+            format!("{}", preset.beta_max),
+            format!("{}", preset.eta),
+        ]);
+    }
+    println!("Table I: parameters used in QKP and MKP experiments\n");
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Total sweep budgets: QKP = {} MCS, MKP = {} MCS",
+        presets::qkp().total_mcs(),
+        presets::mkp().total_mcs()
+    );
+}

@@ -1,0 +1,40 @@
+//! # saim-bench
+//!
+//! The benchmark harness regenerating every table and figure of the SAIM
+//! paper. Each `src/bin/*.rs` target reproduces one artifact:
+//!
+//! | Paper artifact | Binary |
+//! |----------------|--------|
+//! | Table I (parameters)                  | `table1_params` |
+//! | Table II (penalty vs SAIM, QKP-100)   | `table2_penalty_vs_saim` |
+//! | Table III (QKP-200 vs SA / PT-DA)     | `table3_qkp200` |
+//! | Table IV (QKP-300 vs SA / PT-DA)      | `table4_qkp300` |
+//! | Table V (MKP vs B&B / GA)             | `table5_mkp` |
+//! | Fig. 2 (toy penalty gap)              | `fig2_toy_gap` |
+//! | Fig. 3 (QKP cost + λ traces)          | `fig3_qkp_trace` |
+//! | Fig. 4 (accuracy quartiles + budgets) | `fig4_accuracy_quartiles` |
+//! | Fig. 5 (MKP cost + λ traces)          | `fig5_mkp_trace` |
+//! | Ablations (η, P, schedule, budget, B′)| `ablation_*` |
+//!
+//! Every binary accepts `--scale <f>` (default well below 1.0 so the suite
+//! runs on a laptop) and `--full` (the paper's budgets), plus `--seed <u64>`.
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run -p saim-bench --release --bin table2_penalty_vs_saim
+//! cargo run -p saim-bench --release --bin table3_qkp200 -- --full
+//! ```
+//!
+//! The library half of the crate hosts the shared machinery: CLI parsing
+//! ([`args`]), descriptive statistics ([`stats`]), table/CSV formatting
+//! ([`report`]), and the experiment drivers ([`experiments`]) used by both
+//! the binaries and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod experiments;
+pub mod report;
+pub mod stats;
+pub mod tables;

@@ -1,0 +1,112 @@
+//! Descriptive statistics used in the paper's tables and Fig. 4 quartiles.
+
+/// Five-number-ish summary of a sample: min, quartiles, max, mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample size.
+    pub count: usize,
+}
+
+/// Linear-interpolation percentile (the common "type 7" estimator).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Summarizes a sample. Returns `None` for an empty slice.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    Some(Summary {
+        min: sorted[0],
+        q1: percentile(&sorted, 0.25),
+        median: percentile(&sorted, 0.5),
+        q3: percentile(&sorted, 0.75),
+        max: *sorted.last().expect("non-empty"),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        count: sorted.len(),
+    })
+}
+
+/// The paper's accuracy metric (eq. 13): `100 · cost / OPT` for negative
+/// costs, so 100% is optimal and smaller is worse.
+///
+/// # Panics
+///
+/// Panics if `opt` is zero.
+pub fn accuracy(cost: f64, opt: f64) -> f64 {
+    assert!(opt != 0.0, "accuracy undefined for OPT = 0");
+    100.0 * cost / opt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.q1, 1.75);
+        assert_eq!(s.q3, 3.25);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = summarize(&[7.0]).unwrap();
+        assert_eq!((s.min, s.q1, s.median, s.q3, s.max), (7.0, 7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn accuracy_examples() {
+        // cost −99, OPT −100 → 99%
+        assert!((accuracy(-99.0, -100.0) - 99.0).abs() < 1e-12);
+        assert_eq!(accuracy(-100.0, -100.0), 100.0);
+        // infeasible lower bounds can exceed 100% (cost below OPT)
+        assert!(accuracy(-110.0, -100.0) > 100.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 0.5), 5.0);
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 1.0), 10.0);
+    }
+}

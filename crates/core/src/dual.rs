@@ -1,0 +1,230 @@
+//! Exact dual-bound utilities for small models.
+//!
+//! The paper's Fig. 2 illustrates the theory on a toy problem: with
+//! `P < P_C` the penalty bound `LB_P = min_x E` undercuts `OPT` at an
+//! *infeasible* minimizer, while the Lagrangian bound
+//! `LB_L(λ) = min_x L(x, λ)` is concave in λ and its maximum `MD = max_λ LB_L`
+//! (the dual, eq. 8) can close the gap. These helpers compute all three
+//! quantities exactly by enumeration so the `fig2_toy_gap` bench target and
+//! the theory tests don't depend on a heuristic inner solver.
+
+use crate::lagrangian::LagrangianSystem;
+use crate::penalty::penalty_qubo;
+use crate::problem::ConstrainedProblem;
+use saim_ising::BinaryState;
+
+/// Maximum variable count accepted by the enumeration helpers.
+pub const MAX_ENUM_VARS: usize = 24;
+
+fn assert_enumerable<P: ConstrainedProblem + ?Sized>(problem: &P) {
+    assert!(
+        problem.num_vars() <= MAX_ENUM_VARS,
+        "exact dual utilities enumerate 2^N states; N = {} exceeds {}",
+        problem.num_vars(),
+        MAX_ENUM_VARS
+    );
+}
+
+/// The exact constrained optimum `OPT = min {f(x) : g(x) = 0}` by enumeration,
+/// in **native** units, together with a minimizer. Returns `None` if no
+/// feasible state exists.
+///
+/// # Panics
+///
+/// Panics if the problem has more than [`MAX_ENUM_VARS`] variables.
+pub fn exact_opt<P: ConstrainedProblem + ?Sized>(problem: &P) -> Option<(BinaryState, f64)> {
+    assert_enumerable(problem);
+    let n = problem.num_vars();
+    let mut best: Option<(BinaryState, f64)> = None;
+    for mask in 0u64..(1 << n) {
+        let x = BinaryState::from_mask(mask, n);
+        let eval = problem.evaluate(&x);
+        if eval.feasible && best.as_ref().is_none_or(|(_, c)| eval.cost < *c) {
+            best = Some((x, eval.cost));
+        }
+    }
+    best
+}
+
+/// The exact penalty bound `LB_P = min_x E(x)` with `E = f + P‖g‖²`
+/// (paper eq. 4), in **encoded** units, together with its minimizer.
+///
+/// # Panics
+///
+/// Panics if the problem has more than [`MAX_ENUM_VARS`] variables, or if
+/// `penalty` is invalid for [`penalty_qubo`].
+pub fn exact_penalty_bound<P: ConstrainedProblem + ?Sized>(
+    problem: &P,
+    penalty: f64,
+) -> (BinaryState, f64) {
+    assert_enumerable(problem);
+    let e = penalty_qubo(problem, penalty).expect("valid penalty");
+    let n = problem.num_vars();
+    let mut best_x = BinaryState::zeros(n);
+    let mut best_e = f64::INFINITY;
+    for mask in 0u64..(1 << n) {
+        let x = BinaryState::from_mask(mask, n);
+        let v = e.energy(&x);
+        if v < best_e {
+            best_e = v;
+            best_x = x;
+        }
+    }
+    (best_x, best_e)
+}
+
+/// The exact Lagrangian bound `LB_L(λ) = min_x L(x, λ)` (paper eq. 6), in
+/// **encoded** units, together with its minimizer.
+///
+/// # Panics
+///
+/// Panics if the problem has more than [`MAX_ENUM_VARS`] variables, or if
+/// `penalty` is invalid, or `lambda` has the wrong length.
+pub fn exact_lagrangian_bound<P: ConstrainedProblem + ?Sized>(
+    problem: &P,
+    penalty: f64,
+    lambda: &[f64],
+) -> (BinaryState, f64) {
+    assert_enumerable(problem);
+    let mut sys = LagrangianSystem::new(problem, penalty).expect("valid penalty");
+    sys.set_lambda(lambda).expect("lambda matches constraints");
+    let n = problem.num_vars();
+    let mut best_x = BinaryState::zeros(n);
+    let mut best_l = f64::INFINITY;
+    for mask in 0u64..(1 << n) {
+        let x = BinaryState::from_mask(mask, n);
+        let v = sys.lagrangian_energy(&x);
+        if v < best_l {
+            best_l = v;
+            best_x = x;
+        }
+    }
+    (best_x, best_l)
+}
+
+/// Solves the dual `MD = max_λ LB_L(λ)` (paper eq. 8) by exact subgradient
+/// ascent: at each step the inner minimization is exhaustive, and
+/// `∇_λ LB_L = g(x̄)`. Returns `(λ*, MD)` after `steps` iterations of step
+/// size `eta`.
+///
+/// Because `LB_L` is concave and piecewise-linear in λ this converges to the
+/// optimum for small enough `eta`; the function also tracks and returns the
+/// best bound seen, which is what a dual *bound* means.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`exact_lagrangian_bound`], or if
+/// `eta <= 0` or `steps == 0`.
+pub fn exact_dual_ascent<P: ConstrainedProblem + ?Sized>(
+    problem: &P,
+    penalty: f64,
+    eta: f64,
+    steps: usize,
+) -> (Vec<f64>, f64) {
+    assert!(eta > 0.0 && eta.is_finite(), "eta must be positive");
+    assert!(steps > 0, "steps must be positive");
+    assert_enumerable(problem);
+    let m = problem.constraints().len();
+    let mut lambda = vec![0.0; m];
+    let mut best_bound = f64::NEG_INFINITY;
+    let mut best_lambda = lambda.clone();
+    for _ in 0..steps {
+        let (x, bound) = exact_lagrangian_bound(problem, penalty, &lambda);
+        if bound > best_bound {
+            best_bound = bound;
+            best_lambda = lambda.clone();
+        }
+        for (lm, c) in lambda.iter_mut().zip(problem.constraints()) {
+            *lm += eta * c.violation(&x);
+        }
+    }
+    (best_lambda, best_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{BinaryProblem, LinearConstraint};
+    use saim_ising::QuboBuilder;
+
+    /// minimize -(3 x0 + 2 x1 + 2 x2) s.t. x0 + x1 + x2 = 2; OPT = -5.
+    fn toy() -> BinaryProblem {
+        let mut f = QuboBuilder::new(3);
+        f.add_linear(0, -3.0).unwrap();
+        f.add_linear(1, -2.0).unwrap();
+        f.add_linear(2, -2.0).unwrap();
+        BinaryProblem::new(
+            f.build(),
+            vec![LinearConstraint::new(vec![1.0; 3], -2.0).unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_opt_finds_constrained_minimum() {
+        let (x, opt) = exact_opt(&toy()).unwrap();
+        assert_eq!(opt, -5.0);
+        assert_eq!(x.count_ones(), 2);
+        assert!(x.is_set(0));
+    }
+
+    #[test]
+    fn small_penalty_bound_undershoots_and_is_infeasible() {
+        // paper Fig. 2a: with P < P_C, LB_P < OPT at an infeasible state
+        let p = toy();
+        let (x, lb_p) = exact_penalty_bound(&p, 0.4);
+        assert!(lb_p < -5.0);
+        assert!(!p.evaluate(&x).feasible);
+    }
+
+    #[test]
+    fn large_penalty_bound_equals_opt() {
+        let p = toy();
+        let (x, lb_p) = exact_penalty_bound(&p, 50.0);
+        assert_eq!(lb_p, -5.0);
+        assert!(p.evaluate(&x).feasible);
+    }
+
+    #[test]
+    fn dual_closes_the_gap_at_small_penalty() {
+        // paper Fig. 2b: the optimal λ* recovers LB_L = OPT even with P < P_C
+        let p = toy();
+        let (_, lb_p) = exact_penalty_bound(&p, 0.4);
+        let (lambda, md) = exact_dual_ascent(&p, 0.4, 0.1, 400);
+        assert!(md > lb_p, "dual must improve on the penalty bound");
+        assert!(
+            (md - (-5.0)).abs() < 1e-6,
+            "dual should reach OPT = -5, got {md} at λ = {lambda:?}"
+        );
+    }
+
+    #[test]
+    fn lagrangian_bound_is_concave_in_lambda_samplewise() {
+        // check midpoint concavity on a grid: LB((a+b)/2) >= (LB(a)+LB(b))/2
+        let p = toy();
+        let bound = |l: f64| exact_lagrangian_bound(&p, 0.4, &[l]).1;
+        for (a, b) in [(0.0, 2.0), (-1.0, 3.0), (1.0, 4.0)] {
+            let mid = bound((a + b) / 2.0);
+            assert!(mid >= (bound(a) + bound(b)) / 2.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lagrangian_bound_never_exceeds_opt_plus_penalty_effects() {
+        // weak duality in encoded units: LB_L(λ) <= E(x*) = OPT (penalty
+        // vanishes on feasible x*, and here encoded == native units)
+        let p = toy();
+        for l in [-2.0, 0.0, 1.0, 3.0, 10.0] {
+            let (_, lb) = exact_lagrangian_bound(&p, 0.4, &[l]);
+            assert!(lb <= -5.0 + 1e-9, "λ={l}: LB_L={lb} exceeds OPT");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn refuses_large_models() {
+        let f = QuboBuilder::new(30).build();
+        let p = BinaryProblem::new(f, vec![]).unwrap();
+        let _ = exact_opt(&p);
+    }
+}

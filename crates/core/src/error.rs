@@ -1,0 +1,68 @@
+use saim_ising::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the SAIM drivers and problem constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// A constraint's coefficient vector does not match the variable count.
+    ConstraintDimension {
+        /// Number of variables in the problem.
+        expected: usize,
+        /// Length of the offending coefficient vector.
+        found: usize,
+    },
+    /// A driver parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::ConstraintDimension { expected, found } => {
+                write!(f, "constraint has {found} coefficients but the problem has {expected} variables")
+            }
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(ModelError::SelfCoupling { index: 2 });
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let p = CoreError::InvalidParameter { name: "eta", reason: "must be positive" };
+        assert!(p.to_string().contains("eta"));
+        assert!(p.source().is_none());
+    }
+}

@@ -1,0 +1,276 @@
+use crate::error::CoreError;
+use saim_ising::{BinaryState, Qubo};
+use serde::{Deserialize, Serialize};
+
+/// Default absolute tolerance when testing `g(x) = 0` on floating-point data.
+pub(crate) const FEASIBILITY_TOL: f64 = 1e-9;
+
+/// A linear constraint `g(x) = aᵀx + b = 0` over binary variables.
+///
+/// Inequalities are brought to this form upstream by adding binary-encoded
+/// slack variables (see `saim-knapsack`). The SAIM λ update needs the signed
+/// violation `g(x)`, not just a feasibility bit — [`LinearConstraint::violation`]
+/// provides it.
+///
+/// ```
+/// use saim_core::LinearConstraint;
+/// use saim_ising::BinaryState;
+///
+/// # fn main() -> Result<(), saim_core::CoreError> {
+/// // x0 + 2 x1 = 2
+/// let c = LinearConstraint::new(vec![1.0, 2.0], -2.0)?;
+/// assert_eq!(c.violation(&BinaryState::from_bits(&[0, 1])), 0.0);
+/// assert_eq!(c.violation(&BinaryState::from_bits(&[1, 1])), 1.0);
+/// assert!(c.is_satisfied(&BinaryState::from_bits(&[0, 1])));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearConstraint {
+    coeffs: Vec<f64>,
+    offset: f64,
+}
+
+impl LinearConstraint {
+    /// Creates the constraint `coeffs·x + offset = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if any coefficient or the
+    /// offset is NaN/∞.
+    pub fn new(coeffs: Vec<f64>, offset: f64) -> Result<Self, CoreError> {
+        if coeffs.iter().any(|v| !v.is_finite()) || !offset.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "constraint",
+                reason: "coefficients must be finite",
+            });
+        }
+        Ok(LinearConstraint { coeffs, offset })
+    }
+
+    /// The coefficient vector `a`.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The constant `b` in `aᵀx + b`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Number of variables the constraint spans.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the constraint spans zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The signed violation `g(x) = aᵀx + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn violation(&self, x: &BinaryState) -> f64 {
+        x.dot(&self.coeffs) + self.offset
+    }
+
+    /// Whether `|g(x)|` is within the workspace feasibility tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn is_satisfied(&self, x: &BinaryState) -> bool {
+        self.violation(x).abs() <= FEASIBILITY_TOL
+    }
+}
+
+/// The cost and feasibility of a measured sample, in the problem's native units.
+///
+/// The encoded (normalized, slack-extended) model is what the Ising machine
+/// sees; `Evaluation` is what the user cares about. For knapsacks, `cost` is
+/// the negated integer profit and `feasible` checks the original
+/// inequalities — exactly the bookkeeping of paper Algorithm 1's
+/// "store feasible x̂_k" step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Native objective value (lower is better, matching eq. 2).
+    pub cost: f64,
+    /// Whether the sample satisfies every original constraint.
+    pub feasible: bool,
+}
+
+/// A constrained binary problem as SAIM consumes it: a quadratic objective
+/// plus linear equality constraints over the same (slack-extended) variables.
+///
+/// Implementors supply both the *encoded* view (normalized QUBO + equality
+/// constraints, used to build energies) and the *native* view
+/// ([`ConstrainedProblem::evaluate`], used to score samples). The two may
+/// disagree on scale — the encoded objective is typically normalized — but
+/// must agree on ordering among feasible states.
+pub trait ConstrainedProblem {
+    /// Total number of binary variables, including slack bits.
+    fn num_vars(&self) -> usize;
+
+    /// The encoded quadratic objective `f` over all variables.
+    fn objective(&self) -> &Qubo;
+
+    /// The encoded equality constraints `g(x) = 0`.
+    fn constraints(&self) -> &[LinearConstraint];
+
+    /// Native-units cost and original-constraint feasibility of a sample.
+    ///
+    /// The sample is the full extended state; implementations ignore slack
+    /// bits for costing and re-check the original inequalities exactly.
+    fn evaluate(&self, x: &BinaryState) -> Evaluation;
+
+    /// Coupling density `d` used by the paper's penalty rule `P = α·d·N`.
+    ///
+    /// Defaults to the objective's pair density; problems without quadratic
+    /// terms override this (the paper approximates MKP density as `2/(N+1)`).
+    fn density(&self) -> f64 {
+        self.objective().pairs().density()
+    }
+
+    /// The paper's heuristic initial penalty `P = α · d · N`.
+    fn penalty_for_alpha(&self, alpha: f64) -> f64 {
+        alpha * self.density() * self.num_vars() as f64
+    }
+}
+
+/// A self-contained [`ConstrainedProblem`] built directly from a QUBO and
+/// constraints — the quickest way to hand SAIM a custom model.
+///
+/// The native cost is simply the encoded objective's energy, and feasibility
+/// is `g(x) = 0` within tolerance on every constraint.
+///
+/// ```
+/// use saim_core::{BinaryProblem, ConstrainedProblem, LinearConstraint};
+/// use saim_ising::{BinaryState, QuboBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut f = QuboBuilder::new(2);
+/// f.add_linear(0, -3.0)?;
+/// f.add_linear(1, -2.0)?;
+/// let p = BinaryProblem::new(
+///     f.build(),
+///     vec![LinearConstraint::new(vec![1.0, 1.0], -1.0)?], // pick exactly one
+/// )?;
+/// let e = p.evaluate(&BinaryState::from_bits(&[1, 0]));
+/// assert!(e.feasible);
+/// assert_eq!(e.cost, -3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryProblem {
+    objective: Qubo,
+    constraints: Vec<LinearConstraint>,
+}
+
+impl BinaryProblem {
+    /// Creates a problem from an objective and equality constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ConstraintDimension`] if any constraint's length
+    /// differs from the objective's variable count.
+    pub fn new(objective: Qubo, constraints: Vec<LinearConstraint>) -> Result<Self, CoreError> {
+        for c in &constraints {
+            if c.len() != objective.len() {
+                return Err(CoreError::ConstraintDimension {
+                    expected: objective.len(),
+                    found: c.len(),
+                });
+            }
+        }
+        Ok(BinaryProblem { objective, constraints })
+    }
+
+    /// The objective QUBO.
+    pub fn objective(&self) -> &Qubo {
+        &self.objective
+    }
+}
+
+impl ConstrainedProblem for BinaryProblem {
+    fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    fn objective(&self) -> &Qubo {
+        &self.objective
+    }
+
+    fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    fn evaluate(&self, x: &BinaryState) -> Evaluation {
+        Evaluation {
+            cost: self.objective.energy(x),
+            feasible: self.constraints.iter().all(|c| c.is_satisfied(x)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saim_ising::QuboBuilder;
+
+    fn pick_one_problem() -> BinaryProblem {
+        let mut f = QuboBuilder::new(3);
+        f.add_linear(0, -5.0).unwrap();
+        f.add_linear(1, -3.0).unwrap();
+        f.add_linear(2, -1.0).unwrap();
+        BinaryProblem::new(
+            f.build(),
+            vec![LinearConstraint::new(vec![1.0, 1.0, 1.0], -1.0).unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn violation_is_signed() {
+        let c = LinearConstraint::new(vec![1.0, 1.0], -1.0).unwrap();
+        assert_eq!(c.violation(&BinaryState::from_bits(&[0, 0])), -1.0);
+        assert_eq!(c.violation(&BinaryState::from_bits(&[1, 1])), 1.0);
+    }
+
+    #[test]
+    fn evaluate_checks_all_constraints() {
+        let p = pick_one_problem();
+        assert!(p.evaluate(&BinaryState::from_bits(&[0, 1, 0])).feasible);
+        assert!(!p.evaluate(&BinaryState::from_bits(&[1, 1, 0])).feasible);
+        assert!(!p.evaluate(&BinaryState::from_bits(&[0, 0, 0])).feasible);
+        assert_eq!(p.evaluate(&BinaryState::from_bits(&[1, 0, 0])).cost, -5.0);
+    }
+
+    #[test]
+    fn penalty_rule_matches_paper_formula() {
+        // objective with 1 pair among 3 vars: d = 1/3, N = 3, α = 2 → P = 2
+        let mut f = QuboBuilder::new(3);
+        f.add_pair(0, 1, 1.0).unwrap();
+        let p = BinaryProblem::new(f.build(), vec![]).unwrap();
+        assert!((p.penalty_for_alpha(2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let f = QuboBuilder::new(2).build();
+        let c = LinearConstraint::new(vec![1.0; 3], 0.0).unwrap();
+        assert!(matches!(
+            BinaryProblem::new(f, vec![c]),
+            Err(CoreError::ConstraintDimension { expected: 2, found: 3 })
+        ));
+    }
+
+    #[test]
+    fn constraint_rejects_non_finite() {
+        assert!(LinearConstraint::new(vec![f64::NAN], 0.0).is_err());
+        assert!(LinearConstraint::new(vec![1.0], f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+use serde::{Deserialize, Serialize};
+
+/// Telemetry for one SAIM iteration (one inner annealing run + one λ update).
+///
+/// A stream of these records is exactly the data behind the paper's Fig. 3
+/// (QKP cost trace + Lagrange-multiplier staircase) and Fig. 5 (the MKP
+/// equivalents).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// 0-based iteration index `k`.
+    pub iteration: usize,
+    /// Native cost of the measured sample `x_k` (the run's last sample).
+    pub cost: f64,
+    /// Whether `x_k` satisfied the original constraints.
+    pub feasible: bool,
+    /// Lagrangian energy `L(x_k)` under the λ in force during the run.
+    pub lagrangian_energy: f64,
+    /// The multipliers in force *during* this run (before the update).
+    pub lambda: Vec<f64>,
+    /// Signed violations `g(x_k)` used for the subgradient step.
+    pub violations: Vec<f64>,
+    /// Cumulative Monte Carlo sweeps after this iteration.
+    pub mcs_cumulative: u64,
+}
+
+impl IterationRecord {
+    /// Largest absolute constraint violation of the sample.
+    pub fn max_violation(&self) -> f64 {
+        self.violations.iter().fold(0.0_f64, |a, v| a.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_violation() {
+        let r = IterationRecord {
+            iteration: 0,
+            cost: -1.0,
+            feasible: false,
+            lagrangian_energy: -2.0,
+            lambda: vec![0.0],
+            violations: vec![-3.0, 2.0],
+            mcs_cumulative: 100,
+        };
+        assert_eq!(r.max_violation(), 3.0);
+    }
+
+    #[test]
+    fn serializes() {
+        let r = IterationRecord {
+            iteration: 1,
+            cost: 0.0,
+            feasible: true,
+            lagrangian_energy: 0.0,
+            lambda: vec![1.0],
+            violations: vec![0.0],
+            mcs_cumulative: 200,
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<IterationRecord>(&s).unwrap(), r);
+    }
+}

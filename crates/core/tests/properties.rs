@@ -1,0 +1,154 @@
+//! Property-based tests for the SAIM core: penalty expansion identities,
+//! dual-theory invariants, and outcome bookkeeping.
+
+use proptest::prelude::*;
+use saim_core::{
+    dual, penalty_qubo, BinaryProblem, ConstrainedProblem, LinearConstraint, SaimConfig,
+    SaimRunner,
+};
+use saim_ising::{BinaryState, QuboBuilder};
+use saim_machine::{BetaSchedule, SimulatedAnnealing};
+
+/// A random constrained problem with 1–2 linear equality constraints.
+fn arb_problem() -> impl Strategy<Value = BinaryProblem> {
+    (3usize..7).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-4.0..4.0f64, n),
+            proptest::collection::vec(((0..n, 0..n), -3.0..3.0f64), 0..6),
+            proptest::collection::vec(
+                (proptest::collection::vec(0.0..2.0f64, n), -3.0..0.0f64),
+                1..3,
+            ),
+        )
+            .prop_map(move |(linear, pairs, raw_constraints)| {
+                let mut b = QuboBuilder::new(n);
+                for (i, v) in linear.into_iter().enumerate() {
+                    b.add_linear(i, v).expect("index in range");
+                }
+                for ((i, j), v) in pairs {
+                    if i != j {
+                        b.add_pair(i, j, v).expect("indices in range");
+                    }
+                }
+                let constraints = raw_constraints
+                    .into_iter()
+                    .map(|(coeffs, rhs)| LinearConstraint::new(coeffs, rhs).expect("finite"))
+                    .collect();
+                BinaryProblem::new(b.build(), constraints).expect("dims agree")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// penalty_qubo computes exactly f + P·Σ g² for every state and P.
+    #[test]
+    fn penalty_expansion_identity(
+        problem in arb_problem(),
+        p in 0.0..10.0f64,
+        mask in 0u64..128,
+    ) {
+        let n = problem.num_vars();
+        let x = BinaryState::from_mask(mask % (1 << n), n);
+        let e = penalty_qubo(&problem, p).expect("valid penalty");
+        let f = ConstrainedProblem::objective(&problem).energy(&x);
+        let pen: f64 = problem
+            .constraints()
+            .iter()
+            .map(|c| {
+                let g = c.violation(&x);
+                p * g * g
+            })
+            .sum();
+        prop_assert!((e.energy(&x) - (f + pen)).abs() < 1e-9);
+    }
+
+    /// Pointwise, the penalty energy is nondecreasing in P; on feasible
+    /// states it is constant.
+    #[test]
+    fn penalty_is_monotone_in_p(
+        problem in arb_problem(),
+        p_lo in 0.0..5.0f64,
+        dp in 0.0..5.0f64,
+        mask in 0u64..128,
+    ) {
+        let n = problem.num_vars();
+        let x = BinaryState::from_mask(mask % (1 << n), n);
+        let lo = penalty_qubo(&problem, p_lo).expect("valid").energy(&x);
+        let hi = penalty_qubo(&problem, p_lo + dp).expect("valid").energy(&x);
+        prop_assert!(hi >= lo - 1e-9);
+        if problem.evaluate(&x).feasible {
+            prop_assert!((hi - lo).abs() < 1e-9, "feasible states pay no penalty");
+        }
+    }
+
+    /// The exact penalty bound is nondecreasing in P and always a lower
+    /// bound on OPT (the LB_P ≤ OPT side of paper eq. 4).
+    #[test]
+    fn penalty_bound_monotone_and_below_opt(
+        problem in arb_problem(),
+        p_lo in 0.0..3.0f64,
+        dp in 0.0..3.0f64,
+    ) {
+        let (_, lb_lo) = dual::exact_penalty_bound(&problem, p_lo);
+        let (_, lb_hi) = dual::exact_penalty_bound(&problem, p_lo + dp);
+        prop_assert!(lb_hi >= lb_lo - 1e-9, "min_x E must rise with P");
+        if let Some((_, opt)) = dual::exact_opt(&problem) {
+            prop_assert!(lb_hi <= opt + 1e-9, "LB_P must lower-bound OPT");
+        }
+    }
+
+    /// The dual value from subgradient ascent never falls below the λ = 0
+    /// bound and never exceeds OPT.
+    #[test]
+    fn dual_ascent_is_sandwiched(problem in arb_problem(), p in 0.0..2.0f64) {
+        let m = problem.constraints().len();
+        let zero = vec![0.0; m];
+        let (_, lb0) = dual::exact_lagrangian_bound(&problem, p, &zero);
+        let (_, md) = dual::exact_dual_ascent(&problem, p, 0.1, 60);
+        prop_assert!(md >= lb0 - 1e-9, "ascent keeps the best bound seen");
+        if let Some((_, opt)) = dual::exact_opt(&problem) {
+            prop_assert!(md <= opt + 1e-9, "weak duality");
+        }
+    }
+
+    /// SAIM outcome bookkeeping is always self-consistent, whatever the
+    /// problem and budget.
+    #[test]
+    fn saim_outcome_bookkeeping(
+        problem in arb_problem(),
+        seed in 0u64..200,
+        iterations in 2usize..12,
+    ) {
+        let config = SaimConfig { penalty: 0.5, eta: 0.3, iterations, seed };
+        let solver = SimulatedAnnealing::new(BetaSchedule::linear(4.0), 25, seed);
+        let out = SaimRunner::new(config).run(&problem, solver);
+        prop_assert_eq!(out.records.len(), iterations);
+        prop_assert_eq!(out.mcs_total, 25 * iterations as u64);
+        prop_assert!((0.0..=1.0).contains(&out.feasibility));
+        let feasible_count = out.records.iter().filter(|r| r.feasible).count();
+        prop_assert!((out.feasibility - feasible_count as f64 / iterations as f64).abs() < 1e-12);
+        prop_assert_eq!(out.final_lambda.len(), problem.constraints().len());
+        if let Some(best) = &out.best {
+            // the stored best is the min over feasible records
+            let min_feasible = out
+                .records
+                .iter()
+                .filter(|r| r.feasible)
+                .map(|r| r.cost)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(best.cost, min_feasible);
+            prop_assert!(problem.evaluate(&best.state).feasible);
+        } else {
+            prop_assert_eq!(feasible_count, 0);
+        }
+        // λ trace replays the subgradient recursion exactly
+        for w in out.records.windows(2) {
+            for c in 0..problem.constraints().len() {
+                let expected = w[0].lambda[c] + 0.3 * w[0].violations[c];
+                prop_assert!((w[1].lambda[c] - expected).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Depth-first branch-and-bound for MKP and QKP.
+//!
+//! The MKP solver stands in for the Matlab `intlinprog` reference of the
+//! paper's Table V; the QKP solver certifies optima for the accuracy
+//! denominators of Tables II–IV on moderate sizes. Both report whether the
+//! search completed (`proven_optimal`) or hit a node/time limit, in which
+//! case the result is a best-effort incumbent (still a valid feasible
+//! solution).
+
+use crate::ExactSolution;
+use saim_knapsack::{MkpInstance, QkpInstance};
+use std::time::{Duration, Instant};
+
+/// Search limits protecting against exponential blowup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbLimits {
+    /// Maximum number of search nodes to expand.
+    pub max_nodes: u64,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+}
+
+impl Default for BbLimits {
+    /// 5M nodes / 10 seconds — enough to certify the workloads in this
+    /// repository's default-scale benchmarks.
+    fn default() -> Self {
+        BbLimits { max_nodes: 5_000_000, time_limit: Duration::from_secs(10) }
+    }
+}
+
+/// A branch-and-bound result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BbOutcome {
+    /// Best selection found.
+    pub selection: Vec<u8>,
+    /// Its profit.
+    pub profit: u64,
+    /// Whether the search space was exhausted (the incumbent is optimal).
+    pub proven_optimal: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl From<BbOutcome> for ExactSolution {
+    fn from(o: BbOutcome) -> Self {
+        ExactSolution { selection: o.selection, profit: o.profit }
+    }
+}
+
+struct MkpSearch<'a> {
+    inst: &'a MkpInstance,
+    /// Item indices in pseudo-utility order (most valuable per weight first).
+    order: Vec<usize>,
+    limits: BbLimits,
+    start: Instant,
+    nodes: u64,
+    truncated: bool,
+    best_profit: u64,
+    best_selection: Vec<u8>,
+    /// Per-constraint item ratio orders for the Dantzig bound.
+    ratio_orders: Vec<Vec<usize>>,
+}
+
+impl MkpSearch<'_> {
+    /// Dantzig fractional bound on the profit addable from `order[depth..]`,
+    /// computed per constraint (relaxing the others) and minimized.
+    fn bound(&self, depth: usize, loads: &[u64], decided: &[u8]) -> f64 {
+        let mut best = f64::INFINITY;
+        for m in 0..self.inst.num_constraints() {
+            let remaining = self.inst.capacities()[m].saturating_sub(loads[m]) as f64;
+            let mut cap = remaining;
+            let mut add = 0.0;
+            for &i in &self.ratio_orders[m] {
+                // only items still undecided at this depth
+                if decided[i] != 2 {
+                    continue;
+                }
+                let w = f64::from(self.inst.weights(m)[i]);
+                let v = f64::from(self.inst.values()[i]);
+                if w <= cap {
+                    cap -= w;
+                    add += v;
+                } else if w > 0.0 {
+                    add += v * cap / w;
+                    break;
+                }
+            }
+            best = best.min(add);
+            let _ = depth;
+        }
+        best
+    }
+
+    fn dfs(&mut self, depth: usize, profit: u64, loads: &mut Vec<u64>, decided: &mut Vec<u8>) {
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes
+            || (self.nodes.is_multiple_of(4096) && self.start.elapsed() > self.limits.time_limit)
+        {
+            self.truncated = true;
+            return;
+        }
+        if profit > self.best_profit {
+            self.best_profit = profit;
+            self.best_selection = decided.iter().map(|&d| u8::from(d == 1)).collect();
+        }
+        if depth == self.order.len() {
+            return;
+        }
+        // prune with the fractional bound
+        if profit as f64 + self.bound(depth, loads, decided) <= self.best_profit as f64 {
+            return;
+        }
+        let item = self.order[depth];
+        // branch 1: take the item if it fits everywhere
+        let fits = (0..self.inst.num_constraints())
+            .all(|m| loads[m] + self.inst.weights(m)[item] as u64 <= self.inst.capacities()[m]);
+        if fits {
+            for m in 0..self.inst.num_constraints() {
+                loads[m] += self.inst.weights(m)[item] as u64;
+            }
+            decided[item] = 1;
+            self.dfs(depth + 1, profit + self.inst.values()[item] as u64, loads, decided);
+            for m in 0..self.inst.num_constraints() {
+                loads[m] -= self.inst.weights(m)[item] as u64;
+            }
+        }
+        if self.truncated {
+            decided[item] = 2;
+            return;
+        }
+        // branch 2: skip the item
+        decided[item] = 0;
+        self.dfs(depth + 1, profit, loads, decided);
+        decided[item] = 2;
+    }
+}
+
+/// Solves an MKP exactly (within limits) by branch and bound.
+///
+/// Items are explored in decreasing pseudo-utility order
+/// `v_i / Σ_m (a_mi / B_m)`; nodes are pruned with the per-constraint
+/// Dantzig fractional bound.
+pub fn solve_mkp(instance: &MkpInstance, limits: BbLimits) -> BbOutcome {
+    let n = instance.len();
+    let m = instance.num_constraints();
+    let start = Instant::now();
+
+    let utility = |i: usize| {
+        let scaled: f64 = (0..m)
+            .map(|k| f64::from(instance.weights(k)[i]) / instance.capacities()[k] as f64)
+            .sum();
+        f64::from(instance.values()[i]) / scaled.max(1e-12)
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| utility(b).partial_cmp(&utility(a)).expect("finite utilities"));
+
+    let mut ratio_orders = Vec::with_capacity(m);
+    for k in 0..m {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            let ra = f64::from(instance.values()[a]) / f64::from(instance.weights(k)[a]).max(1e-12);
+            let rb = f64::from(instance.values()[b]) / f64::from(instance.weights(k)[b]).max(1e-12);
+            rb.partial_cmp(&ra).expect("finite ratios")
+        });
+        ratio_orders.push(idx);
+    }
+
+    let mut search = MkpSearch {
+        inst: instance,
+        order,
+        limits,
+        start,
+        nodes: 0,
+        truncated: false,
+        best_profit: 0,
+        best_selection: vec![0; n],
+        ratio_orders,
+    };
+    // decided: 0 = excluded, 1 = included, 2 = undecided
+    let mut decided = vec![2u8; n];
+    let mut loads = vec![0u64; m];
+    search.dfs(0, 0, &mut loads, &mut decided);
+
+    BbOutcome {
+        selection: search.best_selection,
+        profit: search.best_profit,
+        proven_optimal: !search.truncated,
+        nodes: search.nodes,
+        elapsed: start.elapsed(),
+    }
+}
+
+struct QkpSearch<'a> {
+    inst: &'a QkpInstance,
+    order: Vec<usize>,
+    limits: BbLimits,
+    start: Instant,
+    nodes: u64,
+    truncated: bool,
+    best_profit: u64,
+    best_selection: Vec<u8>,
+}
+
+impl QkpSearch<'_> {
+    /// Optimistic per-item profit: own value + pair profits with every chosen
+    /// or undecided partner. Summing these over any subset of undecided
+    /// items over-counts pair profits (each counted twice) and is therefore
+    /// a valid upper bound for nonnegative `W`.
+    fn bound(&self, decided: &[u8], load: u64) -> f64 {
+        let remaining = self.inst.capacity().saturating_sub(load) as f64;
+        let mut items: Vec<(f64, f64)> = Vec::new(); // (optimistic profit, weight)
+        for i in 0..self.inst.len() {
+            if decided[i] != 2 {
+                continue;
+            }
+            let mut u = f64::from(self.inst.values()[i]);
+            for j in 0..self.inst.len() {
+                if j != i && decided[j] != 0 {
+                    u += f64::from(self.inst.pair_value(i, j));
+                }
+            }
+            items.push((u, f64::from(self.inst.weights()[i])));
+        }
+        items.sort_by(|a, b| {
+            (b.0 / b.1.max(1e-12))
+                .partial_cmp(&(a.0 / a.1.max(1e-12)))
+                .expect("finite ratios")
+        });
+        let mut cap = remaining;
+        let mut add = 0.0;
+        for (u, w) in items {
+            if w <= cap {
+                cap -= w;
+                add += u;
+            } else if w > 0.0 {
+                add += u * cap / w;
+                break;
+            }
+        }
+        add
+    }
+
+    fn marginal(&self, item: usize, decided: &[u8]) -> u64 {
+        let mut p = self.inst.values()[item] as u64;
+        for j in 0..self.inst.len() {
+            if j != item && decided[j] == 1 {
+                p += self.inst.pair_value(item, j) as u64;
+            }
+        }
+        p
+    }
+
+    fn dfs(&mut self, depth: usize, profit: u64, load: u64, decided: &mut Vec<u8>) {
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes
+            || (self.nodes.is_multiple_of(4096) && self.start.elapsed() > self.limits.time_limit)
+        {
+            self.truncated = true;
+            return;
+        }
+        if profit > self.best_profit {
+            self.best_profit = profit;
+            self.best_selection = decided.iter().map(|&d| u8::from(d == 1)).collect();
+        }
+        if depth == self.order.len() {
+            return;
+        }
+        if profit as f64 + self.bound(decided, load) <= self.best_profit as f64 {
+            return;
+        }
+        let item = self.order[depth];
+        let w = self.inst.weights()[item] as u64;
+        if load + w <= self.inst.capacity() {
+            let gain = self.marginal(item, decided);
+            decided[item] = 1;
+            self.dfs(depth + 1, profit + gain, load + w, decided);
+        }
+        if self.truncated {
+            decided[item] = 2;
+            return;
+        }
+        decided[item] = 0;
+        self.dfs(depth + 1, profit, load, decided);
+        decided[item] = 2;
+    }
+}
+
+/// Solves a QKP exactly (within limits) by branch and bound with an
+/// optimistic-pair fractional bound.
+pub fn solve_qkp(instance: &QkpInstance, limits: BbLimits) -> BbOutcome {
+    let n = instance.len();
+    let start = Instant::now();
+    // order by optimistic density
+    let optimistic = |i: usize| {
+        let mut u = f64::from(instance.values()[i]);
+        for j in 0..n {
+            if j != i {
+                u += f64::from(instance.pair_value(i, j));
+            }
+        }
+        u / f64::from(instance.weights()[i]).max(1e-12)
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| optimistic(b).partial_cmp(&optimistic(a)).expect("finite"));
+
+    let mut search = QkpSearch {
+        inst: instance,
+        order,
+        limits,
+        start,
+        nodes: 0,
+        truncated: false,
+        best_profit: 0,
+        best_selection: vec![0; n],
+    };
+    let mut decided = vec![2u8; n];
+    search.dfs(0, 0, 0, &mut decided);
+
+    BbOutcome {
+        selection: search.best_selection,
+        profit: search.best_profit,
+        proven_optimal: !search.truncated,
+        nodes: search.nodes,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use saim_knapsack::generate;
+
+    #[test]
+    fn mkp_matches_brute_force() {
+        for seed in 0..12 {
+            let inst = generate::mkp(14, 3, 0.5, seed).unwrap();
+            let exact = brute::mkp(&inst);
+            let bnb = solve_mkp(&inst, BbLimits::default());
+            assert!(bnb.proven_optimal, "seed {seed} hit limits");
+            assert_eq!(bnb.profit, exact.profit, "seed {seed}");
+            assert!(inst.is_feasible(&bnb.selection));
+            assert_eq!(inst.profit(&bnb.selection), bnb.profit);
+        }
+    }
+
+    #[test]
+    fn qkp_matches_brute_force() {
+        for seed in 0..12 {
+            let inst = generate::qkp(14, 0.5, seed).unwrap();
+            let exact = brute::qkp(&inst);
+            let bnb = solve_qkp(&inst, BbLimits::default());
+            assert!(bnb.proven_optimal, "seed {seed} hit limits");
+            assert_eq!(bnb.profit, exact.profit, "seed {seed}");
+            assert!(inst.is_feasible(&bnb.selection));
+            assert_eq!(inst.profit(&bnb.selection), bnb.profit);
+        }
+    }
+
+    #[test]
+    fn node_limit_yields_incumbent_not_proof() {
+        let inst = generate::mkp(40, 5, 0.5, 7).unwrap();
+        let bnb = solve_mkp(&inst, BbLimits { max_nodes: 50, time_limit: Duration::from_secs(5) });
+        assert!(!bnb.proven_optimal);
+        assert!(inst.is_feasible(&bnb.selection));
+    }
+
+    #[test]
+    fn handles_medium_instances_within_default_limits() {
+        let inst = generate::mkp(30, 5, 0.25, 3).unwrap();
+        let bnb = solve_mkp(&inst, BbLimits::default());
+        assert!(inst.is_feasible(&bnb.selection));
+        assert!(bnb.profit > 0);
+    }
+
+    #[test]
+    fn single_constraint_mkp_agrees_with_dp() {
+        for seed in 0..8 {
+            let inst = generate::mkp(20, 1, 0.5, seed).unwrap();
+            let bnb = solve_mkp(&inst, BbLimits::default());
+            assert!(bnb.proven_optimal);
+            let values: Vec<u32> = inst.values().to_vec();
+            let weights: Vec<u32> = inst.weights(0).to_vec();
+            let dp = crate::dp::knapsack(&values, &weights, inst.capacities()[0]);
+            assert_eq!(bnb.profit, dp.profit, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Exhaustive enumeration — the ground truth for small instances.
+
+use crate::ExactSolution;
+use saim_knapsack::{MkpInstance, QkpInstance};
+
+/// Hard cap on enumerable item counts (2^25 ≈ 33M states).
+pub const MAX_BRUTE_ITEMS: usize = 25;
+
+fn selection_from_mask(mask: u64, n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((mask >> i) & 1) as u8).collect()
+}
+
+/// The optimal QKP selection by enumeration.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_BRUTE_ITEMS`] items.
+pub fn qkp(instance: &QkpInstance) -> ExactSolution {
+    let n = instance.len();
+    assert!(n <= MAX_BRUTE_ITEMS, "brute force is capped at {MAX_BRUTE_ITEMS} items");
+    let mut best = ExactSolution { selection: vec![0; n], profit: 0 };
+    for mask in 0u64..(1 << n) {
+        let sel = selection_from_mask(mask, n);
+        if instance.is_feasible(&sel) {
+            let p = instance.profit(&sel);
+            if p > best.profit {
+                best = ExactSolution { selection: sel, profit: p };
+            }
+        }
+    }
+    best
+}
+
+/// The optimal MKP selection by enumeration.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_BRUTE_ITEMS`] items.
+pub fn mkp(instance: &MkpInstance) -> ExactSolution {
+    let n = instance.len();
+    assert!(n <= MAX_BRUTE_ITEMS, "brute force is capped at {MAX_BRUTE_ITEMS} items");
+    let mut best = ExactSolution { selection: vec![0; n], profit: 0 };
+    for mask in 0u64..(1 << n) {
+        let sel = selection_from_mask(mask, n);
+        if instance.is_feasible(&sel) {
+            let p = instance.profit(&sel);
+            if p > best.profit {
+                best = ExactSolution { selection: sel, profit: p };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qkp_tiny_hand_checked() {
+        // values 10/20/15, pair (0,1)=5; weights 4/3/2; capacity 6
+        let inst = QkpInstance::new(
+            vec![10, 20, 15],
+            vec![(0, 1, 5)],
+            vec![4, 3, 2],
+            6,
+        )
+        .unwrap();
+        let best = qkp(&inst);
+        // candidates: {1,2} = 35 (w=5), {0,2} = 25 (w=6), {0,1} = 35 (w=7, infeasible)
+        assert_eq!(best.profit, 35);
+        assert_eq!(best.selection, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn mkp_tiny_hand_checked() {
+        let inst = MkpInstance::new(
+            vec![10, 7, 12],
+            vec![vec![3, 2, 4], vec![1, 5, 2]],
+            vec![6, 6],
+        )
+        .unwrap();
+        let best = mkp(&inst);
+        // {2} = 12 (loads 4,2); {0,1} = 17 (loads 5,6) feasible; {0,2} infeasible (7>6)
+        assert_eq!(best.profit, 17);
+        assert_eq!(best.selection, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn empty_selection_when_nothing_fits() {
+        let inst = QkpInstance::new(vec![5, 5], vec![], vec![100, 100], 10).unwrap();
+        let best = qkp(&inst);
+        assert_eq!(best.profit, 0);
+        assert_eq!(best.selection, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn refuses_large_instances() {
+        let inst = QkpInstance::new(vec![1; 30], vec![], vec![1; 30], 10).unwrap();
+        let _ = qkp(&inst);
+    }
+}

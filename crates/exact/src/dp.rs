@@ -1,0 +1,149 @@
+//! Dynamic programming for the single-constraint 0/1 knapsack.
+//!
+//! `O(n·b)` time and memory over the capacity axis — exact and fast when the
+//! capacity is moderate, used as an independent cross-check of the
+//! branch-and-bound and brute-force solvers.
+
+use crate::ExactSolution;
+
+/// Largest capacity (table width) the DP will allocate.
+pub const MAX_DP_CAPACITY: u64 = 50_000_000;
+
+/// Solves `max Σ v_i x_i  s.t. Σ w_i x_i ≤ capacity` exactly.
+///
+/// # Panics
+///
+/// Panics if `values.len() != weights.len()` or
+/// `capacity > MAX_DP_CAPACITY / values.len().max(1)` (table too large).
+pub fn knapsack(values: &[u32], weights: &[u32], capacity: u64) -> ExactSolution {
+    assert_eq!(values.len(), weights.len(), "values/weights length mismatch");
+    let n = values.len();
+    if n == 0 {
+        return ExactSolution { selection: vec![], profit: 0 };
+    }
+    assert!(
+        capacity.saturating_mul(n as u64) <= MAX_DP_CAPACITY,
+        "dp table of {} x {} cells is too large",
+        n,
+        capacity + 1
+    );
+    let cap = capacity as usize;
+    // best[c] = max profit using a prefix of items at load exactly ≤ c
+    let mut best = vec![0u64; cap + 1];
+    // take[i][c] bit: whether item i is taken at load c in the optimal prefix
+    let mut take = vec![false; n * (cap + 1)];
+    for i in 0..n {
+        let w = weights[i] as usize;
+        let v = values[i] as u64;
+        if w > cap {
+            continue;
+        }
+        // descending load so each item is used at most once
+        for c in (w..=cap).rev() {
+            let candidate = best[c - w] + v;
+            if candidate > best[c] {
+                best[c] = candidate;
+                take[i * (cap + 1) + c] = true;
+            }
+        }
+    }
+    // trace back
+    let mut selection = vec![0u8; n];
+    let mut c = cap;
+    for i in (0..n).rev() {
+        if take[i * (cap + 1) + c] {
+            selection[i] = 1;
+            c -= weights[i] as usize;
+        }
+    }
+    ExactSolution { selection, profit: best[cap] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_example() {
+        // the textbook instance: optimal = items 1,2 with profit 220... use a known one
+        let values = [60, 100, 120];
+        let weights = [10, 20, 30];
+        let best = knapsack(&values, &weights, 50);
+        assert_eq!(best.profit, 220);
+        assert_eq!(best.selection, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn selection_is_consistent_with_profit_and_capacity() {
+        let values = [7, 2, 9, 5, 11, 3];
+        let weights = [3, 1, 4, 2, 5, 1];
+        let best = knapsack(&values, &weights, 8);
+        let profit: u64 = best
+            .selection
+            .iter()
+            .zip(&values)
+            .filter(|(&s, _)| s == 1)
+            .map(|(_, &v)| v as u64)
+            .sum();
+        let load: u64 = best
+            .selection
+            .iter()
+            .zip(&weights)
+            .filter(|(&s, _)| s == 1)
+            .map(|(_, &w)| w as u64)
+            .sum();
+        assert_eq!(profit, best.profit);
+        assert!(load <= 8);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=12);
+            let values: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=40)).collect();
+            let weights: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=20)).collect();
+            let capacity = rng.gen_range(1..=60u64);
+            let dp = knapsack(&values, &weights, capacity);
+            // brute force
+            let mut best = 0u64;
+            for mask in 0u64..(1 << n) {
+                let mut p = 0u64;
+                let mut w = 0u64;
+                for i in 0..n {
+                    if (mask >> i) & 1 == 1 {
+                        p += values[i] as u64;
+                        w += weights[i] as u64;
+                    }
+                }
+                if w <= capacity {
+                    best = best.max(p);
+                }
+            }
+            assert_eq!(dp.profit, best);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_edge() {
+        let best = knapsack(&[5], &[1], 0);
+        assert_eq!(best.profit, 0);
+        assert_eq!(best.selection, vec![0]);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let best = knapsack(&[], &[], 10);
+        assert_eq!(best.profit, 0);
+        assert!(best.selection.is_empty());
+    }
+
+    #[test]
+    fn oversized_item_is_skipped() {
+        let best = knapsack(&[100, 1], &[50, 1], 10);
+        assert_eq!(best.profit, 1);
+        assert_eq!(best.selection, vec![0, 1]);
+    }
+}

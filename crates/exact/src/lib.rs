@@ -1,0 +1,47 @@
+//! # saim-exact
+//!
+//! Exact reference solvers for the knapsack benchmarks.
+//!
+//! The paper scores heuristics as `accuracy = 100·c(x̂)/OPT` (eq. 13) and
+//! obtains `OPT` from known optima / Matlab's `intlinprog` branch-and-bound.
+//! This crate supplies those reference optima from scratch:
+//!
+//! - [`brute`] — exhaustive enumeration, the ground truth for ≤ 25 items,
+//! - [`dp`] — dynamic programming for the single-constraint 0/1 knapsack,
+//! - [`bb`] — depth-first branch-and-bound for MKP (standing in for
+//!   `intlinprog`, Table V) and QKP, with fractional-relaxation bounds,
+//!   node/time limits and certified-optimality reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use saim_knapsack::generate;
+//! use saim_exact::{bb, brute};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = generate::mkp(15, 3, 0.5, 1)?;
+//! let exact = brute::mkp(&inst);
+//! let bnb = bb::solve_mkp(&inst, bb::BbLimits::default());
+//! assert!(bnb.proven_optimal);
+//! assert_eq!(bnb.profit, exact.profit);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+// multi-array index loops over (loads, weights, capacities) read clearer with indices
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod bb;
+pub mod brute;
+pub mod dp;
+
+/// A certified or best-effort exact result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactSolution {
+    /// The best selection found (1 = item packed).
+    pub selection: Vec<u8>,
+    /// Its total profit.
+    pub profit: u64,
+}

@@ -1,0 +1,249 @@
+//! The Chu–Beasley genetic algorithm for MKP (paper reference \[28\]).
+//!
+//! A steady-state GA over *feasible* chromosomes only:
+//!
+//! 1. the initial population is built from random bitstrings made feasible
+//!    by the DROP/ADD [`repair`] operator,
+//! 2. parents are chosen by binary tournament,
+//! 3. uniform crossover + per-bit mutation produce one child,
+//! 4. the child is repaired, rejected if a duplicate, and otherwise replaces
+//!    the worst member of the population (if better).
+//!
+//! Chu & Beasley report ≥ 99.1% average optimality on the OR-Library MKP
+//! set; this implementation is the Table V baseline of the SAIM paper.
+
+use crate::repair;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saim_knapsack::MkpInstance;
+use serde::{Deserialize, Serialize};
+
+/// Chu–Beasley GA parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Population size (Chu–Beasley use 100).
+    pub population: usize,
+    /// Number of children generated (each is one "generation" of the
+    /// steady-state loop; Chu–Beasley run 10^6).
+    pub generations: usize,
+    /// Per-bit mutation probability applied to the child.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 100,
+            generations: 100_000,
+            mutation_rate: 0.02,
+            tournament: 2,
+        }
+    }
+}
+
+/// The best individual the GA found.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaOutcome {
+    /// The best feasible selection.
+    pub selection: Vec<u8>,
+    /// Its profit.
+    pub profit: u64,
+    /// The generation at which it first appeared.
+    pub found_at: usize,
+}
+
+/// The Chu–Beasley steady-state GA.
+///
+/// ```
+/// use saim_knapsack::generate;
+/// use saim_heuristics::ga::{ChuBeasleyGa, GaConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = generate::mkp(30, 3, 0.5, 1)?;
+/// let cfg = GaConfig { generations: 1_000, ..GaConfig::default() };
+/// let best = ChuBeasleyGa::new(cfg, 42).run(&inst);
+/// assert!(inst.is_feasible(&best.selection));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChuBeasleyGa {
+    config: GaConfig,
+    rng: ChaCha8Rng,
+}
+
+impl ChuBeasleyGa {
+    /// Creates a GA with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population or tournament size is below 2, generations
+    /// is 0, or the mutation rate is outside `[0, 1]`.
+    pub fn new(config: GaConfig, seed: u64) -> Self {
+        assert!(config.population >= 2, "population must be at least 2");
+        assert!(config.tournament >= 2, "tournament must be at least 2");
+        assert!(config.generations > 0, "generations must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.mutation_rate),
+            "mutation rate must be in [0, 1]"
+        );
+        ChuBeasleyGa { config, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> GaConfig {
+        self.config
+    }
+
+    fn tournament_pick(&mut self, fitness: &[u64]) -> usize {
+        let mut best = self.rng.gen_range(0..fitness.len());
+        for _ in 1..self.config.tournament {
+            let rival = self.rng.gen_range(0..fitness.len());
+            if fitness[rival] > fitness[best] {
+                best = rival;
+            }
+        }
+        best
+    }
+
+    /// Runs the GA to completion and returns the best individual.
+    pub fn run(&mut self, instance: &MkpInstance) -> GaOutcome {
+        let n = instance.len();
+        let pop_size = self.config.population;
+
+        // initial population: random strings repaired to feasibility
+        let mut population: Vec<Vec<u8>> = Vec::with_capacity(pop_size);
+        let mut fitness: Vec<u64> = Vec::with_capacity(pop_size);
+        while population.len() < pop_size {
+            let mut chrom: Vec<u8> =
+                (0..n).map(|_| u8::from(self.rng.gen::<bool>())).collect();
+            repair::mkp(instance, &mut chrom);
+            if !population.contains(&chrom) || population.len() + 1 == pop_size {
+                fitness.push(instance.profit(&chrom));
+                population.push(chrom);
+            }
+        }
+
+        let mut best_idx = (0..pop_size).max_by_key(|&i| fitness[i]).expect("non-empty");
+        let mut outcome = GaOutcome {
+            selection: population[best_idx].clone(),
+            profit: fitness[best_idx],
+            found_at: 0,
+        };
+
+        for generation in 1..=self.config.generations {
+            let p1 = self.tournament_pick(&fitness);
+            let p2 = self.tournament_pick(&fitness);
+            // uniform crossover
+            let mut child: Vec<u8> = (0..n)
+                .map(|i| {
+                    if self.rng.gen::<bool>() {
+                        population[p1][i]
+                    } else {
+                        population[p2][i]
+                    }
+                })
+                .collect();
+            // mutation
+            for bit in child.iter_mut() {
+                if self.rng.gen::<f64>() < self.config.mutation_rate {
+                    *bit ^= 1;
+                }
+            }
+            repair::mkp(instance, &mut child);
+            if population.contains(&child) {
+                continue; // duplicate elimination
+            }
+            let child_fit = instance.profit(&child);
+            // steady-state replacement of the worst member
+            let worst = (0..pop_size).min_by_key(|&i| fitness[i]).expect("non-empty");
+            if child_fit > fitness[worst] {
+                population[worst] = child;
+                fitness[worst] = child_fit;
+                if child_fit > outcome.profit {
+                    best_idx = worst;
+                    outcome = GaOutcome {
+                        selection: population[best_idx].clone(),
+                        profit: child_fit,
+                        found_at: generation,
+                    };
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saim_knapsack::generate;
+
+    fn quick_cfg(generations: usize) -> GaConfig {
+        GaConfig { population: 30, generations, ..GaConfig::default() }
+    }
+
+    #[test]
+    fn result_is_always_feasible() {
+        for seed in 0..5 {
+            let inst = generate::mkp(35, 4, 0.5, seed).unwrap();
+            let best = ChuBeasleyGa::new(quick_cfg(400), seed).run(&inst);
+            assert!(inst.is_feasible(&best.selection));
+            assert_eq!(inst.profit(&best.selection), best.profit);
+        }
+    }
+
+    #[test]
+    fn finds_exact_optimum_on_small_instances() {
+        use saim_exact::brute;
+        let mut hits = 0;
+        for seed in 0..6 {
+            let inst = generate::mkp(14, 3, 0.5, seed).unwrap();
+            let exact = brute::mkp(&inst);
+            let best = ChuBeasleyGa::new(quick_cfg(1500), seed).run(&inst);
+            assert!(best.profit <= exact.profit, "GA cannot exceed the optimum");
+            if best.profit == exact.profit {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 5, "GA found only {hits}/6 small optima");
+    }
+
+    #[test]
+    fn beats_or_matches_greedy() {
+        let inst = generate::mkp(50, 5, 0.5, 3).unwrap();
+        let greedy_profit = inst.profit(&crate::greedy::mkp(&inst));
+        let best = ChuBeasleyGa::new(quick_cfg(2000), 3).run(&inst);
+        assert!(
+            best.profit >= greedy_profit,
+            "GA {} < greedy {greedy_profit}",
+            best.profit
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let inst = generate::mkp(25, 3, 0.5, 8).unwrap();
+        let a = ChuBeasleyGa::new(quick_cfg(300), 1).run(&inst);
+        let b = ChuBeasleyGa::new(quick_cfg(300), 1).run(&inst);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn longer_runs_do_not_regress() {
+        let inst = generate::mkp(30, 3, 0.5, 2).unwrap();
+        let short = ChuBeasleyGa::new(quick_cfg(100), 4).run(&inst);
+        let long = ChuBeasleyGa::new(quick_cfg(2000), 4).run(&inst);
+        assert!(long.profit >= short.profit);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be")]
+    fn rejects_tiny_population() {
+        let cfg = GaConfig { population: 1, ..GaConfig::default() };
+        let _ = ChuBeasleyGa::new(cfg, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # saim-heuristics
+//!
+//! Metaheuristic baselines for the knapsack benchmarks.
+//!
+//! The paper's Table V compares SAIM against the Chu–Beasley genetic
+//! algorithm for MKP \[28\]; this crate implements that GA from the original
+//! recipe, plus the greedy/repair/local-search building blocks it uses
+//! (which also serve as standalone reference heuristics):
+//!
+//! - [`greedy`] — pseudo-utility greedy construction for MKP and QKP,
+//! - [`repair`] — the Chu–Beasley DROP/ADD repair operator making arbitrary
+//!   bitstrings feasible,
+//! - [`local`] — 1-flip / swap local search,
+//! - [`ga`] — the steady-state GA with tournament selection, uniform
+//!   crossover, mutation, repair, and duplicate elimination.
+//!
+//! # Example
+//!
+//! ```
+//! use saim_knapsack::generate;
+//! use saim_heuristics::ga::{ChuBeasleyGa, GaConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = generate::mkp(40, 5, 0.5, 2)?;
+//! let cfg = GaConfig { generations: 2_000, ..GaConfig::default() };
+//! let best = ChuBeasleyGa::new(cfg, 7).run(&inst);
+//! assert!(inst.is_feasible(&best.selection));
+//! assert!(best.profit > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+// multi-array index loops over (loads, weights, capacities) read clearer with indices
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod ga;
+pub mod greedy;
+pub mod local;
+pub mod repair;

@@ -1,0 +1,161 @@
+//! 1-flip and swap local search over the feasible region.
+
+use saim_knapsack::{MkpInstance, QkpInstance};
+
+/// Improves an MKP selection by first-improvement moves until a local
+/// optimum: single additions (if feasible) and 1-out/1-in swaps that raise
+/// the profit. Returns the number of improving moves applied.
+///
+/// # Panics
+///
+/// Panics if `selection.len() != instance.len()` or the input is infeasible.
+pub fn improve_mkp(instance: &MkpInstance, selection: &mut [u8]) -> usize {
+    assert_eq!(selection.len(), instance.len(), "selection length mismatch");
+    assert!(instance.is_feasible(selection), "local search requires a feasible start");
+    let n = instance.len();
+    let m = instance.num_constraints();
+    let mut loads: Vec<u64> = (0..m).map(|k| instance.load(selection, k)).collect();
+    let mut moves = 0usize;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        // additions
+        for i in 0..n {
+            if selection[i] == 0 {
+                let fits =
+                    (0..m).all(|k| loads[k] + instance.weights(k)[i] as u64 <= instance.capacities()[k]);
+                if fits {
+                    selection[i] = 1;
+                    for k in 0..m {
+                        loads[k] += instance.weights(k)[i] as u64;
+                    }
+                    moves += 1;
+                    improved = true;
+                }
+            }
+        }
+        // profitable swaps: remove `out`, insert `inn` with higher value
+        'swap: for out in 0..n {
+            if selection[out] == 0 {
+                continue;
+            }
+            for inn in 0..n {
+                if selection[inn] == 1 || instance.values()[inn] <= instance.values()[out] {
+                    continue;
+                }
+                let fits = (0..m).all(|k| {
+                    loads[k] - instance.weights(k)[out] as u64 + instance.weights(k)[inn] as u64
+                        <= instance.capacities()[k]
+                });
+                if fits {
+                    selection[out] = 0;
+                    selection[inn] = 1;
+                    for k in 0..m {
+                        loads[k] = loads[k] - instance.weights(k)[out] as u64
+                            + instance.weights(k)[inn] as u64;
+                    }
+                    moves += 1;
+                    improved = true;
+                    break 'swap;
+                }
+            }
+        }
+    }
+    moves
+}
+
+/// Improves a QKP selection by first-improvement 1-flip moves (add or drop)
+/// until no single flip raises the profit while staying feasible. Returns
+/// the number of improving moves.
+///
+/// # Panics
+///
+/// Panics if `selection.len() != instance.len()` or the input is infeasible.
+pub fn improve_qkp(instance: &QkpInstance, selection: &mut [u8]) -> usize {
+    assert_eq!(selection.len(), instance.len(), "selection length mismatch");
+    assert!(instance.is_feasible(selection), "local search requires a feasible start");
+    let n = instance.len();
+    let mut load = instance.weight(selection);
+    let mut moves = 0usize;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n {
+            let marginal: i64 = {
+                let mut p = instance.values()[i] as i64;
+                for j in 0..n {
+                    if j != i && selection[j] == 1 {
+                        p += instance.pair_value(i, j) as i64;
+                    }
+                }
+                p
+            };
+            if selection[i] == 0 {
+                let w = instance.weights()[i] as u64;
+                if load + w <= instance.capacity() && marginal > 0 {
+                    selection[i] = 1;
+                    load += w;
+                    moves += 1;
+                    improved = true;
+                }
+            } else if marginal < 0 {
+                // dropping i gains -marginal (> 0); always feasible
+                selection[i] = 0;
+                load -= instance.weights()[i] as u64;
+                moves += 1;
+                improved = true;
+            }
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saim_knapsack::generate;
+
+    #[test]
+    fn mkp_improvement_never_decreases_profit() {
+        for seed in 0..8 {
+            let inst = generate::mkp(30, 3, 0.5, seed).unwrap();
+            let mut sel = vec![0u8; 30];
+            let before = inst.profit(&sel);
+            improve_mkp(&inst, &mut sel);
+            assert!(inst.is_feasible(&sel));
+            assert!(inst.profit(&sel) >= before);
+        }
+    }
+
+    #[test]
+    fn mkp_local_optimum_has_no_feasible_addition() {
+        let inst = generate::mkp(25, 3, 0.5, 1).unwrap();
+        let mut sel = crate::greedy::mkp(&inst);
+        improve_mkp(&inst, &mut sel);
+        for i in 0..25 {
+            if sel[i] == 0 {
+                let mut with = sel.clone();
+                with[i] = 1;
+                assert!(!inst.is_feasible(&with));
+            }
+        }
+    }
+
+    #[test]
+    fn qkp_improvement_from_empty_finds_positive_profit() {
+        let inst = generate::qkp(25, 0.5, 3).unwrap();
+        let mut sel = vec![0u8; 25];
+        let moves = improve_qkp(&inst, &mut sel);
+        assert!(moves > 0);
+        assert!(inst.is_feasible(&sel));
+        assert!(inst.profit(&sel) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feasible start")]
+    fn rejects_infeasible_start() {
+        let inst = generate::mkp(10, 2, 0.25, 0).unwrap();
+        let mut sel = vec![1u8; 10];
+        let _ = improve_mkp(&inst, &mut sel);
+    }
+}

@@ -1,0 +1,103 @@
+//! The Chu–Beasley DROP/ADD repair operator.
+//!
+//! Given an arbitrary bitstring (e.g. the child of a crossover), **DROP**
+//! removes items in increasing pseudo-utility order until every knapsack
+//! constraint holds, then **ADD** re-packs skipped items in decreasing
+//! utility order wherever they still fit. The result is always feasible and
+//! maximal — the key ingredient that lets the GA search only the feasible
+//! region.
+
+use crate::greedy::mkp_utility_order;
+use saim_knapsack::MkpInstance;
+
+/// Repairs a selection in place; returns the final loads.
+///
+/// # Panics
+///
+/// Panics if `selection.len() != instance.len()`.
+pub fn mkp(instance: &MkpInstance, selection: &mut [u8]) -> Vec<u64> {
+    assert_eq!(selection.len(), instance.len(), "selection length mismatch");
+    let m = instance.num_constraints();
+    let order = mkp_utility_order(instance);
+    let mut loads: Vec<u64> = (0..m).map(|k| instance.load(selection, k)).collect();
+
+    // DROP phase: shed the least useful packed items until feasible
+    for &i in order.iter().rev() {
+        if (0..m).all(|k| loads[k] <= instance.capacities()[k]) {
+            break;
+        }
+        if selection[i] == 1 {
+            selection[i] = 0;
+            for k in 0..m {
+                loads[k] -= instance.weights(k)[i] as u64;
+            }
+        }
+    }
+
+    // ADD phase: re-pack the most useful unpacked items that still fit
+    for &i in &order {
+        if selection[i] == 0 {
+            let fits = (0..m)
+                .all(|k| loads[k] + instance.weights(k)[i] as u64 <= instance.capacities()[k]);
+            if fits {
+                selection[i] = 1;
+                for k in 0..m {
+                    loads[k] += instance.weights(k)[i] as u64;
+                }
+            }
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saim_knapsack::generate;
+
+    #[test]
+    fn repairs_the_all_ones_string() {
+        for seed in 0..10 {
+            let inst = generate::mkp(40, 5, 0.5, seed).unwrap();
+            let mut sel = vec![1u8; 40];
+            let loads = mkp(&inst, &mut sel);
+            assert!(inst.is_feasible(&sel), "seed {seed}");
+            for k in 0..5 {
+                assert_eq!(loads[k], inst.load(&sel, k));
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_input_stays_feasible_and_never_loses_profit() {
+        let inst = generate::mkp(30, 3, 0.5, 2).unwrap();
+        let mut sel = crate::greedy::mkp(&inst);
+        let before = inst.profit(&sel);
+        mkp(&inst, &mut sel);
+        assert!(inst.is_feasible(&sel));
+        assert!(inst.profit(&sel) >= before, "ADD phase can only add");
+    }
+
+    #[test]
+    fn result_is_maximal() {
+        let inst = generate::mkp(25, 4, 0.25, 9).unwrap();
+        let mut sel = vec![1u8; 25];
+        mkp(&inst, &mut sel);
+        for i in 0..25 {
+            if sel[i] == 0 {
+                let mut with = sel.clone();
+                with[i] = 1;
+                assert!(!inst.is_feasible(&with), "item {i} still fits");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_becomes_greedy_like() {
+        let inst = generate::mkp(20, 2, 0.5, 5).unwrap();
+        let mut sel = vec![0u8; 20];
+        mkp(&inst, &mut sel);
+        assert!(inst.is_feasible(&sel));
+        assert!(inst.profit(&sel) > 0);
+    }
+}

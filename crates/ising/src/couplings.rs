@@ -1,0 +1,147 @@
+use crate::dense::SymmetricMatrix;
+use crate::sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Pairwise coupling storage, either dense or sparse.
+///
+/// The p-bit machine only needs two operations from the couplings — a row/spin
+/// dot product for the local field (paper eq. 9) and the size — so this enum
+/// lets models pick the representation matching their topology: dense for
+/// knapsack QUBOs (penalty terms densify rows), CSR for sparse graphs.
+///
+/// ```
+/// use saim_ising::{Couplings, SymmetricMatrix};
+///
+/// # fn main() -> Result<(), saim_ising::ModelError> {
+/// let mut m = SymmetricMatrix::zeros(2);
+/// m.set(0, 1, 4.0)?;
+/// let c = Couplings::Dense(m);
+/// assert_eq!(c.row_dot_spins(0, &[1, -1]), -4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Couplings {
+    /// Dense symmetric storage; best when most pairs are coupled.
+    Dense(SymmetricMatrix),
+    /// Compressed sparse rows; best for bounded-degree topologies.
+    Sparse(CsrMatrix),
+}
+
+impl Couplings {
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        match self {
+            Couplings::Dense(m) => m.len(),
+            Couplings::Sparse(m) => m.len(),
+        }
+    }
+
+    /// Whether the couplings cover zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The coefficient between `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            Couplings::Dense(m) => m.get(i, j),
+            Couplings::Sparse(m) => m.get(i, j),
+        }
+    }
+
+    /// `Σ_j M_ij s_j` with ±1 spins stored as `i8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spins.len() != self.len()`.
+    pub fn row_dot_spins(&self, i: usize, spins: &[i8]) -> f64 {
+        match self {
+            Couplings::Dense(m) => m.row_dot_spins(i, spins),
+            Couplings::Sparse(m) => m.row_dot_spins(i, spins),
+        }
+    }
+
+    /// Fraction of coupled unordered pairs.
+    pub fn density(&self) -> f64 {
+        match self {
+            Couplings::Dense(m) => m.density(),
+            Couplings::Sparse(m) => {
+                let n = m.len();
+                if n < 2 {
+                    return 0.0;
+                }
+                // each unordered pair is stored twice in CSR
+                (m.nnz() / 2) as f64 / (n * (n - 1) / 2) as f64
+            }
+        }
+    }
+
+    /// A dense copy of the couplings.
+    pub fn to_dense(&self) -> SymmetricMatrix {
+        match self {
+            Couplings::Dense(m) => m.clone(),
+            Couplings::Sparse(m) => m.to_dense(),
+        }
+    }
+
+    /// Largest absolute coupling value.
+    pub fn max_abs(&self) -> f64 {
+        match self {
+            Couplings::Dense(m) => m.max_abs(),
+            Couplings::Sparse(m) => m.to_dense().max_abs(),
+        }
+    }
+}
+
+impl From<SymmetricMatrix> for Couplings {
+    fn from(m: SymmetricMatrix) -> Self {
+        Couplings::Dense(m)
+    }
+}
+
+impl From<CsrMatrix> for Couplings {
+    fn from(m: CsrMatrix) -> Self {
+        Couplings::Sparse(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> SymmetricMatrix {
+        let mut m = SymmetricMatrix::zeros(3);
+        m.set(0, 1, 1.0).unwrap();
+        m.set(1, 2, -2.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let cd = Couplings::Dense(d.clone());
+        let cs = Couplings::Sparse(s);
+        let spins = [1i8, 1, -1];
+        for i in 0..3 {
+            assert_eq!(cd.row_dot_spins(i, &spins), cs.row_dot_spins(i, &spins));
+        }
+        assert_eq!(cd.density(), cs.density());
+        assert_eq!(cd.get(1, 2), cs.get(1, 2));
+        assert_eq!(cs.to_dense(), d);
+    }
+
+    #[test]
+    fn from_impls() {
+        let d = sample_dense();
+        let c: Couplings = d.clone().into();
+        assert_eq!(c.len(), 3);
+        let c2: Couplings = CsrMatrix::from_dense(&d).into();
+        assert_eq!(c2.len(), 3);
+    }
+}

@@ -1,0 +1,277 @@
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// A dense symmetric coupling matrix with an implicitly zero diagonal.
+///
+/// The matrix stores the full `n × n` array row-major so that row access in
+/// the Gibbs-sweep hot loop is a contiguous slice. Writes through
+/// [`SymmetricMatrix::set`] / [`SymmetricMatrix::add`] keep the two mirrored
+/// entries in sync.
+///
+/// Diagonal terms are rejected: for both Ising spins (`s_i² = 1`) and binary
+/// variables (`x_i² = x_i`) a diagonal quadratic coefficient reduces to a
+/// constant or a linear term, and the model types keep those separately.
+///
+/// ```
+/// use saim_ising::SymmetricMatrix;
+///
+/// # fn main() -> Result<(), saim_ising::ModelError> {
+/// let mut m = SymmetricMatrix::zeros(3);
+/// m.set(0, 2, 1.5)?;
+/// assert_eq!(m.get(2, 0), 1.5);
+/// assert_eq!(m.row(0), &[0.0, 0.0, 1.5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymmetricMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymmetricMatrix {
+    /// Creates an `n × n` all-zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        SymmetricMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Number of rows (equivalently columns).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is 0 × 0.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn check(&self, i: usize, j: usize) -> Result<(), ModelError> {
+        if i >= self.n {
+            return Err(ModelError::IndexOutOfBounds { index: i, len: self.n });
+        }
+        if j >= self.n {
+            return Err(ModelError::IndexOutOfBounds { index: j, len: self.n });
+        }
+        if i == j {
+            return Err(ModelError::SelfCoupling { index: i });
+        }
+        Ok(())
+    }
+
+    /// The coefficient between variables `i` and `j` (symmetric; 0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the symmetric coefficient between `i` and `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IndexOutOfBounds`] for bad indices,
+    /// [`ModelError::SelfCoupling`] if `i == j`, and
+    /// [`ModelError::NonFiniteCoefficient`] for NaN/∞ values.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) -> Result<(), ModelError> {
+        self.check(i, j)?;
+        if !value.is_finite() {
+            return Err(ModelError::NonFiniteCoefficient { context: "symmetric matrix entry" });
+        }
+        self.data[i * self.n + j] = value;
+        self.data[j * self.n + i] = value;
+        Ok(())
+    }
+
+    /// Adds `value` to the symmetric coefficient between `i` and `j`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SymmetricMatrix::set`].
+    pub fn add(&mut self, i: usize, j: usize, value: f64) -> Result<(), ModelError> {
+        self.check(i, j)?;
+        if !value.is_finite() {
+            return Err(ModelError::NonFiniteCoefficient { context: "symmetric matrix entry" });
+        }
+        self.data[i * self.n + j] += value;
+        self.data[j * self.n + i] += value;
+        Ok(())
+    }
+
+    /// Row `i` as a contiguous slice of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "row index out of bounds");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// `Σ_j M_ij v_j` for a ±1-spin vector stored as `i8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spins.len() != self.len()`.
+    pub fn row_dot_spins(&self, i: usize, spins: &[i8]) -> f64 {
+        let row = self.row(i);
+        assert_eq!(spins.len(), self.n, "spin vector length mismatch");
+        row.iter()
+            .zip(spins)
+            .map(|(&m, &s)| m * f64::from(s))
+            .sum()
+    }
+
+    /// Number of structurally nonzero off-diagonal entries, counting each
+    /// unordered pair once.
+    pub fn pair_count(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.data[i * self.n + j] != 0.0 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Density of the matrix: nonzero pairs over all `n(n-1)/2` pairs.
+    ///
+    /// Returns 0 for matrices with fewer than two rows.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total = self.n * (self.n - 1) / 2;
+        self.pair_count() as f64 / total as f64
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Scales every entry by `factor` in place.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Iterates over the strictly-upper-triangle nonzero entries as `(i, j, value)`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).filter_map(move |j| {
+                let v = self.data[i * self.n + j];
+                (v != 0.0).then_some((i, j, v))
+            })
+        })
+    }
+
+    /// Returns a matrix grown to `new_n ≥ n` variables, padding with zeros.
+    ///
+    /// Existing couplings keep their indices; the new trailing variables are
+    /// uncoupled. Used when appending slack variables to a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_n < self.len()`.
+    pub fn grown(&self, new_n: usize) -> SymmetricMatrix {
+        assert!(new_n >= self.n, "cannot shrink a symmetric matrix");
+        let mut out = SymmetricMatrix::zeros(new_n);
+        for i in 0..self.n {
+            let src = &self.data[i * self.n..(i + 1) * self.n];
+            out.data[i * new_n..i * new_n + self.n].copy_from_slice(src);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut m = SymmetricMatrix::zeros(4);
+        m.set(1, 3, 2.5).unwrap();
+        assert_eq!(m.get(1, 3), 2.5);
+        assert_eq!(m.get(3, 1), 2.5);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates_symmetrically() {
+        let mut m = SymmetricMatrix::zeros(3);
+        m.add(0, 1, 1.0).unwrap();
+        m.add(1, 0, 2.0).unwrap();
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn rejects_diagonal_and_oob() {
+        let mut m = SymmetricMatrix::zeros(2);
+        assert_eq!(m.set(0, 0, 1.0), Err(ModelError::SelfCoupling { index: 0 }));
+        assert_eq!(
+            m.set(0, 2, 1.0),
+            Err(ModelError::IndexOutOfBounds { index: 2, len: 2 })
+        );
+        assert!(matches!(
+            m.set(0, 1, f64::NAN),
+            Err(ModelError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn row_dot_spins_matches_manual() {
+        let mut m = SymmetricMatrix::zeros(3);
+        m.set(0, 1, 2.0).unwrap();
+        m.set(0, 2, -1.0).unwrap();
+        let spins = [1i8, -1, 1];
+        // row 0 = [0, 2, -1]; dot = 0*1 + 2*(-1) + (-1)*1 = -3
+        assert_eq!(m.row_dot_spins(0, &spins), -3.0);
+    }
+
+    #[test]
+    fn density_counts_unordered_pairs() {
+        let mut m = SymmetricMatrix::zeros(4);
+        m.set(0, 1, 1.0).unwrap();
+        m.set(2, 3, 1.0).unwrap();
+        assert_eq!(m.pair_count(), 2);
+        assert!((m.density() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(SymmetricMatrix::zeros(1).density(), 0.0);
+    }
+
+    #[test]
+    fn grown_preserves_entries() {
+        let mut m = SymmetricMatrix::zeros(2);
+        m.set(0, 1, 5.0).unwrap();
+        let g = m.grown(4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.get(0, 1), 5.0);
+        assert_eq!(g.get(0, 3), 0.0);
+        assert_eq!(g.get(2, 3), 0.0);
+    }
+
+    #[test]
+    fn iter_pairs_upper_triangle_only() {
+        let mut m = SymmetricMatrix::zeros(3);
+        m.set(0, 2, 1.0).unwrap();
+        m.set(1, 2, -2.0).unwrap();
+        let pairs: Vec<_> = m.iter_pairs().collect();
+        assert_eq!(pairs, vec![(0, 2, 1.0), (1, 2, -2.0)]);
+    }
+
+    #[test]
+    fn scale_and_max_abs() {
+        let mut m = SymmetricMatrix::zeros(2);
+        m.set(0, 1, -4.0).unwrap();
+        assert_eq!(m.max_abs(), 4.0);
+        m.scale(0.5);
+        assert_eq!(m.get(0, 1), -2.0);
+    }
+}

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or combining Ising/QUBO models.
+///
+/// ```
+/// use saim_ising::{QuboBuilder, ModelError};
+///
+/// let mut b = QuboBuilder::new(2);
+/// let err = b.add_pair(0, 0, 1.0).unwrap_err();
+/// assert!(matches!(err, ModelError::SelfCoupling { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A variable index was at least the model size.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of variables in the model.
+        len: usize,
+    },
+    /// A pairwise coefficient was requested between a variable and itself.
+    SelfCoupling {
+        /// The diagonal index.
+        index: usize,
+    },
+    /// Two objects of different variable counts were combined.
+    DimensionMismatch {
+        /// Size expected by the receiver.
+        expected: usize,
+        /// Size of the argument.
+        found: usize,
+    },
+    /// A coefficient was NaN or infinite.
+    NonFiniteCoefficient {
+        /// Human-readable location of the coefficient.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::IndexOutOfBounds { index, len } => {
+                write!(f, "variable index {index} out of bounds for model of {len} variables")
+            }
+            ModelError::SelfCoupling { index } => {
+                write!(f, "self-coupling requested on variable {index}; diagonal terms belong in the linear part")
+            }
+            ModelError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected} variables, found {found}")
+            }
+            ModelError::NonFiniteCoefficient { context } => {
+                write!(f, "non-finite coefficient in {context}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            ModelError::IndexOutOfBounds { index: 3, len: 2 }.to_string(),
+            ModelError::SelfCoupling { index: 1 }.to_string(),
+            ModelError::DimensionMismatch { expected: 4, found: 5 }.to_string(),
+            ModelError::NonFiniteCoefficient { context: "linear" }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

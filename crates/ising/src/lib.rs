@@ -1,0 +1,71 @@
+//! # saim-ising
+//!
+//! Ising/QUBO model substrate for the Self-Adaptive Ising Machine (SAIM)
+//! reproduction.
+//!
+//! An Ising machine minimizes the Hamiltonian
+//!
+//! ```text
+//! H(s) = - Σ_{i<j} J_ij s_i s_j - Σ_i h_i s_i + offset,     s_i ∈ {-1, +1}
+//! ```
+//!
+//! while combinatorial problems are usually stated over binary variables
+//! `x ∈ {0,1}^N` as a QUBO
+//!
+//! ```text
+//! E(x) = Σ_{i<j} Q_ij x_i x_j + Σ_i c_i x_i + offset.
+//! ```
+//!
+//! This crate provides:
+//!
+//! - [`SpinState`] / [`BinaryState`] — the two variable domains and lossless
+//!   conversions between them,
+//! - [`SymmetricMatrix`] and [`CsrMatrix`] — dense and sparse storage for the
+//!   pairwise couplings, unified behind [`Couplings`],
+//! - [`Qubo`] and [`IsingModel`] — the two energy formulations with exact
+//!   (offset-tracking) conversions between them,
+//! - [`QuboBuilder`] — incremental construction of QUBOs,
+//! - [`graph`] — weighted graphs and the classic max-cut ↔ Ising mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use saim_ising::{QuboBuilder, BinaryState};
+//!
+//! # fn main() -> Result<(), saim_ising::ModelError> {
+//! // E(x) = 3 x0 x1 - 2 x0 - x1
+//! let mut b = QuboBuilder::new(2);
+//! b.add_pair(0, 1, 3.0)?;
+//! b.add_linear(0, -2.0)?;
+//! b.add_linear(1, -1.0)?;
+//! let qubo = b.build();
+//!
+//! let x = BinaryState::from_bits(&[1, 0]);
+//! assert_eq!(qubo.energy(&x), -2.0);
+//!
+//! // The Ising form has identical energies on corresponding states.
+//! let ising = qubo.to_ising();
+//! assert!((ising.energy(&x.to_spins()) - qubo.energy(&x)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod couplings;
+mod dense;
+mod error;
+pub mod graph;
+mod model;
+mod qubo;
+mod sparse;
+mod state;
+
+pub use couplings::Couplings;
+pub use dense::SymmetricMatrix;
+pub use error::ModelError;
+pub use model::IsingModel;
+pub use qubo::{Qubo, QuboBuilder};
+pub use sparse::{CsrMatrix, CsrRowIter};
+pub use state::{BinaryState, Spin, SpinState};

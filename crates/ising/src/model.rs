@@ -1,0 +1,257 @@
+use crate::couplings::Couplings;
+use crate::error::ModelError;
+use crate::qubo::Qubo;
+use crate::state::SpinState;
+use serde::{Deserialize, Serialize};
+
+/// An Ising model over `N` spins (paper eq. 1, plus an explicit offset):
+///
+/// ```text
+/// H(s) = - Σ_{i<j} J_ij s_i s_j - Σ_i h_i s_i + offset,    s_i ∈ {-1, +1}
+/// ```
+///
+/// `J` stores the symmetric coupling once per unordered pair; the local-field
+/// computation `I_i = Σ_j J_ij s_j + h_i` (paper eq. 9) scans row `i`, which
+/// includes both mirrored entries.
+///
+/// ```
+/// use saim_ising::{Couplings, IsingModel, SpinState, SymmetricMatrix};
+///
+/// # fn main() -> Result<(), saim_ising::ModelError> {
+/// let mut j = SymmetricMatrix::zeros(2);
+/// j.set(0, 1, 1.0)?; // ferromagnetic: aligned spins lower H
+/// let model = IsingModel::new(Couplings::Dense(j), vec![0.0, 0.0], 0.0)?;
+/// let aligned = SpinState::from_values(&[1, 1]);
+/// let opposed = SpinState::from_values(&[1, -1]);
+/// assert!(model.energy(&aligned) < model.energy(&opposed));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsingModel {
+    couplings: Couplings,
+    fields: Vec<f64>,
+    offset: f64,
+}
+
+impl IsingModel {
+    /// Creates an Ising model from couplings `J`, fields `h`, and an offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] if `fields.len()` differs
+    /// from the coupling size, and [`ModelError::NonFiniteCoefficient`] for
+    /// NaN/∞ values.
+    pub fn new(couplings: Couplings, fields: Vec<f64>, offset: f64) -> Result<Self, ModelError> {
+        if couplings.len() != fields.len() {
+            return Err(ModelError::DimensionMismatch {
+                expected: couplings.len(),
+                found: fields.len(),
+            });
+        }
+        if fields.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteCoefficient { context: "ising field" });
+        }
+        if !offset.is_finite() {
+            return Err(ModelError::NonFiniteCoefficient { context: "ising offset" });
+        }
+        Ok(IsingModel { couplings, fields, offset })
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the model has zero spins.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The coupling storage `J`.
+    pub fn couplings(&self) -> &Couplings {
+        &self.couplings
+    }
+
+    /// The spin fields `h`.
+    pub fn fields(&self) -> &[f64] {
+        &self.fields
+    }
+
+    /// Mutable access to the spin fields `h`.
+    ///
+    /// SAIM's λ update only moves the linear part of the Lagrangian, so the
+    /// driver rewrites fields in place between runs instead of rebuilding `J`.
+    pub fn fields_mut(&mut self) -> &mut [f64] {
+        &mut self.fields
+    }
+
+    /// The constant offset added to every energy.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Replaces the constant offset.
+    pub fn set_offset(&mut self, offset: f64) {
+        self.offset = offset;
+    }
+
+    /// Evaluates `H(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != self.len()`.
+    pub fn energy(&self, s: &SpinState) -> f64 {
+        assert_eq!(s.len(), self.len(), "state length mismatch");
+        let values = s.values();
+        let mut pair_term = 0.0;
+        for i in 0..self.len() {
+            // row_dot gives Σ_j J_ij s_j over all j; summing s_i · that double-counts pairs
+            pair_term += f64::from(values[i]) * self.couplings.row_dot_spins(i, values);
+        }
+        pair_term /= 2.0;
+        let field_term: f64 = self
+            .fields
+            .iter()
+            .zip(values)
+            .map(|(&h, &s)| h * f64::from(s))
+            .sum();
+        -pair_term - field_term + self.offset
+    }
+
+    /// The local field (p-bit input, paper eq. 9): `I_i = Σ_j J_ij s_j + h_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != self.len()` or `i` is out of bounds.
+    pub fn local_field(&self, s: &SpinState, i: usize) -> f64 {
+        assert_eq!(s.len(), self.len(), "state length mismatch");
+        self.couplings.row_dot_spins(i, s.values()) + self.fields[i]
+    }
+
+    /// Energy change from flipping spin `i`: `ΔH = 2 s_i I_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != self.len()` or `i` is out of bounds.
+    pub fn delta_energy(&self, s: &SpinState, i: usize) -> f64 {
+        2.0 * f64::from(s.value(i)) * self.local_field(s, i)
+    }
+
+    /// Converts to the equivalent QUBO via `s_i = 2 x_i - 1`.
+    ///
+    /// Round-trips with [`Qubo::to_ising`] up to floating-point rounding.
+    pub fn to_qubo(&self) -> Qubo {
+        let n = self.len();
+        let dense = self.couplings.to_dense();
+        let mut builder = crate::qubo::QuboBuilder::new(n);
+        // -J s_i s_j with s = 2x-1: s_i s_j = 4 x_i x_j - 2x_i - 2x_j + 1
+        for (i, j, jij) in dense.iter_pairs() {
+            builder.add_pair(i, j, -4.0 * jij).expect("valid indices");
+            builder.add_linear(i, 2.0 * jij).expect("valid index");
+            builder.add_linear(j, 2.0 * jij).expect("valid index");
+            builder.add_offset(-jij);
+        }
+        // -h_i s_i = -h_i (2x_i - 1)
+        for (i, &h) in self.fields.iter().enumerate() {
+            builder.add_linear(i, -2.0 * h).expect("valid index");
+            builder.add_offset(h);
+        }
+        builder.add_offset(self.offset);
+        builder.build()
+    }
+
+    /// Density of the coupling matrix (fraction of coupled pairs).
+    pub fn density(&self) -> f64 {
+        self.couplings.density()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::SymmetricMatrix;
+    use crate::qubo::QuboBuilder;
+    use crate::state::BinaryState;
+
+    fn sample_model() -> IsingModel {
+        let mut j = SymmetricMatrix::zeros(3);
+        j.set(0, 1, 1.0).unwrap();
+        j.set(1, 2, -0.5).unwrap();
+        IsingModel::new(Couplings::Dense(j), vec![0.25, 0.0, -1.0], 0.75).unwrap()
+    }
+
+    #[test]
+    fn energy_manual_check() {
+        let m = sample_model();
+        let s = SpinState::from_values(&[1, 1, -1]);
+        // pairs: -(J01 s0 s1 + J12 s1 s2) = -(1*1 + (-0.5)*(-1)) = -1.5
+        // fields: -(0.25*1 + 0 + (-1)*(-1)) = -1.25
+        // total: -1.5 - 1.25 + 0.75 = -2.0
+        assert!((m.energy(&s) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_energy_matches_flip() {
+        let m = sample_model();
+        for mask in 0u64..8 {
+            let s = BinaryState::from_mask(mask, 3).to_spins();
+            for i in 0..3 {
+                let mut t = s.clone();
+                t.flip(i);
+                let expected = m.energy(&t) - m.energy(&s);
+                assert!((m.delta_energy(&s, i) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn local_field_consistent_with_delta() {
+        let m = sample_model();
+        let s = SpinState::from_values(&[-1, 1, 1]);
+        for i in 0..3 {
+            let expected = 2.0 * f64::from(s.value(i)) * m.local_field(&s, i);
+            assert_eq!(m.delta_energy(&s, i), expected);
+        }
+    }
+
+    #[test]
+    fn qubo_roundtrip_energy_equality() {
+        let mut b = QuboBuilder::new(4);
+        b.add_pair(0, 1, 3.0).unwrap();
+        b.add_pair(2, 3, -2.0).unwrap();
+        b.add_pair(0, 3, 1.0).unwrap();
+        b.add_linear(1, -1.0).unwrap();
+        b.add_offset(2.0);
+        let q = b.build();
+        let ising = q.to_ising();
+        let q2 = ising.to_qubo();
+        for mask in 0u64..16 {
+            let x = BinaryState::from_mask(mask, 4);
+            assert!((q.energy(&x) - q2.energy(&x)).abs() < 1e-10, "mask {mask}");
+            assert!((q.energy(&x) - ising.energy(&x.to_spins())).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn new_validates_dimensions() {
+        let j = SymmetricMatrix::zeros(2);
+        assert!(matches!(
+            IsingModel::new(Couplings::Dense(j.clone()), vec![0.0; 3], 0.0),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            IsingModel::new(Couplings::Dense(j), vec![f64::NAN, 0.0], 0.0),
+            Err(ModelError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn fields_mut_shifts_energy_linearly() {
+        let mut m = sample_model();
+        let s = SpinState::from_values(&[1, -1, 1]);
+        let before = m.energy(&s);
+        m.fields_mut()[0] += 2.0; // adds -2.0 * s_0 = -2.0 to the energy
+        assert!((m.energy(&s) - (before - 2.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the Ising/QUBO substrate.
+
+use proptest::prelude::*;
+use saim_ising::{BinaryState, CsrMatrix, QuboBuilder, SymmetricMatrix};
+
+/// Strategy producing a small random QUBO together with its size.
+fn arb_qubo(max_n: usize) -> impl Strategy<Value = saim_ising::Qubo> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let pairs = proptest::collection::vec(
+            ((0..n, 0..n), -10.0..10.0f64),
+            0..(n * (n - 1) / 2 + 1),
+        );
+        let linear = proptest::collection::vec(-10.0..10.0f64, n);
+        let offset = -5.0..5.0f64;
+        (pairs, linear, offset).prop_map(move |(pairs, linear, offset)| {
+            let mut b = QuboBuilder::new(n);
+            for ((i, j), v) in pairs {
+                if i != j {
+                    b.add_pair(i, j, v).expect("indices in range");
+                }
+            }
+            for (i, v) in linear.into_iter().enumerate() {
+                b.add_linear(i, v).expect("index in range");
+            }
+            b.add_offset(offset);
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    /// QUBO → Ising conversion preserves every state's energy exactly.
+    #[test]
+    fn qubo_to_ising_energy_identity(q in arb_qubo(6), seed in 0u64..1024) {
+        let ising = q.to_ising();
+        let n = q.len();
+        let mask = seed % (1 << n);
+        let x = BinaryState::from_mask(mask, n);
+        let e_q = q.energy(&x);
+        let e_i = ising.energy(&x.to_spins());
+        prop_assert!((e_q - e_i).abs() < 1e-9 * (1.0 + e_q.abs()));
+    }
+
+    /// Ising → QUBO round-trip preserves energies.
+    #[test]
+    fn ising_to_qubo_roundtrip(q in arb_qubo(5), seed in 0u64..1024) {
+        let roundtripped = q.to_ising().to_qubo();
+        let n = q.len();
+        let x = BinaryState::from_mask(seed % (1 << n), n);
+        prop_assert!((q.energy(&x) - roundtripped.energy(&x)).abs() < 1e-9);
+    }
+
+    /// Incremental delta-energy equals full recomputation for every flip.
+    #[test]
+    fn qubo_delta_matches_recompute(q in arb_qubo(6), seed in 0u64..1024) {
+        let n = q.len();
+        let x = BinaryState::from_mask(seed % (1 << n), n);
+        for i in 0..n {
+            let mut y = x.clone();
+            y.flip(i);
+            let expected = q.energy(&y) - q.energy(&x);
+            prop_assert!((q.delta_energy(&x, i) - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Ising delta-energy equals full recomputation for every flip.
+    #[test]
+    fn ising_delta_matches_recompute(q in arb_qubo(6), seed in 0u64..1024) {
+        let m = q.to_ising();
+        let n = m.len();
+        let s = BinaryState::from_mask(seed % (1 << n), n).to_spins();
+        for i in 0..n {
+            let mut t = s.clone();
+            t.flip(i);
+            let expected = m.energy(&t) - m.energy(&s);
+            prop_assert!((m.delta_energy(&s, i) - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Squared-linear penalties are nonnegative and vanish exactly on the
+    /// constraint manifold.
+    #[test]
+    fn squared_penalty_nonnegative(
+        n in 2usize..6,
+        coeffs in proptest::collection::vec(-5.0..5.0f64, 6),
+        rhs in -6.0..6.0f64,
+        seed in 0u64..64,
+    ) {
+        let a = &coeffs[..n];
+        let mut b = QuboBuilder::new(n);
+        b.add_squared_linear(a, rhs, 1.0).expect("dims match");
+        let q = b.build();
+        let x = BinaryState::from_mask(seed % (1 << n), n);
+        let inner = x.dot(a) + rhs;
+        let e = q.energy(&x);
+        prop_assert!(e >= -1e-9);
+        prop_assert!((e - inner * inner).abs() < 1e-9);
+    }
+
+    /// Dense → CSR → dense round-trips.
+    #[test]
+    fn csr_dense_roundtrip(
+        n in 2usize..8,
+        entries in proptest::collection::vec(((0usize..8, 0usize..8), -3.0..3.0f64), 0..12),
+    ) {
+        let mut d = SymmetricMatrix::zeros(n);
+        for ((i, j), v) in entries {
+            let (i, j) = (i % n, j % n);
+            if i != j {
+                d.set(i, j, v).expect("in range");
+            }
+        }
+        prop_assert_eq!(CsrMatrix::from_dense(&d).to_dense(), d);
+    }
+
+    /// Spin ↔ binary conversion is a bijection.
+    #[test]
+    fn spin_binary_bijection(bits in proptest::collection::vec(0u8..2, 1..32)) {
+        let x = BinaryState::from_bits(&bits);
+        prop_assert_eq!(x.to_spins().to_binary(), x);
+    }
+}

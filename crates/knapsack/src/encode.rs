@@ -1,0 +1,513 @@
+use crate::error::KnapsackError;
+use crate::mkp::MkpInstance;
+use crate::qkp::QkpInstance;
+use crate::slack::SlackEncoding;
+use saim_core::{ConstrainedProblem, Evaluation, LinearConstraint};
+use saim_ising::{BinaryState, Qubo, QuboBuilder};
+
+/// The normalized, slack-extended Ising encoding of a [`QkpInstance`]
+/// (paper section IV-A).
+///
+/// Following the paper:
+///
+/// - the inequality `aᵀx ≤ b` becomes the equality `aᵀx + x_S = b` via
+///   `Q = floor(log₂ b + 1)` binary slack variables appended after the items,
+/// - objective data `W, h` are normalized by `max(|W|, |h|)` and constraint
+///   data `A, b` by `max(|A|, |b|)` so one β schedule fits all instances,
+/// - the extended problem has `N + Q` variables; the paper's penalty rule
+///   `P = α·d·N` counts the slack spins in `N` and uses the `W`-matrix
+///   density for `d`.
+///
+/// Native costing/feasibility ([`ConstrainedProblem::evaluate`]) ignores
+/// slack bits and uses exact integer arithmetic on the original instance.
+///
+/// ```
+/// use saim_knapsack::QkpInstance;
+/// use saim_core::ConstrainedProblem;
+/// use saim_ising::BinaryState;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let qkp = QkpInstance::new(vec![10, 20], vec![(0, 1, 5)], vec![3, 4], 5)?;
+/// let enc = qkp.encode()?;
+/// assert_eq!(enc.num_vars(), 2 + 3); // capacity 5 needs 3 slack bits
+/// let x = BinaryState::from_bits(&[0, 1, 1, 0, 0]); // item 1, slack 1
+/// let eval = enc.evaluate(&x);
+/// assert_eq!(eval.cost, -20.0);
+/// assert!(eval.feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QkpEncoded {
+    instance: QkpInstance,
+    objective: Qubo,
+    constraints: Vec<LinearConstraint>,
+    slack: SlackEncoding,
+}
+
+impl QkpEncoded {
+    /// Builds the encoding with the paper's binary slack expansion. Prefer
+    /// [`QkpInstance::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnapsackError::InvalidParameter`] only for degenerate
+    /// capacities (which instance construction already prevents).
+    pub fn new(instance: QkpInstance) -> Result<Self, KnapsackError> {
+        Self::with_slack_kind(instance, crate::slack::SlackKind::Binary)
+    }
+
+    /// Builds the encoding with an explicit [`SlackKind`](crate::SlackKind) —
+    /// unary or hybrid encodings reproduce the HE-IM baseline's slack
+    /// treatment (paper Fig. 4, ref \[15\]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SlackEncoding::with_kind`] validation failures (e.g. a
+    /// unary encoding of a very large capacity).
+    pub fn with_slack_kind(
+        instance: QkpInstance,
+        kind: crate::slack::SlackKind,
+    ) -> Result<Self, KnapsackError> {
+        let n = instance.len();
+        let slack = SlackEncoding::with_kind(instance.capacity(), kind)?;
+        let total = n + slack.num_bits();
+
+        // normalize W, h by max(|W|, |h|)
+        let max_pair = instance.iter_pairs().map(|(_, _, v)| v).max().unwrap_or(0);
+        let max_val = instance.values().iter().copied().max().unwrap_or(0);
+        let obj_norm = f64::from(max_pair.max(max_val)).max(1.0);
+
+        let mut builder = QuboBuilder::new(total);
+        for (i, j, v) in instance.iter_pairs() {
+            builder
+                .add_pair(i, j, -f64::from(v) / obj_norm)
+                .expect("item indices are in range");
+        }
+        for (i, &h) in instance.values().iter().enumerate() {
+            builder
+                .add_linear(i, -f64::from(h) / obj_norm)
+                .expect("item index is in range");
+        }
+        let objective = builder.build();
+
+        // normalize A (extended with slack coefficients) and b by their max
+        let max_weight = instance.weights().iter().copied().max().unwrap_or(0) as u64;
+        let max_slack = slack.coefficients().iter().copied().max().unwrap_or(1);
+        let con_norm = max_weight.max(instance.capacity()).max(max_slack) as f64;
+        let mut coeffs = vec![0.0; total];
+        for (i, &w) in instance.weights().iter().enumerate() {
+            coeffs[i] = f64::from(w) / con_norm;
+        }
+        for (q, &c) in slack.coefficients().iter().enumerate() {
+            coeffs[n + q] = c as f64 / con_norm;
+        }
+        let offset = -(instance.capacity() as f64) / con_norm;
+        let constraint = LinearConstraint::new(coeffs, offset)
+            .expect("normalized coefficients are finite");
+
+        Ok(QkpEncoded { instance, objective, constraints: vec![constraint], slack })
+    }
+
+    /// The original instance.
+    pub fn instance(&self) -> &QkpInstance {
+        &self.instance
+    }
+
+    /// The slack encoding of the capacity constraint.
+    pub fn slack(&self) -> &SlackEncoding {
+        &self.slack
+    }
+
+    /// Extracts the item-selection bits from an extended state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn decode(&self, x: &BinaryState) -> Vec<u8> {
+        assert_eq!(x.len(), self.num_vars(), "state length mismatch");
+        x.bits()[..self.instance.len()].to_vec()
+    }
+
+    /// The integer slack value encoded in an extended state's slack bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn slack_value(&self, x: &BinaryState) -> u64 {
+        assert_eq!(x.len(), self.num_vars(), "state length mismatch");
+        self.slack.decode(&x.bits()[self.instance.len()..])
+    }
+
+    /// Completes an item selection with the exact slack bits, producing a
+    /// state with `g(x) = 0` whenever the selection is feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection.len()` differs from the item count or the
+    /// selection overloads the knapsack (no exact slack exists).
+    pub fn extend_with_slack(&self, selection: &[u8]) -> BinaryState {
+        let load = self.instance.weight(selection);
+        assert!(
+            load <= self.instance.capacity(),
+            "selection exceeds capacity; no exact slack assignment exists"
+        );
+        let slack_bits = self
+            .slack
+            .encode(self.instance.capacity() - load)
+            .expect("residual capacity is representable");
+        let mut bits = selection.to_vec();
+        bits.extend_from_slice(&slack_bits);
+        BinaryState::from_bits(&bits)
+    }
+}
+
+impl ConstrainedProblem for QkpEncoded {
+    fn num_vars(&self) -> usize {
+        self.instance.len() + self.slack.num_bits()
+    }
+
+    fn objective(&self) -> &Qubo {
+        &self.objective
+    }
+
+    fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    fn evaluate(&self, x: &BinaryState) -> Evaluation {
+        let items = &x.bits()[..self.instance.len()];
+        Evaluation {
+            cost: self.instance.cost(items),
+            feasible: self.instance.is_feasible(items),
+        }
+    }
+
+    /// The `W`-matrix density of the *instance* (the paper's `d`), not the
+    /// density of the extended QUBO.
+    fn density(&self) -> f64 {
+        self.instance.density()
+    }
+}
+
+/// The normalized, slack-extended Ising encoding of an [`MkpInstance`]
+/// (paper section IV-B).
+///
+/// Each of the `M` inequalities gets its own block of binary slack variables,
+/// appended after the items in constraint order. Values are normalized by
+/// `max h`; each constraint row is normalized by its own `max(|A_m|, B_m)`.
+///
+/// MKP has no quadratic objective, so the paper approximates the density as
+/// `d = 2/(N+1)` and sets `P = 5·d·N`; [`ConstrainedProblem::penalty_for_alpha`]
+/// is overridden accordingly (using the *item* count, which reproduces the
+/// paper's `P = 10` for the 250-item instances of Fig. 5).
+#[derive(Debug, Clone)]
+pub struct MkpEncoded {
+    instance: MkpInstance,
+    objective: Qubo,
+    constraints: Vec<LinearConstraint>,
+    slacks: Vec<SlackEncoding>,
+    /// Start offset of each constraint's slack block.
+    slack_offsets: Vec<usize>,
+    total_vars: usize,
+}
+
+impl MkpEncoded {
+    /// Builds the encoding. Prefer [`MkpInstance::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnapsackError::InvalidParameter`] only for degenerate
+    /// capacities (which instance construction already prevents).
+    pub fn new(instance: MkpInstance) -> Result<Self, KnapsackError> {
+        let n = instance.len();
+        let m = instance.num_constraints();
+        let slacks: Vec<SlackEncoding> = (0..m)
+            .map(|k| SlackEncoding::for_capacity(instance.capacities()[k]))
+            .collect::<Result<_, _>>()?;
+        let mut slack_offsets = Vec::with_capacity(m);
+        let mut cursor = n;
+        for s in &slacks {
+            slack_offsets.push(cursor);
+            cursor += s.num_bits();
+        }
+        let total_vars = cursor;
+
+        let obj_norm = f64::from(instance.values().iter().copied().max().unwrap_or(0)).max(1.0);
+        let mut builder = QuboBuilder::new(total_vars);
+        for (i, &h) in instance.values().iter().enumerate() {
+            builder
+                .add_linear(i, -f64::from(h) / obj_norm)
+                .expect("item index in range");
+        }
+        let objective = builder.build();
+
+        let mut constraints = Vec::with_capacity(m);
+        for k in 0..m {
+            let row = instance.weights(k);
+            let cap = instance.capacities()[k];
+            let max_w = row.iter().copied().max().unwrap_or(0) as u64;
+            let max_slack = slacks[k].coefficients().iter().copied().max().unwrap_or(1);
+            let norm = max_w.max(cap).max(max_slack) as f64;
+            let mut coeffs = vec![0.0; total_vars];
+            for (i, &w) in row.iter().enumerate() {
+                coeffs[i] = f64::from(w) / norm;
+            }
+            for (q, &c) in slacks[k].coefficients().iter().enumerate() {
+                coeffs[slack_offsets[k] + q] = c as f64 / norm;
+            }
+            constraints.push(
+                LinearConstraint::new(coeffs, -(cap as f64) / norm)
+                    .expect("normalized coefficients are finite"),
+            );
+        }
+
+        Ok(MkpEncoded { instance, objective, constraints, slacks, slack_offsets, total_vars })
+    }
+
+    /// The original instance.
+    pub fn instance(&self) -> &MkpInstance {
+        &self.instance
+    }
+
+    /// The slack encodings, one per constraint.
+    pub fn slacks(&self) -> &[SlackEncoding] {
+        &self.slacks
+    }
+
+    /// Extracts the item-selection bits from an extended state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn decode(&self, x: &BinaryState) -> Vec<u8> {
+        assert_eq!(x.len(), self.total_vars, "state length mismatch");
+        x.bits()[..self.instance.len()].to_vec()
+    }
+
+    /// The integer slack value of constraint `m` encoded in an extended state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()` or `m` is out of bounds.
+    pub fn slack_value(&self, x: &BinaryState, m: usize) -> u64 {
+        assert_eq!(x.len(), self.total_vars, "state length mismatch");
+        let start = self.slack_offsets[m];
+        self.slacks[m].decode(&x.bits()[start..start + self.slacks[m].num_bits()])
+    }
+
+    /// Completes an item selection with exact slack bits for every
+    /// constraint, producing `g(x) = 0` whenever the selection is feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection length is wrong or it overloads any knapsack.
+    pub fn extend_with_slack(&self, selection: &[u8]) -> BinaryState {
+        let mut bits = selection.to_vec();
+        for (k, s) in self.slacks.iter().enumerate() {
+            let load = self.instance.load(selection, k);
+            let cap = self.instance.capacities()[k];
+            assert!(load <= cap, "selection exceeds capacity of knapsack {k}");
+            bits.extend_from_slice(&s.encode(cap - load).expect("residual fits"));
+        }
+        BinaryState::from_bits(&bits)
+    }
+}
+
+impl ConstrainedProblem for MkpEncoded {
+    fn num_vars(&self) -> usize {
+        self.total_vars
+    }
+
+    fn objective(&self) -> &Qubo {
+        &self.objective
+    }
+
+    fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    fn evaluate(&self, x: &BinaryState) -> Evaluation {
+        let items = &x.bits()[..self.instance.len()];
+        Evaluation {
+            cost: self.instance.cost(items),
+            feasible: self.instance.is_feasible(items),
+        }
+    }
+
+    /// The paper's surrogate density `d = 2/(N+1)` for linear objectives.
+    fn density(&self) -> f64 {
+        self.instance.density_surrogate()
+    }
+
+    /// The paper's MKP rule evaluated with the *item* count:
+    /// `P = α · 2/(N+1) · N ≈ 2α` (giving `P = 10` at `α = 5`, Fig. 5).
+    fn penalty_for_alpha(&self, alpha: f64) -> f64 {
+        alpha * self.density() * self.instance.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qkp() -> QkpInstance {
+        QkpInstance::new(
+            vec![10, 20, 15],
+            vec![(0, 1, 5), (1, 2, 8)],
+            vec![4, 3, 2],
+            6,
+        )
+        .unwrap()
+    }
+
+    fn mkp() -> MkpInstance {
+        MkpInstance::new(
+            vec![10, 7, 12],
+            vec![vec![3, 2, 4], vec![1, 5, 2]],
+            vec![6, 6],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn qkp_layout_and_dimensions() {
+        let enc = qkp().encode().unwrap();
+        // capacity 6 → 3 slack bits
+        assert_eq!(enc.num_vars(), 6);
+        assert_eq!(enc.slack().num_bits(), 3);
+        assert_eq!(enc.constraints().len(), 1);
+    }
+
+    #[test]
+    fn qkp_objective_is_normalized_negated_profit() {
+        let inst = qkp();
+        let enc = inst.encode().unwrap();
+        let norm = 20.0; // max(|W|, |h|)
+        for mask in 0u64..8 {
+            let sel = BinaryState::from_mask(mask, 3);
+            let mut bits = sel.bits().to_vec();
+            bits.extend_from_slice(&[0, 0, 0]);
+            let x = BinaryState::from_bits(&bits);
+            let expected = -(inst.profit(sel.bits()) as f64) / norm;
+            let got = saim_core::ConstrainedProblem::objective(&enc).energy(&x);
+            assert!((got - expected).abs() < 1e-12, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn qkp_constraint_vanishes_exactly_on_extended_feasible_states() {
+        let inst = qkp();
+        let enc = inst.encode().unwrap();
+        for mask in 0u64..8 {
+            let sel = BinaryState::from_mask(mask, 3);
+            if inst.is_feasible(sel.bits()) {
+                let x = enc.extend_with_slack(sel.bits());
+                let g = enc.constraints()[0].violation(&x);
+                assert!(g.abs() < 1e-12, "mask {mask}: g = {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn qkp_constraint_sign_tracks_load() {
+        let inst = qkp();
+        let enc = inst.encode().unwrap();
+        // overloaded selection with zero slack: g > 0
+        let x = BinaryState::from_bits(&[1, 1, 1, 0, 0, 0]); // load 9 > 6
+        assert!(enc.constraints()[0].violation(&x) > 0.0);
+        // empty selection with zero slack: g < 0
+        let x0 = BinaryState::from_bits(&[0, 0, 0, 0, 0, 0]);
+        assert!(enc.constraints()[0].violation(&x0) < 0.0);
+    }
+
+    #[test]
+    fn qkp_evaluate_ignores_slack_bits() {
+        let inst = qkp();
+        let enc = inst.encode().unwrap();
+        let a = BinaryState::from_bits(&[1, 0, 1, 0, 0, 0]);
+        let b = BinaryState::from_bits(&[1, 0, 1, 1, 1, 1]);
+        assert_eq!(enc.evaluate(&a), enc.evaluate(&b));
+        assert_eq!(enc.evaluate(&a).cost, -25.0);
+    }
+
+    #[test]
+    fn qkp_decode_and_slack_value() {
+        let enc = qkp().encode().unwrap();
+        let x = BinaryState::from_bits(&[0, 1, 0, 1, 0, 1]);
+        assert_eq!(enc.decode(&x), vec![0, 1, 0]);
+        assert_eq!(enc.slack_value(&x), 5);
+    }
+
+    #[test]
+    fn qkp_density_is_instance_density() {
+        let enc = qkp().encode().unwrap();
+        // 2 nonzero of 3 pairs
+        assert!((saim_core::ConstrainedProblem::density(&enc) - 2.0 / 3.0).abs() < 1e-12);
+        // P = α d N with N including slack: α=2 → 2 * (2/3) * 6 = 8
+        assert!((enc.penalty_for_alpha(2.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mkp_layout() {
+        let enc = mkp().encode().unwrap();
+        // capacities 6, 6 → 3 + 3 slack bits
+        assert_eq!(enc.num_vars(), 9);
+        assert_eq!(enc.constraints().len(), 2);
+        assert_eq!(enc.slacks().len(), 2);
+    }
+
+    #[test]
+    fn mkp_constraints_vanish_on_extended_feasible_states() {
+        let inst = mkp();
+        let enc = inst.encode().unwrap();
+        for mask in 0u64..8 {
+            let sel = BinaryState::from_mask(mask, 3);
+            if inst.is_feasible(sel.bits()) {
+                let x = enc.extend_with_slack(sel.bits());
+                for (m, c) in enc.constraints().iter().enumerate() {
+                    assert!(c.violation(&x).abs() < 1e-12, "mask {mask} constraint {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mkp_slack_values_decode_per_constraint() {
+        let inst = mkp();
+        let enc = inst.encode().unwrap();
+        let x = enc.extend_with_slack(&[1, 0, 0]); // loads (3, 1); caps (6, 6)
+        assert_eq!(enc.slack_value(&x, 0), 3);
+        assert_eq!(enc.slack_value(&x, 1), 5);
+    }
+
+    #[test]
+    fn mkp_penalty_rule_reproduces_paper_value() {
+        // 250 items → P = 5 · 2/(251) · 250 ≈ 9.96, the paper's "P = 10"
+        let inst = MkpInstance::new(
+            vec![1; 250],
+            vec![vec![1; 250]],
+            vec![100],
+        )
+        .unwrap();
+        let enc = inst.encode().unwrap();
+        let p = enc.penalty_for_alpha(5.0);
+        assert!((p - 9.96).abs() < 0.01, "P = {p}");
+    }
+
+    #[test]
+    fn mkp_evaluate_uses_native_arithmetic() {
+        let enc = mkp().encode().unwrap();
+        let x = enc.extend_with_slack(&[0, 1, 0]);
+        let e = enc.evaluate(&x);
+        assert_eq!(e.cost, -7.0);
+        assert!(e.feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn extend_with_slack_rejects_overload() {
+        let enc = qkp().encode().unwrap();
+        let _ = enc.extend_with_slack(&[1, 1, 1]);
+    }
+}

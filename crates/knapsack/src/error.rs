@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing, generating, or parsing knapsack instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KnapsackError {
+    /// The instance has zero items (or zero constraints for MKP).
+    Empty {
+        /// What was empty ("items", "constraints", ...).
+        what: &'static str,
+    },
+    /// Two pieces of instance data disagree on the item count.
+    DimensionMismatch {
+        /// Expected number of items.
+        expected: usize,
+        /// Found number of items.
+        found: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A text-format instance failed to parse.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for KnapsackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnapsackError::Empty { what } => write!(f, "instance has no {what}"),
+            KnapsackError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} items, found {found}")
+            }
+            KnapsackError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            KnapsackError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for KnapsackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(KnapsackError::Empty { what: "items" }.to_string().contains("items"));
+        assert!(KnapsackError::Parse { line: 3, message: "bad".into() }
+            .to_string()
+            .contains("line 3"));
+    }
+}

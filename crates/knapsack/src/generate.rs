@@ -1,0 +1,252 @@
+//! Seeded random instance generators.
+//!
+//! The paper benchmarks on the Billionnet–Soutif QKP instances and the
+//! Chu–Beasley MKP instances. Those exact files are not redistributable
+//! here, so this module implements the *published generation procedures*
+//! with a deterministic ChaCha stream — same distributions, same hardness
+//! drivers (density for QKP; tightness and value–weight correlation for
+//! MKP), reproducible from a `u64` seed.
+//!
+//! - QKP (Billionnet & Soutif 2004): pair profits present independently with
+//!   probability `d`, uniform in `1..=100` (item values follow the same
+//!   rule); weights uniform in `1..=50`; capacity uniform in
+//!   `50..=Σ weights`.
+//! - MKP (Chu & Beasley 1998): weights uniform in `1..=1000`; capacities
+//!   `B_m = round(tightness · Σ_j a_mj)`; values correlated with weights,
+//!   `h_j = round(Σ_m a_mj / M + 500·u_j)` with `u_j ~ U(0,1)`.
+
+use crate::error::KnapsackError;
+use crate::mkp::MkpInstance;
+use crate::qkp::QkpInstance;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a random QKP instance à la Billionnet–Soutif.
+///
+/// `density` is the probability that any item value or pair profit is
+/// nonzero (the paper's `d ∈ {0.25, 0.5, 0.75, 1.0}`).
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::InvalidParameter`] if `n < 2` or `density` is
+/// outside `(0, 1]`.
+///
+/// ```
+/// use saim_knapsack::generate;
+///
+/// # fn main() -> Result<(), saim_knapsack::KnapsackError> {
+/// let a = generate::qkp(50, 0.25, 7)?;
+/// let b = generate::qkp(50, 0.25, 7)?;
+/// assert_eq!(a, b); // fully deterministic
+/// assert!(a.density() > 0.1 && a.density() < 0.4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn qkp(n: usize, density: f64, seed: u64) -> Result<QkpInstance, KnapsackError> {
+    if n < 2 {
+        return Err(KnapsackError::InvalidParameter {
+            name: "n",
+            reason: "QKP needs at least two items",
+        });
+    }
+    if !(density > 0.0 && density <= 1.0) {
+        return Err(KnapsackError::InvalidParameter {
+            name: "density",
+            reason: "must lie in (0, 1]",
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let values: Vec<u32> = (0..n)
+        .map(|_| if rng.gen::<f64>() < density { rng.gen_range(1..=100) } else { 0 })
+        .collect();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < density {
+                pairs.push((i, j, rng.gen_range(1..=100u32)));
+            }
+        }
+    }
+    let weights: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=50)).collect();
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    let capacity = rng.gen_range(50..=total.max(51));
+    let label = format!("{n}-{}-{seed}", (density * 100.0).round() as u32);
+    Ok(QkpInstance::new(values, pairs, weights, capacity)?.with_label(label))
+}
+
+/// Generates a random MKP instance à la Chu–Beasley.
+///
+/// `tightness` is the capacity ratio `α` (Chu–Beasley use
+/// `α ∈ {0.25, 0.5, 0.75}`; the paper's instances have `α = 0.5`-like
+/// difficulty).
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::InvalidParameter`] if `n == 0`, `m == 0`, or
+/// `tightness` is outside `(0, 1)`.
+///
+/// ```
+/// use saim_knapsack::generate;
+///
+/// # fn main() -> Result<(), saim_knapsack::KnapsackError> {
+/// let inst = generate::mkp(100, 5, 0.5, 3)?;
+/// assert_eq!(inst.len(), 100);
+/// assert_eq!(inst.num_constraints(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mkp(n: usize, m: usize, tightness: f64, seed: u64) -> Result<MkpInstance, KnapsackError> {
+    mkp_with_max_weight(n, m, tightness, 1000, seed)
+}
+
+/// Like [`mkp`] but with weights drawn from `1..=max_weight` instead of the
+/// Chu–Beasley `1..=1000`.
+///
+/// Smaller weights shrink the capacities and therefore the number of binary
+/// slack bits (`Q = floor(log₂ B + 1)` per constraint), which the laptop-scale
+/// bench defaults use to keep the slack-extended spin count manageable. The
+/// value distribution keeps the Chu–Beasley weight correlation.
+///
+/// # Errors
+///
+/// Same conditions as [`mkp`], plus `max_weight == 0`.
+pub fn mkp_with_max_weight(
+    n: usize,
+    m: usize,
+    tightness: f64,
+    max_weight: u32,
+    seed: u64,
+) -> Result<MkpInstance, KnapsackError> {
+    if n == 0 {
+        return Err(KnapsackError::InvalidParameter { name: "n", reason: "needs items" });
+    }
+    if m == 0 {
+        return Err(KnapsackError::InvalidParameter { name: "m", reason: "needs constraints" });
+    }
+    if !(tightness > 0.0 && tightness < 1.0) {
+        return Err(KnapsackError::InvalidParameter {
+            name: "tightness",
+            reason: "must lie strictly between 0 and 1",
+        });
+    }
+    if max_weight == 0 {
+        return Err(KnapsackError::InvalidParameter {
+            name: "max_weight",
+            reason: "must be at least 1",
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let weights: Vec<Vec<u32>> = (0..m)
+        .map(|_| (0..n).map(|_| rng.gen_range(1..=max_weight)).collect())
+        .collect();
+    let capacities: Vec<u64> = weights
+        .iter()
+        .map(|row| {
+            let sum: u64 = row.iter().map(|&w| w as u64).sum();
+            ((tightness * sum as f64).round() as u64).max(1)
+        })
+        .collect();
+    // the U(0, 500) value noise of Chu–Beasley, rescaled with the weights
+    let noise_span = f64::from(max_weight) / 2.0;
+    let values: Vec<u32> = (0..n)
+        .map(|j| {
+            let col_sum: u64 = weights.iter().map(|row| row[j] as u64).sum();
+            let base = col_sum as f64 / m as f64;
+            (base + noise_span * rng.gen::<f64>()).round().max(1.0) as u32
+        })
+        .collect();
+    let label = format!("{n}-{m}-{seed}");
+    Ok(MkpInstance::new(values, weights, capacities)?.with_label(label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qkp_is_deterministic_and_seed_sensitive() {
+        let a = qkp(30, 0.5, 1).unwrap();
+        let b = qkp(30, 0.5, 1).unwrap();
+        let c = qkp(30, 0.5, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn qkp_respects_published_ranges() {
+        let inst = qkp(80, 0.75, 9).unwrap();
+        assert!(inst.values().iter().all(|&v| v <= 100));
+        assert!(inst.weights().iter().all(|&w| (1..=50).contains(&w)));
+        assert!(inst.iter_pairs().all(|(_, _, v)| (1..=100).contains(&v)));
+        let total: u64 = inst.weights().iter().map(|&w| w as u64).sum();
+        assert!(inst.capacity() >= 50 && inst.capacity() <= total.max(51));
+    }
+
+    #[test]
+    fn qkp_density_tracks_parameter() {
+        for d in [0.25, 0.5, 1.0] {
+            let inst = qkp(100, d, 5).unwrap();
+            assert!(
+                (inst.density() - d).abs() < 0.06,
+                "target {d}, got {}",
+                inst.density()
+            );
+        }
+    }
+
+    #[test]
+    fn qkp_parameter_validation() {
+        assert!(qkp(1, 0.5, 0).is_err());
+        assert!(qkp(10, 0.0, 0).is_err());
+        assert!(qkp(10, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn mkp_is_deterministic() {
+        assert_eq!(mkp(40, 3, 0.5, 8).unwrap(), mkp(40, 3, 0.5, 8).unwrap());
+    }
+
+    #[test]
+    fn mkp_capacities_match_tightness() {
+        let inst = mkp(60, 4, 0.25, 3).unwrap();
+        for k in 0..4 {
+            let sum: u64 = inst.weights(k).iter().map(|&w| w as u64).sum();
+            let expected = (0.25 * sum as f64).round() as u64;
+            assert_eq!(inst.capacities()[k], expected);
+        }
+    }
+
+    #[test]
+    fn mkp_values_are_weight_correlated() {
+        // Chu–Beasley correlation: value ≈ mean weight + U(0,500). Items with
+        // larger summed weights should have larger values on average.
+        let inst = mkp(200, 5, 0.5, 4).unwrap();
+        let mut items: Vec<(u64, u32)> = (0..200)
+            .map(|j| {
+                let w: u64 = (0..5).map(|m| inst.weights(m)[j] as u64).sum();
+                (w, inst.values()[j])
+            })
+            .collect();
+        items.sort_by_key(|&(w, _)| w);
+        let low: f64 = items[..50].iter().map(|&(_, v)| f64::from(v)).sum::<f64>() / 50.0;
+        let high: f64 = items[150..].iter().map(|&(_, v)| f64::from(v)).sum::<f64>() / 50.0;
+        assert!(high > low, "high-weight items must carry higher values");
+    }
+
+    #[test]
+    fn mkp_parameter_validation() {
+        assert!(mkp(0, 2, 0.5, 0).is_err());
+        assert!(mkp(5, 0, 0.5, 0).is_err());
+        assert!(mkp(5, 2, 0.0, 0).is_err());
+        assert!(mkp(5, 2, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn generated_instances_encode() {
+        let q = qkp(20, 0.5, 11).unwrap();
+        assert!(q.encode().is_ok());
+        let m = mkp(20, 3, 0.5, 11).unwrap();
+        assert!(m.encode().is_ok());
+    }
+}

@@ -1,0 +1,224 @@
+//! Plain-text (de)serialization of knapsack instances.
+//!
+//! The formats mirror the classic benchmark layouts (Billionnet–Soutif's
+//! `jeu_*.txt` for QKP, OR-Library `mknap` for MKP) closely enough that data
+//! round-trips through simple whitespace-separated numbers. JSON is also
+//! available for both instance types through `serde` derives.
+//!
+//! # QKP format
+//!
+//! ```text
+//! <label>
+//! <n>
+//! <n item values>
+//! <n-1 upper-triangle rows: row i holds pair values (i, i+1..n)>
+//! <n weights>
+//! <capacity>
+//! ```
+//!
+//! # MKP format
+//!
+//! ```text
+//! <label>
+//! <n> <m>
+//! <n item values>
+//! <m rows of n weights>
+//! <m capacities>
+//! ```
+
+use crate::error::KnapsackError;
+use crate::mkp::MkpInstance;
+use crate::qkp::QkpInstance;
+use std::fmt::Write as _;
+
+fn parse_numbers<T: std::str::FromStr>(
+    line: &str,
+    line_no: usize,
+    expected: usize,
+) -> Result<Vec<T>, KnapsackError> {
+    let parsed: Result<Vec<T>, _> = line.split_whitespace().map(str::parse).collect();
+    let nums = parsed.map_err(|_| KnapsackError::Parse {
+        line: line_no,
+        message: format!("expected {expected} integers"),
+    })?;
+    if nums.len() != expected {
+        return Err(KnapsackError::Parse {
+            line: line_no,
+            message: format!("expected {expected} numbers, found {}", nums.len()),
+        });
+    }
+    Ok(nums)
+}
+
+fn next_line<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    line_no: &mut usize,
+) -> Result<&'a str, KnapsackError> {
+    loop {
+        *line_no += 1;
+        match lines.next() {
+            Some(l) if l.trim().is_empty() => continue,
+            Some(l) => return Ok(l.trim()),
+            None => {
+                return Err(KnapsackError::Parse {
+                    line: *line_no,
+                    message: "unexpected end of input".into(),
+                })
+            }
+        }
+    }
+}
+
+/// Serializes a QKP instance to the text format.
+pub fn write_qkp(instance: &QkpInstance) -> String {
+    let n = instance.len();
+    let mut out = String::new();
+    let label = if instance.label().is_empty() { "unnamed" } else { instance.label() };
+    writeln!(out, "{label}").expect("writing to String cannot fail");
+    writeln!(out, "{n}").expect("infallible");
+    let values: Vec<String> = instance.values().iter().map(u32::to_string).collect();
+    writeln!(out, "{}", values.join(" ")).expect("infallible");
+    for i in 0..n - 1 {
+        let row: Vec<String> = ((i + 1)..n)
+            .map(|j| instance.pair_value(i, j).to_string())
+            .collect();
+        writeln!(out, "{}", row.join(" ")).expect("infallible");
+    }
+    let weights: Vec<String> = instance.weights().iter().map(u32::to_string).collect();
+    writeln!(out, "{}", weights.join(" ")).expect("infallible");
+    writeln!(out, "{}", instance.capacity()).expect("infallible");
+    out
+}
+
+/// Parses a QKP instance from the text format.
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::Parse`] with a line number on malformed input,
+/// or instance-validation errors for inconsistent data.
+pub fn read_qkp(text: &str) -> Result<QkpInstance, KnapsackError> {
+    let mut lines = text.lines();
+    let mut line_no = 0usize;
+    let label = next_line(&mut lines, &mut line_no)?.to_string();
+    let n: usize = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, 1)?[0];
+    if n < 1 {
+        return Err(KnapsackError::Parse { line: line_no, message: "n must be positive".into() });
+    }
+    let values: Vec<u32> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n)?;
+    let mut pairs = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        let row: Vec<u32> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n - 1 - i)?;
+        for (offset, v) in row.into_iter().enumerate() {
+            if v > 0 {
+                pairs.push((i, i + 1 + offset, v));
+            }
+        }
+    }
+    let weights: Vec<u32> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n)?;
+    let capacity: u64 = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, 1)?[0];
+    Ok(QkpInstance::new(values, pairs, weights, capacity)?.with_label(label))
+}
+
+/// Serializes an MKP instance to the text format.
+pub fn write_mkp(instance: &MkpInstance) -> String {
+    let mut out = String::new();
+    let label = if instance.label().is_empty() { "unnamed" } else { instance.label() };
+    writeln!(out, "{label}").expect("infallible");
+    writeln!(out, "{} {}", instance.len(), instance.num_constraints()).expect("infallible");
+    let values: Vec<String> = instance.values().iter().map(u32::to_string).collect();
+    writeln!(out, "{}", values.join(" ")).expect("infallible");
+    for m in 0..instance.num_constraints() {
+        let row: Vec<String> = instance.weights(m).iter().map(u32::to_string).collect();
+        writeln!(out, "{}", row.join(" ")).expect("infallible");
+    }
+    let caps: Vec<String> = instance.capacities().iter().map(u64::to_string).collect();
+    writeln!(out, "{}", caps.join(" ")).expect("infallible");
+    out
+}
+
+/// Parses an MKP instance from the text format.
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::Parse`] with a line number on malformed input,
+/// or instance-validation errors for inconsistent data.
+pub fn read_mkp(text: &str) -> Result<MkpInstance, KnapsackError> {
+    let mut lines = text.lines();
+    let mut line_no = 0usize;
+    let label = next_line(&mut lines, &mut line_no)?.to_string();
+    let dims: Vec<usize> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, 2)?;
+    let (n, m) = (dims[0], dims[1]);
+    let values: Vec<u32> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n)?;
+    let mut weights = Vec::with_capacity(m);
+    for _ in 0..m {
+        weights.push(parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n)?);
+    }
+    let capacities: Vec<u64> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, m)?;
+    Ok(MkpInstance::new(values, weights, capacities)?.with_label(label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn qkp_text_roundtrip() {
+        let inst = generate::qkp(15, 0.5, 3).unwrap();
+        let text = write_qkp(&inst);
+        let back = read_qkp(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn mkp_text_roundtrip() {
+        let inst = generate::mkp(12, 4, 0.5, 5).unwrap();
+        let text = write_mkp(&inst);
+        let back = read_mkp(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn qkp_json_roundtrip() {
+        let inst = generate::qkp(10, 0.75, 1).unwrap();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: QkpInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn mkp_json_roundtrip() {
+        let inst = generate::mkp(10, 2, 0.25, 1).unwrap();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: MkpInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let bad = "label\n3\n1 2 3\n1 2\n9\n1 2 3\n10\n";
+        // row for i=0 must have 2 entries — it does; row for i=1 must have 1 — "9" ok;
+        // weights line must have 3 — "1 2 3" ok; capacity ok. Now break the values line:
+        let worse = "label\n3\n1 2\n0 0\n0\n1 2 3\n10\n";
+        let err = read_qkp(worse).unwrap_err();
+        match err {
+            KnapsackError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(read_qkp(bad).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_truncated_input() {
+        let truncated = "label\n4\n1 2 3 4\n";
+        assert!(matches!(read_qkp(truncated), Err(KnapsackError::Parse { .. })));
+        assert!(matches!(read_mkp("only-label\n"), Err(KnapsackError::Parse { .. })));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let inst = generate::mkp(5, 2, 0.5, 9).unwrap();
+        let spaced = write_mkp(&inst).replace('\n', "\n\n");
+        assert_eq!(read_mkp(&spaced).unwrap(), inst);
+    }
+}

@@ -1,0 +1,59 @@
+//! # saim-knapsack
+//!
+//! The benchmark problems of the SAIM paper: the **quadratic knapsack
+//! problem** (QKP, paper eq. 12) and the **multidimensional knapsack
+//! problem** (MKP, paper eq. 14), plus everything needed to put them on an
+//! Ising machine:
+//!
+//! - integer instance types with exact (integer) costing and feasibility
+//!   ([`QkpInstance`], [`MkpInstance`]),
+//! - seeded random generators following the published recipes of
+//!   Billionnet–Soutif (QKP) and Chu–Beasley (MKP) ([`generate`]),
+//! - binary slack encoding turning `aᵀx ≤ b` into `aᵀx + Σ 2^q s_q = b`
+//!   ([`SlackEncoding`]),
+//! - normalized, slack-extended encodings implementing
+//!   [`saim_core::ConstrainedProblem`] ([`QkpEncoded`], [`MkpEncoded`]),
+//! - plain-text and JSON instance (de)serialization ([`io`]).
+//!
+//! # Example
+//!
+//! ```
+//! use saim_knapsack::generate;
+//! use saim_core::{ConstrainedProblem, SaimConfig, SaimRunner};
+//! use saim_machine::{BetaSchedule, SimulatedAnnealing};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let instance = generate::qkp(12, 0.5, 42)?;
+//! let encoded = instance.encode()?;
+//! let config = SaimConfig {
+//!     penalty: encoded.penalty_for_alpha(2.0), // the paper's P = 2dN
+//!     eta: 20.0,
+//!     iterations: 40,
+//!     seed: 1,
+//! };
+//! let solver = SimulatedAnnealing::new(BetaSchedule::linear(10.0), 200, 1);
+//! let outcome = SaimRunner::new(config).run(&encoded, solver);
+//! if let Some(best) = outcome.best {
+//!     let items = encoded.decode(&best.state);
+//!     assert!(instance.is_feasible(&items));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod error;
+pub mod generate;
+pub mod io;
+mod mkp;
+mod qkp;
+mod slack;
+
+pub use encode::{MkpEncoded, QkpEncoded};
+pub use error::KnapsackError;
+pub use mkp::MkpInstance;
+pub use qkp::QkpInstance;
+pub use slack::{SlackEncoding, SlackKind};

@@ -1,0 +1,351 @@
+use crate::error::KnapsackError;
+use serde::{Deserialize, Serialize};
+
+/// How an integer slack variable `x_S ∈ 0..=b` is expressed in binary spins.
+///
+/// The paper uses the binary (base-2) expansion; the *hybrid* encoding of
+/// Jimbo et al. (the HE-IM baseline of Fig. 4) mixes a unary block — whose
+/// redundant representations flatten the penalty landscape — with a binary
+/// tail for range; pure unary is the fully redundant extreme.
+///
+/// All encodings produce a coefficient vector `c` such that the slack value
+/// of a bit assignment `s` is `Σ_q c_q s_q`, so the rest of the pipeline
+/// (penalty expansion, λ updates) is encoding-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlackKind {
+    /// Base-2 expansion: `Q = floor(log₂ b + 1)` bits, coefficients 1,2,4,…
+    /// (paper section IV-A). Fewest bits, one representation per value.
+    Binary,
+    /// `b` bits of coefficient 1. Most bits, `C(b, v)` representations of
+    /// value `v` — the flattest landscape. Only sensible for small `b`.
+    Unary,
+    /// A unary block of coefficient-`step` bits plus a binary tail covering
+    /// `0..step` (Jimbo et al.'s hybrid integer encoding). `step` must be a
+    /// power of two ≥ 2; the unary block is sized to reach the capacity.
+    Hybrid {
+        /// The coarse step size of the unary block.
+        step: u64,
+    },
+}
+
+/// Slack encoding of an inequality `aᵀx ≤ b` as the equality
+/// `aᵀx + x_S = b` with `x_S = Σ_q c_q s_q` over binary slack bits `s_q`
+/// (paper section IV-A).
+///
+/// The default [`SlackEncoding::for_capacity`] is the paper's binary
+/// expansion with `Q = floor(log₂(b) + 1)` bits; [`SlackEncoding::with_kind`]
+/// selects the unary or hybrid alternatives (see [`SlackKind`]).
+///
+/// ```
+/// use saim_knapsack::SlackEncoding;
+///
+/// # fn main() -> Result<(), saim_knapsack::KnapsackError> {
+/// let enc = SlackEncoding::for_capacity(42)?;
+/// assert_eq!(enc.num_bits(), 6);                  // 2^6 = 64 ≥ 42
+/// assert_eq!(enc.coefficients(), &[1, 2, 4, 8, 16, 32]);
+/// assert_eq!(enc.encode(42)?, vec![0, 1, 0, 1, 0, 1]);
+/// assert_eq!(enc.decode(&[0, 1, 0, 1, 0, 1]), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlackEncoding {
+    capacity: u64,
+    kind: SlackKind,
+    coefficients: Vec<u64>,
+}
+
+impl SlackEncoding {
+    /// Builds the paper's binary encoding for a capacity `b ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnapsackError::InvalidParameter`] if `capacity == 0` (a
+    /// zero-capacity constraint needs no slack; model it directly as an
+    /// equality).
+    pub fn for_capacity(capacity: u64) -> Result<Self, KnapsackError> {
+        Self::with_kind(capacity, SlackKind::Binary)
+    }
+
+    /// Builds an encoding of the chosen [`SlackKind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnapsackError::InvalidParameter`] for a zero capacity, a
+    /// unary encoding of a capacity above 4096 (the bit count would dwarf
+    /// the problem), or a hybrid step that is 0, 1, not a power of two, or
+    /// not below the capacity.
+    pub fn with_kind(capacity: u64, kind: SlackKind) -> Result<Self, KnapsackError> {
+        if capacity == 0 {
+            return Err(KnapsackError::InvalidParameter {
+                name: "capacity",
+                reason: "must be at least 1",
+            });
+        }
+        let coefficients = match kind {
+            SlackKind::Binary => {
+                // Q = floor(log2(b) + 1) = bit length of b
+                let q = (64 - capacity.leading_zeros()) as usize;
+                (0..q).map(|i| 1u64 << i).collect()
+            }
+            SlackKind::Unary => {
+                if capacity > 4096 {
+                    return Err(KnapsackError::InvalidParameter {
+                        name: "capacity",
+                        reason: "unary slack is capped at 4096 bits",
+                    });
+                }
+                vec![1u64; capacity as usize]
+            }
+            SlackKind::Hybrid { step } => {
+                if step < 2 || !step.is_power_of_two() {
+                    return Err(KnapsackError::InvalidParameter {
+                        name: "step",
+                        reason: "hybrid step must be a power of two of at least 2",
+                    });
+                }
+                if step >= capacity {
+                    return Err(KnapsackError::InvalidParameter {
+                        name: "step",
+                        reason: "hybrid step must be below the capacity",
+                    });
+                }
+                // binary tail covers 0..=step-1; unary block reaches capacity
+                let tail_max = step - 1;
+                let unary_bits = capacity.saturating_sub(tail_max).div_ceil(step) as usize;
+                if unary_bits > 4096 {
+                    return Err(KnapsackError::InvalidParameter {
+                        name: "step",
+                        reason: "hybrid unary block is capped at 4096 bits",
+                    });
+                }
+                let mut coeffs: Vec<u64> = std::iter::repeat_n(step, unary_bits).collect();
+                let mut fine = 1u64;
+                while fine < step {
+                    coeffs.push(fine);
+                    fine <<= 1;
+                }
+                coeffs
+            }
+        };
+        Ok(SlackEncoding { capacity, kind, coefficients })
+    }
+
+    /// The capacity `b` this encoding was built for.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The encoding family.
+    pub fn kind(&self) -> SlackKind {
+        self.kind
+    }
+
+    /// The number of slack bits.
+    pub fn num_bits(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The largest slack value the bits can represent (`≥ b` by construction).
+    pub fn max_value(&self) -> u64 {
+        self.coefficients.iter().sum()
+    }
+
+    /// The per-bit coefficients `c_q` (binary: 1, 2, 4, …; unary: 1, 1, …;
+    /// hybrid: step, …, step, 1, 2, …, step/2).
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coefficients
+    }
+
+    /// Encodes a slack value into bits (one canonical representation; unary
+    /// and hybrid encodings admit others, which [`SlackEncoding::decode`]
+    /// also accepts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnapsackError::InvalidParameter`] if `value` exceeds
+    /// [`SlackEncoding::max_value`].
+    pub fn encode(&self, value: u64) -> Result<Vec<u8>, KnapsackError> {
+        if value > self.max_value() {
+            return Err(KnapsackError::InvalidParameter {
+                name: "slack value",
+                reason: "exceeds the representable range",
+            });
+        }
+        let mut bits = vec![0u8; self.coefficients.len()];
+        match self.kind {
+            SlackKind::Binary => {
+                for (q, bit) in bits.iter_mut().enumerate() {
+                    *bit = ((value >> q) & 1) as u8;
+                }
+            }
+            SlackKind::Unary => {
+                for bit in bits.iter_mut().take(value as usize) {
+                    *bit = 1;
+                }
+            }
+            SlackKind::Hybrid { step } => {
+                let unary_bits = self
+                    .coefficients
+                    .iter()
+                    .take_while(|&&c| c == step)
+                    .count();
+                let coarse = (value / step).min(unary_bits as u64) as usize;
+                for bit in bits.iter_mut().take(coarse) {
+                    *bit = 1;
+                }
+                let mut rem = value - coarse as u64 * step;
+                debug_assert!(rem < step, "remainder must fit the binary tail");
+                for (q, bit) in bits.iter_mut().enumerate().skip(unary_bits) {
+                    let c = self.coefficients[q];
+                    if rem & c != 0 {
+                        *bit = 1;
+                        rem -= c;
+                    }
+                }
+                debug_assert_eq!(rem, 0);
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Decodes bits back into the slack value: `Σ_q c_q s_q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.num_bits()` or any bit exceeds 1.
+    pub fn decode(&self, bits: &[u8]) -> u64 {
+        assert_eq!(bits.len(), self.coefficients.len(), "slack bit count mismatch");
+        bits.iter()
+            .zip(&self.coefficients)
+            .map(|(&b, &c)| {
+                assert!(b <= 1, "bits must be 0 or 1");
+                u64::from(b) * c
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_count_matches_paper_formula() {
+        // Q = floor(log2(b) + 1)
+        for (b, q) in [(1u64, 1usize), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (42, 6), (1000, 10)] {
+            let expected = ((b as f64).log2() + 1.0).floor() as usize;
+            assert_eq!(expected, q, "self-check for b={b}");
+            assert_eq!(SlackEncoding::for_capacity(b).unwrap().num_bits(), q, "b={b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_value_up_to_capacity() {
+        let enc = SlackEncoding::for_capacity(37).unwrap();
+        for v in 0..=enc.max_value() {
+            let bits = enc.encode(v).unwrap();
+            assert_eq!(enc.decode(&bits), v);
+        }
+        assert!(enc.max_value() >= 37);
+    }
+
+    #[test]
+    fn coefficients_sum_to_max_value() {
+        let enc = SlackEncoding::for_capacity(100).unwrap();
+        let total: u64 = enc.coefficients().iter().sum();
+        assert_eq!(total, enc.max_value());
+    }
+
+    #[test]
+    fn rejects_zero_capacity_and_overflow_values() {
+        assert!(SlackEncoding::for_capacity(0).is_err());
+        let enc = SlackEncoding::for_capacity(4).unwrap();
+        assert!(enc.encode(enc.max_value() + 1).is_err());
+    }
+
+    #[test]
+    fn capacity_is_always_representable() {
+        for b in 1..=256u64 {
+            let enc = SlackEncoding::for_capacity(b).unwrap();
+            let bits = enc.encode(b).unwrap();
+            assert_eq!(enc.decode(&bits), b, "capacity {b} must round-trip");
+        }
+    }
+
+    #[test]
+    fn unary_roundtrip_and_shape() {
+        let enc = SlackEncoding::with_kind(9, SlackKind::Unary).unwrap();
+        assert_eq!(enc.num_bits(), 9);
+        assert_eq!(enc.max_value(), 9);
+        for v in 0..=9 {
+            assert_eq!(enc.decode(&enc.encode(v).unwrap()), v);
+        }
+        // any permutation of set bits decodes to the same value
+        assert_eq!(enc.decode(&[1, 0, 1, 0, 1, 0, 0, 0, 0]), 3);
+        assert_eq!(enc.decode(&[0, 0, 0, 0, 0, 0, 1, 1, 1]), 3);
+    }
+
+    #[test]
+    fn unary_rejects_huge_capacity() {
+        assert!(SlackEncoding::with_kind(5000, SlackKind::Unary).is_err());
+    }
+
+    #[test]
+    fn hybrid_roundtrip_covers_capacity() {
+        for (cap, step) in [(42u64, 8u64), (100, 16), (17, 4), (1000, 32)] {
+            let enc = SlackEncoding::with_kind(cap, SlackKind::Hybrid { step }).unwrap();
+            assert!(enc.max_value() >= cap, "cap {cap} step {step}");
+            for v in 0..=cap {
+                let bits = enc.encode(v).unwrap();
+                assert_eq!(enc.decode(&bits), v, "cap {cap} step {step} v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_coefficient_shape() {
+        let enc = SlackEncoding::with_kind(42, SlackKind::Hybrid { step: 8 }).unwrap();
+        let coeffs = enc.coefficients();
+        // unary block of 8s then binary tail 1,2,4
+        let unary: Vec<u64> = coeffs.iter().copied().take_while(|&c| c == 8).collect();
+        assert!(!unary.is_empty());
+        assert_eq!(&coeffs[unary.len()..], &[1, 2, 4]);
+        assert_eq!(enc.max_value(), unary.len() as u64 * 8 + 7);
+    }
+
+    #[test]
+    fn hybrid_validates_step() {
+        assert!(SlackEncoding::with_kind(42, SlackKind::Hybrid { step: 3 }).is_err());
+        assert!(SlackEncoding::with_kind(42, SlackKind::Hybrid { step: 1 }).is_err());
+        assert!(SlackEncoding::with_kind(8, SlackKind::Hybrid { step: 8 }).is_err());
+        assert!(SlackEncoding::with_kind(42, SlackKind::Hybrid { step: 0 }).is_err());
+    }
+
+    #[test]
+    fn hybrid_has_more_bits_than_binary_fewer_than_unary() {
+        let cap = 100;
+        let binary = SlackEncoding::for_capacity(cap).unwrap().num_bits();
+        let hybrid = SlackEncoding::with_kind(cap, SlackKind::Hybrid { step: 8 })
+            .unwrap()
+            .num_bits();
+        let unary = SlackEncoding::with_kind(cap, SlackKind::Unary).unwrap().num_bits();
+        assert!(binary < hybrid, "binary {binary} < hybrid {hybrid}");
+        assert!(hybrid < unary, "hybrid {hybrid} < unary {unary}");
+    }
+
+    #[test]
+    fn unary_counts_representations() {
+        // value 1 in a 4-bit unary encoding has 4 representations; decode
+        // accepts all of them
+        let enc = SlackEncoding::with_kind(4, SlackKind::Unary).unwrap();
+        let mut reps = 0;
+        for mask in 0u8..16 {
+            let bits: Vec<u8> = (0..4).map(|i| (mask >> i) & 1).collect();
+            if enc.decode(&bits) == 1 {
+                reps += 1;
+            }
+        }
+        assert_eq!(reps, 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the knapsack substrate.
+
+use proptest::prelude::*;
+use saim_core::ConstrainedProblem;
+use saim_ising::BinaryState;
+use saim_knapsack::{generate, SlackEncoding};
+
+proptest! {
+    /// Every slack value in range round-trips through the bit encoding.
+    #[test]
+    fn slack_roundtrip(capacity in 1u64..100_000, value_frac in 0.0..1.0f64) {
+        let enc = SlackEncoding::for_capacity(capacity).unwrap();
+        let value = (value_frac * enc.max_value() as f64) as u64;
+        let bits = enc.encode(value).unwrap();
+        prop_assert_eq!(bits.len(), enc.num_bits());
+        prop_assert_eq!(enc.decode(&bits), value);
+    }
+
+    /// Q = floor(log2(b) + 1) always representing 0..=b.
+    #[test]
+    fn slack_covers_capacity(capacity in 1u64..1_000_000) {
+        let enc = SlackEncoding::for_capacity(capacity).unwrap();
+        prop_assert!(enc.max_value() >= capacity);
+        // minimality: one fewer bit cannot represent the capacity
+        if enc.num_bits() > 1 {
+            prop_assert!((1u64 << (enc.num_bits() - 1)) - 1 < capacity);
+        }
+    }
+
+    /// On generated QKP instances, the *encoded* constraint with exact slack
+    /// vanishes iff the selection is feasible, and the encoded objective is a
+    /// fixed rescaling of the native cost.
+    #[test]
+    fn qkp_encoding_is_consistent(seed in 0u64..500, mask in 0u64..1024) {
+        let inst = generate::qkp(10, 0.5, seed).unwrap();
+        let enc = inst.encode().unwrap();
+        let sel = BinaryState::from_mask(mask % 1024, 10);
+        // native evaluation on the extended state (zero slack is fine)
+        let mut bits = sel.bits().to_vec();
+        bits.resize(enc.num_vars(), 0);
+        let x = BinaryState::from_bits(&bits);
+        let eval = enc.evaluate(&x);
+        prop_assert_eq!(eval.cost, inst.cost(sel.bits()));
+        prop_assert_eq!(eval.feasible, inst.is_feasible(sel.bits()));
+        if eval.feasible {
+            let full = enc.extend_with_slack(sel.bits());
+            let g = enc.constraints()[0].violation(&full);
+            prop_assert!(g.abs() < 1e-9, "feasible selection must admit g = 0, got {}", g);
+            // slack bits decode to the residual capacity
+            prop_assert_eq!(enc.slack_value(&full), inst.capacity() - inst.weight(sel.bits()));
+        }
+    }
+
+    /// Encoded QKP objective ordering matches native profit ordering.
+    #[test]
+    fn qkp_objective_preserves_ordering(seed in 0u64..200, a in 0u64..256, b in 0u64..256) {
+        let inst = generate::qkp(8, 0.75, seed).unwrap();
+        let enc = inst.encode().unwrap();
+        let extend = |mask: u64| {
+            let sel = BinaryState::from_mask(mask, 8);
+            let mut bits = sel.bits().to_vec();
+            bits.resize(enc.num_vars(), 0);
+            (inst.profit(sel.bits()), BinaryState::from_bits(&bits))
+        };
+        let (pa, xa) = extend(a);
+        let (pb, xb) = extend(b);
+        let ea = enc.objective().energy(&xa);
+        let eb = enc.objective().energy(&xb);
+        if pa > pb {
+            prop_assert!(ea < eb, "higher profit must mean lower encoded energy");
+        } else if pa == pb {
+            prop_assert!((ea - eb).abs() < 1e-9);
+        }
+    }
+
+    /// On generated MKP instances, every constraint's exact-slack extension
+    /// vanishes for feasible selections, and evaluation is native-exact.
+    #[test]
+    fn mkp_encoding_is_consistent(seed in 0u64..300, mask in 0u64..256) {
+        let inst = generate::mkp(8, 3, 0.5, seed).unwrap();
+        let enc = inst.encode().unwrap();
+        let sel = BinaryState::from_mask(mask, 8);
+        let mut bits = sel.bits().to_vec();
+        bits.resize(enc.num_vars(), 0);
+        let x = BinaryState::from_bits(&bits);
+        let eval = enc.evaluate(&x);
+        prop_assert_eq!(eval.cost, -(inst.profit(sel.bits()) as f64));
+        prop_assert_eq!(eval.feasible, inst.is_feasible(sel.bits()));
+        if eval.feasible {
+            let full = enc.extend_with_slack(sel.bits());
+            for (m, c) in enc.constraints().iter().enumerate() {
+                prop_assert!(c.violation(&full).abs() < 1e-9, "constraint {} nonzero", m);
+            }
+        }
+    }
+
+    /// Text round-trips hold for arbitrary generated instances.
+    #[test]
+    fn text_io_roundtrips(seed in 0u64..200) {
+        let q = generate::qkp(12, 0.5, seed).unwrap();
+        prop_assert_eq!(saim_knapsack::io::read_qkp(&saim_knapsack::io::write_qkp(&q)).unwrap(), q);
+        let m = generate::mkp(9, 2, 0.5, seed).unwrap();
+        prop_assert_eq!(saim_knapsack::io::read_mkp(&saim_knapsack::io::write_mkp(&m)).unwrap(), m);
+    }
+
+    /// The encoded constraint violation has the sign of the integer load
+    /// imbalance when slack bits are zero.
+    #[test]
+    fn qkp_violation_sign_matches_load(seed in 0u64..200, mask in 0u64..1024) {
+        let inst = generate::qkp(10, 0.5, seed).unwrap();
+        let enc = inst.encode().unwrap();
+        let sel = BinaryState::from_mask(mask % 1024, 10);
+        let mut bits = sel.bits().to_vec();
+        bits.resize(enc.num_vars(), 0);
+        let g = enc.constraints()[0].violation(&BinaryState::from_bits(&bits));
+        let load = inst.weight(sel.bits()) as i128 - inst.capacity() as i128;
+        if load > 0 {
+            prop_assert!(g > 0.0);
+        } else if load < 0 {
+            prop_assert!(g < 0.0);
+        } else {
+            prop_assert!(g.abs() < 1e-9);
+        }
+    }
+}

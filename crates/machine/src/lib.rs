@@ -1,0 +1,78 @@
+//! # saim-machine
+//!
+//! A software-emulated probabilistic-bit (p-bit) Ising machine, the solver
+//! substrate of the SAIM paper (section III-B).
+//!
+//! A p-computer is a network of stochastic neurons `m_i = ±1` receiving the
+//! input (paper eq. 9)
+//!
+//! ```text
+//! I_i = Σ_j J_ij m_j + h_i
+//! ```
+//!
+//! and updating as (paper eq. 10)
+//!
+//! ```text
+//! m_i = sign( tanh(β I_i) + U(-1, 1) )
+//! ```
+//!
+//! Sequentially applying the update to every p-bit — one *Monte Carlo sweep*
+//! (MCS) — performs Gibbs sampling of the Boltzmann distribution
+//! `P(m) ∝ exp(-β H(m))` (paper eq. 11).
+//!
+//! This crate provides:
+//!
+//! - [`PbitMachine`] — the p-bit network with incremental local-field and
+//!   energy bookkeeping,
+//! - [`BetaSchedule`] — annealing schedules (the paper uses a linear sweep
+//!   from 0 to `β_max` per run),
+//! - [`SimulatedAnnealing`] — one annealed run reading the last sample, as
+//!   SAIM's inner minimizer,
+//! - [`ParallelTempering`] — a replica-exchange solver standing in for the
+//!   PT-DA baseline of the paper's evaluation,
+//! - [`GreedyDescent`] — deterministic single-flip descent, useful as a
+//!   sanity baseline,
+//! - [`IsingSolver`] — the trait unifying all of the above, and
+//! - [`SampleCounter`] — MCS bookkeeping used to reproduce Fig. 4b.
+//!
+//! # Example
+//!
+//! ```
+//! use saim_ising::QuboBuilder;
+//! use saim_machine::{BetaSchedule, IsingSolver, SimulatedAnnealing};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // E(x) = -x0 - x1 + 2 x0 x1: minima at exactly one variable set.
+//! let mut b = QuboBuilder::new(2);
+//! b.add_linear(0, -1.0)?;
+//! b.add_linear(1, -1.0)?;
+//! b.add_pair(0, 1, 2.0)?;
+//! let model = b.build().to_ising();
+//!
+//! let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 200, 42);
+//! let outcome = sa.solve(&model);
+//! assert!((outcome.best_energy - (-1.0)).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod descent;
+mod pbit;
+mod pt;
+mod rng;
+mod sa;
+mod schedule;
+mod solver;
+mod telemetry;
+
+pub use descent::GreedyDescent;
+pub use pbit::PbitMachine;
+pub use pt::{ParallelTempering, PtConfig};
+pub use rng::{derive_seed, new_rng};
+pub use sa::{Dynamics, SimulatedAnnealing};
+pub use schedule::BetaSchedule;
+pub use solver::{IsingSolver, SolveOutcome};
+pub use telemetry::{RunRecord, SampleCounter};

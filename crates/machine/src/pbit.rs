@@ -1,0 +1,403 @@
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use saim_ising::{Couplings, IsingModel, Spin, SpinState};
+
+/// A network of probabilistic bits emulating a p-computer in software.
+///
+/// Each p-bit holds a spin `m_i = ±1`, reads its input
+/// `I_i = Σ_j J_ij m_j + h_i` (paper eq. 9) and updates as
+/// `m_i = sign(tanh(β I_i) + U(-1,1))` (paper eq. 10). Sequentially updating
+/// every p-bit once — [`PbitMachine::sweep`] — is one Monte Carlo sweep (MCS)
+/// of Gibbs sampling for `P(m) ∝ exp(-β H(m))` (paper eq. 11).
+///
+/// The machine keeps the local-field vector and the model energy current
+/// incrementally: a flip of spin `j` shifts every `I_i` by `2 J_ij m_j`,
+/// which costs one row scan instead of the full `O(n²)` recompute.
+///
+/// ```
+/// use saim_ising::{QuboBuilder, IsingModel};
+/// use saim_machine::{new_rng, PbitMachine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = QuboBuilder::new(3);
+/// b.add_linear(0, -1.0)?;
+/// let model = b.build().to_ising();
+/// let mut rng = new_rng(1);
+/// let mut machine = PbitMachine::new(&model, &mut rng);
+/// for _ in 0..50 {
+///     machine.sweep(&model, 4.0, &mut rng);
+/// }
+/// // Strong negative field on x0's spin drives it up at low temperature.
+/// assert_eq!(machine.state().value(0), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PbitMachine {
+    state: SpinState,
+    local_fields: Vec<f64>,
+    energy: f64,
+    flips: u64,
+}
+
+impl PbitMachine {
+    /// Creates a machine with a uniformly random initial state.
+    pub fn new(model: &IsingModel, rng: &mut ChaCha8Rng) -> Self {
+        let state: SpinState = (0..model.len())
+            .map(|_| if rng.gen::<bool>() { Spin::Up } else { Spin::Down })
+            .collect();
+        Self::with_state(model, state)
+    }
+
+    /// Creates a machine starting from a given spin configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != model.len()`.
+    pub fn with_state(model: &IsingModel, state: SpinState) -> Self {
+        assert_eq!(state.len(), model.len(), "state length mismatch");
+        let local_fields: Vec<f64> = (0..model.len())
+            .map(|i| model.local_field(&state, i))
+            .collect();
+        let energy = model.energy(&state);
+        PbitMachine { state, local_fields, energy, flips: 0 }
+    }
+
+    /// The current spin configuration.
+    pub fn state(&self) -> &SpinState {
+        &self.state
+    }
+
+    /// The current model energy `H(m)`, maintained incrementally.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Total number of spin flips performed so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// The current local field `I_i` of p-bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn local_field(&self, i: usize) -> f64 {
+        self.local_fields[i]
+    }
+
+    /// Re-reads fields and energy from the model.
+    ///
+    /// Call after the model's linear part changed (SAIM's λ update) while
+    /// keeping the spin state.
+    pub fn resync(&mut self, model: &IsingModel) {
+        assert_eq!(self.state.len(), model.len(), "state length mismatch");
+        for i in 0..model.len() {
+            self.local_fields[i] = model.local_field(&self.state, i);
+        }
+        self.energy = model.energy(&self.state);
+    }
+
+    /// Re-randomizes the spin state uniformly (the start of a fresh SA run).
+    pub fn randomize(&mut self, model: &IsingModel, rng: &mut ChaCha8Rng) {
+        for i in 0..self.state.len() {
+            let spin = if rng.gen::<bool>() { Spin::Up } else { Spin::Down };
+            self.state.set(i, spin);
+        }
+        self.resync(model);
+    }
+
+    fn apply_flip(&mut self, model: &IsingModel, i: usize) {
+        let old = f64::from(self.state.value(i));
+        // ΔH for flipping spin i is 2 s_i I_i
+        self.energy += 2.0 * old * self.local_fields[i];
+        self.state.flip(i);
+        let delta = -2.0 * old; // new - old spin value
+        match model.couplings() {
+            Couplings::Dense(m) => {
+                let row = m.row(i);
+                for (f, &jij) in self.local_fields.iter_mut().zip(row) {
+                    *f += jij * delta;
+                }
+            }
+            Couplings::Sparse(m) => {
+                for (j, jij) in m.row_iter(i) {
+                    self.local_fields[j] += jij * delta;
+                }
+            }
+        }
+        self.flips += 1;
+    }
+
+    /// One Monte Carlo sweep: sequentially updates every p-bit at inverse
+    /// temperature `beta` with the stochastic rule of paper eq. 10.
+    ///
+    /// Returns the number of spins that changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was built for a different model size.
+    pub fn sweep(&mut self, model: &IsingModel, beta: f64, rng: &mut ChaCha8Rng) -> usize {
+        assert_eq!(self.state.len(), model.len(), "state length mismatch");
+        let mut changed = 0;
+        for i in 0..self.state.len() {
+            let activation = (beta * self.local_fields[i]).tanh();
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            let new_spin = Spin::from_sign(activation + noise);
+            if new_spin.value() != self.state.value(i) {
+                self.apply_flip(model, i);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// One Metropolis sweep: sequentially proposes a flip of every spin and
+    /// accepts with probability `min(1, exp(-β ΔH))`.
+    ///
+    /// This is the classic single-flip dynamics of digital annealers (and of
+    /// the PT-DA baseline's hardware), provided alongside the p-bit Gibbs
+    /// rule of [`PbitMachine::sweep`] so the two chains can be compared on
+    /// identical models. Both sample the same Boltzmann distribution
+    /// (eq. 11) in equilibrium.
+    ///
+    /// Returns the number of spins that changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was built for a different model size.
+    pub fn metropolis_sweep(&mut self, model: &IsingModel, beta: f64, rng: &mut ChaCha8Rng) -> usize {
+        assert_eq!(self.state.len(), model.len(), "state length mismatch");
+        let mut changed = 0;
+        for i in 0..self.state.len() {
+            let delta = 2.0 * f64::from(self.state.value(i)) * self.local_fields[i];
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp();
+            if accept {
+                self.apply_flip(model, i);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// One deterministic greedy sweep: flips each spin whose flip strictly
+    /// lowers the energy (the β → ∞ limit without noise).
+    ///
+    /// Returns the number of spins that changed.
+    pub fn greedy_sweep(&mut self, model: &IsingModel) -> usize {
+        assert_eq!(self.state.len(), model.len(), "state length mismatch");
+        let mut changed = 0;
+        for i in 0..self.state.len() {
+            let delta = 2.0 * f64::from(self.state.value(i)) * self.local_fields[i];
+            if delta < 0.0 {
+                self.apply_flip(model, i);
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::new_rng;
+    use saim_ising::QuboBuilder;
+
+    fn frustrated_model() -> IsingModel {
+        let mut b = QuboBuilder::new(4);
+        b.add_pair(0, 1, 2.0).unwrap();
+        b.add_pair(1, 2, -1.5).unwrap();
+        b.add_pair(2, 3, 1.0).unwrap();
+        b.add_linear(0, -1.0).unwrap();
+        b.add_linear(3, 0.5).unwrap();
+        b.build().to_ising()
+    }
+
+    #[test]
+    fn incremental_energy_matches_full_recompute() {
+        let model = frustrated_model();
+        let mut rng = new_rng(9);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        for sweep in 0..200 {
+            machine.sweep(&model, 0.05 * sweep as f64, &mut rng);
+            let full = model.energy(machine.state());
+            assert!(
+                (machine.energy() - full).abs() < 1e-9,
+                "drift at sweep {sweep}: {} vs {full}",
+                machine.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_fields_match_model() {
+        let model = frustrated_model();
+        let mut rng = new_rng(11);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        for _ in 0..50 {
+            machine.sweep(&model, 1.0, &mut rng);
+        }
+        for i in 0..model.len() {
+            let expected = model.local_field(machine.state(), i);
+            assert!((machine.local_field(i) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn beta_zero_is_unbiased_coin() {
+        // At β = 0 the activation is 0 and each p-bit is an unbiased coin.
+        let model = frustrated_model();
+        let mut rng = new_rng(5);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        let mut ups = 0usize;
+        let sweeps = 2000;
+        for _ in 0..sweeps {
+            machine.sweep(&model, 0.0, &mut rng);
+            ups += machine.state().count_up();
+        }
+        let frac = ups as f64 / (sweeps * model.len()) as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction up = {frac}");
+    }
+
+    #[test]
+    fn high_beta_finds_ground_state_of_simple_model() {
+        // Single strong field: ground state is spin 0 up.
+        let mut b = QuboBuilder::new(1);
+        b.add_linear(0, -2.0).unwrap();
+        let model = b.build().to_ising();
+        let mut rng = new_rng(3);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        for _ in 0..100 {
+            machine.sweep(&model, 20.0, &mut rng);
+        }
+        assert_eq!(machine.state().value(0), 1);
+    }
+
+    #[test]
+    fn greedy_sweep_never_increases_energy() {
+        let model = frustrated_model();
+        let mut rng = new_rng(17);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        let mut prev = machine.energy();
+        while machine.greedy_sweep(&model) > 0 {
+            assert!(machine.energy() <= prev + 1e-12);
+            prev = machine.energy();
+        }
+        // fixed point: no single flip improves
+        for i in 0..model.len() {
+            assert!(model.delta_energy(machine.state(), i) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn resync_after_field_change() {
+        let mut model = frustrated_model();
+        let mut rng = new_rng(21);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        machine.sweep(&model, 1.0, &mut rng);
+        model.fields_mut()[2] += 3.0;
+        machine.resync(&model);
+        assert!((machine.energy() - model.energy(machine.state())).abs() < 1e-12);
+        for i in 0..model.len() {
+            assert!((machine.local_field(i) - model.local_field(machine.state(), i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn randomize_changes_state_and_keeps_books() {
+        let model = frustrated_model();
+        let mut rng = new_rng(2);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        machine.randomize(&model, &mut rng);
+        assert!((machine.energy() - model.energy(machine.state())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metropolis_matches_gibbs_equilibrium_on_one_spin() {
+        // both chains must converge to P(up) = (1 + tanh(βh)) / 2
+        let mut b = QuboBuilder::new(1);
+        b.add_linear(0, -1.0).unwrap();
+        let model = b.build().to_ising();
+        let h = model.fields()[0];
+        let beta = 0.9;
+        let expected = (beta * h).tanh() / 2.0 + 0.5;
+        for use_metropolis in [false, true] {
+            let mut rng = new_rng(55);
+            let mut machine = PbitMachine::new(&model, &mut rng);
+            let mut ups = 0usize;
+            let sweeps = 40_000;
+            for _ in 0..sweeps {
+                if use_metropolis {
+                    machine.metropolis_sweep(&model, beta, &mut rng);
+                } else {
+                    machine.sweep(&model, beta, &mut rng);
+                }
+                ups += usize::from(machine.state().value(0) == 1);
+            }
+            let p_up = ups as f64 / sweeps as f64;
+            assert!(
+                (p_up - expected).abs() < 0.02,
+                "metropolis={use_metropolis}: p_up = {p_up}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn metropolis_keeps_energy_books() {
+        let model = frustrated_model();
+        let mut rng = new_rng(77);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        for sweep in 0..100 {
+            machine.metropolis_sweep(&model, 0.1 * sweep as f64, &mut rng);
+            assert!(
+                (machine.energy() - model.energy(machine.state())).abs() < 1e-9,
+                "drift at sweep {sweep}"
+            );
+        }
+    }
+
+    #[test]
+    fn metropolis_at_high_beta_descends() {
+        let model = frustrated_model();
+        let mut rng = new_rng(31);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        let start = machine.energy();
+        for _ in 0..100 {
+            machine.metropolis_sweep(&model, 50.0, &mut rng);
+        }
+        assert!(machine.energy() <= start + 1e-9);
+        // and the endpoint is a local minimum up to rare accepted uphill moves
+        let uphill = (0..model.len())
+            .filter(|&i| model.delta_energy(machine.state(), i) < -1e-9)
+            .count();
+        assert_eq!(uphill, 0, "still has strictly improving flips");
+    }
+
+    #[test]
+    fn boltzmann_ratio_on_two_state_system() {
+        // One spin, field h: P(up)/P(down) should approach exp(2βh).
+        let mut b = QuboBuilder::new(1);
+        b.add_linear(0, -1.0).unwrap(); // ising field 0.5 on the spin
+        let model = b.build().to_ising();
+        let h = model.fields()[0];
+        let beta = 1.2;
+        let mut rng = new_rng(33);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        let mut ups = 0usize;
+        let sweeps = 40_000;
+        for _ in 0..sweeps {
+            machine.sweep(&model, beta, &mut rng);
+            if machine.state().value(0) == 1 {
+                ups += 1;
+            }
+        }
+        let p_up = ups as f64 / sweeps as f64;
+        let expected = (beta * h).tanh() / 2.0 + 0.5;
+        assert!(
+            (p_up - expected).abs() < 0.02,
+            "p_up = {p_up}, expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+use crate::pbit::PbitMachine;
+use crate::rng::new_rng;
+use crate::solver::{IsingSolver, SolveOutcome};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use saim_ising::IsingModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the parallel-tempering solver.
+///
+/// Defaults follow the PT-DA baseline the paper benchmarks against
+/// (\[17\]: 26 replicas on Fujitsu's Digital Annealer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PtConfig {
+    /// Number of replicas in the temperature ladder.
+    pub replicas: usize,
+    /// Smallest inverse temperature (hottest replica).
+    pub beta_min: f64,
+    /// Largest inverse temperature (coldest replica).
+    pub beta_max: f64,
+    /// Monte Carlo sweeps per replica per solve call.
+    pub sweeps: usize,
+    /// Replica-exchange attempts happen every `swap_interval` sweeps.
+    pub swap_interval: usize,
+}
+
+impl Default for PtConfig {
+    fn default() -> Self {
+        PtConfig {
+            replicas: 26,
+            beta_min: 0.1,
+            beta_max: 10.0,
+            sweeps: 1000,
+            swap_interval: 10,
+        }
+    }
+}
+
+impl PtConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or the β range is not positive-increasing.
+    fn validate(&self) {
+        assert!(self.replicas >= 2, "parallel tempering needs at least two replicas");
+        assert!(self.sweeps > 0, "sweeps must be positive");
+        assert!(self.swap_interval > 0, "swap interval must be positive");
+        assert!(
+            self.beta_min > 0.0 && self.beta_min < self.beta_max,
+            "require 0 < beta_min < beta_max"
+        );
+    }
+
+    /// The geometric β ladder over the replicas.
+    pub fn ladder(&self) -> Vec<f64> {
+        let r = self.replicas;
+        (0..r)
+            .map(|k| {
+                let frac = if r == 1 { 1.0 } else { k as f64 / (r - 1) as f64 };
+                self.beta_min * (self.beta_max / self.beta_min).powf(frac)
+            })
+            .collect()
+    }
+}
+
+/// Parallel tempering (replica exchange) on the p-bit substrate.
+///
+/// `R` replicas sample the same model at a geometric ladder of inverse
+/// temperatures; every `swap_interval` sweeps, adjacent replicas propose a
+/// state exchange accepted with the Metropolis probability
+/// `min(1, exp(Δβ · ΔE))`. Hot replicas roam; cold replicas refine — the
+/// standard remedy for the rugged landscapes that large penalty terms create,
+/// and the algorithm run on Fujitsu's Digital Annealer in the paper's
+/// comparison \[17\].
+///
+/// ```
+/// use saim_ising::QuboBuilder;
+/// use saim_machine::{IsingSolver, ParallelTempering, PtConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = QuboBuilder::new(3);
+/// for i in 0..3 { b.add_linear(i, -1.0)?; }
+/// let model = b.build().to_ising();
+/// let cfg = PtConfig { replicas: 4, sweeps: 100, ..PtConfig::default() };
+/// let out = ParallelTempering::new(cfg, 11).solve(&model);
+/// assert!((out.best_energy - (-3.0)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelTempering {
+    config: PtConfig,
+    rng: ChaCha8Rng,
+    swap_attempts: u64,
+    swap_accepts: u64,
+}
+
+impl ParallelTempering {
+    /// Creates a solver with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`PtConfig`]).
+    pub fn new(config: PtConfig, seed: u64) -> Self {
+        config.validate();
+        ParallelTempering {
+            config,
+            rng: new_rng(seed),
+            swap_attempts: 0,
+            swap_accepts: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> PtConfig {
+        self.config
+    }
+
+    /// Fraction of accepted replica exchanges so far (NaN before any attempt).
+    pub fn swap_acceptance(&self) -> f64 {
+        self.swap_accepts as f64 / self.swap_attempts as f64
+    }
+}
+
+impl IsingSolver for ParallelTempering {
+    fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
+        let ladder = self.config.ladder();
+        let mut replicas: Vec<PbitMachine> = (0..self.config.replicas)
+            .map(|_| PbitMachine::new(model, &mut self.rng))
+            .collect();
+        let mut best = replicas[0].state().clone();
+        let mut best_energy = replicas[0].energy();
+
+        for sweep in 0..self.config.sweeps {
+            for (machine, &beta) in replicas.iter_mut().zip(&ladder) {
+                machine.sweep(model, beta, &mut self.rng);
+                if machine.energy() < best_energy {
+                    best_energy = machine.energy();
+                    best = machine.state().clone();
+                }
+            }
+            if (sweep + 1) % self.config.swap_interval == 0 {
+                // alternate even/odd pairs to keep proposals independent
+                let parity = (sweep / self.config.swap_interval) % 2;
+                let mut k = parity;
+                while k + 1 < replicas.len() {
+                    self.swap_attempts += 1;
+                    let delta_beta = ladder[k] - ladder[k + 1];
+                    let delta_e = replicas[k].energy() - replicas[k + 1].energy();
+                    let accept_ln = delta_beta * delta_e;
+                    if accept_ln >= 0.0 || self.rng.gen::<f64>() < accept_ln.exp() {
+                        replicas.swap(k, k + 1);
+                        self.swap_accepts += 1;
+                    }
+                    k += 2;
+                }
+            }
+        }
+        // the coldest replica is the machine's readout
+        let cold = replicas.last().expect("at least two replicas");
+        SolveOutcome {
+            last: cold.state().clone(),
+            last_energy: cold.energy(),
+            best,
+            best_energy,
+            mcs: (self.config.sweeps * self.config.replicas) as u64,
+        }
+    }
+
+    fn mcs_per_solve(&self, _n: usize) -> u64 {
+        (self.config.sweeps * self.config.replicas) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel tempering (p-bit)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saim_ising::QuboBuilder;
+
+    fn rugged_model() -> IsingModel {
+        // frustrated couplings + fields: several local minima
+        let mut b = QuboBuilder::new(8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let sign = if (i + j) % 3 == 0 { 1.0 } else { -0.5 };
+                b.add_pair(i, j, sign).unwrap();
+            }
+            b.add_linear(i, if i % 2 == 0 { -0.7 } else { 0.3 }).unwrap();
+        }
+        b.build().to_ising()
+    }
+
+    fn brute_min(model: &IsingModel) -> f64 {
+        (0u64..(1 << model.len()))
+            .map(|m| model.energy(&saim_ising::BinaryState::from_mask(m, model.len()).to_spins()))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn finds_ground_state_of_rugged_model() {
+        let model = rugged_model();
+        let opt = brute_min(&model);
+        let cfg = PtConfig { replicas: 8, sweeps: 400, ..PtConfig::default() };
+        let out = ParallelTempering::new(cfg, 5).solve(&model);
+        assert!(
+            (out.best_energy - opt).abs() < 1e-9,
+            "best {} vs opt {opt}",
+            out.best_energy
+        );
+    }
+
+    #[test]
+    fn ladder_is_geometric_and_monotone() {
+        let cfg = PtConfig { replicas: 5, beta_min: 0.2, beta_max: 20.0, ..PtConfig::default() };
+        let ladder = cfg.ladder();
+        assert_eq!(ladder.len(), 5);
+        assert!((ladder[0] - 0.2).abs() < 1e-12);
+        assert!((ladder[4] - 20.0).abs() < 1e-12);
+        for w in ladder.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // constant ratio
+        let r0 = ladder[1] / ladder[0];
+        let r1 = ladder[3] / ladder[2];
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swaps_do_occur() {
+        let model = rugged_model();
+        let cfg = PtConfig { replicas: 6, sweeps: 200, ..PtConfig::default() };
+        let mut pt = ParallelTempering::new(cfg, 1);
+        let _ = pt.solve(&model);
+        assert!(pt.swap_attempts > 0);
+        assert!(pt.swap_acceptance() > 0.0, "no replica exchange ever accepted");
+    }
+
+    #[test]
+    fn mcs_counts_all_replicas() {
+        let cfg = PtConfig { replicas: 4, sweeps: 50, ..PtConfig::default() };
+        let mut pt = ParallelTempering::new(cfg, 2);
+        let model = rugged_model();
+        let out = pt.solve(&model);
+        assert_eq!(out.mcs, 200);
+        assert_eq!(pt.mcs_per_solve(8), 200);
+    }
+
+    #[test]
+    fn default_matches_ptda_reference() {
+        assert_eq!(PtConfig::default().replicas, 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two replicas")]
+    fn rejects_single_replica() {
+        let cfg = PtConfig { replicas: 1, ..PtConfig::default() };
+        let _ = ParallelTempering::new(cfg, 0);
+    }
+}

@@ -1,0 +1,225 @@
+use crate::pbit::PbitMachine;
+use crate::rng::new_rng;
+use crate::schedule::BetaSchedule;
+use crate::solver::{IsingSolver, SolveOutcome};
+use rand_chacha::ChaCha8Rng;
+use saim_ising::IsingModel;
+
+/// Simulated annealing on the p-bit machine (paper section III-B).
+///
+/// One [`IsingSolver::solve`] call performs a single annealed run: the state
+/// is re-randomized, β follows the configured schedule over `mcs_per_run`
+/// sweeps, and the outcome reports both the last sample (SAIM reads this) and
+/// the best sample seen (penalty-method baselines use this).
+///
+/// The solver owns its RNG, so consecutive `solve` calls are *different*
+/// stochastic runs of one reproducible stream — exactly the "2000 SA runs of
+/// 10³ MCS" structure of the paper's Table I.
+///
+/// ```
+/// use saim_ising::QuboBuilder;
+/// use saim_machine::{BetaSchedule, IsingSolver, SimulatedAnnealing};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = QuboBuilder::new(4);
+/// for i in 0..4 { b.add_linear(i, -1.0)?; }
+/// let model = b.build().to_ising();
+/// let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 100, 7);
+/// let out = sa.solve(&model);
+/// assert_eq!(out.mcs, 100);
+/// assert!((out.best_energy - (-4.0)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    schedule: BetaSchedule,
+    mcs_per_run: usize,
+    rng: ChaCha8Rng,
+    machine: Option<PbitMachine>,
+    dynamics: Dynamics,
+}
+
+/// The single-flip Monte Carlo update rule used inside a sweep.
+///
+/// Both rules sample the same Boltzmann distribution in equilibrium; the
+/// p-bit (Gibbs) rule is the paper's hardware model, Metropolis is the
+/// digital-annealer convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dynamics {
+    /// p-bit Gibbs update `m_i = sign(tanh(βI_i) + U(-1,1))` (paper eq. 10).
+    #[default]
+    Gibbs,
+    /// Metropolis accept/reject with probability `min(1, exp(-β ΔH))`.
+    Metropolis,
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer with the given schedule, sweeps per run, and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mcs_per_run == 0`.
+    pub fn new(schedule: BetaSchedule, mcs_per_run: usize, seed: u64) -> Self {
+        assert!(mcs_per_run > 0, "a run needs at least one sweep");
+        SimulatedAnnealing {
+            schedule,
+            mcs_per_run,
+            rng: new_rng(seed),
+            machine: None,
+            dynamics: Dynamics::Gibbs,
+        }
+    }
+
+    /// Switches the update rule (default: the paper's p-bit Gibbs rule).
+    pub fn with_dynamics(mut self, dynamics: Dynamics) -> Self {
+        self.dynamics = dynamics;
+        self
+    }
+
+    /// The annealing schedule.
+    pub fn schedule(&self) -> BetaSchedule {
+        self.schedule
+    }
+
+    /// Sweeps per run.
+    pub fn mcs_per_run(&self) -> usize {
+        self.mcs_per_run
+    }
+
+    /// The update rule in use.
+    pub fn dynamics(&self) -> Dynamics {
+        self.dynamics
+    }
+}
+
+impl IsingSolver for SimulatedAnnealing {
+    fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
+        let machine = match &mut self.machine {
+            Some(m) if m.state().len() == model.len() => {
+                m.randomize(model, &mut self.rng);
+                m
+            }
+            _ => {
+                self.machine = Some(PbitMachine::new(model, &mut self.rng));
+                self.machine.as_mut().expect("just set")
+            }
+        };
+        let mut best = machine.state().clone();
+        let mut best_energy = machine.energy();
+        for step in 0..self.mcs_per_run {
+            let beta = self.schedule.beta_at(step, self.mcs_per_run);
+            match self.dynamics {
+                Dynamics::Gibbs => machine.sweep(model, beta, &mut self.rng),
+                Dynamics::Metropolis => machine.metropolis_sweep(model, beta, &mut self.rng),
+            };
+            if machine.energy() < best_energy {
+                best_energy = machine.energy();
+                best = machine.state().clone();
+            }
+        }
+        SolveOutcome {
+            last: machine.state().clone(),
+            last_energy: machine.energy(),
+            best,
+            best_energy,
+            mcs: self.mcs_per_run as u64,
+        }
+    }
+
+    fn mcs_per_solve(&self, _n: usize) -> u64 {
+        self.mcs_per_run as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated annealing (p-bit)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saim_ising::{BinaryState, QuboBuilder};
+
+    /// A 6-variable model with a unique planted ground state.
+    fn planted_model() -> (IsingModel, BinaryState, f64) {
+        // E(x) = Σ (x_i - t_i)^2 expanded as QUBO: minimized at x = t.
+        let target = BinaryState::from_bits(&[1, 0, 1, 1, 0, 1]);
+        let mut b = QuboBuilder::new(6);
+        for i in 0..6 {
+            // (x - t)^2 = x - 2tx + t^2 = (1-2t) x + t
+            let t = f64::from(target.bit(i));
+            b.add_linear(i, 1.0 - 2.0 * t).unwrap();
+            b.add_offset(t);
+        }
+        let q = b.build();
+        let opt = q.energy(&target);
+        (q.to_ising(), target, opt)
+    }
+
+    #[test]
+    fn finds_planted_ground_state() {
+        let (model, target, opt) = planted_model();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(10.0), 300, 1);
+        let out = sa.solve(&model);
+        assert!((out.best_energy - opt).abs() < 1e-9);
+        assert_eq!(out.best.to_binary(), target);
+    }
+
+    #[test]
+    fn best_energy_never_exceeds_last_energy() {
+        let (model, _, _) = planted_model();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(2.0), 50, 3);
+        for _ in 0..20 {
+            let out = sa.solve(&model);
+            assert!(out.best_energy <= out.last_energy + 1e-12);
+            assert!((model.energy(&out.best) - out.best_energy).abs() < 1e-9);
+            assert!((model.energy(&out.last) - out.last_energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn repeated_solves_are_distinct_runs() {
+        let (model, _, _) = planted_model();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(0.1), 5, 5);
+        let a = sa.solve(&model);
+        let b = sa.solve(&model);
+        // at high temperature two short runs almost surely end differently
+        assert_ne!(a.last, b.last);
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let (model, _, _) = planted_model();
+        let mut sa1 = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 50, 77);
+        let mut sa2 = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 50, 77);
+        for _ in 0..5 {
+            assert_eq!(sa1.solve(&model), sa2.solve(&model));
+        }
+    }
+
+    #[test]
+    fn metropolis_dynamics_also_finds_planted_state() {
+        let (model, target, opt) = planted_model();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(10.0), 300, 1)
+            .with_dynamics(Dynamics::Metropolis);
+        assert_eq!(sa.dynamics(), Dynamics::Metropolis);
+        let out = sa.solve(&model);
+        assert!((out.best_energy - opt).abs() < 1e-9);
+        assert_eq!(out.best.to_binary(), target);
+    }
+
+    #[test]
+    fn dynamics_default_is_gibbs() {
+        let sa = SimulatedAnnealing::new(BetaSchedule::linear(1.0), 1, 0);
+        assert_eq!(sa.dynamics(), Dynamics::Gibbs);
+    }
+
+    #[test]
+    fn mcs_accounting() {
+        let (model, _, _) = planted_model();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 123, 0);
+        assert_eq!(sa.mcs_per_solve(6), 123);
+        assert_eq!(sa.solve(&model).mcs, 123);
+    }
+}

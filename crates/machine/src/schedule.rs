@@ -1,0 +1,175 @@
+use serde::{Deserialize, Serialize};
+
+/// An inverse-temperature (β) annealing schedule over a run of `total` sweeps.
+///
+/// The paper anneals the p-bits "with a linear β-schedule swept from 0 to
+/// β_max" within each SA run; [`BetaSchedule::linear`] reproduces that.
+/// Geometric and constant schedules are provided for the schedule ablation
+/// and for fixed-temperature sampling (e.g. parallel-tempering replicas).
+///
+/// ```
+/// use saim_machine::BetaSchedule;
+///
+/// let s = BetaSchedule::linear(10.0);
+/// assert_eq!(s.beta_at(0, 101), 0.0);
+/// assert_eq!(s.beta_at(100, 101), 10.0);
+/// assert_eq!(s.beta_at(50, 101), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BetaSchedule {
+    /// β rises linearly from 0 at the first sweep to `beta_max` at the last.
+    Linear {
+        /// Final inverse temperature.
+        beta_max: f64,
+    },
+    /// β rises geometrically from `beta_min` to `beta_max`.
+    Geometric {
+        /// Starting inverse temperature (must be > 0).
+        beta_min: f64,
+        /// Final inverse temperature.
+        beta_max: f64,
+    },
+    /// Constant β for every sweep.
+    Constant {
+        /// The fixed inverse temperature.
+        beta: f64,
+    },
+}
+
+impl BetaSchedule {
+    /// The paper's schedule: linear from 0 to `beta_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta_max` is negative or non-finite.
+    pub fn linear(beta_max: f64) -> Self {
+        assert!(beta_max.is_finite() && beta_max >= 0.0, "beta_max must be finite and non-negative");
+        BetaSchedule::Linear { beta_max }
+    }
+
+    /// Geometric schedule from `beta_min` to `beta_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < beta_min <= beta_max` and both are finite.
+    pub fn geometric(beta_min: f64, beta_max: f64) -> Self {
+        assert!(
+            beta_min.is_finite() && beta_max.is_finite() && beta_min > 0.0 && beta_min <= beta_max,
+            "geometric schedule requires 0 < beta_min <= beta_max"
+        );
+        BetaSchedule::Geometric { beta_min, beta_max }
+    }
+
+    /// Constant-temperature schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is negative or non-finite.
+    pub fn constant(beta: f64) -> Self {
+        assert!(beta.is_finite() && beta >= 0.0, "beta must be finite and non-negative");
+        BetaSchedule::Constant { beta }
+    }
+
+    /// β for sweep `step` (0-based) out of `total` sweeps.
+    ///
+    /// For one-sweep runs the schedule evaluates at its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or `step >= total`.
+    pub fn beta_at(&self, step: usize, total: usize) -> f64 {
+        assert!(total > 0, "schedule needs at least one sweep");
+        assert!(step < total, "step beyond schedule length");
+        let frac = if total == 1 {
+            1.0
+        } else {
+            step as f64 / (total - 1) as f64
+        };
+        match *self {
+            BetaSchedule::Linear { beta_max } => beta_max * frac,
+            BetaSchedule::Geometric { beta_min, beta_max } => {
+                beta_min * (beta_max / beta_min).powf(frac)
+            }
+            BetaSchedule::Constant { beta } => beta,
+        }
+    }
+
+    /// The final (largest) β of the schedule.
+    pub fn beta_final(&self) -> f64 {
+        match *self {
+            BetaSchedule::Linear { beta_max } => beta_max,
+            BetaSchedule::Geometric { beta_max, .. } => beta_max,
+            BetaSchedule::Constant { beta } => beta,
+        }
+    }
+}
+
+impl Default for BetaSchedule {
+    /// The paper's QKP default: linear from 0 to β_max = 10.
+    fn default() -> Self {
+        BetaSchedule::linear(10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let s = BetaSchedule::linear(8.0);
+        assert_eq!(s.beta_at(0, 5), 0.0);
+        assert_eq!(s.beta_at(4, 5), 8.0);
+        assert_eq!(s.beta_at(2, 5), 4.0);
+    }
+
+    #[test]
+    fn geometric_endpoints() {
+        let s = BetaSchedule::geometric(0.1, 10.0);
+        assert!((s.beta_at(0, 3) - 0.1).abs() < 1e-12);
+        assert!((s.beta_at(2, 3) - 10.0).abs() < 1e-12);
+        assert!((s.beta_at(1, 3) - 1.0).abs() < 1e-12); // geometric mean
+    }
+
+    #[test]
+    fn geometric_is_monotone() {
+        let s = BetaSchedule::geometric(0.5, 50.0);
+        let mut prev = 0.0;
+        for step in 0..100 {
+            let b = s.beta_at(step, 100);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        let s = BetaSchedule::constant(3.0);
+        for step in 0..10 {
+            assert_eq!(s.beta_at(step, 10), 3.0);
+        }
+    }
+
+    #[test]
+    fn single_sweep_run_uses_endpoint() {
+        assert_eq!(BetaSchedule::linear(10.0).beta_at(0, 1), 10.0);
+        assert_eq!(BetaSchedule::geometric(1.0, 4.0).beta_at(0, 1), 4.0);
+    }
+
+    #[test]
+    fn default_matches_paper_qkp() {
+        assert_eq!(BetaSchedule::default(), BetaSchedule::linear(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta_max must be")]
+    fn rejects_negative_beta() {
+        let _ = BetaSchedule::linear(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric schedule requires")]
+    fn rejects_zero_beta_min() {
+        let _ = BetaSchedule::geometric(0.0, 1.0);
+    }
+}

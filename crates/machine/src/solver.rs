@@ -1,0 +1,60 @@
+use saim_ising::{IsingModel, SpinState};
+use serde::{Deserialize, Serialize};
+
+/// The result of one solver invocation on an Ising model.
+///
+/// SAIM (paper Algorithm 1) reads the *last* sample of each annealing run —
+/// that is [`SolveOutcome::last`] — while penalty-method baselines typically
+/// keep the best state seen anywhere in the run ([`SolveOutcome::best`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveOutcome {
+    /// The final sample at the end of the schedule (what a hardware IM reads out).
+    pub last: SpinState,
+    /// Energy of [`SolveOutcome::last`].
+    pub last_energy: f64,
+    /// The lowest-energy state observed during the run.
+    pub best: SpinState,
+    /// Energy of [`SolveOutcome::best`].
+    pub best_energy: f64,
+    /// Monte Carlo sweeps consumed by this invocation, summed over replicas.
+    pub mcs: u64,
+}
+
+/// A heuristic minimizer of Ising Hamiltonians.
+///
+/// SAIM's outer loop is solver-agnostic ("compatible with any programmable
+/// IM"); everything it needs is behind this trait. Implementations are
+/// stateful (they own RNG streams and replica states) and may be called
+/// repeatedly on models of the same size — SAIM re-invokes the solver after
+/// each λ update.
+pub trait IsingSolver {
+    /// Runs the solver once on `model` and reports the samples.
+    fn solve(&mut self, model: &IsingModel) -> SolveOutcome;
+
+    /// Monte Carlo sweeps one [`IsingSolver::solve`] call will consume for a
+    /// model of `n` spins. Used for the sample-budget accounting of Fig. 4b.
+    fn mcs_per_solve(&self, n: usize) -> u64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_is_serializable() {
+        let s = SpinState::all_up(2);
+        let o = SolveOutcome {
+            last: s.clone(),
+            last_energy: 1.0,
+            best: s,
+            best_energy: 0.5,
+            mcs: 10,
+        };
+        let json = serde_json::to_string(&o).unwrap();
+        let back: SolveOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(o, back);
+    }
+}

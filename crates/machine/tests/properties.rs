@@ -1,0 +1,105 @@
+//! Property-based tests for the p-bit machine.
+
+use proptest::prelude::*;
+use saim_ising::{BinaryState, QuboBuilder};
+use saim_machine::{new_rng, BetaSchedule, Dynamics, IsingSolver, PbitMachine, SimulatedAnnealing};
+
+/// A small random Ising model built from a QUBO.
+fn arb_model() -> impl Strategy<Value = saim_ising::IsingModel> {
+    (3usize..8).prop_flat_map(|n| {
+        let pairs = proptest::collection::vec(((0..n, 0..n), -2.0..2.0f64), 0..10);
+        let linear = proptest::collection::vec(-2.0..2.0f64, n);
+        (pairs, linear).prop_map(move |(pairs, linear)| {
+            let mut b = QuboBuilder::new(n);
+            for ((i, j), v) in pairs {
+                if i != j {
+                    b.add_pair(i, j, v).expect("indices in range");
+                }
+            }
+            for (i, v) in linear.into_iter().enumerate() {
+                b.add_linear(i, v).expect("index in range");
+            }
+            b.build().to_ising()
+        })
+    })
+}
+
+proptest! {
+    /// The incremental energy and local-field books never drift from the
+    /// model under either dynamics.
+    #[test]
+    fn books_never_drift(model in arb_model(), seed in 0u64..1000, beta in 0.0..8.0f64) {
+        let mut rng = new_rng(seed);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        for sweep in 0..30 {
+            if sweep % 2 == 0 {
+                machine.sweep(&model, beta, &mut rng);
+            } else {
+                machine.metropolis_sweep(&model, beta, &mut rng);
+            }
+            prop_assert!((machine.energy() - model.energy(machine.state())).abs() < 1e-9);
+        }
+        for i in 0..model.len() {
+            let expected = model.local_field(machine.state(), i);
+            prop_assert!((machine.local_field(i) - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Greedy sweeps are monotone and terminate at a 1-flip local optimum.
+    #[test]
+    fn greedy_descends_to_local_optimum(model in arb_model(), seed in 0u64..1000) {
+        let mut rng = new_rng(seed);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        let mut prev = machine.energy();
+        for _ in 0..200 {
+            if machine.greedy_sweep(&model) == 0 {
+                break;
+            }
+            prop_assert!(machine.energy() <= prev + 1e-12);
+            prev = machine.energy();
+        }
+        for i in 0..model.len() {
+            prop_assert!(model.delta_energy(machine.state(), i) >= -1e-9);
+        }
+    }
+
+    /// Solver outcomes are internally consistent for both dynamics, and the
+    /// annealed best never beats the brute-force ground state.
+    #[test]
+    fn solve_outcomes_are_sound(
+        model in arb_model(),
+        seed in 0u64..500,
+        metropolis in proptest::bool::ANY,
+    ) {
+        let ground = (0u64..(1 << model.len()))
+            .map(|m| model.energy(&BinaryState::from_mask(m, model.len()).to_spins()))
+            .fold(f64::INFINITY, f64::min);
+        let dynamics = if metropolis { Dynamics::Metropolis } else { Dynamics::Gibbs };
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(6.0), 40, seed)
+            .with_dynamics(dynamics);
+        let out = sa.solve(&model);
+        prop_assert!(out.best_energy >= ground - 1e-9, "below the ground state");
+        prop_assert!(out.best_energy <= out.last_energy + 1e-9);
+        prop_assert!((model.energy(&out.best) - out.best_energy).abs() < 1e-9);
+        prop_assert_eq!(out.mcs, 40);
+    }
+
+    /// Every schedule is bounded by its endpoints and total-length invariant.
+    #[test]
+    fn schedules_are_bounded(
+        beta_max in 0.1..50.0f64,
+        total in 1usize..500,
+        step_frac in 0.0..1.0f64,
+    ) {
+        let step = ((total - 1) as f64 * step_frac) as usize;
+        for schedule in [
+            BetaSchedule::linear(beta_max),
+            BetaSchedule::geometric(0.05, beta_max.max(0.06)),
+            BetaSchedule::constant(beta_max),
+        ] {
+            let b = schedule.beta_at(step, total);
+            prop_assert!(b >= 0.0);
+            prop_assert!(b <= schedule.beta_final() + 1e-12);
+        }
+    }
+}

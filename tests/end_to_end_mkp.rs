@@ -1,0 +1,131 @@
+//! End-to-end: generated MKP instances → encoding → SAIM → exact optimum,
+//! plus the GA baseline — the paper's Table V pipeline at certifiable sizes.
+
+use saim_core::{ConstrainedProblem, SaimConfig, SaimRunner};
+use saim_exact::bb::{self, BbLimits};
+use saim_heuristics::ga::{ChuBeasleyGa, GaConfig};
+use saim_knapsack::generate;
+use saim_machine::{derive_seed, BetaSchedule, SimulatedAnnealing};
+
+fn run_saim(
+    enc: &saim_knapsack::MkpEncoded,
+    iterations: usize,
+    seed: u64,
+) -> saim_core::SaimOutcome {
+    let config = SaimConfig {
+        penalty: enc.penalty_for_alpha(5.0),
+        eta: 0.05,
+        iterations,
+        seed,
+    };
+    let solver = SimulatedAnnealing::new(BetaSchedule::linear(50.0), 400, derive_seed(seed, 1));
+    SaimRunner::new(config).run(enc, solver)
+}
+
+#[test]
+fn saim_reaches_near_optimal_mkp_solutions() {
+    let instance =
+        generate::mkp_with_max_weight(16, 3, 0.5, 50, 5).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let exact = bb::solve_mkp(&instance, BbLimits::default());
+    assert!(exact.proven_optimal);
+
+    let outcome = run_saim(&enc, 900, 5);
+    let best = outcome.best.as_ref().expect("feasible sample appears");
+    let profit = (-best.cost) as u64;
+    assert!(profit <= exact.profit);
+    assert!(
+        profit as f64 >= 0.95 * exact.profit as f64,
+        "SAIM {profit} too far below OPT {}",
+        exact.profit
+    );
+}
+
+#[test]
+fn every_lambda_rises_during_the_overloaded_transient() {
+    // Fig. 5b: all M multipliers climb while Ax > B
+    let instance =
+        generate::mkp_with_max_weight(20, 4, 0.5, 50, 9).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let outcome = run_saim(&enc, 200, 9);
+    let first = &outcome.records[0];
+    assert_eq!(first.lambda, vec![0.0; 4], "λ starts at zero");
+    assert!(
+        first.violations.iter().all(|&g| g > 0.0),
+        "every knapsack should be overloaded initially: {:?}",
+        first.violations
+    );
+    let later = &outcome.records[20];
+    assert!(
+        later.lambda.iter().all(|&l| l > 0.0),
+        "all multipliers must have risen: {:?}",
+        later.lambda
+    );
+}
+
+#[test]
+fn mkp_feasibility_is_lower_than_qkp_feasibility() {
+    // the paper's section IV-B observation, reproduced as a relation rather
+    // than an absolute number
+    let qkp = generate::qkp(25, 0.5, 31).expect("valid parameters");
+    let qkp_enc = qkp.encode().expect("encodes");
+    let qkp_out = {
+        let config = SaimConfig {
+            penalty: qkp_enc.penalty_for_alpha(2.0),
+            eta: 20.0,
+            iterations: 250,
+            seed: 31,
+        };
+        let solver = SimulatedAnnealing::new(BetaSchedule::linear(10.0), 400, 77);
+        SaimRunner::new(config).run(&qkp_enc, solver)
+    };
+
+    let mkp = generate::mkp_with_max_weight(25, 5, 0.5, 50, 31).expect("valid parameters");
+    let mkp_enc = mkp.encode().expect("encodes");
+    let mkp_out = run_saim(&mkp_enc, 250, 31);
+
+    assert!(
+        qkp_out.feasibility > mkp_out.feasibility,
+        "single-constraint QKP ({:.2}) should be easier to satisfy than 5-constraint MKP ({:.2})",
+        qkp_out.feasibility,
+        mkp_out.feasibility
+    );
+}
+
+#[test]
+fn ga_and_saim_land_in_the_same_quality_band() {
+    let instance =
+        generate::mkp_with_max_weight(18, 3, 0.5, 50, 13).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let exact = bb::solve_mkp(&instance, BbLimits::default());
+    assert!(exact.proven_optimal);
+
+    let ga = ChuBeasleyGa::new(
+        GaConfig { population: 40, generations: 3000, ..GaConfig::default() },
+        13,
+    )
+    .run(&instance);
+    let saim = run_saim(&enc, 900, 13);
+    let saim_profit = saim.best.as_ref().map(|b| (-b.cost) as u64).unwrap_or(0);
+
+    let band = 0.9 * exact.profit as f64;
+    assert!(ga.profit as f64 >= band, "GA below the quality band");
+    assert!(saim_profit as f64 >= band, "SAIM below the quality band");
+}
+
+#[test]
+fn slack_bits_of_feasible_samples_decode_to_residual_capacity() {
+    let instance =
+        generate::mkp_with_max_weight(15, 2, 0.5, 30, 17).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let outcome = run_saim(&enc, 400, 17);
+    let best = outcome.best.as_ref().expect("feasible sample");
+    let items = enc.decode(&best.state);
+    assert!(instance.is_feasible(&items));
+    // feasible SAIM samples also satisfy the *encoded* equalities closely
+    // when re-extended with exact slack
+    let exact_state = enc.extend_with_slack(&items);
+    for c in enc.constraints() {
+        assert!(c.violation(&exact_state).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end: generated QKP instances → encoding → SAIM → exact optimum.
+//!
+//! These tests run the full pipeline the paper's QKP evaluation uses, at
+//! sizes where branch and bound certifies the optimum, and assert the
+//! *behavioral* claims: SAIM finds (near-)optimal feasible solutions from a
+//! deliberately sub-critical penalty, and its trace shows the
+//! unfeasible-transient-then-convergence structure of Fig. 3.
+
+use saim_core::{ConstrainedProblem, SaimConfig, SaimRunner};
+use saim_exact::bb::{self, BbLimits};
+use saim_knapsack::generate;
+use saim_machine::{derive_seed, BetaSchedule, SimulatedAnnealing};
+
+fn run_saim(
+    enc: &saim_knapsack::QkpEncoded,
+    iterations: usize,
+    seed: u64,
+) -> saim_core::SaimOutcome {
+    let config = SaimConfig {
+        penalty: enc.penalty_for_alpha(2.0),
+        eta: 20.0,
+        iterations,
+        seed,
+    };
+    let solver = SimulatedAnnealing::new(BetaSchedule::linear(10.0), 400, derive_seed(seed, 1));
+    SaimRunner::new(config).run(enc, solver)
+}
+
+#[test]
+fn saim_matches_exact_optimum_on_certifiable_instances() {
+    let mut optimal_hits = 0;
+    let total = 5;
+    for seed in 0..total {
+        let instance = generate::qkp(18, 0.5, seed).expect("valid parameters");
+        let enc = instance.encode().expect("encodes");
+        let exact = bb::solve_qkp(&instance, BbLimits::default());
+        assert!(exact.proven_optimal, "18-item QKP must certify");
+
+        let outcome = run_saim(&enc, 120, seed);
+        let best = outcome.best.as_ref().expect("SAIM finds a feasible sample");
+        let profit = (-best.cost) as u64;
+        assert!(profit <= exact.profit, "heuristic cannot beat a certified optimum");
+        assert!(
+            profit as f64 >= 0.97 * exact.profit as f64,
+            "seed {seed}: SAIM {} far below OPT {}",
+            profit,
+            exact.profit
+        );
+        if profit == exact.profit {
+            optimal_hits += 1;
+        }
+    }
+    assert!(
+        optimal_hits >= 3,
+        "SAIM should hit the exact optimum on most small instances, got {optimal_hits}/{total}"
+    );
+}
+
+#[test]
+fn saim_best_sample_is_verifiably_feasible() {
+    let instance = generate::qkp(30, 0.25, 11).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let outcome = run_saim(&enc, 100, 11);
+    let best = outcome.best.as_ref().expect("feasible sample");
+    let selection = enc.decode(&best.state);
+    // the stored cost must equal the instance's own arithmetic
+    assert_eq!(best.cost, instance.cost(&selection));
+    assert!(instance.is_feasible(&selection));
+    assert!(instance.weight(&selection) <= instance.capacity());
+}
+
+#[test]
+fn trace_shows_unfeasible_transient_then_feasible_phase() {
+    // the Fig. 3 structure: with P = 2dN < P_C and λ₀ = 0, early samples
+    // overfill; after λ grows, feasible samples appear
+    let instance = generate::qkp(40, 0.5, 3).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let outcome = run_saim(&enc, 150, 3);
+
+    let first = &outcome.records[0];
+    assert!(!first.feasible, "iteration 0 should be unfeasible at small P");
+    assert!(
+        first.violations[0] > 0.0,
+        "initial sample should overfill the knapsack"
+    );
+    let first_feasible = outcome
+        .records
+        .iter()
+        .position(|r| r.feasible)
+        .expect("feasibility must eventually appear");
+    assert!(first_feasible > 0);
+    // λ must have grown from zero by then
+    assert!(outcome.records[first_feasible].lambda[0] > 0.0);
+    // late-phase feasibility should dominate early-phase feasibility
+    let half = outcome.records.len() / 2;
+    let early = outcome.records[..half].iter().filter(|r| r.feasible).count();
+    let late = outcome.records[half..].iter().filter(|r| r.feasible).count();
+    assert!(late > early, "feasibility should improve over the run: {early} -> {late}");
+}
+
+#[test]
+fn unfeasible_lower_bounds_undershoot_the_optimum() {
+    // paper Fig. 3b: unfeasible samples have cost below OPT (they are lower
+    // bounds of the relaxed landscape)
+    let instance = generate::qkp(16, 0.5, 7).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let exact = bb::solve_qkp(&instance, BbLimits::default());
+    assert!(exact.proven_optimal);
+    let outcome = run_saim(&enc, 60, 7);
+    let early_unfeasible: Vec<f64> = outcome
+        .records
+        .iter()
+        .take(5)
+        .filter(|r| !r.feasible)
+        .map(|r| r.cost)
+        .collect();
+    assert!(
+        early_unfeasible.iter().any(|&c| c < -(exact.profit as f64)),
+        "some early unfeasible sample should undercut OPT, got {early_unfeasible:?}"
+    );
+}
+
+#[test]
+fn deterministic_replay_end_to_end() {
+    let instance = generate::qkp(25, 0.5, 21).expect("valid parameters");
+    let enc = instance.encode().expect("encodes");
+    let a = run_saim(&enc, 50, 21);
+    let b = run_saim(&enc, 50, 21);
+    assert_eq!(a, b, "full pipeline must replay bit-identically");
+}

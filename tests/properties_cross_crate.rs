@@ -1,0 +1,133 @@
+//! Cross-crate property tests: invariants that tie the encoding, the
+//! Lagrangian system, the solvers, and the exact references together.
+
+use proptest::prelude::*;
+use saim_core::{dual, BinaryProblem, ConstrainedProblem, LagrangianSystem, LinearConstraint};
+use saim_exact::brute;
+use saim_ising::{BinaryState, QuboBuilder};
+use saim_knapsack::generate;
+use saim_machine::{BetaSchedule, IsingSolver, SimulatedAnnealing};
+
+/// A small random constrained problem with a cardinality constraint.
+fn arb_problem() -> impl Strategy<Value = BinaryProblem> {
+    (3usize..7).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-5.0..5.0f64, n),
+            proptest::collection::vec(((0..n), (0..n)), 0..5),
+            1usize..3,
+        )
+            .prop_map(move |(linear, pairs, k)| {
+                let mut b = QuboBuilder::new(n);
+                for (i, v) in linear.into_iter().enumerate() {
+                    b.add_linear(i, v).expect("index in range");
+                }
+                for (i, j) in pairs {
+                    if i != j {
+                        b.add_pair(i, j, 1.0).expect("indices in range");
+                    }
+                }
+                BinaryProblem::new(
+                    b.build(),
+                    vec![LinearConstraint::new(vec![1.0; n], -(k as f64)).expect("finite")],
+                )
+                .expect("dims agree")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weak duality: for any λ and any penalty, the exact Lagrangian bound
+    /// never exceeds the constrained optimum.
+    #[test]
+    fn lagrangian_bound_respects_weak_duality(
+        problem in arb_problem(),
+        penalty in 0.0..3.0f64,
+        lambda in -5.0..5.0f64,
+    ) {
+        if let Some((_, opt)) = dual::exact_opt(&problem) {
+            let (_, lb) = dual::exact_lagrangian_bound(&problem, penalty, &[lambda]);
+            prop_assert!(lb <= opt + 1e-9, "LB_L = {lb} > OPT = {opt}");
+        }
+    }
+
+    /// The Lagrangian energy decomposes exactly as f + P‖g‖² + λᵀg for every
+    /// state, penalty, and multiplier.
+    #[test]
+    fn lagrangian_energy_decomposition(
+        problem in arb_problem(),
+        penalty in 0.0..3.0f64,
+        lambda in -5.0..5.0f64,
+        mask in 0u64..128,
+    ) {
+        let n = problem.num_vars();
+        let x = BinaryState::from_mask(mask % (1 << n), n);
+        let mut sys = LagrangianSystem::new(&problem, penalty).expect("valid penalty");
+        sys.set_lambda(&[lambda]).expect("one constraint");
+        let g = problem.constraints()[0].violation(&x);
+        let f = ConstrainedProblem::objective(&problem).energy(&x);
+        let expected = f + penalty * g * g + lambda * g;
+        let got = sys.lagrangian_energy(&x);
+        prop_assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    /// SAIM's feasible samples are genuinely feasible and never beat the
+    /// enumerated optimum (on QKP instances small enough to enumerate).
+    #[test]
+    fn saim_samples_are_sound_vs_brute_force(seed in 0u64..40) {
+        let inst = generate::qkp(12, 0.5, seed).expect("valid parameters");
+        let enc = inst.encode().expect("encodes");
+        let exact = brute::qkp(&inst);
+        let config = saim_core::SaimConfig {
+            penalty: enc.penalty_for_alpha(2.0),
+            eta: 20.0,
+            iterations: 15,
+            seed,
+        };
+        let solver = SimulatedAnnealing::new(BetaSchedule::linear(10.0), 150, seed);
+        let outcome = saim_core::SaimRunner::new(config).run(&enc, solver);
+        for r in &outcome.records {
+            if r.feasible {
+                prop_assert!((-r.cost) as u64 <= exact.profit);
+            }
+        }
+        if let Some(best) = &outcome.best {
+            let items = enc.decode(&best.state);
+            prop_assert!(inst.is_feasible(&items));
+        }
+    }
+
+    /// A single annealed run's best sample never has higher energy than its
+    /// last sample, and both energies match the model exactly.
+    #[test]
+    fn solver_outcome_invariants(seed in 0u64..100, beta in 0.5..15.0f64) {
+        let inst = generate::qkp(10, 0.5, seed).expect("valid parameters");
+        let enc = inst.encode().expect("encodes");
+        let model = saim_core::penalty_qubo(&enc, 1.0).expect("valid").to_ising();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(beta), 60, seed);
+        let out = sa.solve(&model);
+        prop_assert!(out.best_energy <= out.last_energy + 1e-9);
+        prop_assert!((model.energy(&out.best) - out.best_energy).abs() < 1e-9);
+        prop_assert!((model.energy(&out.last) - out.last_energy).abs() < 1e-9);
+    }
+
+    /// Subgradient steps move λ in the direction that penalizes the observed
+    /// violation: after ascending on g(x̄) > 0, the Lagrangian energy of x̄
+    /// strictly increases (and symmetrically for g < 0).
+    #[test]
+    fn ascent_penalizes_the_violating_state(
+        problem in arb_problem(),
+        mask in 0u64..128,
+    ) {
+        let n = problem.num_vars();
+        let x = BinaryState::from_mask(mask % (1 << n), n);
+        let g = problem.constraints()[0].violation(&x);
+        prop_assume!(g.abs() > 1e-9);
+        let mut sys = LagrangianSystem::new(&problem, 0.5).expect("valid penalty");
+        let before = sys.lagrangian_energy(&x);
+        sys.ascend(&[g], 0.7).expect("well-formed");
+        let after = sys.lagrangian_energy(&x);
+        prop_assert!(after > before, "L(x̄) must rise: {before} -> {after}");
+    }
+}
