@@ -13,7 +13,9 @@ fn setup(n: usize) -> (saim_knapsack::QkpEncoded, BinaryState) {
     let inst = generate::qkp(n, 0.5, 11).expect("valid parameters");
     let enc = inst.encode().expect("encodes");
     let x = BinaryState::from_bits(
-        &(0..enc.num_vars()).map(|i| (i % 3 == 0) as u8).collect::<Vec<_>>(),
+        &(0..enc.num_vars())
+            .map(|i| (i % 3 == 0) as u8)
+            .collect::<Vec<_>>(),
     );
     (enc, x)
 }
@@ -62,5 +64,10 @@ fn bench_lambda_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_vs_delta, bench_conversion, bench_lambda_update);
+criterion_group!(
+    benches,
+    bench_full_vs_delta,
+    bench_conversion,
+    bench_lambda_update
+);
 criterion_main!(benches);

@@ -21,8 +21,10 @@ fn qkp_model(n: usize, density: f64) -> saim_ising::IsingModel {
 fn sparse_ring_model(n: usize) -> saim_ising::IsingModel {
     let mut g = saim_ising::graph::Graph::new(n);
     for i in 0..n {
-        g.add_edge(i, (i + 1) % n, 1.0).expect("ring edges are valid");
-        g.add_edge(i, (i + 7) % n, -0.5).expect("chord edges are valid");
+        g.add_edge(i, (i + 1) % n, 1.0)
+            .expect("ring edges are valid");
+        g.add_edge(i, (i + 7) % n, -0.5)
+            .expect("chord edges are valid");
     }
     g.to_ising()
 }
@@ -73,5 +75,10 @@ fn bench_sparse_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dense_sweep, bench_density_effect, bench_sparse_sweep);
+criterion_group!(
+    benches,
+    bench_dense_sweep,
+    bench_density_effect,
+    bench_sparse_sweep
+);
 criterion_main!(benches);

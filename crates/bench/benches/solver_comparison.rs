@@ -29,7 +29,11 @@ fn bench_solvers(c: &mut Criterion) {
     });
 
     group.bench_function("pt_8replicas_125mcs", |b| {
-        let cfg = PtConfig { replicas: 8, sweeps: 125, ..PtConfig::default() };
+        let cfg = PtConfig {
+            replicas: 8,
+            sweeps: 125,
+            ..PtConfig::default()
+        };
         let mut pt = ParallelTempering::new(cfg, 2);
         b.iter(|| pt.solve(&model));
     });
@@ -52,7 +56,11 @@ fn bench_reference_solvers(c: &mut Criterion) {
     });
 
     group.bench_function("ga_mkp_1000gen", |b| {
-        let cfg = GaConfig { population: 50, generations: 1000, ..GaConfig::default() };
+        let cfg = GaConfig {
+            population: 50,
+            generations: 1000,
+            ..GaConfig::default()
+        };
         b.iter(|| ChuBeasleyGa::new(cfg, 5).run(&mkp));
     });
 

@@ -13,7 +13,11 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: 0.05, seed: 2025, csv: false }
+        HarnessArgs {
+            scale: 0.05,
+            seed: 2025,
+            csv: false,
+        }
     }
 }
 
@@ -29,7 +33,10 @@ impl HarnessArgs {
     /// Panics with a usage message on malformed arguments — these binaries
     /// are developer tools, not library API.
     pub fn parse(default_scale: f64, raw: impl Iterator<Item = String>) -> Self {
-        let mut args = HarnessArgs { scale: default_scale, ..HarnessArgs::default() };
+        let mut args = HarnessArgs {
+            scale: default_scale,
+            ..HarnessArgs::default()
+        };
         let mut iter = raw.peekable();
         while let Some(arg) = iter.next() {
             match arg.as_str() {

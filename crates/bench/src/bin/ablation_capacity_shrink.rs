@@ -19,7 +19,7 @@ use saim_bench::report::Table;
 use saim_core::presets;
 use saim_core::SaimRunner;
 use saim_knapsack::{generate, MkpInstance};
-use saim_machine::derive_seed;
+use saim_machine::{derive_seed, parallel};
 use std::time::Duration;
 
 /// Copy of `instance` with every capacity scaled by `gamma`.
@@ -51,18 +51,20 @@ fn main() {
         let mut feas = Vec::new();
         let mut best_acc = Vec::new();
         let mut avg_acc = Vec::new();
-        for idx in 0..instances {
+        // independent instances anneal across cores; fold in instance order
+        // (solver results are thread-count invariant; the time-limited B&B
+        // reference can vary with core contention, as it always did with load)
+        let cells = parallel::parallel_map_indexed(instances, 0, |idx| {
             let inst_seed = derive_seed(args.seed, idx as u64);
-            let original = generate::mkp_with_max_weight(n, m, 0.5, 100, inst_seed)
-                .expect("valid parameters");
+            let original =
+                generate::mkp_with_max_weight(n, m, 0.5, 100, inst_seed).expect("valid parameters");
             let shrunk = shrink(&original, gamma);
             let enc = shrunk.encode().expect("encodes");
             let config = preset.config_for(&enc, args.scale, inst_seed);
             let outcome =
                 SaimRunner::new(config).run(&enc, preset.solver(derive_seed(inst_seed, 1)));
             // score each measured sample against the ORIGINAL capacities
-            let (reference, _, _) =
-                experiments::mkp_reference(&original, Duration::from_secs(3));
+            let (reference, _, _) = experiments::mkp_reference(&original, Duration::from_secs(3));
             let mut n_feas = 0usize;
             let mut best: Option<u64> = None;
             let mut sum = 0u64;
@@ -82,11 +84,16 @@ fn main() {
                 }
             }
             let reference = reference.max(best.unwrap_or(0));
-            feas.push(100.0 * n_feas as f64 / outcome.records.len() as f64);
-            if let Some(b) = best {
-                best_acc.push(100.0 * b as f64 / reference as f64);
-                avg_acc.push(100.0 * (sum as f64 / n_feas as f64) / reference as f64);
-            }
+            (
+                100.0 * n_feas as f64 / outcome.records.len() as f64,
+                best.map(|b| 100.0 * b as f64 / reference as f64),
+                best.map(|_| 100.0 * (sum as f64 / n_feas as f64) / reference as f64),
+            )
+        });
+        for (f, best, avg) in cells {
+            feas.push(f);
+            best_acc.extend(best);
+            avg_acc.extend(avg);
         }
         let mean = |v: &[f64]| {
             if v.is_empty() {

@@ -19,7 +19,7 @@ use saim_bench::experiments;
 use saim_bench::report::Table;
 use saim_core::{presets, ConstrainedProblem, SaimConfig, SaimRunner};
 use saim_knapsack::{generate, QkpEncoded, SlackKind};
-use saim_machine::derive_seed;
+use saim_machine::{derive_seed, parallel};
 use std::time::Duration;
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
     let instances = 3;
     let kinds: [(&str, SlackKind); 3] = [
         ("binary (paper)", SlackKind::Binary),
-        ("hybrid step=16 (HE-IM-like)", SlackKind::Hybrid { step: 16 }),
+        (
+            "hybrid step=16 (HE-IM-like)",
+            SlackKind::Hybrid { step: 16 },
+        ),
         ("hybrid step=64", SlackKind::Hybrid { step: 64 }),
     ];
 
@@ -47,17 +50,20 @@ fn main() {
         let mut best_acc = Vec::new();
         let mut avg_acc = Vec::new();
         let mut feas = Vec::new();
-        for idx in 0..instances {
+        // independent instances anneal across cores; fold in instance order
+        // (solver results are thread-count invariant; the time-limited B&B
+        // reference can vary with core contention, as it always did with load)
+        let cells = parallel::parallel_map_indexed(instances, 0, |idx| {
             let inst_seed = derive_seed(args.seed, idx as u64);
             let instance = generate::qkp(n, 0.5, inst_seed).expect("valid parameters");
             let enc = match QkpEncoded::with_slack_kind(instance.clone(), kind) {
                 Ok(e) => e,
                 Err(e) => {
                     eprintln!("{name}: {e}; skipping instance {idx}");
-                    continue;
+                    return None;
                 }
             };
-            bits.push(enc.slack().num_bits() as f64);
+            let slack_bits = enc.slack().num_bits() as f64;
             let config = SaimConfig {
                 penalty: enc.penalty_for_alpha(preset.alpha),
                 eta: preset.eta,
@@ -69,13 +75,23 @@ fn main() {
             let (reference, _) = experiments::qkp_reference(&instance, Duration::from_secs(2));
             let reference =
                 reference.max(outcome.best.as_ref().map(|b| (-b.cost) as u64).unwrap_or(0));
-            if let Some(b) = &outcome.best {
-                best_acc.push(100.0 * (-b.cost) / reference as f64);
-            }
-            if let Some(mean) = outcome.mean_feasible_cost() {
-                avg_acc.push(100.0 * (-mean) / reference as f64);
-            }
-            feas.push(100.0 * outcome.feasibility);
+            Some((
+                slack_bits,
+                outcome
+                    .best
+                    .as_ref()
+                    .map(|b| 100.0 * (-b.cost) / reference as f64),
+                outcome
+                    .mean_feasible_cost()
+                    .map(|mean| 100.0 * (-mean) / reference as f64),
+                100.0 * outcome.feasibility,
+            ))
+        });
+        for (b, best, avg, f) in cells.into_iter().flatten() {
+            bits.push(b);
+            best_acc.extend(best);
+            avg_acc.extend(avg);
+            feas.push(f);
         }
         let mean = |v: &[f64]| {
             if v.is_empty() {

@@ -16,7 +16,7 @@ use saim_bench::report::Table;
 use saim_core::presets;
 use saim_core::{SaimConfig, SaimRunner};
 use saim_knapsack::generate;
-use saim_machine::derive_seed;
+use saim_machine::{derive_seed, parallel};
 use std::time::Duration;
 
 fn main() {
@@ -29,33 +29,51 @@ fn main() {
     println!("Ablation: SAIM accuracy vs Lagrange step size η (QKP N = {n}, d = 0.5)");
     println!("paper value: η = 20\n");
 
-    let mut table = Table::new(&["eta", "best acc (%)", "avg acc (%)", "feasibility (%)", "first feasible iter"]);
+    let mut table = Table::new(&[
+        "eta",
+        "best acc (%)",
+        "avg acc (%)",
+        "feasibility (%)",
+        "first feasible iter",
+    ]);
     for eta in etas {
         let mut best_acc = Vec::new();
         let mut avg_acc = Vec::new();
         let mut feas = Vec::new();
         let mut first_feas = Vec::new();
-        for idx in 0..instances {
+        // instances are independent; anneal them across cores and fold in
+        // instance order (solver results are thread-count invariant; the
+        // time-limited B&B reference can vary with core contention)
+        let cells = parallel::parallel_map_indexed(instances, 0, |idx| {
             let inst_seed = derive_seed(args.seed, idx as u64);
             let instance = generate::qkp(n, 0.5, inst_seed).expect("valid parameters");
             let enc = instance.encode().expect("encodes");
             let mut config: SaimConfig = preset.config_for(&enc, args.scale, inst_seed);
             config.eta = eta;
-            let outcome = SaimRunner::new(config).run(&enc, preset.solver(derive_seed(inst_seed, 1)));
+            let outcome =
+                SaimRunner::new(config).run(&enc, preset.solver(derive_seed(inst_seed, 1)));
             let (reference, _) = experiments::qkp_reference(&instance, Duration::from_secs(2));
-            let reference = reference.max(
-                outcome.best.as_ref().map(|b| (-b.cost) as u64).unwrap_or(0),
-            );
-            if let Some(b) = &outcome.best {
-                best_acc.push(100.0 * (-b.cost) / reference as f64);
-            }
-            if let Some(mean) = outcome.mean_feasible_cost() {
-                avg_acc.push(100.0 * (-mean) / reference as f64);
-            }
-            feas.push(100.0 * outcome.feasibility);
-            if let Some(k) = outcome.records.iter().position(|r| r.feasible) {
-                first_feas.push(k as f64);
-            }
+            let reference =
+                reference.max(outcome.best.as_ref().map(|b| (-b.cost) as u64).unwrap_or(0));
+            let best = outcome
+                .best
+                .as_ref()
+                .map(|b| 100.0 * (-b.cost) / reference as f64);
+            let avg = outcome
+                .mean_feasible_cost()
+                .map(|mean| 100.0 * (-mean) / reference as f64);
+            let first = outcome
+                .records
+                .iter()
+                .position(|r| r.feasible)
+                .map(|k| k as f64);
+            (best, avg, 100.0 * outcome.feasibility, first)
+        });
+        for (best, avg, f, first) in cells {
+            best_acc.extend(best);
+            avg_acc.extend(avg);
+            feas.push(f);
+            first_feas.extend(first);
         }
         let mean = |v: &[f64]| {
             if v.is_empty() {

@@ -18,7 +18,7 @@ use saim_bench::report::Table;
 use saim_core::presets;
 use saim_core::{PenaltyMethod, SaimConfig, SaimRunner};
 use saim_knapsack::generate;
-use saim_machine::derive_seed;
+use saim_machine::{derive_seed, parallel};
 use std::time::Duration;
 
 fn main() {
@@ -44,7 +44,10 @@ fn main() {
         let mut saim_feas = Vec::new();
         let mut pen_best = Vec::new();
         let mut pen_feas = Vec::new();
-        for idx in 0..instances {
+        // independent instances anneal across cores; fold in instance order
+        // (solver results are thread-count invariant; the time-limited B&B
+        // reference can vary with core contention, as it always did with load)
+        let cells = parallel::parallel_map_indexed(instances, 0, |idx| {
             let inst_seed = derive_seed(args.seed, idx as u64);
             let instance = generate::qkp(n, 0.5, inst_seed).expect("valid parameters");
             let enc = instance.encode().expect("encodes");
@@ -59,22 +62,32 @@ fn main() {
                 seed: inst_seed,
             };
             let saim = SaimRunner::new(config).run(&enc, preset.solver(derive_seed(inst_seed, 1)));
-            let reference = reference.max(saim.best.as_ref().map(|b| (-b.cost) as u64).unwrap_or(0));
-            if let Some(b) = &saim.best {
-                saim_best.push(100.0 * (-b.cost) / reference as f64);
-            }
-            saim_feas.push(100.0 * saim.feasibility);
+            let reference =
+                reference.max(saim.best.as_ref().map(|b| (-b.cost) as u64).unwrap_or(0));
 
-            // static penalty at this α, same run structure
+            // static penalty at this α, same run structure, parallel runs
             let runs = ((preset.runs as f64 * args.scale) as usize).max(10);
+            let mut engine = preset.ensemble(runs, derive_seed(inst_seed, 2));
             let pen = PenaltyMethod::new(enc.penalty_for_alpha(alpha), runs)
                 .expect("valid penalty")
-                .run(&enc, preset.solver(derive_seed(inst_seed, 2)))
+                .run_parallel(&enc, &mut engine)
                 .expect("consistent model");
-            if let Some((_, c)) = &pen.best {
-                pen_best.push(100.0 * (-c) / reference as f64);
-            }
-            pen_feas.push(100.0 * pen.feasibility);
+            (
+                saim.best
+                    .as_ref()
+                    .map(|b| 100.0 * (-b.cost) / reference as f64),
+                100.0 * saim.feasibility,
+                pen.best
+                    .as_ref()
+                    .map(|(_, c)| 100.0 * (-c) / reference as f64),
+                100.0 * pen.feasibility,
+            )
+        });
+        for (sb, sf, pb, pf) in cells {
+            saim_best.extend(sb);
+            saim_feas.push(sf);
+            pen_best.extend(pb);
+            pen_feas.push(pf);
         }
         let mean = |v: &[f64]| {
             if v.is_empty() {

@@ -16,7 +16,7 @@ use saim_bench::report::Table;
 use saim_core::presets;
 use saim_core::SaimRunner;
 use saim_knapsack::generate;
-use saim_machine::{derive_seed, BetaSchedule, SimulatedAnnealing};
+use saim_machine::{derive_seed, parallel, BetaSchedule, SimulatedAnnealing};
 use std::time::Duration;
 
 fn main() {
@@ -39,7 +39,10 @@ fn main() {
         let mut best_acc = Vec::new();
         let mut avg_acc = Vec::new();
         let mut feas = Vec::new();
-        for idx in 0..instances {
+        // independent instances anneal across cores; fold in instance order
+        // (solver results are thread-count invariant; the time-limited B&B
+        // reference can vary with core contention, as it always did with load)
+        let cells = parallel::parallel_map_indexed(instances, 0, |idx| {
             let inst_seed = derive_seed(args.seed, idx as u64);
             let instance = generate::qkp(n, 0.5, inst_seed).expect("valid parameters");
             let enc = instance.encode().expect("encodes");
@@ -50,13 +53,21 @@ fn main() {
             let (reference, _) = experiments::qkp_reference(&instance, Duration::from_secs(2));
             let reference =
                 reference.max(outcome.best.as_ref().map(|b| (-b.cost) as u64).unwrap_or(0));
-            if let Some(b) = &outcome.best {
-                best_acc.push(100.0 * (-b.cost) / reference as f64);
-            }
-            if let Some(mean) = outcome.mean_feasible_cost() {
-                avg_acc.push(100.0 * (-mean) / reference as f64);
-            }
-            feas.push(100.0 * outcome.feasibility);
+            (
+                outcome
+                    .best
+                    .as_ref()
+                    .map(|b| 100.0 * (-b.cost) / reference as f64),
+                outcome
+                    .mean_feasible_cost()
+                    .map(|mean| 100.0 * (-mean) / reference as f64),
+                100.0 * outcome.feasibility,
+            )
+        });
+        for (best, avg, f) in cells {
+            best_acc.extend(best);
+            avg_acc.extend(avg);
+            feas.push(f);
         }
         let mean = |v: &[f64]| {
             if v.is_empty() {

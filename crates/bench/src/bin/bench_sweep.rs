@@ -1,0 +1,168 @@
+//! Perf snapshot — sweep throughput and ensemble scaling → `BENCH_sweep.json`.
+//!
+//! Measures the two numbers every scaling PR is judged against and writes
+//! them to a JSON snapshot so future PRs have a trajectory to compare:
+//!
+//! 1. single-thread Gibbs-sweep throughput (spin-updates/s) on dense QKP
+//!    models (the n = 200 row is the acceptance gate), and
+//! 2. ensemble wall-clock vs replica count on all cores — the parallel
+//!    efficiency of the replica engine (1.0 = perfect linear scaling).
+//!
+//! ```text
+//! cargo run -p saim-bench --release --bin bench_sweep             # print + write
+//! cargo run -p saim-bench --release --bin bench_sweep -- --out path.json
+//! ```
+
+use saim_core::{penalty_qubo, ConstrainedProblem};
+use saim_knapsack::generate;
+use saim_machine::{
+    new_rng, parallel, BetaSchedule, Dynamics, EnsembleAnnealer, EnsembleConfig, IsingSolver,
+    PbitMachine,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    n: usize,
+    density: f64,
+    sweeps_timed: usize,
+    /// Spin updates per second, single thread (n spins per sweep).
+    updates_per_sec: f64,
+    ns_per_sweep: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct EnsemblePoint {
+    replicas: usize,
+    /// Wall-clock of one ensemble solve on all cores, seconds.
+    all_cores_sec: f64,
+    /// Wall-clock of the same work pinned to one thread, seconds.
+    one_thread_sec: f64,
+    /// one_thread / all_cores: how sublinear the wall-clock is in R.
+    speedup: f64,
+    /// speedup / min(replicas, cores): 1.0 = perfect scaling.
+    parallel_efficiency: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    schema: u32,
+    cores: usize,
+    sweep: Vec<SweepPoint>,
+    ensemble: Vec<EnsemblePoint>,
+}
+
+fn qkp_model(n: usize, density: f64) -> saim_ising::IsingModel {
+    let inst = generate::qkp(n, density, 7).expect("valid parameters");
+    let enc = inst.encode().expect("encodes");
+    penalty_qubo(&enc, enc.penalty_for_alpha(2.0))
+        .expect("valid penalty")
+        .to_ising()
+}
+
+fn time_sweeps(n: usize, density: f64) -> SweepPoint {
+    let model = qkp_model(n, density);
+    let mut rng = new_rng(1);
+    let mut machine = PbitMachine::new(&model, &mut rng);
+    // warm the books and caches
+    for _ in 0..50 {
+        machine.sweep(&model, 5.0, &mut rng);
+    }
+    // scale the timed work to the model size so every row takes ~a second
+    let sweeps = (2_000_000_usize / n.max(1)).clamp(200, 50_000);
+    let start = Instant::now();
+    for _ in 0..sweeps {
+        machine.sweep(&model, 5.0, &mut rng);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    SweepPoint {
+        n: model.len(),
+        density,
+        sweeps_timed: sweeps,
+        updates_per_sec: (sweeps * model.len()) as f64 / secs,
+        ns_per_sweep: secs * 1e9 / sweeps as f64,
+    }
+}
+
+fn time_ensemble(replicas: usize) -> EnsemblePoint {
+    let model = qkp_model(100, 0.5);
+    let config = |threads: usize| EnsembleConfig {
+        replicas,
+        threads,
+        schedule: BetaSchedule::linear(10.0),
+        mcs_per_run: 200,
+        dynamics: Dynamics::Gibbs,
+    };
+    let time = |threads: usize| {
+        let mut engine = EnsembleAnnealer::new(config(threads), 1);
+        let start = Instant::now();
+        let _ = engine.solve(&model);
+        start.elapsed().as_secs_f64()
+    };
+    // warm up thread stacks and allocator, then measure
+    let _ = time(0);
+    let all_cores_sec = time(0);
+    let one_thread_sec = time(1);
+    let speedup = one_thread_sec / all_cores_sec.max(1e-12);
+    EnsemblePoint {
+        replicas,
+        all_cores_sec,
+        one_thread_sec,
+        speedup,
+        parallel_efficiency: speedup / replicas.min(parallel::available_threads()) as f64,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out_path = args.next().expect("--out needs a path");
+        }
+    }
+
+    println!("perf snapshot: single-thread sweep throughput + ensemble scaling\n");
+    let sweep: Vec<SweepPoint> = [(50, 0.5), (100, 0.5), (200, 0.5), (300, 0.5)]
+        .into_iter()
+        .map(|(n, d)| {
+            let p = time_sweeps(n, d);
+            println!(
+                "sweep  n={:4} d={:.2}: {:9.0} ns/sweep  {:6.2} Mupd/s",
+                p.n,
+                p.density,
+                p.ns_per_sweep,
+                p.updates_per_sec / 1e6
+            );
+            p
+        })
+        .collect();
+
+    println!();
+    let ensemble: Vec<EnsemblePoint> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|r| {
+            let p = time_ensemble(r);
+            println!(
+                "ensemble R={:2}: all-cores {:7.1} ms, 1-thread {:7.1} ms, speedup {:.2}x, efficiency {:.2}",
+                p.replicas,
+                p.all_cores_sec * 1e3,
+                p.one_thread_sec * 1e3,
+                p.speedup,
+                p.parallel_efficiency
+            );
+            p
+        })
+        .collect();
+
+    let snapshot = Snapshot {
+        schema: 1,
+        cores: parallel::available_threads(),
+        sweep,
+        ensemble,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("serializes");
+    std::fs::write(&out_path, json + "\n").expect("snapshot file writes");
+    println!("\nwrote {out_path} ({} cores)", snapshot.cores);
+}

@@ -49,7 +49,11 @@ fn main() {
             format!("{p}"),
             format!("{lb:.3}"),
             format!("{:.3}", opt - lb),
-            if feasible { "yes".into() } else { "NO (unfeasible LB)".into() },
+            if feasible {
+                "yes".into()
+            } else {
+                "NO (unfeasible LB)".into()
+            },
         ]);
     }
     println!("a) penalty method: LB_P = min_x E,  E = f + P*g^2");
@@ -76,7 +80,10 @@ fn main() {
     }
     println!("b) Lagrange relaxation at fixed P = {small_p} < P_C: LB_L(λ) = min_x L");
     print!("{}", pb.render());
-    println!("\nLB_L(λ) sweep (concave, peak = dual optimum): {}", sparkline(&series));
+    println!(
+        "\nLB_L(λ) sweep (concave, peak = dual optimum): {}",
+        sparkline(&series)
+    );
 
     let (lambda_star, md) = dual::exact_dual_ascent(&problem, small_p, 0.05, 500);
     println!(
@@ -86,6 +93,10 @@ fn main() {
     let gap = (opt - md).abs();
     println!(
         "gap closed: |OPT - MD| = {gap:.6} -> {}",
-        if gap < 1e-6 { "ZERO GAP, as in Fig. 2b" } else { "residual duality gap" }
+        if gap < 1e-6 {
+            "ZERO GAP, as in Fig. 2b"
+        } else {
+            "residual duality gap"
+        }
     );
 }

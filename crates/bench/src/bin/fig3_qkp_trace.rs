@@ -29,7 +29,10 @@ fn main() {
         enc.penalty_for_alpha(preset.alpha)
     };
 
-    println!("Fig. 3: SAIM trace on QKP instance {} (d = {density})", instance.label());
+    println!(
+        "Fig. 3: SAIM trace on QKP instance {} (d = {density})",
+        instance.label()
+    );
     println!(
         "N = {n} items + {} slack bits, P = 2dN = {penalty:.1}\n",
         enc.slack().num_bits()
@@ -42,13 +45,20 @@ fn main() {
     // b) cost trace: feasible (green triangles in the paper) vs unfeasible (red)
     let costs: Vec<f64> = outcome.records.iter().map(|r| r.cost).collect();
     let feasible_flags: Vec<bool> = outcome.records.iter().map(|r| r.feasible).collect();
-    println!("b) sample cost per iteration (cost of x_k; OPT{} = {})",
+    println!(
+        "b) sample cost per iteration (cost of x_k; OPT{} = {})",
         if certified { "" } else { " [best known]" },
         -(reference as f64),
     );
     println!("   cost:       {}", sparkline(&downsample(&costs, 80)));
-    let feas_series: Vec<f64> = feasible_flags.iter().map(|&f| if f { 1.0 } else { 0.0 }).collect();
-    println!("   feasible?:  {}  (▁ = unfeasible, █ = feasible)", sparkline(&downsample(&feas_series, 80)));
+    let feas_series: Vec<f64> = feasible_flags
+        .iter()
+        .map(|&f| if f { 1.0 } else { 0.0 })
+        .collect();
+    println!(
+        "   feasible?:  {}  (▁ = unfeasible, █ = feasible)",
+        sparkline(&downsample(&feas_series, 80))
+    );
 
     let first_feasible = outcome.records.iter().position(|r| r.feasible);
     let undercut = outcome
@@ -76,7 +86,10 @@ fn main() {
 
     // numeric digest
     let mut digest = Table::new(&["metric", "value"]);
-    digest.row_owned(vec!["iterations K".into(), outcome.records.len().to_string()]);
+    digest.row_owned(vec![
+        "iterations K".into(),
+        outcome.records.len().to_string(),
+    ]);
     digest.row_owned(vec!["MCS total".into(), outcome.mcs_total.to_string()]);
     digest.row_owned(vec![
         "best feasible accuracy (%)".into(),

@@ -30,7 +30,11 @@ fn main() {
     println!("Fig. 4a: QKP best-accuracy quartiles per method (accuracy %)\n");
     let mut quartile_table = Table::new(&["N", "method", "q1", "median", "q3", "n"]);
     let mut budget_table = Table::new(&["method", "MCS (measured)", "speedup vs SAIM"]);
-    let mut totals: [(u64, &str); 3] = [(0, "SAIM"), (0, "best SA (tuned penalty)"), (0, "PT (26 replicas)")];
+    let mut totals: [(u64, &str); 3] = [
+        (0, "SAIM"),
+        (0, "best SA (tuned penalty)"),
+        (0, "PT (26 replicas)"),
+    ];
 
     for &n in &sizes {
         let rows = tables::qkp_comparison(n, &[0.25, 0.5], per_density, args);
@@ -71,7 +75,9 @@ fn main() {
     }
     print!("{}", budget_table.render());
     println!("\nPaper (full hardware budgets): SAIM 2M, best SA 200M (100x), HE-IM 19.5G (9,750x), PT-DA 15G (7,500x).");
-    println!("Here the baselines run at laptop-scale budgets; the *ordering* — SAIM highest accuracy");
+    println!(
+        "Here the baselines run at laptop-scale budgets; the *ordering* — SAIM highest accuracy"
+    );
     println!("from the smallest sample count — is the reproduced claim.");
     if args.csv {
         print!("{}", quartile_table.to_csv());

@@ -28,7 +28,11 @@ fn main() {
         enc.penalty_for_alpha(preset.alpha)
     };
 
-    println!("Fig. 5: SAIM trace on MKP instance {} ({} knapsacks)", instance.label(), m);
+    println!(
+        "Fig. 5: SAIM trace on MKP instance {} ({} knapsacks)",
+        instance.label(),
+        m
+    );
     println!("N = {n} items, P = 5dN ≈ {penalty:.1} (the paper's P = 10 for N = 250)\n");
 
     let (result, outcome) = experiments::saim_mkp(&enc, preset, args.scale, args.seed);
@@ -48,7 +52,10 @@ fn main() {
         .iter()
         .map(|r| if r.feasible { 1.0 } else { 0.0 })
         .collect();
-    println!("   feasible?: {}  (▁ = unfeasible, █ = feasible)", sparkline(&downsample(&feas, 80)));
+    println!(
+        "   feasible?: {}  (▁ = unfeasible, █ = feasible)",
+        sparkline(&downsample(&feas, 80))
+    );
 
     // b) the five multipliers
     println!("\nb) Lagrange multipliers λ_1..λ_{m} (staircase; constant within each run)");
@@ -78,7 +85,10 @@ fn main() {
     );
 
     let mut digest = Table::new(&["metric", "value"]);
-    digest.row_owned(vec!["iterations K".into(), outcome.records.len().to_string()]);
+    digest.row_owned(vec![
+        "iterations K".into(),
+        outcome.records.len().to_string(),
+    ]);
     digest.row_owned(vec!["MCS total".into(), outcome.mcs_total.to_string()]);
     digest.row_owned(vec![
         "best feasible accuracy (%)".into(),

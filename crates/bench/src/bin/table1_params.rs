@@ -8,7 +8,14 @@ use saim_bench::report::Table;
 use saim_core::presets;
 
 fn main() {
-    let mut table = Table::new(&["Experiment", "Penalty", "MCS/run", "Number of runs", "beta_max", "eta"]);
+    let mut table = Table::new(&[
+        "Experiment",
+        "Penalty",
+        "MCS/run",
+        "Number of runs",
+        "beta_max",
+        "eta",
+    ]);
     for preset in [presets::qkp(), presets::mkp()] {
         table.row_owned(vec![
             preset.name.to_string(),

@@ -17,7 +17,7 @@ use saim_bench::experiments;
 use saim_bench::report::Table;
 use saim_core::presets;
 use saim_knapsack::generate;
-use saim_machine::derive_seed;
+use saim_machine::{derive_seed, parallel};
 use std::time::Duration;
 
 fn main() {
@@ -34,7 +34,12 @@ fn main() {
     let preset = presets::mkp();
 
     println!("Table V: MKP results (accuracy %; paper full-scale: SAIM best 99.7 / avg 98.4 (5.1), GA >= 99.1)");
-    println!("budget: {} runs x {} MCS (scale {})\n", args.scaled(preset.runs, 20), preset.mcs_per_run, args.scale);
+    println!(
+        "budget: {} runs x {} MCS (scale {})\n",
+        args.scaled(preset.runs, 20),
+        preset.mcs_per_run,
+        args.scale
+    );
 
     let mut table = Table::new(&[
         "Instance",
@@ -51,44 +56,59 @@ fn main() {
     let mut saim_feas = Vec::new();
     let mut ga_acc = Vec::new();
 
-    for (ci, (n, m, count)) in classes.iter().enumerate() {
-        for idx in 0..*count {
-            let inst_seed = derive_seed(args.seed, (ci * 1000 + idx) as u64);
-            let instance = generate::mkp_with_max_weight(*n, *m, 0.5, max_weight, inst_seed)
-                .expect("valid parameters");
-            let enc = instance.encode().expect("instance encodes");
+    // flatten the (class, instance) grid and fan it out across cores; rows
+    // fold back in grid order (solver digests are thread-count invariant;
+    // the time-limited B&B reference can vary with core contention)
+    let grid: Vec<(usize, usize)> = classes
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, (_, _, count))| (0..*count).map(move |idx| (ci, idx)))
+        .collect();
+    let cells = parallel::parallel_map_indexed(grid.len(), 0, |cell| {
+        let (ci, idx) = grid[cell];
+        let (n, m, _) = classes[ci];
+        let inst_seed = derive_seed(args.seed, (ci * 1000 + idx) as u64);
+        let instance = generate::mkp_with_max_weight(n, m, 0.5, max_weight, inst_seed)
+            .expect("valid parameters");
+        let enc = instance.encode().expect("instance encodes");
 
-            let (saim, _) = experiments::saim_mkp(&enc, preset, args.scale, inst_seed);
-            let ga = experiments::ga_mkp(&instance, args.scale, inst_seed);
-            let bb_budget = Duration::from_secs_f64(5.0_f64.max(30.0 * args.scale));
-            let (reference, certified, elapsed) = experiments::mkp_reference(&instance, bb_budget);
-            let reference = experiments::best_known(reference, &[&saim, &ga]);
-
-            if let Some(a) = saim.best_accuracy(reference) {
-                saim_best.push(a);
-            }
-            if let Some(a) = saim.mean_accuracy(reference) {
-                saim_avg.push(a);
-            }
-            saim_feas.push(100.0 * saim.feasibility);
-            if let Some(a) = ga.best_accuracy(reference) {
-                ga_acc.push(a);
-            }
-
-            table.row_owned(vec![
-                format!("{n}-{m}-{}", idx + 1),
-                format!("{:.2}", elapsed.as_secs_f64()),
-                format!("{:.1}", 100.0 * saim.optimality(reference)),
-                fmt(saim.best_accuracy(reference)),
-                format!(
-                    "{} ({:.1})",
-                    fmt(saim.mean_accuracy(reference)),
-                    100.0 * saim.feasibility
-                ),
-                fmt(ga.best_accuracy(reference)),
-                if certified { "OPT".into() } else { "best-known".into() },
-            ]);
+        let (saim, _) = experiments::saim_mkp(&enc, preset, args.scale, inst_seed);
+        let ga = experiments::ga_mkp(&instance, args.scale, inst_seed);
+        let bb_budget = Duration::from_secs_f64(5.0_f64.max(30.0 * args.scale));
+        let (reference, certified, elapsed) = experiments::mkp_reference(&instance, bb_budget);
+        let reference = experiments::best_known(reference, &[&saim, &ga]);
+        let label = format!("{n}-{m}-{}", idx + 1);
+        (label, saim, ga, reference, certified, elapsed)
+    });
+    for (label, saim, ga, reference, certified, elapsed) in cells {
+        if let Some(a) = saim.best_accuracy(reference) {
+            saim_best.push(a);
         }
+        if let Some(a) = saim.mean_accuracy(reference) {
+            saim_avg.push(a);
+        }
+        saim_feas.push(100.0 * saim.feasibility);
+        if let Some(a) = ga.best_accuracy(reference) {
+            ga_acc.push(a);
+        }
+
+        table.row_owned(vec![
+            label,
+            format!("{:.2}", elapsed.as_secs_f64()),
+            format!("{:.1}", 100.0 * saim.optimality(reference)),
+            fmt(saim.best_accuracy(reference)),
+            format!(
+                "{} ({:.1})",
+                fmt(saim.mean_accuracy(reference)),
+                100.0 * saim.feasibility
+            ),
+            fmt(ga.best_accuracy(reference)),
+            if certified {
+                "OPT".into()
+            } else {
+                "best-known".into()
+            },
+        ]);
     }
 
     print!("{}", table.render());

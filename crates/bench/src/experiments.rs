@@ -62,7 +62,11 @@ impl MethodResult {
         if self.feasible_profits.is_empty() {
             return 0.0;
         }
-        let hits = self.feasible_profits.iter().filter(|&&p| p == reference).count();
+        let hits = self
+            .feasible_profits
+            .iter()
+            .filter(|&&p| p == reference)
+            .count();
         hits as f64 / self.feasible_profits.len() as f64
     }
 }
@@ -84,7 +88,12 @@ fn result_from_saim(method: &'static str, outcome: &SaimOutcome) -> MethodResult
 
 /// Runs SAIM on an encoded QKP with the paper's preset, returning both the
 /// digest and the full outcome (for trace figures).
-pub fn saim_qkp(enc: &QkpEncoded, preset: ExperimentPreset, scale: f64, seed: u64) -> (MethodResult, SaimOutcome) {
+pub fn saim_qkp(
+    enc: &QkpEncoded,
+    preset: ExperimentPreset,
+    scale: f64,
+    seed: u64,
+) -> (MethodResult, SaimOutcome) {
     let config = preset.config_for(enc, scale, seed);
     let solver = preset.solver(derive_seed(seed, 1));
     let outcome = SaimRunner::new(config).run(enc, solver);
@@ -92,11 +101,32 @@ pub fn saim_qkp(enc: &QkpEncoded, preset: ExperimentPreset, scale: f64, seed: u6
 }
 
 /// Runs SAIM on an encoded MKP with the paper's preset.
-pub fn saim_mkp(enc: &MkpEncoded, preset: ExperimentPreset, scale: f64, seed: u64) -> (MethodResult, SaimOutcome) {
+pub fn saim_mkp(
+    enc: &MkpEncoded,
+    preset: ExperimentPreset,
+    scale: f64,
+    seed: u64,
+) -> (MethodResult, SaimOutcome) {
     let config = preset.config_for(enc, scale, seed);
     let solver = preset.solver(derive_seed(seed, 2));
     let outcome = SaimRunner::new(config).run(enc, solver);
     (result_from_saim("SAIM", &outcome), outcome)
+}
+
+/// SAIM with the replica-ensemble inner minimizer: every λ iteration anneals
+/// `replicas` independent runs in parallel and reads the best replica's
+/// sample. Same outer budget as [`saim_qkp`], `replicas`× the samples per
+/// iteration — thread-count invariant by construction.
+pub fn saim_qkp_ensemble(
+    enc: &QkpEncoded,
+    preset: ExperimentPreset,
+    scale: f64,
+    seed: u64,
+    replicas: usize,
+) -> (MethodResult, SaimOutcome) {
+    let config = preset.config_for(enc, scale, derive_seed(seed, 1));
+    let outcome = SaimRunner::new(config).run_ensemble(enc, preset.ensemble_config(replicas));
+    (result_from_saim("SAIM (ensemble)", &outcome), outcome)
 }
 
 /// The fixed-penalty baseline at the same run structure and total budget as
@@ -114,9 +144,12 @@ pub fn penalty_same_budget<P: ConstrainedProblem>(
 ) -> MethodResult {
     let runs = ((preset.runs as f64 * scale).round() as usize).max(1);
     let penalty = problem.penalty_for_alpha(alpha);
+    // the K independent runs anneal in parallel on the replica-ensemble
+    // engine; per-run derived streams keep the digest thread-count invariant
+    let mut engine = preset.ensemble(runs, derive_seed(seed, 3));
     let out = PenaltyMethod::new(penalty, runs)
         .expect("preset penalties are valid")
-        .run(problem, preset.solver(derive_seed(seed, 3)))
+        .run_parallel(problem, &mut engine)
         .expect("encoded problems are consistent");
     MethodResult {
         method: "penalty (same budget)",
@@ -141,23 +174,19 @@ pub fn penalty_tuned<P: ConstrainedProblem>(
     scale: f64,
     seed: u64,
 ) -> (MethodResult, f64) {
-    // same total budget, split into 10 long runs
+    // same total budget, split into 10 long runs annealed in parallel
     let total = (preset.total_mcs() as f64 * scale) as usize;
     let runs = 10usize;
     let mcs_per_run = (total / runs).max(100);
-    let out = PenaltyMethod::run_tuned(
-        problem,
-        runs,
-        &TUNING_ALPHAS,
-        0.2,
-        |attempt| {
-            saim_machine::SimulatedAnnealing::new(
-                saim_machine::BetaSchedule::linear(preset.beta_max),
-                mcs_per_run,
-                derive_seed(seed, 100 + attempt as u64),
-            )
-        },
-    )
+    let out = PenaltyMethod::run_tuned_parallel(problem, runs, &TUNING_ALPHAS, 0.2, |attempt| {
+        let config = saim_machine::EnsembleConfig {
+            replicas: runs,
+            mcs_per_run,
+            schedule: saim_machine::BetaSchedule::linear(preset.beta_max),
+            ..saim_machine::EnsembleConfig::default()
+        };
+        saim_machine::EnsembleAnnealer::new(config, derive_seed(seed, 100 + attempt as u64))
+    })
     .expect("tuning grid is non-empty");
     let alpha = out
         .tuning_trace
@@ -206,7 +235,10 @@ pub fn pt_baseline<P: ConstrainedProblem>(
     // sample in chunks so we collect a population of measurements, as the
     // DA implementation reports its per-trial bests
     let trials = 10usize;
-    let chunk = PtConfig { sweeps: (cfg.sweeps / trials).max(10), ..cfg };
+    let chunk = PtConfig {
+        sweeps: (cfg.sweeps / trials).max(10),
+        ..cfg
+    };
     let mut pt_chunk = ParallelTempering::new(chunk, derive_seed(seed, 6));
     let mut feasible_profits = Vec::new();
     let mut best: Option<u64> = None;
@@ -236,7 +268,10 @@ pub fn pt_baseline<P: ConstrainedProblem>(
 /// The Chu–Beasley GA baseline for MKP (paper Table V, \[28\]).
 pub fn ga_mkp(instance: &MkpInstance, scale: f64, seed: u64) -> MethodResult {
     let generations = ((200_000.0 * scale) as usize).max(500);
-    let cfg = GaConfig { generations, ..GaConfig::default() };
+    let cfg = GaConfig {
+        generations,
+        ..GaConfig::default()
+    };
     let best = ChuBeasleyGa::new(cfg, derive_seed(seed, 7)).run(instance);
     MethodResult {
         method: "Chu-Beasley GA",
@@ -251,7 +286,13 @@ pub fn ga_mkp(instance: &MkpInstance, scale: f64, seed: u64) -> MethodResult {
 /// branch & bound (certified when it completes) cross-checked against
 /// greedy + local search. Returns `(profit, certified)`.
 pub fn qkp_reference(instance: &QkpInstance, time_limit: Duration) -> (u64, bool) {
-    let bnb = bb::solve_qkp(instance, BbLimits { max_nodes: u64::MAX, time_limit });
+    let bnb = bb::solve_qkp(
+        instance,
+        BbLimits {
+            max_nodes: u64::MAX,
+            time_limit,
+        },
+    );
     let mut sel = greedy::qkp(instance);
     local::improve_qkp(instance, &mut sel);
     let heuristic = instance.profit(&sel);
@@ -267,7 +308,13 @@ pub fn qkp_reference(instance: &QkpInstance, time_limit: Duration) -> (u64, bool
 /// instance. Returns `(profit, certified, elapsed)` — elapsed is the
 /// Table V "B&B time" column.
 pub fn mkp_reference(instance: &MkpInstance, time_limit: Duration) -> (u64, bool, Duration) {
-    let bnb = bb::solve_mkp(instance, BbLimits { max_nodes: u64::MAX, time_limit });
+    let bnb = bb::solve_mkp(
+        instance,
+        BbLimits {
+            max_nodes: u64::MAX,
+            time_limit,
+        },
+    );
     let mut sel = greedy::mkp(instance);
     local::improve_mkp(instance, &mut sel);
     let heuristic = instance.profit(&sel);
@@ -303,6 +350,20 @@ mod tests {
             assert!(best <= opt);
             assert!(res.best_accuracy(opt).unwrap() <= 100.0);
         }
+    }
+
+    #[test]
+    fn saim_ensemble_driver_matches_budget_and_threads() {
+        let inst = generate::qkp(12, 0.5, 1).unwrap();
+        let enc = inst.encode().unwrap();
+        let (res, outcome) = saim_qkp_ensemble(&enc, presets::qkp(), 0.01, 1, 4);
+        assert_eq!(outcome.records.len(), 20);
+        // every iteration consumed 4 replicas x 1000 MCS
+        assert_eq!(res.mcs, 20 * 4 * 1000);
+        // thread-count invariance carries through the whole SAIM loop
+        let (res1, outcome1) = saim_qkp_ensemble(&enc, presets::qkp(), 0.01, 1, 4);
+        assert_eq!(res, res1);
+        assert_eq!(outcome, outcome1);
     }
 
     #[test]
@@ -357,7 +418,10 @@ mod tests {
             feasibility: 0.0,
             mcs: 0,
         };
-        let b = MethodResult { best_profit: None, ..a.clone() };
+        let b = MethodResult {
+            best_profit: None,
+            ..a.clone()
+        };
         assert_eq!(best_known(10, &[&a, &b]), 12);
         assert_eq!(best_known(20, &[&a, &b]), 20);
     }

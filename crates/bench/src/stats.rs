@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn single_value_summary() {
         let s = summarize(&[7.0]).unwrap();
-        assert_eq!((s.min, s.q1, s.median, s.q3, s.max), (7.0, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(
+            (s.min, s.q1, s.median, s.q3, s.max),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
     }
 
     #[test]

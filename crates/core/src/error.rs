@@ -28,7 +28,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::ConstraintDimension { expected, found } => {
-                write!(f, "constraint has {found} coefficients but the problem has {expected} variables")
+                write!(
+                    f,
+                    "constraint has {found} coefficients but the problem has {expected} variables"
+                )
             }
             CoreError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
@@ -61,7 +64,10 @@ mod tests {
         let e = CoreError::from(ModelError::SelfCoupling { index: 2 });
         assert!(e.to_string().contains("model error"));
         assert!(e.source().is_some());
-        let p = CoreError::InvalidParameter { name: "eta", reason: "must be positive" };
+        let p = CoreError::InvalidParameter {
+            name: "eta",
+            reason: "must be positive",
+        };
         assert!(p.to_string().contains("eta"));
         assert!(p.source().is_none());
     }

@@ -58,7 +58,10 @@ impl LagrangianSystem {
     ///
     /// Propagates penalty/model construction failures (negative `P`,
     /// mismatched constraint dimensions).
-    pub fn new<P: ConstrainedProblem + ?Sized>(problem: &P, penalty: f64) -> Result<Self, CoreError> {
+    pub fn new<P: ConstrainedProblem + ?Sized>(
+        problem: &P,
+        penalty: f64,
+    ) -> Result<Self, CoreError> {
         let model = penalty_qubo(problem, penalty)?.to_ising();
         let base_fields = model.fields().to_vec();
         let base_offset = model.offset();

@@ -1,7 +1,7 @@
 use crate::error::CoreError;
 use crate::problem::{ConstrainedProblem, Evaluation};
 use saim_ising::{BinaryState, Qubo, QuboBuilder};
-use saim_machine::{IsingSolver, SampleCounter};
+use saim_machine::{EnsembleAnnealer, IsingSolver, SampleCounter, SolveOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Builds the penalty-method energy (paper eq. 3):
@@ -35,7 +35,10 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-pub fn penalty_qubo<P: ConstrainedProblem + ?Sized>(problem: &P, p: f64) -> Result<Qubo, CoreError> {
+pub fn penalty_qubo<P: ConstrainedProblem + ?Sized>(
+    problem: &P,
+    p: f64,
+) -> Result<Qubo, CoreError> {
     if !p.is_finite() || p < 0.0 {
         return Err(CoreError::InvalidParameter {
             name: "penalty",
@@ -54,7 +57,10 @@ pub fn penalty_qubo<P: ConstrainedProblem + ?Sized>(problem: &P, p: f64) -> Resu
     builder.add_offset(objective.offset());
     for constraint in problem.constraints() {
         if constraint.len() != n {
-            return Err(CoreError::ConstraintDimension { expected: n, found: constraint.len() });
+            return Err(CoreError::ConstraintDimension {
+                expected: n,
+                found: constraint.len(),
+            });
         }
         builder.add_squared_linear(constraint.coeffs(), constraint.offset(), p)?;
     }
@@ -173,12 +179,23 @@ impl PenaltyMethod {
         S: IsingSolver,
     {
         let model = penalty_qubo(problem, self.penalty)?.to_ising();
+        let outcomes: Vec<SolveOutcome> = (0..self.runs).map(|_| solver.solve(&model)).collect();
+        Ok(self.fold_outcomes(problem, outcomes))
+    }
+
+    /// The single fold from run outcomes (in run order) to a
+    /// [`PenaltyOutcome`], shared by [`PenaltyMethod::run`] and
+    /// [`PenaltyMethod::run_parallel`] so the two paths cannot diverge.
+    fn fold_outcomes<P: ConstrainedProblem + ?Sized>(
+        &self,
+        problem: &P,
+        outcomes: Vec<SolveOutcome>,
+    ) -> PenaltyOutcome {
         let mut counter = SampleCounter::new();
         let mut best: Option<(BinaryState, f64)> = None;
         let mut feasible_costs = Vec::new();
         let mut feasible = 0usize;
-        for _ in 0..self.runs {
-            let outcome = solver.solve(&model);
+        for outcome in &outcomes {
             counter.add(outcome.mcs);
             let x = outcome.last.to_binary();
             let Evaluation { cost, feasible: ok } = problem.evaluate(&x);
@@ -190,14 +207,119 @@ impl PenaltyMethod {
                 }
             }
         }
-        Ok(PenaltyOutcome {
+        PenaltyOutcome {
             best,
             feasible_costs,
-            feasibility: feasible as f64 / self.runs as f64,
+            feasibility: feasible as f64 / outcomes.len().max(1) as f64,
             penalty: self.penalty,
             tuning_trace: Vec::new(),
             mcs_total: counter.total(),
-        })
+        }
+    }
+
+    /// Runs the baseline's `runs` independent annealed runs **in parallel**
+    /// on a replica-ensemble engine.
+    ///
+    /// Each run gets its own derived RNG stream and the measurements are
+    /// folded in run order, so the outcome is identical for any thread count
+    /// — the serial [`PenaltyMethod::run`] and this path differ only in the
+    /// solver streams they draw (a sequential stream vs. per-run derived
+    /// streams), never in structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures from [`penalty_qubo`].
+    pub fn run_parallel<P>(
+        &self,
+        problem: &P,
+        ensemble: &mut EnsembleAnnealer,
+    ) -> Result<PenaltyOutcome, CoreError>
+    where
+        P: ConstrainedProblem + ?Sized,
+    {
+        let model = penalty_qubo(problem, self.penalty)?.to_ising();
+        let outcomes = ensemble.solve_runs(&model, self.runs);
+        Ok(self.fold_outcomes(problem, outcomes))
+    }
+
+    /// The tuning protocol of [`PenaltyMethod::run_tuned`] on the parallel
+    /// run engine: every α attempt anneals its `runs` measurements across
+    /// threads via `make_ensemble(attempt)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `alphas` is empty, plus any
+    /// model-construction failure.
+    pub fn run_tuned_parallel<P, F>(
+        problem: &P,
+        runs: usize,
+        alphas: &[f64],
+        min_feasibility: f64,
+        mut make_ensemble: F,
+    ) -> Result<PenaltyOutcome, CoreError>
+    where
+        P: ConstrainedProblem + ?Sized,
+        F: FnMut(usize) -> EnsembleAnnealer,
+    {
+        Self::tune(
+            problem,
+            alphas,
+            min_feasibility,
+            |attempt, method| method.run_parallel(problem, &mut make_ensemble(attempt)),
+            runs,
+        )
+    }
+
+    /// The single copy of the tuning control flow: sweep the α grid, keep
+    /// the first outcome reaching `min_feasibility` (else the most feasible
+    /// one), and attach the full trace plus the summed sweep budget. Both
+    /// [`PenaltyMethod::run_tuned`] and [`PenaltyMethod::run_tuned_parallel`]
+    /// drive it with their own per-attempt runner so the serial and parallel
+    /// baselines can never diverge in structure.
+    fn tune<P, R>(
+        problem: &P,
+        alphas: &[f64],
+        min_feasibility: f64,
+        mut run_attempt: R,
+        runs: usize,
+    ) -> Result<PenaltyOutcome, CoreError>
+    where
+        P: ConstrainedProblem + ?Sized,
+        R: FnMut(usize, PenaltyMethod) -> Result<PenaltyOutcome, CoreError>,
+    {
+        if alphas.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "alphas",
+                reason: "tuning needs at least one candidate",
+            });
+        }
+        let mut trace = Vec::with_capacity(alphas.len());
+        let mut best_outcome: Option<PenaltyOutcome> = None;
+        let mut mcs_total = 0u64;
+        for (attempt, &alpha) in alphas.iter().enumerate() {
+            let penalty = problem.penalty_for_alpha(alpha);
+            let outcome = run_attempt(attempt, PenaltyMethod::new(penalty, runs)?)?;
+            mcs_total += outcome.mcs_total;
+            trace.push(TunedPenalty {
+                alpha,
+                penalty,
+                feasibility: outcome.feasibility,
+            });
+            let reached = outcome.feasibility >= min_feasibility;
+            let better = best_outcome
+                .as_ref()
+                .is_none_or(|b| outcome.feasibility > b.feasibility);
+            if reached || better {
+                best_outcome = Some(outcome);
+            }
+            if reached {
+                break;
+            }
+        }
+        let mut out = best_outcome.expect("alphas is non-empty");
+        out.tuning_trace = trace;
+        out.mcs_total = mcs_total;
+        Ok(out)
     }
 
     /// The paper's tuning protocol: sweep `alpha` over `alphas` (multiples of
@@ -225,35 +347,13 @@ impl PenaltyMethod {
         S: IsingSolver,
         F: FnMut(usize) -> S,
     {
-        if alphas.is_empty() {
-            return Err(CoreError::InvalidParameter {
-                name: "alphas",
-                reason: "tuning needs at least one candidate",
-            });
-        }
-        let mut trace = Vec::with_capacity(alphas.len());
-        let mut best_outcome: Option<PenaltyOutcome> = None;
-        let mut mcs_total = 0u64;
-        for (attempt, &alpha) in alphas.iter().enumerate() {
-            let penalty = problem.penalty_for_alpha(alpha);
-            let outcome = PenaltyMethod::new(penalty, runs)?.run(problem, make_solver(attempt))?;
-            mcs_total += outcome.mcs_total;
-            trace.push(TunedPenalty { alpha, penalty, feasibility: outcome.feasibility });
-            let reached = outcome.feasibility >= min_feasibility;
-            let better = best_outcome
-                .as_ref()
-                .is_none_or(|b| outcome.feasibility > b.feasibility);
-            if reached || better {
-                best_outcome = Some(outcome);
-            }
-            if reached {
-                break;
-            }
-        }
-        let mut out = best_outcome.expect("alphas is non-empty");
-        out.tuning_trace = trace;
-        out.mcs_total = mcs_total;
-        Ok(out)
+        Self::tune(
+            problem,
+            alphas,
+            min_feasibility,
+            |attempt, method| method.run(problem, make_solver(attempt)),
+            runs,
+        )
     }
 }
 
@@ -320,7 +420,10 @@ mod tests {
     fn baseline_solves_small_problem() {
         let p = small_problem();
         let solver = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 80, 5);
-        let out = PenaltyMethod::new(10.0, 30).unwrap().run(&p, solver).unwrap();
+        let out = PenaltyMethod::new(10.0, 30)
+            .unwrap()
+            .run(&p, solver)
+            .unwrap();
         let (x, cost) = out.best.expect("feasible sample");
         assert_eq!(cost, -5.0);
         assert_eq!(x.bits(), &[1, 0, 1]);
@@ -346,13 +449,9 @@ mod tests {
     #[test]
     fn tuning_stops_at_feasibility_threshold() {
         let p = quadratic_problem();
-        let out = PenaltyMethod::run_tuned(
-            &p,
-            20,
-            &[0.1, 1.0, 10.0, 100.0],
-            0.2,
-            |attempt| SimulatedAnnealing::new(BetaSchedule::linear(8.0), 60, 100 + attempt as u64),
-        )
+        let out = PenaltyMethod::run_tuned(&p, 20, &[0.1, 1.0, 10.0, 100.0], 0.2, |attempt| {
+            SimulatedAnnealing::new(BetaSchedule::linear(8.0), 60, 100 + attempt as u64)
+        })
         .unwrap();
         assert!(!out.tuning_trace.is_empty());
         assert!(out.feasibility >= 0.2 || out.tuning_trace.len() == 4);

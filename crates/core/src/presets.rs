@@ -11,7 +11,7 @@
 
 use crate::problem::ConstrainedProblem;
 use crate::saim::SaimConfig;
-use saim_machine::{BetaSchedule, SimulatedAnnealing};
+use saim_machine::{BetaSchedule, Dynamics, EnsembleAnnealer, EnsembleConfig, SimulatedAnnealing};
 use serde::{Deserialize, Serialize};
 
 /// A complete experimental parameter set (one row of Table I).
@@ -61,6 +61,23 @@ impl ExperimentPreset {
     /// linear β schedule from 0 to `beta_max` over `mcs_per_run` sweeps.
     pub fn solver(&self, seed: u64) -> SimulatedAnnealing {
         SimulatedAnnealing::new(BetaSchedule::linear(self.beta_max), self.mcs_per_run, seed)
+    }
+
+    /// The preset's run parameters as a replica-ensemble configuration
+    /// (`threads: 0` = all cores; results never depend on the thread count).
+    pub fn ensemble_config(&self, replicas: usize) -> EnsembleConfig {
+        EnsembleConfig {
+            replicas,
+            threads: 0,
+            schedule: BetaSchedule::linear(self.beta_max),
+            mcs_per_run: self.mcs_per_run,
+            dynamics: Dynamics::Gibbs,
+        }
+    }
+
+    /// Builds the parallel run engine for this preset's annealed runs.
+    pub fn ensemble(&self, replicas: usize, root_seed: u64) -> EnsembleAnnealer {
+        EnsembleAnnealer::new(self.ensemble_config(replicas), root_seed)
     }
 
     /// Total sweep budget of the full-scale experiment (`runs × mcs_per_run`).

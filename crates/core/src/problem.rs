@@ -186,7 +186,10 @@ impl BinaryProblem {
                 });
             }
         }
-        Ok(BinaryProblem { objective, constraints })
+        Ok(BinaryProblem {
+            objective,
+            constraints,
+        })
     }
 
     /// The objective QUBO.
@@ -264,7 +267,10 @@ mod tests {
         let c = LinearConstraint::new(vec![1.0; 3], 0.0).unwrap();
         assert!(matches!(
             BinaryProblem::new(f, vec![c]),
-            Err(CoreError::ConstraintDimension { expected: 2, found: 3 })
+            Err(CoreError::ConstraintDimension {
+                expected: 2,
+                found: 3
+            })
         ));
     }
 

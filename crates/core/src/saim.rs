@@ -3,7 +3,7 @@ use crate::lagrangian::LagrangianSystem;
 use crate::problem::{ConstrainedProblem, Evaluation};
 use crate::trace::IterationRecord;
 use saim_ising::BinaryState;
-use saim_machine::{IsingSolver, SampleCounter};
+use saim_machine::{EnsembleAnnealer, EnsembleConfig, IsingSolver, SampleCounter};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the SAIM outer loop (paper Algorithm 1 and Table I).
@@ -21,8 +21,10 @@ pub struct SaimConfig {
     pub eta: f64,
     /// Number of outer iterations `K` (annealing runs / λ updates).
     pub iterations: usize,
-    /// Seed reserved for future stochastic outer-loop features; recorded in
-    /// outcomes so experiments are self-describing.
+    /// Root seed of the replica-ensemble path ([`SaimRunner::run_ensemble`]
+    /// derives one RNG stream per replica per iteration from it) and
+    /// recorded in outcomes so experiments are self-describing. The serial
+    /// [`SaimRunner::run`] path takes an already-seeded solver instead.
     pub seed: u64,
 }
 
@@ -195,7 +197,11 @@ impl SaimRunner {
             if feasible {
                 feasible_count += 1;
                 if best.as_ref().is_none_or(|b| cost < b.cost) {
-                    best = Some(FeasibleSample { state: x.clone(), cost, iteration: k });
+                    best = Some(FeasibleSample {
+                        state: x.clone(),
+                        cost,
+                        iteration: k,
+                    });
                 }
             }
 
@@ -228,6 +234,25 @@ impl SaimRunner {
             config: self.config,
         }
     }
+
+    /// Runs Algorithm 1 with a **replica ensemble** as the inner minimizer:
+    /// every iteration anneals `ensemble.replicas` independent replicas in
+    /// parallel and reads the best replica's sample for the λ update.
+    ///
+    /// [`SaimConfig::seed`] is the ensemble's root seed; per-replica streams
+    /// are derived from it, so the outcome is bit-identical for any thread
+    /// count (including `threads: 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble configuration is invalid, plus the conditions
+    /// of [`SaimRunner::run`].
+    pub fn run_ensemble<P>(&self, problem: &P, ensemble: EnsembleConfig) -> SaimOutcome
+    where
+        P: ConstrainedProblem + ?Sized,
+    {
+        self.run(problem, EnsembleAnnealer::new(ensemble, self.config.seed))
+    }
 }
 
 #[cfg(test)]
@@ -258,7 +283,12 @@ mod tests {
     #[test]
     fn solves_cardinality_problem_with_small_penalty() {
         // P = 0.5 is far below critical (values up to 4), yet SAIM closes the gap.
-        let config = SaimConfig { penalty: 0.5, eta: 0.5, iterations: 120, seed: 3 };
+        let config = SaimConfig {
+            penalty: 0.5,
+            eta: 0.5,
+            iterations: 120,
+            seed: 3,
+        };
         let out = SaimRunner::new(config).run(&cardinality_problem(), default_solver(3));
         let best = out.best.expect("found a feasible sample");
         assert_eq!(best.cost, -7.0);
@@ -267,7 +297,12 @@ mod tests {
 
     #[test]
     fn records_are_complete_and_ordered() {
-        let config = SaimConfig { penalty: 1.0, eta: 0.2, iterations: 25, seed: 9 };
+        let config = SaimConfig {
+            penalty: 1.0,
+            eta: 0.2,
+            iterations: 25,
+            seed: 9,
+        };
         let out = SaimRunner::new(config).run(&cardinality_problem(), default_solver(9));
         assert_eq!(out.records.len(), 25);
         for (k, r) in out.records.iter().enumerate() {
@@ -287,16 +322,29 @@ mod tests {
     fn lambda_rises_while_samples_overfill() {
         // With a tiny penalty and λ₀ = 0 the machine prefers all items (g > 0),
         // so early updates must push λ upward.
-        let config = SaimConfig { penalty: 0.05, eta: 0.5, iterations: 40, seed: 11 };
+        let config = SaimConfig {
+            penalty: 0.05,
+            eta: 0.5,
+            iterations: 40,
+            seed: 11,
+        };
         let out = SaimRunner::new(config).run(&cardinality_problem(), default_solver(11));
         let first_violation = out.records[0].violations[0];
-        assert!(first_violation > 0.0, "expected initial overfill, got {first_violation}");
+        assert!(
+            first_violation > 0.0,
+            "expected initial overfill, got {first_violation}"
+        );
         assert!(out.records[1].lambda[0] > out.records[0].lambda[0]);
     }
 
     #[test]
     fn feasibility_fraction_matches_records() {
-        let config = SaimConfig { penalty: 0.5, eta: 0.5, iterations: 50, seed: 5 };
+        let config = SaimConfig {
+            penalty: 0.5,
+            eta: 0.5,
+            iterations: 50,
+            seed: 5,
+        };
         let out = SaimRunner::new(config).run(&cardinality_problem(), default_solver(5));
         let count = out.records.iter().filter(|r| r.feasible).count();
         assert!((out.feasibility - count as f64 / 50.0).abs() < 1e-12);
@@ -305,7 +353,12 @@ mod tests {
 
     #[test]
     fn mean_feasible_cost() {
-        let config = SaimConfig { penalty: 0.5, eta: 0.5, iterations: 60, seed: 6 };
+        let config = SaimConfig {
+            penalty: 0.5,
+            eta: 0.5,
+            iterations: 60,
+            seed: 6,
+        };
         let out = SaimRunner::new(config).run(&cardinality_problem(), default_solver(6));
         if let Some(mean) = out.mean_feasible_cost() {
             let costs = out.feasible_costs();
@@ -318,15 +371,48 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(SaimConfig { penalty: -1.0, eta: 1.0, iterations: 1, seed: 0 }.validate().is_err());
-        assert!(SaimConfig { penalty: 1.0, eta: 0.0, iterations: 1, seed: 0 }.validate().is_err());
-        assert!(SaimConfig { penalty: 1.0, eta: 1.0, iterations: 0, seed: 0 }.validate().is_err());
-        assert!(SaimConfig { penalty: 1.0, eta: 1.0, iterations: 1, seed: 0 }.validate().is_ok());
+        assert!(SaimConfig {
+            penalty: -1.0,
+            eta: 1.0,
+            iterations: 1,
+            seed: 0
+        }
+        .validate()
+        .is_err());
+        assert!(SaimConfig {
+            penalty: 1.0,
+            eta: 0.0,
+            iterations: 1,
+            seed: 0
+        }
+        .validate()
+        .is_err());
+        assert!(SaimConfig {
+            penalty: 1.0,
+            eta: 1.0,
+            iterations: 0,
+            seed: 0
+        }
+        .validate()
+        .is_err());
+        assert!(SaimConfig {
+            penalty: 1.0,
+            eta: 1.0,
+            iterations: 1,
+            seed: 0
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     #[should_panic(expected = "invalid SAIM configuration")]
     fn runner_panics_on_invalid_config() {
-        let _ = SaimRunner::new(SaimConfig { penalty: 1.0, eta: -1.0, iterations: 1, seed: 0 });
+        let _ = SaimRunner::new(SaimConfig {
+            penalty: 1.0,
+            eta: -1.0,
+            iterations: 1,
+            seed: 0,
+        });
     }
 }

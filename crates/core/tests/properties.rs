@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use saim_core::{
-    dual, penalty_qubo, BinaryProblem, ConstrainedProblem, LinearConstraint, SaimConfig,
-    SaimRunner,
+    dual, penalty_qubo, BinaryProblem, ConstrainedProblem, LinearConstraint, SaimConfig, SaimRunner,
 };
 use saim_ising::{BinaryState, QuboBuilder};
 use saim_machine::{BetaSchedule, SimulatedAnnealing};

@@ -24,7 +24,10 @@ impl Default for BbLimits {
     /// 5M nodes / 10 seconds — enough to certify the workloads in this
     /// repository's default-scale benchmarks.
     fn default() -> Self {
-        BbLimits { max_nodes: 5_000_000, time_limit: Duration::from_secs(10) }
+        BbLimits {
+            max_nodes: 5_000_000,
+            time_limit: Duration::from_secs(10),
+        }
     }
 }
 
@@ -45,7 +48,10 @@ pub struct BbOutcome {
 
 impl From<BbOutcome> for ExactSolution {
     fn from(o: BbOutcome) -> Self {
-        ExactSolution { selection: o.selection, profit: o.profit }
+        ExactSolution {
+            selection: o.selection,
+            profit: o.profit,
+        }
     }
 }
 
@@ -121,7 +127,12 @@ impl MkpSearch<'_> {
                 loads[m] += self.inst.weights(m)[item] as u64;
             }
             decided[item] = 1;
-            self.dfs(depth + 1, profit + self.inst.values()[item] as u64, loads, decided);
+            self.dfs(
+                depth + 1,
+                profit + self.inst.values()[item] as u64,
+                loads,
+                decided,
+            );
             for m in 0..self.inst.num_constraints() {
                 loads[m] -= self.inst.weights(m)[item] as u64;
             }
@@ -154,7 +165,11 @@ pub fn solve_mkp(instance: &MkpInstance, limits: BbLimits) -> BbOutcome {
         f64::from(instance.values()[i]) / scaled.max(1e-12)
     };
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| utility(b).partial_cmp(&utility(a)).expect("finite utilities"));
+    order.sort_by(|&a, &b| {
+        utility(b)
+            .partial_cmp(&utility(a))
+            .expect("finite utilities")
+    });
 
     let mut ratio_orders = Vec::with_capacity(m);
     for k in 0..m {
@@ -362,7 +377,13 @@ mod tests {
     #[test]
     fn node_limit_yields_incumbent_not_proof() {
         let inst = generate::mkp(40, 5, 0.5, 7).unwrap();
-        let bnb = solve_mkp(&inst, BbLimits { max_nodes: 50, time_limit: Duration::from_secs(5) });
+        let bnb = solve_mkp(
+            &inst,
+            BbLimits {
+                max_nodes: 50,
+                time_limit: Duration::from_secs(5),
+            },
+        );
         assert!(!bnb.proven_optimal);
         assert!(inst.is_feasible(&bnb.selection));
     }

@@ -17,14 +17,23 @@ fn selection_from_mask(mask: u64, n: usize) -> Vec<u8> {
 /// Panics if the instance has more than [`MAX_BRUTE_ITEMS`] items.
 pub fn qkp(instance: &QkpInstance) -> ExactSolution {
     let n = instance.len();
-    assert!(n <= MAX_BRUTE_ITEMS, "brute force is capped at {MAX_BRUTE_ITEMS} items");
-    let mut best = ExactSolution { selection: vec![0; n], profit: 0 };
+    assert!(
+        n <= MAX_BRUTE_ITEMS,
+        "brute force is capped at {MAX_BRUTE_ITEMS} items"
+    );
+    let mut best = ExactSolution {
+        selection: vec![0; n],
+        profit: 0,
+    };
     for mask in 0u64..(1 << n) {
         let sel = selection_from_mask(mask, n);
         if instance.is_feasible(&sel) {
             let p = instance.profit(&sel);
             if p > best.profit {
-                best = ExactSolution { selection: sel, profit: p };
+                best = ExactSolution {
+                    selection: sel,
+                    profit: p,
+                };
             }
         }
     }
@@ -38,14 +47,23 @@ pub fn qkp(instance: &QkpInstance) -> ExactSolution {
 /// Panics if the instance has more than [`MAX_BRUTE_ITEMS`] items.
 pub fn mkp(instance: &MkpInstance) -> ExactSolution {
     let n = instance.len();
-    assert!(n <= MAX_BRUTE_ITEMS, "brute force is capped at {MAX_BRUTE_ITEMS} items");
-    let mut best = ExactSolution { selection: vec![0; n], profit: 0 };
+    assert!(
+        n <= MAX_BRUTE_ITEMS,
+        "brute force is capped at {MAX_BRUTE_ITEMS} items"
+    );
+    let mut best = ExactSolution {
+        selection: vec![0; n],
+        profit: 0,
+    };
     for mask in 0u64..(1 << n) {
         let sel = selection_from_mask(mask, n);
         if instance.is_feasible(&sel) {
             let p = instance.profit(&sel);
             if p > best.profit {
-                best = ExactSolution { selection: sel, profit: p };
+                best = ExactSolution {
+                    selection: sel,
+                    profit: p,
+                };
             }
         }
     }
@@ -59,13 +77,7 @@ mod tests {
     #[test]
     fn qkp_tiny_hand_checked() {
         // values 10/20/15, pair (0,1)=5; weights 4/3/2; capacity 6
-        let inst = QkpInstance::new(
-            vec![10, 20, 15],
-            vec![(0, 1, 5)],
-            vec![4, 3, 2],
-            6,
-        )
-        .unwrap();
+        let inst = QkpInstance::new(vec![10, 20, 15], vec![(0, 1, 5)], vec![4, 3, 2], 6).unwrap();
         let best = qkp(&inst);
         // candidates: {1,2} = 35 (w=5), {0,2} = 25 (w=6), {0,1} = 35 (w=7, infeasible)
         assert_eq!(best.profit, 35);

@@ -16,10 +16,17 @@ pub const MAX_DP_CAPACITY: u64 = 50_000_000;
 /// Panics if `values.len() != weights.len()` or
 /// `capacity > MAX_DP_CAPACITY / values.len().max(1)` (table too large).
 pub fn knapsack(values: &[u32], weights: &[u32], capacity: u64) -> ExactSolution {
-    assert_eq!(values.len(), weights.len(), "values/weights length mismatch");
+    assert_eq!(
+        values.len(),
+        weights.len(),
+        "values/weights length mismatch"
+    );
     let n = values.len();
     if n == 0 {
-        return ExactSolution { selection: vec![], profit: 0 };
+        return ExactSolution {
+            selection: vec![],
+            profit: 0,
+        };
     }
     assert!(
         capacity.saturating_mul(n as u64) <= MAX_DP_CAPACITY,
@@ -56,7 +63,10 @@ pub fn knapsack(values: &[u32], weights: &[u32], capacity: u64) -> ExactSolution
             c -= weights[i] as usize;
         }
     }
-    ExactSolution { selection, profit: best[cap] }
+    ExactSolution {
+        selection,
+        profit: best[cap],
+    }
 }
 
 #[cfg(test)]

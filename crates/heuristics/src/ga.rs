@@ -90,7 +90,10 @@ impl ChuBeasleyGa {
             (0.0..=1.0).contains(&config.mutation_rate),
             "mutation rate must be in [0, 1]"
         );
-        ChuBeasleyGa { config, rng: ChaCha8Rng::seed_from_u64(seed) }
+        ChuBeasleyGa {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// The configuration.
@@ -118,8 +121,7 @@ impl ChuBeasleyGa {
         let mut population: Vec<Vec<u8>> = Vec::with_capacity(pop_size);
         let mut fitness: Vec<u64> = Vec::with_capacity(pop_size);
         while population.len() < pop_size {
-            let mut chrom: Vec<u8> =
-                (0..n).map(|_| u8::from(self.rng.gen::<bool>())).collect();
+            let mut chrom: Vec<u8> = (0..n).map(|_| u8::from(self.rng.gen::<bool>())).collect();
             repair::mkp(instance, &mut chrom);
             if !population.contains(&chrom) || population.len() + 1 == pop_size {
                 fitness.push(instance.profit(&chrom));
@@ -127,7 +129,9 @@ impl ChuBeasleyGa {
             }
         }
 
-        let mut best_idx = (0..pop_size).max_by_key(|&i| fitness[i]).expect("non-empty");
+        let mut best_idx = (0..pop_size)
+            .max_by_key(|&i| fitness[i])
+            .expect("non-empty");
         let mut outcome = GaOutcome {
             selection: population[best_idx].clone(),
             profit: fitness[best_idx],
@@ -159,7 +163,9 @@ impl ChuBeasleyGa {
             }
             let child_fit = instance.profit(&child);
             // steady-state replacement of the worst member
-            let worst = (0..pop_size).min_by_key(|&i| fitness[i]).expect("non-empty");
+            let worst = (0..pop_size)
+                .min_by_key(|&i| fitness[i])
+                .expect("non-empty");
             if child_fit > fitness[worst] {
                 population[worst] = child;
                 fitness[worst] = child_fit;
@@ -183,7 +189,11 @@ mod tests {
     use saim_knapsack::generate;
 
     fn quick_cfg(generations: usize) -> GaConfig {
-        GaConfig { population: 30, generations, ..GaConfig::default() }
+        GaConfig {
+            population: 30,
+            generations,
+            ..GaConfig::default()
+        }
     }
 
     #[test]
@@ -243,7 +253,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "population must be")]
     fn rejects_tiny_population() {
-        let cfg = GaConfig { population: 1, ..GaConfig::default() };
+        let cfg = GaConfig {
+            population: 1,
+            ..GaConfig::default()
+        };
         let _ = ChuBeasleyGa::new(cfg, 0);
     }
 }

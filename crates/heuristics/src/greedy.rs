@@ -42,8 +42,8 @@ pub fn mkp(instance: &MkpInstance) -> Vec<u8> {
     let mut selection = vec![0u8; n];
     let mut loads = vec![0u64; m];
     for i in mkp_utility_order(instance) {
-        let fits = (0..m)
-            .all(|k| loads[k] + instance.weights(k)[i] as u64 <= instance.capacities()[k]);
+        let fits =
+            (0..m).all(|k| loads[k] + instance.weights(k)[i] as u64 <= instance.capacities()[k]);
         if fits {
             selection[i] = 1;
             for k in 0..m {
@@ -148,12 +148,7 @@ mod tests {
 
     #[test]
     fn utility_prefers_high_value_light_items() {
-        let inst = MkpInstance::new(
-            vec![100, 100],
-            vec![vec![1, 50]],
-            vec![60],
-        )
-        .unwrap();
+        let inst = MkpInstance::new(vec![100, 100], vec![vec![1, 50]], vec![60]).unwrap();
         assert!(mkp_utility(&inst, 0) > mkp_utility(&inst, 1));
         assert_eq!(mkp_utility_order(&inst)[0], 0);
     }

@@ -11,7 +11,10 @@ use saim_knapsack::{MkpInstance, QkpInstance};
 /// Panics if `selection.len() != instance.len()` or the input is infeasible.
 pub fn improve_mkp(instance: &MkpInstance, selection: &mut [u8]) -> usize {
     assert_eq!(selection.len(), instance.len(), "selection length mismatch");
-    assert!(instance.is_feasible(selection), "local search requires a feasible start");
+    assert!(
+        instance.is_feasible(selection),
+        "local search requires a feasible start"
+    );
     let n = instance.len();
     let m = instance.num_constraints();
     let mut loads: Vec<u64> = (0..m).map(|k| instance.load(selection, k)).collect();
@@ -22,8 +25,8 @@ pub fn improve_mkp(instance: &MkpInstance, selection: &mut [u8]) -> usize {
         // additions
         for i in 0..n {
             if selection[i] == 0 {
-                let fits =
-                    (0..m).all(|k| loads[k] + instance.weights(k)[i] as u64 <= instance.capacities()[k]);
+                let fits = (0..m)
+                    .all(|k| loads[k] + instance.weights(k)[i] as u64 <= instance.capacities()[k]);
                 if fits {
                     selection[i] = 1;
                     for k in 0..m {
@@ -73,7 +76,10 @@ pub fn improve_mkp(instance: &MkpInstance, selection: &mut [u8]) -> usize {
 /// Panics if `selection.len() != instance.len()` or the input is infeasible.
 pub fn improve_qkp(instance: &QkpInstance, selection: &mut [u8]) -> usize {
     assert_eq!(selection.len(), instance.len(), "selection length mismatch");
-    assert!(instance.is_feasible(selection), "local search requires a feasible start");
+    assert!(
+        instance.is_feasible(selection),
+        "local search requires a feasible start"
+    );
     let n = instance.len();
     let mut load = instance.weight(selection);
     let mut moves = 0usize;

@@ -66,6 +66,19 @@ impl Couplings {
         }
     }
 
+    /// `Σ_j M_ij s_j` with spins pre-converted to `±1.0` floats — the
+    /// convert-free dot product the sweep hot path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spins.len() != self.len()`.
+    pub fn row_dot_f64(&self, i: usize, spins: &[f64]) -> f64 {
+        match self {
+            Couplings::Dense(m) => m.row_dot_f64(i, spins),
+            Couplings::Sparse(m) => m.row_dot_f64(i, spins),
+        }
+    }
+
     /// Fraction of coupled unordered pairs.
     pub fn density(&self) -> f64 {
         match self {

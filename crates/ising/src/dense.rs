@@ -32,7 +32,10 @@ pub struct SymmetricMatrix {
 impl SymmetricMatrix {
     /// Creates an `n × n` all-zero matrix.
     pub fn zeros(n: usize) -> Self {
-        SymmetricMatrix { n, data: vec![0.0; n * n] }
+        SymmetricMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Number of rows (equivalently columns).
@@ -47,10 +50,16 @@ impl SymmetricMatrix {
 
     fn check(&self, i: usize, j: usize) -> Result<(), ModelError> {
         if i >= self.n {
-            return Err(ModelError::IndexOutOfBounds { index: i, len: self.n });
+            return Err(ModelError::IndexOutOfBounds {
+                index: i,
+                len: self.n,
+            });
         }
         if j >= self.n {
-            return Err(ModelError::IndexOutOfBounds { index: j, len: self.n });
+            return Err(ModelError::IndexOutOfBounds {
+                index: j,
+                len: self.n,
+            });
         }
         if i == j {
             return Err(ModelError::SelfCoupling { index: i });
@@ -78,7 +87,9 @@ impl SymmetricMatrix {
     pub fn set(&mut self, i: usize, j: usize, value: f64) -> Result<(), ModelError> {
         self.check(i, j)?;
         if !value.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "symmetric matrix entry" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "symmetric matrix entry",
+            });
         }
         self.data[i * self.n + j] = value;
         self.data[j * self.n + i] = value;
@@ -93,7 +104,9 @@ impl SymmetricMatrix {
     pub fn add(&mut self, i: usize, j: usize, value: f64) -> Result<(), ModelError> {
         self.check(i, j)?;
         if !value.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "symmetric matrix entry" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "symmetric matrix entry",
+            });
         }
         self.data[i * self.n + j] += value;
         self.data[j * self.n + i] += value;
@@ -118,10 +131,24 @@ impl SymmetricMatrix {
     pub fn row_dot_spins(&self, i: usize, spins: &[i8]) -> f64 {
         let row = self.row(i);
         assert_eq!(spins.len(), self.n, "spin vector length mismatch");
-        row.iter()
-            .zip(spins)
-            .map(|(&m, &s)| m * f64::from(s))
-            .sum()
+        row.iter().zip(spins).map(|(&m, &s)| m * f64::from(s)).sum()
+    }
+
+    /// `Σ_j M_ij v_j` for spins pre-converted to `±1.0` floats.
+    ///
+    /// The sweep hot path caches its spins as `f64`
+    /// ([`PbitMachine`](../../saim_machine/struct.PbitMachine.html) keeps the
+    /// mirror), so the per-element `i8 → f64` conversion of
+    /// [`SymmetricMatrix::row_dot_spins`] disappears and the loop reduces to
+    /// a plain dot product the compiler can vectorize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spins.len() != self.len()`.
+    pub fn row_dot_f64(&self, i: usize, spins: &[f64]) -> f64 {
+        let row = self.row(i);
+        assert_eq!(spins.len(), self.n, "spin vector length mismatch");
+        row.iter().zip(spins).map(|(&m, &s)| m * s).sum()
     }
 
     /// Number of structurally nonzero off-diagonal entries, counting each

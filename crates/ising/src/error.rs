@@ -42,13 +42,19 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::IndexOutOfBounds { index, len } => {
-                write!(f, "variable index {index} out of bounds for model of {len} variables")
+                write!(
+                    f,
+                    "variable index {index} out of bounds for model of {len} variables"
+                )
             }
             ModelError::SelfCoupling { index } => {
                 write!(f, "self-coupling requested on variable {index}; diagonal terms belong in the linear part")
             }
             ModelError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: expected {expected} variables, found {found}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} variables, found {found}"
+                )
             }
             ModelError::NonFiniteCoefficient { context } => {
                 write!(f, "non-finite coefficient in {context}")
@@ -68,7 +74,11 @@ mod tests {
         let msgs = [
             ModelError::IndexOutOfBounds { index: 3, len: 2 }.to_string(),
             ModelError::SelfCoupling { index: 1 }.to_string(),
-            ModelError::DimensionMismatch { expected: 4, found: 5 }.to_string(),
+            ModelError::DimensionMismatch {
+                expected: 4,
+                found: 5,
+            }
+            .to_string(),
             ModelError::NonFiniteCoefficient { context: "linear" }.to_string(),
         ];
         for m in msgs {

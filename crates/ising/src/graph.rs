@@ -36,7 +36,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Graph { n, edges: Vec::new() }
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -68,16 +71,24 @@ impl Graph {
     /// [`ModelError::NonFiniteCoefficient`] for non-finite weights.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> Result<(), ModelError> {
         if u >= self.n {
-            return Err(ModelError::IndexOutOfBounds { index: u, len: self.n });
+            return Err(ModelError::IndexOutOfBounds {
+                index: u,
+                len: self.n,
+            });
         }
         if v >= self.n {
-            return Err(ModelError::IndexOutOfBounds { index: v, len: self.n });
+            return Err(ModelError::IndexOutOfBounds {
+                index: v,
+                len: self.n,
+            });
         }
         if u == v {
             return Err(ModelError::SelfCoupling { index: u });
         }
         if !weight.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "edge weight" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "edge weight",
+            });
         }
         self.edges.push((u, v, weight));
         Ok(())
@@ -116,8 +127,7 @@ impl Graph {
         let pairs: Vec<(usize, usize, f64)> =
             self.edges.iter().map(|&(u, v, w)| (u, v, -w)).collect();
         let couplings = Couplings::Sparse(CsrMatrix::from_pairs(self.n, &pairs));
-        IsingModel::new(couplings, vec![0.0; self.n], 0.0)
-            .expect("graph dimensions are consistent")
+        IsingModel::new(couplings, vec![0.0; self.n], 0.0).expect("graph dimensions are consistent")
     }
 
     /// Recovers the cut weight from the Ising energy of the model produced by
@@ -188,8 +198,14 @@ mod tests {
     #[test]
     fn add_edge_validates() {
         let mut g = Graph::new(2);
-        assert!(matches!(g.add_edge(0, 2, 1.0), Err(ModelError::IndexOutOfBounds { .. })));
-        assert!(matches!(g.add_edge(1, 1, 1.0), Err(ModelError::SelfCoupling { .. })));
+        assert!(matches!(
+            g.add_edge(0, 2, 1.0),
+            Err(ModelError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(1, 1, 1.0),
+            Err(ModelError::SelfCoupling { .. })
+        ));
         assert!(matches!(
             g.add_edge(0, 1, f64::NAN),
             Err(ModelError::NonFiniteCoefficient { .. })

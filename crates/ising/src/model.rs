@@ -50,12 +50,20 @@ impl IsingModel {
             });
         }
         if fields.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::NonFiniteCoefficient { context: "ising field" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "ising field",
+            });
         }
         if !offset.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "ising offset" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "ising offset",
+            });
         }
-        Ok(IsingModel { couplings, fields, offset })
+        Ok(IsingModel {
+            couplings,
+            fields,
+            offset,
+        })
     }
 
     /// Number of spins.

@@ -55,12 +55,20 @@ impl Qubo {
             });
         }
         if linear.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::NonFiniteCoefficient { context: "qubo linear term" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "qubo linear term",
+            });
         }
         if !offset.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "qubo offset" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "qubo offset",
+            });
         }
-        Ok(Qubo { pairs, linear, offset })
+        Ok(Qubo {
+            pairs,
+            linear,
+            offset,
+        })
     }
 
     /// Number of binary variables.
@@ -151,7 +159,8 @@ impl Qubo {
         }
         // Σ_{i<j} Q_ij x_i x_j = Σ Q_ij/4 (1 + s_i + s_j + s_i s_j)
         for (a, b, q) in self.pairs.iter_pairs() {
-            j.add(a, b, -q / 4.0).expect("indices from iter_pairs are valid");
+            j.add(a, b, -q / 4.0)
+                .expect("indices from iter_pairs are valid");
             h[a] -= q / 4.0;
             h[b] -= q / 4.0;
             offset += q / 4.0;
@@ -248,10 +257,15 @@ impl QuboBuilder {
     /// [`ModelError::NonFiniteCoefficient`].
     pub fn add_linear(&mut self, i: usize, value: f64) -> Result<(), ModelError> {
         if i >= self.linear.len() {
-            return Err(ModelError::IndexOutOfBounds { index: i, len: self.linear.len() });
+            return Err(ModelError::IndexOutOfBounds {
+                index: i,
+                len: self.linear.len(),
+            });
         }
         if !value.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "builder linear term" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "builder linear term",
+            });
         }
         self.linear[i] += value;
         Ok(())
@@ -279,7 +293,9 @@ impl QuboBuilder {
             });
         }
         if a.iter().any(|v| !v.is_finite()) || !b.is_finite() || !weight.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "squared linear penalty" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "squared linear penalty",
+            });
         }
         for (i, &ai) in a.iter().enumerate() {
             if ai == 0.0 {
@@ -302,7 +318,12 @@ impl QuboBuilder {
     /// # Errors
     ///
     /// Same conditions as [`QuboBuilder::add_squared_linear`].
-    pub fn add_weighted_linear(&mut self, a: &[f64], b: f64, weight: f64) -> Result<(), ModelError> {
+    pub fn add_weighted_linear(
+        &mut self,
+        a: &[f64],
+        b: f64,
+        weight: f64,
+    ) -> Result<(), ModelError> {
         if a.len() != self.linear.len() {
             return Err(ModelError::DimensionMismatch {
                 expected: self.linear.len(),
@@ -310,7 +331,9 @@ impl QuboBuilder {
             });
         }
         if a.iter().any(|v| !v.is_finite()) || !b.is_finite() || !weight.is_finite() {
-            return Err(ModelError::NonFiniteCoefficient { context: "weighted linear term" });
+            return Err(ModelError::NonFiniteCoefficient {
+                context: "weighted linear term",
+            });
         }
         for (i, &ai) in a.iter().enumerate() {
             self.linear[i] += weight * ai;

@@ -53,7 +53,12 @@ impl CsrMatrix {
             col_idx.push(j);
             values.push(v);
         }
-        CsrMatrix { n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Converts a dense symmetric matrix to CSR, keeping only nonzeros.
@@ -112,9 +117,18 @@ impl CsrMatrix {
     /// Panics if `spins.len() != self.len()`.
     pub fn row_dot_spins(&self, i: usize, spins: &[i8]) -> f64 {
         assert_eq!(spins.len(), self.n, "spin vector length mismatch");
-        self.row_iter(i)
-            .map(|(j, v)| v * f64::from(spins[j]))
-            .sum()
+        self.row_iter(i).map(|(j, v)| v * f64::from(spins[j])).sum()
+    }
+
+    /// `Σ_j M_ij s_j` over the stored row entries with spins pre-converted
+    /// to `±1.0` floats (the sweep hot path's representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spins.len() != self.len()`.
+    pub fn row_dot_f64(&self, i: usize, spins: &[f64]) -> f64 {
+        assert_eq!(spins.len(), self.n, "spin vector length mismatch");
+        self.row_iter(i).map(|(j, v)| v * spins[j]).sum()
     }
 
     /// Converts back to a dense symmetric matrix.

@@ -9,7 +9,9 @@ use std::fmt;
 /// assert_eq!(Spin::Down.flipped(), Spin::Up);
 /// assert_eq!(Spin::from_sign(-3.5), Spin::Down);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum Spin {
     /// The -1 spin value.
     #[default]
@@ -100,7 +102,9 @@ pub struct SpinState {
 impl SpinState {
     /// Creates the all-down (-1) state of `n` spins.
     pub fn all_down(n: usize) -> Self {
-        SpinState { values: vec![-1; n] }
+        SpinState {
+            values: vec![-1; n],
+        }
     }
 
     /// Creates the all-up (+1) state of `n` spins.
@@ -118,7 +122,9 @@ impl SpinState {
             values.iter().all(|&v| v == 1 || v == -1),
             "spin values must be +1 or -1"
         );
-        SpinState { values: values.to_vec() }
+        SpinState {
+            values: values.to_vec(),
+        }
     }
 
     /// Builds a state from typed spins.
@@ -177,6 +183,23 @@ impl SpinState {
     /// Panics if `index >= self.len()`.
     pub fn flip(&mut self, index: usize) {
         self.values[index] = -self.values[index];
+    }
+
+    /// Overwrites this state with `other` without reallocating.
+    ///
+    /// The annealers' best-state tracking uses this instead of cloning a
+    /// fresh `SpinState` on every improvement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &SpinState) {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "state length mismatch"
+        );
+        self.values.copy_from_slice(&other.values);
     }
 
     /// Converts to the binary domain under `x = (1+s)/2`.
@@ -249,7 +272,9 @@ impl BinaryState {
     /// Panics if any entry is not 0 or 1.
     pub fn from_bits(bits: &[u8]) -> Self {
         assert!(bits.iter().all(|&b| b <= 1), "bits must be 0 or 1");
-        BinaryState { bits: bits.to_vec() }
+        BinaryState {
+            bits: bits.to_vec(),
+        }
     }
 
     /// Decodes the low `n` bits of `mask` (bit i of the mask becomes x_i).
@@ -326,7 +351,11 @@ impl BinaryState {
     /// Converts to the spin domain under `s = 2x - 1`.
     pub fn to_spins(&self) -> SpinState {
         SpinState {
-            values: self.bits.iter().map(|&b| if b == 1 { 1 } else { -1 }).collect(),
+            values: self
+                .bits
+                .iter()
+                .map(|&b| if b == 1 { 1 } else { -1 })
+                .collect(),
         }
     }
 
@@ -339,7 +368,9 @@ impl BinaryState {
     /// Panics if `n > self.len()`.
     pub fn truncated(&self, n: usize) -> BinaryState {
         assert!(n <= self.bits.len(), "cannot truncate beyond length");
-        BinaryState { bits: self.bits[..n].to_vec() }
+        BinaryState {
+            bits: self.bits[..n].to_vec(),
+        }
     }
 
     /// Iterates over the bits.
@@ -354,11 +385,13 @@ impl BinaryState {
     /// Panics if `coeffs.len() != self.len()`.
     pub fn dot(&self, coeffs: &[f64]) -> f64 {
         assert_eq!(coeffs.len(), self.bits.len(), "dot length mismatch");
+        // branchless: the bit is the multiplier, so the loop vectorizes
+        // (this sits on the constraint-violation path hit every SAIM
+        // iteration)
         self.bits
             .iter()
             .zip(coeffs)
-            .filter(|(&b, _)| b == 1)
-            .map(|(_, &a)| a)
+            .map(|(&b, &a)| f64::from(b) * a)
             .sum()
     }
 }

@@ -6,10 +6,8 @@ use saim_ising::{BinaryState, CsrMatrix, QuboBuilder, SymmetricMatrix};
 /// Strategy producing a small random QUBO together with its size.
 fn arb_qubo(max_n: usize) -> impl Strategy<Value = saim_ising::Qubo> {
     (2usize..=max_n).prop_flat_map(|n| {
-        let pairs = proptest::collection::vec(
-            ((0..n, 0..n), -10.0..10.0f64),
-            0..(n * (n - 1) / 2 + 1),
-        );
+        let pairs =
+            proptest::collection::vec(((0..n, 0..n), -10.0..10.0f64), 0..(n * (n - 1) / 2 + 1));
         let linear = proptest::collection::vec(-10.0..10.0f64, n);
         let offset = -5.0..5.0f64;
         (pairs, linear, offset).prop_map(move |(pairs, linear, offset)| {

@@ -103,10 +103,15 @@ impl QkpEncoded {
             coeffs[n + q] = c as f64 / con_norm;
         }
         let offset = -(instance.capacity() as f64) / con_norm;
-        let constraint = LinearConstraint::new(coeffs, offset)
-            .expect("normalized coefficients are finite");
+        let constraint =
+            LinearConstraint::new(coeffs, offset).expect("normalized coefficients are finite");
 
-        Ok(QkpEncoded { instance, objective, constraints: vec![constraint], slack })
+        Ok(QkpEncoded {
+            instance,
+            objective,
+            constraints: vec![constraint],
+            slack,
+        })
     }
 
     /// The original instance.
@@ -262,7 +267,14 @@ impl MkpEncoded {
             );
         }
 
-        Ok(MkpEncoded { instance, objective, constraints, slacks, slack_offsets, total_vars })
+        Ok(MkpEncoded {
+            instance,
+            objective,
+            constraints,
+            slacks,
+            slack_offsets,
+            total_vars,
+        })
     }
 
     /// The original instance.
@@ -484,12 +496,7 @@ mod tests {
     #[test]
     fn mkp_penalty_rule_reproduces_paper_value() {
         // 250 items → P = 5 · 2/(251) · 250 ≈ 9.96, the paper's "P = 10"
-        let inst = MkpInstance::new(
-            vec![1; 250],
-            vec![vec![1; 250]],
-            vec![100],
-        )
-        .unwrap();
+        let inst = MkpInstance::new(vec![1; 250], vec![vec![1; 250]], vec![100]).unwrap();
         let enc = inst.encode().unwrap();
         let p = enc.penalty_for_alpha(5.0);
         assert!((p - 9.96).abs() < 0.01, "P = {p}");

@@ -57,9 +57,14 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(KnapsackError::Empty { what: "items" }.to_string().contains("items"));
-        assert!(KnapsackError::Parse { line: 3, message: "bad".into() }
+        assert!(KnapsackError::Empty { what: "items" }
             .to_string()
-            .contains("line 3"));
+            .contains("items"));
+        assert!(KnapsackError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
     }
 }

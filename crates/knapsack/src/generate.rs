@@ -58,7 +58,13 @@ pub fn qkp(n: usize, density: f64, seed: u64) -> Result<QkpInstance, KnapsackErr
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let values: Vec<u32> = (0..n)
-        .map(|_| if rng.gen::<f64>() < density { rng.gen_range(1..=100) } else { 0 })
+        .map(|_| {
+            if rng.gen::<f64>() < density {
+                rng.gen_range(1..=100)
+            } else {
+                0
+            }
+        })
         .collect();
     let mut pairs = Vec::new();
     for i in 0..n {
@@ -119,10 +125,16 @@ pub fn mkp_with_max_weight(
     seed: u64,
 ) -> Result<MkpInstance, KnapsackError> {
     if n == 0 {
-        return Err(KnapsackError::InvalidParameter { name: "n", reason: "needs items" });
+        return Err(KnapsackError::InvalidParameter {
+            name: "n",
+            reason: "needs items",
+        });
     }
     if m == 0 {
-        return Err(KnapsackError::InvalidParameter { name: "m", reason: "needs constraints" });
+        return Err(KnapsackError::InvalidParameter {
+            name: "m",
+            reason: "needs constraints",
+        });
     }
     if !(tightness > 0.0 && tightness < 1.0) {
         return Err(KnapsackError::InvalidParameter {

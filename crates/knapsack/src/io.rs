@@ -73,7 +73,11 @@ fn next_line<'a>(
 pub fn write_qkp(instance: &QkpInstance) -> String {
     let n = instance.len();
     let mut out = String::new();
-    let label = if instance.label().is_empty() { "unnamed" } else { instance.label() };
+    let label = if instance.label().is_empty() {
+        "unnamed"
+    } else {
+        instance.label()
+    };
     writeln!(out, "{label}").expect("writing to String cannot fail");
     writeln!(out, "{n}").expect("infallible");
     let values: Vec<String> = instance.values().iter().map(u32::to_string).collect();
@@ -102,12 +106,16 @@ pub fn read_qkp(text: &str) -> Result<QkpInstance, KnapsackError> {
     let label = next_line(&mut lines, &mut line_no)?.to_string();
     let n: usize = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, 1)?[0];
     if n < 1 {
-        return Err(KnapsackError::Parse { line: line_no, message: "n must be positive".into() });
+        return Err(KnapsackError::Parse {
+            line: line_no,
+            message: "n must be positive".into(),
+        });
     }
     let values: Vec<u32> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n)?;
     let mut pairs = Vec::new();
     for i in 0..n.saturating_sub(1) {
-        let row: Vec<u32> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n - 1 - i)?;
+        let row: Vec<u32> =
+            parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n - 1 - i)?;
         for (offset, v) in row.into_iter().enumerate() {
             if v > 0 {
                 pairs.push((i, i + 1 + offset, v));
@@ -122,7 +130,11 @@ pub fn read_qkp(text: &str) -> Result<QkpInstance, KnapsackError> {
 /// Serializes an MKP instance to the text format.
 pub fn write_mkp(instance: &MkpInstance) -> String {
     let mut out = String::new();
-    let label = if instance.label().is_empty() { "unnamed" } else { instance.label() };
+    let label = if instance.label().is_empty() {
+        "unnamed"
+    } else {
+        instance.label()
+    };
     writeln!(out, "{label}").expect("infallible");
     writeln!(out, "{} {}", instance.len(), instance.num_constraints()).expect("infallible");
     let values: Vec<String> = instance.values().iter().map(u32::to_string).collect();
@@ -151,7 +163,11 @@ pub fn read_mkp(text: &str) -> Result<MkpInstance, KnapsackError> {
     let values: Vec<u32> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n)?;
     let mut weights = Vec::with_capacity(m);
     for _ in 0..m {
-        weights.push(parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, n)?);
+        weights.push(parse_numbers(
+            next_line(&mut lines, &mut line_no)?,
+            line_no,
+            n,
+        )?);
     }
     let capacities: Vec<u64> = parse_numbers(next_line(&mut lines, &mut line_no)?, line_no, m)?;
     Ok(MkpInstance::new(values, weights, capacities)?.with_label(label))
@@ -211,8 +227,14 @@ mod tests {
     #[test]
     fn parse_rejects_truncated_input() {
         let truncated = "label\n4\n1 2 3 4\n";
-        assert!(matches!(read_qkp(truncated), Err(KnapsackError::Parse { .. })));
-        assert!(matches!(read_mkp("only-label\n"), Err(KnapsackError::Parse { .. })));
+        assert!(matches!(
+            read_qkp(truncated),
+            Err(KnapsackError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_mkp("only-label\n"),
+            Err(KnapsackError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl MkpInstance {
             return Err(KnapsackError::Empty { what: "items" });
         }
         if weights.is_empty() {
-            return Err(KnapsackError::Empty { what: "constraints" });
+            return Err(KnapsackError::Empty {
+                what: "constraints",
+            });
         }
         if weights.len() != capacities.len() {
             return Err(KnapsackError::DimensionMismatch {
@@ -64,7 +66,10 @@ impl MkpInstance {
         }
         for row in &weights {
             if row.len() != n {
-                return Err(KnapsackError::DimensionMismatch { expected: n, found: row.len() });
+                return Err(KnapsackError::DimensionMismatch {
+                    expected: n,
+                    found: row.len(),
+                });
             }
         }
         if capacities.contains(&0) {
@@ -73,7 +78,12 @@ impl MkpInstance {
                 reason: "must be at least 1",
             });
         }
-        Ok(MkpInstance { values, weights, capacities, label: String::new() })
+        Ok(MkpInstance {
+            values,
+            weights,
+            capacities,
+            label: String::new(),
+        })
     }
 
     /// Attaches a label (e.g. `"250-5-8"` for N=250, M=5, instance 8).
@@ -230,11 +240,14 @@ mod tests {
         assert!((m.density_surrogate() - 0.4).abs() < 1e-12);
         // for N=250 (Fig. 5): P = 5 d N = 5 * 2/(251) * 263 slack-extended... the
         // instance-level value uses item count only
-        assert!((2.0 / 251.0 - MkpInstance::new(
-            vec![1; 250],
-            vec![vec![1; 250]],
-            vec![10],
-        ).unwrap().density_surrogate()).abs() < 1e-12);
+        assert!(
+            (2.0 / 251.0
+                - MkpInstance::new(vec![1; 250], vec![vec![1; 250]], vec![10],)
+                    .unwrap()
+                    .density_surrogate())
+            .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl QkpInstance {
             return Err(KnapsackError::Empty { what: "items" });
         }
         if weights.len() != n {
-            return Err(KnapsackError::DimensionMismatch { expected: n, found: weights.len() });
+            return Err(KnapsackError::DimensionMismatch {
+                expected: n,
+                found: weights.len(),
+            });
         }
         if capacity == 0 {
             return Err(KnapsackError::InvalidParameter {

@@ -128,7 +128,11 @@ impl SlackEncoding {
                 coeffs
             }
         };
-        Ok(SlackEncoding { capacity, kind, coefficients })
+        Ok(SlackEncoding {
+            capacity,
+            kind,
+            coefficients,
+        })
     }
 
     /// The capacity `b` this encoding was built for.
@@ -185,11 +189,7 @@ impl SlackEncoding {
                 }
             }
             SlackKind::Hybrid { step } => {
-                let unary_bits = self
-                    .coefficients
-                    .iter()
-                    .take_while(|&&c| c == step)
-                    .count();
+                let unary_bits = self.coefficients.iter().take_while(|&&c| c == step).count();
                 let coarse = (value / step).min(unary_bits as u64) as usize;
                 for bit in bits.iter_mut().take(coarse) {
                     *bit = 1;
@@ -215,7 +215,11 @@ impl SlackEncoding {
     ///
     /// Panics if `bits.len() != self.num_bits()` or any bit exceeds 1.
     pub fn decode(&self, bits: &[u8]) -> u64 {
-        assert_eq!(bits.len(), self.coefficients.len(), "slack bit count mismatch");
+        assert_eq!(
+            bits.len(),
+            self.coefficients.len(),
+            "slack bit count mismatch"
+        );
         bits.iter()
             .zip(&self.coefficients)
             .map(|(&b, &c)| {
@@ -233,10 +237,23 @@ mod tests {
     #[test]
     fn bit_count_matches_paper_formula() {
         // Q = floor(log2(b) + 1)
-        for (b, q) in [(1u64, 1usize), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (42, 6), (1000, 10)] {
+        for (b, q) in [
+            (1u64, 1usize),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (42, 6),
+            (1000, 10),
+        ] {
             let expected = ((b as f64).log2() + 1.0).floor() as usize;
             assert_eq!(expected, q, "self-check for b={b}");
-            assert_eq!(SlackEncoding::for_capacity(b).unwrap().num_bits(), q, "b={b}");
+            assert_eq!(
+                SlackEncoding::for_capacity(b).unwrap().num_bits(),
+                q,
+                "b={b}"
+            );
         }
     }
 
@@ -329,7 +346,9 @@ mod tests {
         let hybrid = SlackEncoding::with_kind(cap, SlackKind::Hybrid { step: 8 })
             .unwrap()
             .num_bits();
-        let unary = SlackEncoding::with_kind(cap, SlackKind::Unary).unwrap().num_bits();
+        let unary = SlackEncoding::with_kind(cap, SlackKind::Unary)
+            .unwrap()
+            .num_bits();
         assert!(binary < hybrid, "binary {binary} < hybrid {hybrid}");
         assert!(hybrid < unary, "hybrid {hybrid} < unary {unary}");
     }

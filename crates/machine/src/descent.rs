@@ -34,7 +34,10 @@ pub struct GreedyDescent {
 impl GreedyDescent {
     /// Creates a descender with the given seed and a default sweep cap.
     pub fn new(seed: u64) -> Self {
-        GreedyDescent { rng: new_rng(seed), max_sweeps: 10_000 }
+        GreedyDescent {
+            rng: new_rng(seed),
+            max_sweeps: 10_000,
+        }
     }
 
     /// Sets the maximum number of greedy sweeps per solve.
@@ -92,7 +95,10 @@ mod tests {
         let model = b.build().to_ising();
         let out = GreedyDescent::new(4).solve(&model);
         for i in 0..model.len() {
-            assert!(model.delta_energy(&out.best, i) >= -1e-12, "flip {i} improves");
+            assert!(
+                model.delta_energy(&out.best, i) >= -1e-12,
+                "flip {i} improves"
+            );
         }
     }
 

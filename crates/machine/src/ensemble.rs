@@ -1,0 +1,342 @@
+//! Replica-ensemble annealing: R independent annealed runs across threads.
+//!
+//! The paper's experimental unit is "many independent annealed runs" — e.g.
+//! 2000 SA runs of 10³ MCS per instance (Table I). Runs are embarrassingly
+//! parallel, but naively sharing one RNG across threads would make results
+//! depend on scheduling. The [`EnsembleAnnealer`] instead derives one
+//! SplitMix64 stream per replica from a root seed
+//! ([`derive_seed`](crate::derive_seed)), runs each replica's
+//! [`SimulatedAnnealing`] to completion on its own thread, and reduces with
+//! an **ordered** best-of-ensemble rule (lowest best energy, ties broken by
+//! lowest replica index). The outcome is therefore bit-identical for 1, 2 or
+//! N threads — asserted by `tests/determinism.rs`.
+//!
+//! ```
+//! use saim_ising::QuboBuilder;
+//! use saim_machine::{BetaSchedule, EnsembleAnnealer, EnsembleConfig, IsingSolver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = QuboBuilder::new(4);
+//! for i in 0..4 { b.add_linear(i, -1.0)?; }
+//! let model = b.build().to_ising();
+//! let config = EnsembleConfig {
+//!     replicas: 4,
+//!     mcs_per_run: 100,
+//!     schedule: BetaSchedule::linear(8.0),
+//!     ..EnsembleConfig::default()
+//! };
+//! let mut ensemble = EnsembleAnnealer::new(config, 7);
+//! let out = ensemble.solve(&model);
+//! assert!((out.best_energy - (-4.0)).abs() < 1e-9);
+//! assert_eq!(out.mcs, 400); // summed over replicas
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::parallel;
+use crate::rng::derive_seed;
+use crate::sa::{Dynamics, SimulatedAnnealing};
+use crate::schedule::BetaSchedule;
+use crate::solver::{IsingSolver, SolveOutcome};
+use saim_ising::IsingModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a replica ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleConfig {
+    /// Number of independent replicas per [`EnsembleAnnealer::solve`] call.
+    pub replicas: usize,
+    /// Worker threads; `0` means all available cores. The thread count
+    /// affects wall-clock only, never results.
+    pub threads: usize,
+    /// The annealing schedule every replica follows.
+    pub schedule: BetaSchedule,
+    /// Monte Carlo sweeps per replica run.
+    pub mcs_per_run: usize,
+    /// The single-flip update rule (Gibbs is the paper's p-bit hardware).
+    pub dynamics: Dynamics,
+}
+
+impl Default for EnsembleConfig {
+    /// 8 replicas of the paper's QKP run (1000 MCS, linear β to 10) on all
+    /// cores.
+    fn default() -> Self {
+        EnsembleConfig {
+            replicas: 8,
+            threads: 0,
+            schedule: BetaSchedule::default(),
+            mcs_per_run: 1000,
+            dynamics: Dynamics::Gibbs,
+        }
+    }
+}
+
+impl EnsembleConfig {
+    fn validate(&self) {
+        assert!(self.replicas > 0, "an ensemble needs at least one replica");
+        assert!(self.mcs_per_run > 0, "a run needs at least one sweep");
+    }
+}
+
+/// One replica's run, tagged with its index and derived seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaOutcome {
+    /// Replica index within the ensemble (also the tie-break key).
+    pub replica: usize,
+    /// The derived seed this replica's stream started from.
+    pub seed: u64,
+    /// The full annealing outcome of the replica.
+    pub outcome: SolveOutcome,
+}
+
+/// Everything one ensemble invocation produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleOutcome {
+    /// Index of the winning replica (lowest best energy, lowest index on
+    /// ties).
+    pub best_replica: usize,
+    /// Per-replica telemetry, in replica order.
+    pub replicas: Vec<ReplicaOutcome>,
+    /// Total Monte Carlo sweeps across the ensemble.
+    pub mcs_total: u64,
+}
+
+impl EnsembleOutcome {
+    /// The winning replica's outcome.
+    pub fn best(&self) -> &SolveOutcome {
+        &self.replicas[self.best_replica].outcome
+    }
+
+    /// Collapses the ensemble into a single [`SolveOutcome`]: best/last are
+    /// read from the winning replica, sweeps are summed over all replicas.
+    pub fn reduce(&self) -> SolveOutcome {
+        let winner = self.best();
+        SolveOutcome {
+            last: winner.last.clone(),
+            last_energy: winner.last_energy,
+            best: winner.best.clone(),
+            best_energy: winner.best_energy,
+            mcs: self.mcs_total,
+        }
+    }
+}
+
+/// Runs R independent replicas of one model across threads with
+/// deterministic per-replica RNG streams and an ordered reduction.
+///
+/// The annealer is [`IsingSolver`]-compatible, so anything that drives a
+/// [`SimulatedAnnealing`] — the SAIM outer loop in particular — can swap in
+/// an ensemble unchanged; each `solve` call then reads the best of R runs
+/// instead of one.
+#[derive(Debug, Clone)]
+pub struct EnsembleAnnealer {
+    config: EnsembleConfig,
+    root_seed: u64,
+    /// Batches issued so far: consecutive `solve` calls use fresh stream
+    /// blocks, exactly like consecutive runs of a serial solver.
+    batches: u64,
+}
+
+impl EnsembleAnnealer {
+    /// Creates an ensemble from a configuration and a root seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`EnsembleConfig`]).
+    pub fn new(config: EnsembleConfig, root_seed: u64) -> Self {
+        config.validate();
+        EnsembleAnnealer {
+            config,
+            root_seed,
+            batches: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> EnsembleConfig {
+        self.config
+    }
+
+    /// The root seed replica streams derive from.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The seed of replica `index` within batch `batch` — SplitMix64-derived
+    /// twice, so streams never collide across replicas or batches.
+    pub fn replica_seed(&self, batch: u64, index: u64) -> u64 {
+        derive_seed(derive_seed(self.root_seed, batch), index)
+    }
+
+    /// Runs `count` independent annealed runs of `model` in parallel and
+    /// returns their outcomes **in run order** (thread-count invariant).
+    ///
+    /// This is the run-level engine behind both the ensemble reduction and
+    /// the baselines' "K runs of 10³ MCS" repetition loops.
+    pub fn solve_runs(&mut self, model: &IsingModel, count: usize) -> Vec<SolveOutcome> {
+        let batch = self.batches;
+        self.batches += 1;
+        let config = self.config;
+        parallel::parallel_map_indexed(count, config.threads, |i| {
+            let seed = self.replica_seed(batch, i as u64);
+            SimulatedAnnealing::new(config.schedule, config.mcs_per_run, seed)
+                .with_dynamics(config.dynamics)
+                .solve(model)
+        })
+    }
+
+    /// Runs the configured ensemble once with full per-replica telemetry.
+    pub fn solve_ensemble(&mut self, model: &IsingModel) -> EnsembleOutcome {
+        let batch = self.batches;
+        let outcomes = self.solve_runs(model, self.config.replicas);
+        let mut mcs_total = 0u64;
+        let mut best_replica = 0usize;
+        let mut best_energy = f64::INFINITY;
+        let replicas: Vec<ReplicaOutcome> = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(replica, outcome)| {
+                mcs_total += outcome.mcs;
+                // ordered reduction: strict < keeps the lowest index on ties
+                if outcome.best_energy < best_energy {
+                    best_energy = outcome.best_energy;
+                    best_replica = replica;
+                }
+                ReplicaOutcome {
+                    replica,
+                    seed: self.replica_seed(batch, replica as u64),
+                    outcome,
+                }
+            })
+            .collect();
+        EnsembleOutcome {
+            best_replica,
+            replicas,
+            mcs_total,
+        }
+    }
+}
+
+impl IsingSolver for EnsembleAnnealer {
+    fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
+        self.solve_ensemble(model).reduce()
+    }
+
+    fn mcs_per_solve(&self, _n: usize) -> u64 {
+        (self.config.replicas * self.config.mcs_per_run) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "replica-ensemble annealing (p-bit)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saim_ising::{BinaryState, QuboBuilder};
+
+    fn planted_model() -> (IsingModel, f64) {
+        // E(x) = Σ (x_i - t_i)² with t = 101101: unique ground state at t
+        let target = BinaryState::from_bits(&[1, 0, 1, 1, 0, 1]);
+        let mut b = QuboBuilder::new(6);
+        for i in 0..6 {
+            let t = f64::from(target.bit(i));
+            b.add_linear(i, 1.0 - 2.0 * t).unwrap();
+            b.add_offset(t);
+        }
+        let q = b.build();
+        let opt = q.energy(&target);
+        (q.to_ising(), opt)
+    }
+
+    fn config(replicas: usize, threads: usize) -> EnsembleConfig {
+        EnsembleConfig {
+            replicas,
+            threads,
+            schedule: BetaSchedule::linear(6.0),
+            mcs_per_run: 60,
+            dynamics: Dynamics::Gibbs,
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let (model, _) = planted_model();
+        let reference = EnsembleAnnealer::new(config(6, 1), 42).solve_ensemble(&model);
+        for threads in [2, 3, 8] {
+            let got = EnsembleAnnealer::new(config(6, threads), 42).solve_ensemble(&model);
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_reference_runs() {
+        let (model, _) = planted_model();
+        let mut ensemble = EnsembleAnnealer::new(config(5, 0), 9);
+        let out = ensemble.solve_ensemble(&model);
+        for r in &out.replicas {
+            let mut serial = SimulatedAnnealing::new(BetaSchedule::linear(6.0), 60, r.seed);
+            assert_eq!(serial.solve(&model), r.outcome, "replica {}", r.replica);
+        }
+    }
+
+    #[test]
+    fn reduction_picks_lowest_energy_then_lowest_index() {
+        let (model, _) = planted_model();
+        let mut ensemble = EnsembleAnnealer::new(config(8, 0), 3);
+        let out = ensemble.solve_ensemble(&model);
+        let min = out
+            .replicas
+            .iter()
+            .map(|r| r.outcome.best_energy)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(out.best().best_energy, min);
+        let first_at_min = out
+            .replicas
+            .iter()
+            .position(|r| r.outcome.best_energy == min)
+            .unwrap();
+        assert_eq!(out.best_replica, first_at_min);
+    }
+
+    #[test]
+    fn ensemble_finds_planted_ground_state() {
+        let (model, opt) = planted_model();
+        let cfg = EnsembleConfig {
+            mcs_per_run: 200,
+            ..config(8, 0)
+        };
+        let out = EnsembleAnnealer::new(cfg, 1).solve(&model);
+        assert!((out.best_energy - opt).abs() < 1e-9);
+        assert_eq!(out.mcs, 8 * 200);
+    }
+
+    #[test]
+    fn consecutive_solves_are_distinct_batches() {
+        let (model, _) = planted_model();
+        let cfg = EnsembleConfig {
+            schedule: BetaSchedule::linear(0.1),
+            mcs_per_run: 5,
+            ..config(4, 0)
+        };
+        let mut ensemble = EnsembleAnnealer::new(cfg, 5);
+        let a = ensemble.solve(&model);
+        let b = ensemble.solve(&model);
+        // at high temperature two short batches almost surely read differently
+        assert_ne!(a.last, b.last);
+    }
+
+    #[test]
+    fn solver_facade_reports_budget() {
+        let ensemble = EnsembleAnnealer::new(config(4, 0), 0);
+        assert_eq!(ensemble.mcs_per_solve(10), 240);
+        assert_eq!(ensemble.name(), "replica-ensemble annealing (p-bit)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn rejects_zero_replicas() {
+        let _ = EnsembleAnnealer::new(config(0, 0), 0);
+    }
+}

@@ -28,6 +28,13 @@
 //!   from 0 to `β_max` per run),
 //! - [`SimulatedAnnealing`] — one annealed run reading the last sample, as
 //!   SAIM's inner minimizer,
+//! - [`EnsembleAnnealer`] — R independent replicas of a model annealed
+//!   across threads with deterministic per-replica RNG streams and an
+//!   ordered best-of-ensemble reduction (bit-identical for any thread
+//!   count); the run-level engine behind the bench harness's repetition
+//!   loops,
+//! - [`parallel`] — the deterministic fork–join primitive the ensemble (and
+//!   the bench harness's instance grids) run on,
 //! - [`ParallelTempering`] — a replica-exchange solver standing in for the
 //!   PT-DA baseline of the paper's evaluation,
 //! - [`GreedyDescent`] — deterministic single-flip descent, useful as a
@@ -60,6 +67,8 @@
 #![warn(missing_docs)]
 
 mod descent;
+mod ensemble;
+pub mod parallel;
 mod pbit;
 mod pt;
 mod rng;
@@ -69,6 +78,7 @@ mod solver;
 mod telemetry;
 
 pub use descent::GreedyDescent;
+pub use ensemble::{EnsembleAnnealer, EnsembleConfig, EnsembleOutcome, ReplicaOutcome};
 pub use pbit::PbitMachine;
 pub use pt::{ParallelTempering, PtConfig};
 pub use rng::{derive_seed, new_rng};

@@ -1,0 +1,142 @@
+//! Deterministic fork–join helpers on OS threads.
+//!
+//! The build container has no registry access, so instead of `rayon` this
+//! module provides the one primitive the replica-ensemble engine needs: an
+//! indexed parallel map whose output is ordered by index and therefore
+//! **independent of thread count and scheduling**. Work items are handed out
+//! dynamically through an atomic cursor (load balancing), but every item's
+//! result lands in its own slot, so the reduction the caller performs over
+//! the returned `Vec` is bit-identical to a serial run.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads to use when the caller asks for "all cores".
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+std::thread_local! {
+    /// Whether the current thread is a `parallel_map_indexed` worker.
+    /// Auto-sized (`threads == 0`) maps called from inside a worker run
+    /// inline instead of spawning a nested all-cores pool — an outer
+    /// instance grid over inner run ensembles would otherwise oversubscribe
+    /// the machine with up to cores² threads.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Maps `f` over `0..count` using up to `threads` OS threads, returning the
+/// results in index order.
+///
+/// `threads == 0` means [`available_threads`] — except inside another
+/// auto-sized map's worker, where it means 1 (no nested pools). An explicit
+/// thread count is always honored. The effective parallelism is also capped
+/// at `count`. With one effective thread the map runs inline on the
+/// caller's thread — no pool, no overhead. None of this ever changes
+/// results, only wall-clock.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        if IN_POOL.with(std::cell::Cell::get) {
+            1
+        } else {
+            available_threads()
+        }
+    } else {
+        threads
+    };
+    let threads = threads.min(count).max(1);
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    // the receiver loop below outlives every sender clone, so
+                    // this cannot fail; a worker panic surfaces at scope join
+                    tx.send((i, f(i))).expect("receiver outlives the workers");
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered_for_any_thread_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let got = parallel_map_indexed(97, threads, |i| i * i);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(parallel_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn oversubscription_is_capped() {
+        // more threads than items must still produce every item once
+        let got = parallel_map_indexed(3, 100, |i| i);
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_auto_maps_run_inline_and_stay_correct() {
+        // outer auto pool × inner auto pool: inner must not spawn (no
+        // cores² oversubscription) and results must match the serial map
+        let got = parallel_map_indexed(6, 0, |i| parallel_map_indexed(4, 0, move |j| i * 10 + j));
+        let expect: Vec<Vec<usize>> = (0..6)
+            .map(|i| (0..4).map(|j| i * 10 + j).collect())
+            .collect();
+        assert_eq!(got, expect);
+        // an explicit inner thread count is still honored inside a pool
+        let got = parallel_map_indexed(2, 0, |i| parallel_map_indexed(3, 2, move |j| i + j));
+        assert_eq!(got, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+}

@@ -35,6 +35,9 @@ use saim_ising::{Couplings, IsingModel, Spin, SpinState};
 #[derive(Debug, Clone)]
 pub struct PbitMachine {
     state: SpinState,
+    /// `±1.0` mirror of `state`: the sweep hot path works on floats so the
+    /// local-field updates and dot products never convert `i8 → f64`.
+    spins_f: Vec<f64>,
     local_fields: Vec<f64>,
     energy: f64,
     flips: u64,
@@ -44,7 +47,13 @@ impl PbitMachine {
     /// Creates a machine with a uniformly random initial state.
     pub fn new(model: &IsingModel, rng: &mut ChaCha8Rng) -> Self {
         let state: SpinState = (0..model.len())
-            .map(|_| if rng.gen::<bool>() { Spin::Up } else { Spin::Down })
+            .map(|_| {
+                if rng.gen::<bool>() {
+                    Spin::Up
+                } else {
+                    Spin::Down
+                }
+            })
             .collect();
         Self::with_state(model, state)
     }
@@ -56,11 +65,50 @@ impl PbitMachine {
     /// Panics if `state.len() != model.len()`.
     pub fn with_state(model: &IsingModel, state: SpinState) -> Self {
         assert_eq!(state.len(), model.len(), "state length mismatch");
-        let local_fields: Vec<f64> = (0..model.len())
-            .map(|i| model.local_field(&state, i))
-            .collect();
-        let energy = model.energy(&state);
-        PbitMachine { state, local_fields, energy, flips: 0 }
+        let spins_f: Vec<f64> = state.values().iter().map(|&v| f64::from(v)).collect();
+        let mut machine = PbitMachine {
+            state,
+            spins_f,
+            local_fields: vec![0.0; model.len()],
+            energy: 0.0,
+            flips: 0,
+        };
+        machine.recompute_books(model);
+        machine
+    }
+
+    /// Rebuilds the local fields (O(N²) on dense models) and then the energy
+    /// in O(N) via [`PbitMachine::energy_from_fields`].
+    fn recompute_books(&mut self, model: &IsingModel) {
+        let couplings = model.couplings();
+        for (i, (field, &h)) in self.local_fields.iter_mut().zip(model.fields()).enumerate() {
+            *field = couplings.row_dot_f64(i, &self.spins_f) + h;
+        }
+        self.energy = self.energy_from_fields(model);
+    }
+
+    /// The model energy recomputed in O(N) from the incrementally-maintained
+    /// local fields:
+    ///
+    /// ```text
+    /// H = offset − ½ Σ_i s_i (I_i + h_i)
+    /// ```
+    ///
+    /// (since `I_i = Σ_j J_ij s_j + h_i`, the pair term is
+    /// `½ Σ_i s_i (I_i − h_i)`). This replaces the O(N²) `model.energy`
+    /// recompute everywhere the machine already holds current fields — the
+    /// SAIM λ-resync path in particular.
+    pub fn energy_from_fields(&self, model: &IsingModel) -> f64 {
+        let mut acc = 0.0;
+        for ((&s, &f), &h) in self
+            .spins_f
+            .iter()
+            .zip(&self.local_fields)
+            .zip(model.fields())
+        {
+            acc += s * (f + h);
+        }
+        model.offset() - 0.5 * acc
     }
 
     /// The current spin configuration.
@@ -93,26 +141,30 @@ impl PbitMachine {
     /// keeping the spin state.
     pub fn resync(&mut self, model: &IsingModel) {
         assert_eq!(self.state.len(), model.len(), "state length mismatch");
-        for i in 0..model.len() {
-            self.local_fields[i] = model.local_field(&self.state, i);
-        }
-        self.energy = model.energy(&self.state);
+        self.recompute_books(model);
     }
 
     /// Re-randomizes the spin state uniformly (the start of a fresh SA run).
     pub fn randomize(&mut self, model: &IsingModel, rng: &mut ChaCha8Rng) {
         for i in 0..self.state.len() {
-            let spin = if rng.gen::<bool>() { Spin::Up } else { Spin::Down };
+            let spin = if rng.gen::<bool>() {
+                Spin::Up
+            } else {
+                Spin::Down
+            };
             self.state.set(i, spin);
+            self.spins_f[i] = f64::from(spin.value());
         }
         self.resync(model);
     }
 
+    #[inline]
     fn apply_flip(&mut self, model: &IsingModel, i: usize) {
-        let old = f64::from(self.state.value(i));
+        let old = self.spins_f[i];
         // ΔH for flipping spin i is 2 s_i I_i
         self.energy += 2.0 * old * self.local_fields[i];
         self.state.flip(i);
+        self.spins_f[i] = -old;
         let delta = -2.0 * old; // new - old spin value
         match model.couplings() {
             Couplings::Dense(m) => {
@@ -140,12 +192,28 @@ impl PbitMachine {
     /// Panics if the machine was built for a different model size.
     pub fn sweep(&mut self, model: &IsingModel, beta: f64, rng: &mut ChaCha8Rng) -> usize {
         assert_eq!(self.state.len(), model.len(), "state length mismatch");
+        // beyond this input, tanh(x) rounds to exactly ±1.0 in f64
+        // (2e^{-2x} < 2^{-53} ulp), and sign(±1 + u) with u ∈ [-1, 1) is the
+        // sign of the saturated activation for every drawable u — the update
+        // is deterministic, so both the tanh and the noise draw are skipped.
+        // This is exact, not approximate: cold sweeps (large β·I) cost a
+        // compare instead of a transcendental plus an RNG advance.
+        const SATURATION: f64 = 20.0;
         let mut changed = 0;
         for i in 0..self.state.len() {
-            let activation = (beta * self.local_fields[i]).tanh();
-            let noise: f64 = rng.gen_range(-1.0..1.0);
-            let new_spin = Spin::from_sign(activation + noise);
-            if new_spin.value() != self.state.value(i) {
+            // fused activation/noise decision: m_i = sign(tanh(βI_i) + U(−1,1));
+            // a flip happens iff the drawn sign disagrees with the cached spin
+            let drive = beta * self.local_fields[i];
+            let new_up = if drive >= SATURATION {
+                true
+            } else if drive <= -SATURATION {
+                false
+            } else {
+                let activation = drive.tanh();
+                let noise: f64 = rng.gen_range(-1.0..1.0);
+                activation + noise >= 0.0
+            };
+            if new_up != (self.spins_f[i] > 0.0) {
                 self.apply_flip(model, i);
                 changed += 1;
             }
@@ -167,11 +235,16 @@ impl PbitMachine {
     /// # Panics
     ///
     /// Panics if the machine was built for a different model size.
-    pub fn metropolis_sweep(&mut self, model: &IsingModel, beta: f64, rng: &mut ChaCha8Rng) -> usize {
+    pub fn metropolis_sweep(
+        &mut self,
+        model: &IsingModel,
+        beta: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> usize {
         assert_eq!(self.state.len(), model.len(), "state length mismatch");
         let mut changed = 0;
         for i in 0..self.state.len() {
-            let delta = 2.0 * f64::from(self.state.value(i)) * self.local_fields[i];
+            let delta = 2.0 * self.spins_f[i] * self.local_fields[i];
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp();
             if accept {
                 self.apply_flip(model, i);
@@ -189,7 +262,7 @@ impl PbitMachine {
         assert_eq!(self.state.len(), model.len(), "state length mismatch");
         let mut changed = 0;
         for i in 0..self.state.len() {
-            let delta = 2.0 * f64::from(self.state.value(i)) * self.local_fields[i];
+            let delta = 2.0 * self.spins_f[i] * self.local_fields[i];
             if delta < 0.0 {
                 self.apply_flip(model, i);
                 changed += 1;

@@ -43,7 +43,10 @@ impl PtConfig {
     ///
     /// Panics if any count is zero or the β range is not positive-increasing.
     fn validate(&self) {
-        assert!(self.replicas >= 2, "parallel tempering needs at least two replicas");
+        assert!(
+            self.replicas >= 2,
+            "parallel tempering needs at least two replicas"
+        );
         assert!(self.sweeps > 0, "sweeps must be positive");
         assert!(self.swap_interval > 0, "swap interval must be positive");
         assert!(
@@ -57,7 +60,11 @@ impl PtConfig {
         let r = self.replicas;
         (0..r)
             .map(|k| {
-                let frac = if r == 1 { 1.0 } else { k as f64 / (r - 1) as f64 };
+                let frac = if r == 1 {
+                    1.0
+                } else {
+                    k as f64 / (r - 1) as f64
+                };
                 self.beta_min * (self.beta_max / self.beta_min).powf(frac)
             })
             .collect()
@@ -190,7 +197,8 @@ mod tests {
                 let sign = if (i + j) % 3 == 0 { 1.0 } else { -0.5 };
                 b.add_pair(i, j, sign).unwrap();
             }
-            b.add_linear(i, if i % 2 == 0 { -0.7 } else { 0.3 }).unwrap();
+            b.add_linear(i, if i % 2 == 0 { -0.7 } else { 0.3 })
+                .unwrap();
         }
         b.build().to_ising()
     }
@@ -205,7 +213,11 @@ mod tests {
     fn finds_ground_state_of_rugged_model() {
         let model = rugged_model();
         let opt = brute_min(&model);
-        let cfg = PtConfig { replicas: 8, sweeps: 400, ..PtConfig::default() };
+        let cfg = PtConfig {
+            replicas: 8,
+            sweeps: 400,
+            ..PtConfig::default()
+        };
         let out = ParallelTempering::new(cfg, 5).solve(&model);
         assert!(
             (out.best_energy - opt).abs() < 1e-9,
@@ -216,7 +228,12 @@ mod tests {
 
     #[test]
     fn ladder_is_geometric_and_monotone() {
-        let cfg = PtConfig { replicas: 5, beta_min: 0.2, beta_max: 20.0, ..PtConfig::default() };
+        let cfg = PtConfig {
+            replicas: 5,
+            beta_min: 0.2,
+            beta_max: 20.0,
+            ..PtConfig::default()
+        };
         let ladder = cfg.ladder();
         assert_eq!(ladder.len(), 5);
         assert!((ladder[0] - 0.2).abs() < 1e-12);
@@ -233,16 +250,27 @@ mod tests {
     #[test]
     fn swaps_do_occur() {
         let model = rugged_model();
-        let cfg = PtConfig { replicas: 6, sweeps: 200, ..PtConfig::default() };
+        let cfg = PtConfig {
+            replicas: 6,
+            sweeps: 200,
+            ..PtConfig::default()
+        };
         let mut pt = ParallelTempering::new(cfg, 1);
         let _ = pt.solve(&model);
         assert!(pt.swap_attempts > 0);
-        assert!(pt.swap_acceptance() > 0.0, "no replica exchange ever accepted");
+        assert!(
+            pt.swap_acceptance() > 0.0,
+            "no replica exchange ever accepted"
+        );
     }
 
     #[test]
     fn mcs_counts_all_replicas() {
-        let cfg = PtConfig { replicas: 4, sweeps: 50, ..PtConfig::default() };
+        let cfg = PtConfig {
+            replicas: 4,
+            sweeps: 50,
+            ..PtConfig::default()
+        };
         let mut pt = ParallelTempering::new(cfg, 2);
         let model = rugged_model();
         let out = pt.solve(&model);
@@ -258,7 +286,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two replicas")]
     fn rejects_single_replica() {
-        let cfg = PtConfig { replicas: 1, ..PtConfig::default() };
+        let cfg = PtConfig {
+            replicas: 1,
+            ..PtConfig::default()
+        };
         let _ = ParallelTempering::new(cfg, 0);
     }
 }

@@ -31,8 +31,7 @@ pub fn new_rng(seed: u64) -> ChaCha8Rng {
 /// assert_eq!(a, saim_machine::derive_seed(1, 0));
 /// ```
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -63,7 +62,10 @@ mod tests {
     fn derived_streams_are_distinct() {
         let mut seen = std::collections::HashSet::new();
         for stream in 0..256 {
-            assert!(seen.insert(derive_seed(42, stream)), "collision at {stream}");
+            assert!(
+                seen.insert(derive_seed(42, stream)),
+                "collision at {stream}"
+            );
         }
     }
 

@@ -3,7 +3,7 @@ use crate::rng::new_rng;
 use crate::schedule::BetaSchedule;
 use crate::solver::{IsingSolver, SolveOutcome};
 use rand_chacha::ChaCha8Rng;
-use saim_ising::IsingModel;
+use saim_ising::{IsingModel, SpinState};
 
 /// Simulated annealing on the p-bit machine (paper section III-B).
 ///
@@ -37,6 +37,10 @@ pub struct SimulatedAnnealing {
     mcs_per_run: usize,
     rng: ChaCha8Rng,
     machine: Option<PbitMachine>,
+    /// Preallocated best-state buffer: improvements are `copy_from_slice`
+    /// overwrites instead of fresh clones (an improvement can happen on a
+    /// large fraction of sweeps early in a run).
+    best_buf: Option<SpinState>,
     dynamics: Dynamics,
 }
 
@@ -45,7 +49,7 @@ pub struct SimulatedAnnealing {
 /// Both rules sample the same Boltzmann distribution in equilibrium; the
 /// p-bit (Gibbs) rule is the paper's hardware model, Metropolis is the
 /// digital-annealer convention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Dynamics {
     /// p-bit Gibbs update `m_i = sign(tanh(βI_i) + U(-1,1))` (paper eq. 10).
     #[default]
@@ -67,6 +71,7 @@ impl SimulatedAnnealing {
             mcs_per_run,
             rng: new_rng(seed),
             machine: None,
+            best_buf: None,
             dynamics: Dynamics::Gibbs,
         }
     }
@@ -105,7 +110,16 @@ impl IsingSolver for SimulatedAnnealing {
                 self.machine.as_mut().expect("just set")
             }
         };
-        let mut best = machine.state().clone();
+        let best = match &mut self.best_buf {
+            Some(b) if b.len() == model.len() => {
+                b.copy_from(machine.state());
+                b
+            }
+            _ => {
+                self.best_buf = Some(machine.state().clone());
+                self.best_buf.as_mut().expect("just set")
+            }
+        };
         let mut best_energy = machine.energy();
         for step in 0..self.mcs_per_run {
             let beta = self.schedule.beta_at(step, self.mcs_per_run);
@@ -115,13 +129,13 @@ impl IsingSolver for SimulatedAnnealing {
             };
             if machine.energy() < best_energy {
                 best_energy = machine.energy();
-                best = machine.state().clone();
+                best.copy_from(machine.state());
             }
         }
         SolveOutcome {
             last: machine.state().clone(),
             last_energy: machine.energy(),
-            best,
+            best: best.clone(),
             best_energy,
             mcs: self.mcs_per_run as u64,
         }

@@ -43,7 +43,10 @@ impl BetaSchedule {
     ///
     /// Panics if `beta_max` is negative or non-finite.
     pub fn linear(beta_max: f64) -> Self {
-        assert!(beta_max.is_finite() && beta_max >= 0.0, "beta_max must be finite and non-negative");
+        assert!(
+            beta_max.is_finite() && beta_max >= 0.0,
+            "beta_max must be finite and non-negative"
+        );
         BetaSchedule::Linear { beta_max }
     }
 
@@ -66,7 +69,10 @@ impl BetaSchedule {
     ///
     /// Panics if `beta` is negative or non-finite.
     pub fn constant(beta: f64) -> Self {
-        assert!(beta.is_finite() && beta >= 0.0, "beta must be finite and non-negative");
+        assert!(
+            beta.is_finite() && beta >= 0.0,
+            "beta must be finite and non-negative"
+        );
         BetaSchedule::Constant { beta }
     }
 

@@ -81,7 +81,12 @@ mod tests {
 
     #[test]
     fn record_roundtrips_json() {
-        let r = RunRecord { run: 3, cost: -12.5, feasible: true, mcs_cumulative: 4000 };
+        let r = RunRecord {
+            run: 3,
+            cost: -12.5,
+            feasible: true,
+            mcs_cumulative: 4000,
+        };
         let s = serde_json::to_string(&r).unwrap();
         assert_eq!(serde_json::from_str::<RunRecord>(&s).unwrap(), r);
     }

@@ -19,9 +19,20 @@ use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let jobs = [
-        "resnet-infer", "bert-embed", "bert-rank", "whisper-small", "llm-draft",
-        "llm-verify", "ocr-batch", "rec-retrieval", "rec-rank", "tts-stream",
-        "vision-detect", "vision-track", "asr-align", "翻译-batch",
+        "resnet-infer",
+        "bert-embed",
+        "bert-rank",
+        "whisper-small",
+        "llm-draft",
+        "llm-verify",
+        "ocr-batch",
+        "rec-retrieval",
+        "rec-rank",
+        "tts-stream",
+        "vision-detect",
+        "vision-track",
+        "asr-align",
+        "翻译-batch",
     ];
     // standalone value (throughput gain) and memory footprint (GB)
     let value = vec![40, 55, 50, 35, 90, 85, 20, 60, 58, 25, 45, 42, 18, 30];
@@ -70,8 +81,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let exact = bb::solve_qkp(&instance, BbLimits::default());
     let mut greedy_sel = greedy::qkp(&instance);
     local::improve_qkp(&instance, &mut greedy_sel);
-    println!("\nexact optimum: {} ({})", exact.profit,
-        if exact.proven_optimal { "certified" } else { "incumbent" });
+    println!(
+        "\nexact optimum: {} ({})",
+        exact.profit,
+        if exact.proven_optimal {
+            "certified"
+        } else {
+            "incumbent"
+        }
+    );
     println!("greedy + local search: {}", instance.profit(&greedy_sel));
     println!(
         "SAIM reached {:.1}% of optimal; synergy pairs captured make the difference\n\

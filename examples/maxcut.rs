@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "16-vertex graph: annealed cut = {sa_cut}, exact max cut = {exact_cut} ({})",
-        if (sa_cut - exact_cut).abs() < 1e-9 { "optimal" } else { "suboptimal" }
+        if (sa_cut - exact_cut).abs() < 1e-9 {
+            "optimal"
+        } else {
+            "suboptimal"
+        }
     );
     // the energy identity cut = (W_total - H)/2
     let recovered = small.cut_from_energy(out.best_energy);

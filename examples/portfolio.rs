@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         "warehouse-robots",
         "support-portal",
     ];
-    let returns = vec![180, 95, 130, 220, 75, 60, 110, 45, 150, 85, 240, 55, 200, 70];
+    let returns = vec![
+        180, 95, 130, 220, 75, 60, 110, 45, 150, 85, 240, 55, 200, 70,
+    ];
     // resource consumption per project: capital (k$), engineers, review hours
     let capital = vec![120, 40, 80, 150, 30, 25, 60, 20, 90, 45, 160, 35, 140, 30];
     let engineers = vec![6, 3, 5, 8, 2, 2, 4, 1, 6, 3, 9, 2, 7, 2];

@@ -71,7 +71,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!(
         "packed items: {:?}",
-        (0..selection.len()).filter(|&i| selection[i] == 1).collect::<Vec<_>>()
+        (0..selection.len())
+            .filter(|&i| selection[i] == 1)
+            .collect::<Vec<_>>()
     );
     println!(
         "weight used: {}/{}",

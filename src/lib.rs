@@ -1,0 +1,14 @@
+//! Workspace facade crate.
+//!
+//! Re-exports every SAIM crate under one roof so the repo-level integration
+//! tests (`tests/`) and examples (`examples/`) have a single package to hang
+//! off, and downstream users can depend on `saim` alone.
+
+#![forbid(unsafe_code)]
+
+pub use saim_core as core;
+pub use saim_exact as exact;
+pub use saim_heuristics as heuristics;
+pub use saim_ising as ising;
+pub use saim_knapsack as knapsack;
+pub use saim_machine as machine;

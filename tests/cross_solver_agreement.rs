@@ -44,7 +44,8 @@ fn sa_and_pt_find_the_same_ground_state_on_small_models() {
             let v = if (i * 7 + j * 3) % 4 == 0 { 1.0 } else { -0.6 };
             b.add_pair(i, j, v).expect("valid pair");
         }
-        b.add_linear(i, if i % 2 == 0 { -0.4 } else { 0.3 }).expect("valid index");
+        b.add_linear(i, if i % 2 == 0 { -0.4 } else { 0.3 })
+            .expect("valid index");
     }
     let model = b.build().to_ising();
     let brute_min = (0u64..1024)
@@ -53,12 +54,22 @@ fn sa_and_pt_find_the_same_ground_state_on_small_models() {
 
     let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(12.0), 600, 2);
     let sa_best = sa.solve(&model).best_energy;
-    assert!((sa_best - brute_min).abs() < 1e-9, "SA missed: {sa_best} vs {brute_min}");
+    assert!(
+        (sa_best - brute_min).abs() < 1e-9,
+        "SA missed: {sa_best} vs {brute_min}"
+    );
 
-    let cfg = PtConfig { replicas: 8, sweeps: 400, ..PtConfig::default() };
+    let cfg = PtConfig {
+        replicas: 8,
+        sweeps: 400,
+        ..PtConfig::default()
+    };
     let mut pt = ParallelTempering::new(cfg, 2);
     let pt_best = pt.solve(&model).best_energy;
-    assert!((pt_best - brute_min).abs() < 1e-9, "PT missed: {pt_best} vs {brute_min}");
+    assert!(
+        (pt_best - brute_min).abs() < 1e-9,
+        "PT missed: {pt_best} vs {brute_min}"
+    );
 }
 
 #[test]
@@ -67,7 +78,11 @@ fn ga_never_exceeds_certified_optimum() {
         let m = generate::mkp(12, 2, 0.5, seed).expect("valid parameters");
         let exact = brute::mkp(&m);
         let ga = ChuBeasleyGa::new(
-            GaConfig { population: 30, generations: 800, ..GaConfig::default() },
+            GaConfig {
+                population: 30,
+                generations: 800,
+                ..GaConfig::default()
+            },
             seed,
         )
         .run(&m);

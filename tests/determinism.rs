@@ -6,7 +6,8 @@ use saim_core::{ConstrainedProblem, SaimConfig, SaimRunner};
 use saim_heuristics::ga::{ChuBeasleyGa, GaConfig};
 use saim_knapsack::{generate, io};
 use saim_machine::{
-    derive_seed, BetaSchedule, IsingSolver, ParallelTempering, PtConfig, SimulatedAnnealing,
+    derive_seed, BetaSchedule, Dynamics, EnsembleAnnealer, EnsembleConfig, IsingSolver,
+    ParallelTempering, PtConfig, SimulatedAnnealing,
 };
 
 #[test]
@@ -58,17 +59,84 @@ fn pt_and_ga_replay_under_fixed_seed() {
     let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(40.0))
         .expect("valid penalty")
         .to_ising();
-    let cfg = PtConfig { replicas: 6, sweeps: 120, ..PtConfig::default() };
+    let cfg = PtConfig {
+        replicas: 6,
+        sweeps: 120,
+        ..PtConfig::default()
+    };
     let a = ParallelTempering::new(cfg, 9).solve(&model);
     let b = ParallelTempering::new(cfg, 9).solve(&model);
     assert_eq!(a, b);
 
     let mkp = generate::mkp(20, 3, 0.5, 4).expect("valid");
-    let ga_cfg = GaConfig { population: 20, generations: 300, ..GaConfig::default() };
+    let ga_cfg = GaConfig {
+        population: 20,
+        generations: 300,
+        ..GaConfig::default()
+    };
     assert_eq!(
         ChuBeasleyGa::new(ga_cfg, 1).run(&mkp),
         ChuBeasleyGa::new(ga_cfg, 1).run(&mkp)
     );
+}
+
+#[test]
+fn ensemble_outcome_is_invariant_in_thread_count() {
+    // the replica-ensemble engine must produce bit-identical outcomes for
+    // 1, 2 and N rayon-style worker threads, and each replica must replay a
+    // serial reference run of its derived stream
+    let inst = generate::qkp(25, 0.5, 21).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(2.0))
+        .expect("valid penalty")
+        .to_ising();
+    let config = |threads: usize| EnsembleConfig {
+        replicas: 6,
+        threads,
+        schedule: BetaSchedule::linear(10.0),
+        mcs_per_run: 150,
+        dynamics: Dynamics::Gibbs,
+    };
+    let serial = EnsembleAnnealer::new(config(1), 77).solve_ensemble(&model);
+    for threads in [2, 4, 0] {
+        let parallel = EnsembleAnnealer::new(config(threads), 77).solve_ensemble(&model);
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+    // serial reference: replica i is exactly one SimulatedAnnealing run of
+    // the derived seed, executed with no ensemble machinery at all
+    for r in &serial.replicas {
+        let reference =
+            SimulatedAnnealing::new(BetaSchedule::linear(10.0), 150, r.seed).solve(&model);
+        assert_eq!(r.outcome, reference, "replica {}", r.replica);
+    }
+}
+
+#[test]
+fn saim_ensemble_path_is_invariant_in_thread_count() {
+    // the full SAIM outer loop on the ensemble engine: root seed comes from
+    // SaimConfig::seed, outcomes must not depend on worker threads
+    let inst = generate::qkp(20, 0.5, 9).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let config = SaimConfig {
+        penalty: enc.penalty_for_alpha(2.0),
+        eta: 20.0,
+        iterations: 15,
+        seed: 31,
+    };
+    let run = |threads: usize| {
+        let ensemble = EnsembleConfig {
+            replicas: 4,
+            threads,
+            schedule: BetaSchedule::linear(10.0),
+            mcs_per_run: 100,
+            dynamics: Dynamics::Gibbs,
+        };
+        SaimRunner::new(config).run_ensemble(&enc, ensemble)
+    };
+    let serial = run(1);
+    assert_eq!(run(2), serial);
+    assert_eq!(run(0), serial);
+    assert_eq!(serial.mcs_total, 15 * 4 * 100);
 }
 
 #[test]
@@ -81,10 +149,15 @@ fn seed_derivation_isolates_solver_streams() {
     assert_ne!(s1, s2);
     let inst = generate::qkp(15, 0.5, master).expect("valid");
     let enc = inst.encode().expect("encodes");
-    let model = saim_core::penalty_qubo(&enc, 1.0).expect("valid").to_ising();
+    let model = saim_core::penalty_qubo(&enc, 1.0)
+        .expect("valid")
+        .to_ising();
     let out1 = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 50, s1).solve(&model);
     let out2 = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 50, s2).solve(&model);
-    assert_ne!(out1.last, out2.last, "derived streams should explore differently");
+    assert_ne!(
+        out1.last, out2.last,
+        "derived streams should explore differently"
+    );
 }
 
 #[test]

@@ -24,8 +24,7 @@ fn run_saim(
 
 #[test]
 fn saim_reaches_near_optimal_mkp_solutions() {
-    let instance =
-        generate::mkp_with_max_weight(16, 3, 0.5, 50, 5).expect("valid parameters");
+    let instance = generate::mkp_with_max_weight(16, 3, 0.5, 50, 5).expect("valid parameters");
     let enc = instance.encode().expect("encodes");
     let exact = bb::solve_mkp(&instance, BbLimits::default());
     assert!(exact.proven_optimal);
@@ -43,11 +42,13 @@ fn saim_reaches_near_optimal_mkp_solutions() {
 
 #[test]
 fn every_lambda_rises_during_the_overloaded_transient() {
-    // Fig. 5b: all M multipliers climb while Ax > B
-    let instance =
-        generate::mkp_with_max_weight(20, 4, 0.5, 50, 9).expect("valid parameters");
+    // Fig. 5b: all M multipliers climb while Ax > B. (Seed picked so the
+    // first sample overloads every knapsack; the hot-path saturation
+    // short-circuit changed RNG stream consumption, which moved which seeds
+    // land in the cleanly-overloaded transient.)
+    let instance = generate::mkp_with_max_weight(20, 4, 0.5, 50, 10).expect("valid parameters");
     let enc = instance.encode().expect("encodes");
-    let outcome = run_saim(&enc, 200, 9);
+    let outcome = run_saim(&enc, 200, 10);
     let first = &outcome.records[0];
     assert_eq!(first.lambda, vec![0.0; 4], "λ starts at zero");
     assert!(
@@ -94,14 +95,17 @@ fn mkp_feasibility_is_lower_than_qkp_feasibility() {
 
 #[test]
 fn ga_and_saim_land_in_the_same_quality_band() {
-    let instance =
-        generate::mkp_with_max_weight(18, 3, 0.5, 50, 13).expect("valid parameters");
+    let instance = generate::mkp_with_max_weight(18, 3, 0.5, 50, 13).expect("valid parameters");
     let enc = instance.encode().expect("encodes");
     let exact = bb::solve_mkp(&instance, BbLimits::default());
     assert!(exact.proven_optimal);
 
     let ga = ChuBeasleyGa::new(
-        GaConfig { population: 40, generations: 3000, ..GaConfig::default() },
+        GaConfig {
+            population: 40,
+            generations: 3000,
+            ..GaConfig::default()
+        },
         13,
     )
     .run(&instance);
@@ -115,8 +119,7 @@ fn ga_and_saim_land_in_the_same_quality_band() {
 
 #[test]
 fn slack_bits_of_feasible_samples_decode_to_residual_capacity() {
-    let instance =
-        generate::mkp_with_max_weight(15, 2, 0.5, 30, 17).expect("valid parameters");
+    let instance = generate::mkp_with_max_weight(15, 2, 0.5, 30, 17).expect("valid parameters");
     let enc = instance.encode().expect("encodes");
     let outcome = run_saim(&enc, 400, 17);
     let best = outcome.best.as_ref().expect("feasible sample");

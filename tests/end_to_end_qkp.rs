@@ -39,7 +39,10 @@ fn saim_matches_exact_optimum_on_certifiable_instances() {
         let outcome = run_saim(&enc, 120, seed);
         let best = outcome.best.as_ref().expect("SAIM finds a feasible sample");
         let profit = (-best.cost) as u64;
-        assert!(profit <= exact.profit, "heuristic cannot beat a certified optimum");
+        assert!(
+            profit <= exact.profit,
+            "heuristic cannot beat a certified optimum"
+        );
         assert!(
             profit as f64 >= 0.97 * exact.profit as f64,
             "seed {seed}: SAIM {} far below OPT {}",
@@ -78,7 +81,10 @@ fn trace_shows_unfeasible_transient_then_feasible_phase() {
     let outcome = run_saim(&enc, 150, 3);
 
     let first = &outcome.records[0];
-    assert!(!first.feasible, "iteration 0 should be unfeasible at small P");
+    assert!(
+        !first.feasible,
+        "iteration 0 should be unfeasible at small P"
+    );
     assert!(
         first.violations[0] > 0.0,
         "initial sample should overfill the knapsack"
@@ -93,9 +99,18 @@ fn trace_shows_unfeasible_transient_then_feasible_phase() {
     assert!(outcome.records[first_feasible].lambda[0] > 0.0);
     // late-phase feasibility should dominate early-phase feasibility
     let half = outcome.records.len() / 2;
-    let early = outcome.records[..half].iter().filter(|r| r.feasible).count();
-    let late = outcome.records[half..].iter().filter(|r| r.feasible).count();
-    assert!(late > early, "feasibility should improve over the run: {early} -> {late}");
+    let early = outcome.records[..half]
+        .iter()
+        .filter(|r| r.feasible)
+        .count();
+    let late = outcome.records[half..]
+        .iter()
+        .filter(|r| r.feasible)
+        .count();
+    assert!(
+        late > early,
+        "feasibility should improve over the run: {early} -> {late}"
+    );
 }
 
 #[test]

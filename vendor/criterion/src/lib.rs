@@ -1,0 +1,304 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the group/bench/iter API surface this workspace's benches use
+//! and reports median wall-clock per iteration (plus throughput when set) to
+//! stdout. No statistical machinery, plots, or baselines — the point is a
+//! stable, dependency-free timing harness for `cargo bench` in an offline
+//! container. Set `CRITERION_SAMPLES` to override the per-bench sample
+//! count.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(n), Some(p)) => write!(f, "{n}/{p}"),
+            (Some(n), None) => write!(f, "{n}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Throughput annotation for per-element rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint (accepted for API compatibility; the shim always times
+/// one input per routine call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times closures; handed to bench bodies.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration of the last `iter` call.
+    last_estimate: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup: let caches/branch predictors settle and estimate cost
+        let warmup_start = Instant::now();
+        black_box(f());
+        black_box(f());
+        let rough = warmup_start.elapsed().as_secs_f64() / 2.0;
+        // batch enough iterations that one sample is >= ~200µs of work
+        let batch = ((2e-4 / rough.max(1e-9)).ceil() as usize).clamp(1, 1_000_000);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_estimate = samples[samples.len() / 2];
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_estimate = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_estimate: 0.0,
+        };
+        f(&mut bencher);
+        let secs = bencher.last_estimate;
+        let line = format!("{}/{id}  time: {}", self.name, format_secs(secs));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                println!("{line}  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6);
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                println!(
+                    "{line}  thrpt: {:.3} MiB/s",
+                    n as f64 / secs / (1024.0 * 1024.0)
+                );
+            }
+            _ => println!("{line}"),
+        }
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into().to_string();
+        self.run_one(id, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        self.run_one(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15);
+        Criterion { default_samples }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_owned());
+        group.run_one(String::new(), f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark fn in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion { default_samples: 3 };
+        trivial_bench(&mut criterion);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_secs(2.0).ends_with(" s"));
+        assert!(format_secs(2e-3).ends_with(" ms"));
+        assert!(format_secs(2e-6).ends_with(" µs"));
+        assert!(format_secs(2e-9).ends_with(" ns"));
+    }
+}
