@@ -1,0 +1,71 @@
+//! Criterion bench — parallel-tempering ladder scaling (replicas × threads).
+//!
+//! Measures the wall-clock of one PT solve as the ladder length R and the
+//! worker-thread count grow. On a multi-core machine the all-cores series
+//! should stay near-flat until R exceeds the core count while the
+//! single-thread series grows linearly in R — the round-parallel engine's
+//! whole point. Results are bit-identical across the thread axis, so the
+//! series time the *same* computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use saim_core::{penalty_qubo, ConstrainedProblem};
+use saim_knapsack::generate;
+use saim_machine::{IsingSolver, ParallelTempering, PtConfig};
+
+fn qkp_model(n: usize) -> saim_ising::IsingModel {
+    let inst = generate::qkp(n, 0.5, 7).expect("valid parameters");
+    let enc = inst.encode().expect("encodes");
+    penalty_qubo(&enc, enc.penalty_for_alpha(40.0))
+        .expect("valid penalty")
+        .to_ising()
+}
+
+fn config(replicas: usize, threads: usize, sweeps: usize) -> PtConfig {
+    PtConfig {
+        replicas,
+        sweeps,
+        beta_min: 0.05,
+        beta_max: 10.0,
+        swap_interval: 10,
+        threads,
+    }
+}
+
+fn bench_ladder_scaling(c: &mut Criterion) {
+    let model = qkp_model(100);
+    let mut group = c.benchmark_group("pt_ladder_n100");
+    group.sample_size(10);
+    for replicas in [2usize, 4, 8, 16] {
+        group.throughput(Throughput::Elements(replicas as u64));
+        group.bench_with_input(
+            BenchmarkId::new("all_cores", replicas),
+            &model,
+            |b, model| {
+                b.iter(|| ParallelTempering::new(config(replicas, 0, 50), 1).solve(model));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_thread", replicas),
+            &model,
+            |b, model| {
+                b.iter(|| ParallelTempering::new(config(replicas, 1, 50), 1).solve(model));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_thread_axis(c: &mut Criterion) {
+    let model = qkp_model(100);
+    let mut group = c.benchmark_group("pt_threads_r8");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &model, |b, model| {
+            b.iter(|| ParallelTempering::new(config(8, threads, 50), 1).solve(model));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder_scaling, bench_thread_axis);
+criterion_main!(benches);

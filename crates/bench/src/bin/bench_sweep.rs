@@ -1,12 +1,17 @@
-//! Perf snapshot — sweep throughput and ensemble scaling → `BENCH_sweep.json`.
+//! Perf snapshot — sweep, ensemble and PT scaling → `BENCH_sweep.json`.
 //!
-//! Measures the two numbers every scaling PR is judged against and writes
-//! them to a JSON snapshot so future PRs have a trajectory to compare:
+//! Measures the numbers every scaling PR is judged against and writes them
+//! to a JSON snapshot so future PRs have a trajectory to compare:
 //!
 //! 1. single-thread Gibbs-sweep throughput (spin-updates/s) on dense QKP
-//!    models (the n = 200 row is the acceptance gate), and
+//!    models (the n = 200 row is the acceptance gate),
 //! 2. ensemble wall-clock vs replica count on all cores — the parallel
-//!    efficiency of the replica engine (1.0 = perfect linear scaling).
+//!    efficiency of the replica engine (1.0 = perfect linear scaling), and
+//! 3. parallel-tempering wall-clock on an 8-temperature ladder, all cores
+//!    vs pinned to one thread — the round-parallel PT engine's speedup.
+//!
+//! The snapshot records the detected core count, git revision and a unix
+//! timestamp so trajectory points from different machines stay comparable.
 //!
 //! ```text
 //! cargo run -p saim-bench --release --bin bench_sweep             # print + write
@@ -17,7 +22,7 @@ use saim_core::{penalty_qubo, ConstrainedProblem};
 use saim_knapsack::generate;
 use saim_machine::{
     new_rng, parallel, BetaSchedule, Dynamics, EnsembleAnnealer, EnsembleConfig, IsingSolver,
-    PbitMachine,
+    ParallelTempering, PbitMachine, PtConfig,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -46,11 +51,51 @@ struct EnsemblePoint {
 }
 
 #[derive(Debug, Serialize)]
+struct PtPoint {
+    n: usize,
+    replicas: usize,
+    sweeps: usize,
+    /// Wall-clock of one PT solve with ladder rounds on all cores, seconds.
+    all_cores_sec: f64,
+    /// Wall-clock of the same solve pinned to one thread, seconds.
+    one_thread_sec: f64,
+    /// one_thread / all_cores — the acceptance gate wants ≥ 2 on multi-core.
+    speedup: f64,
+    /// speedup / min(replicas, cores): 1.0 = perfect scaling.
+    parallel_efficiency: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Snapshot {
     schema: u32,
+    /// Detected worker-thread count (what `threads: 0` resolves to).
     cores: usize,
+    /// `git rev-parse --short HEAD` of the tree that produced the snapshot.
+    git_rev: String,
+    /// Seconds since the unix epoch at snapshot time.
+    unix_timestamp: u64,
     sweep: Vec<SweepPoint>,
     ensemble: Vec<EnsemblePoint>,
+    pt: Vec<PtPoint>,
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 fn qkp_model(n: usize, density: f64) -> saim_ising::IsingModel {
@@ -114,6 +159,40 @@ fn time_ensemble(replicas: usize) -> EnsemblePoint {
     }
 }
 
+fn time_pt(n: usize) -> PtPoint {
+    let model = qkp_model(n, 0.5);
+    let replicas = 8;
+    let sweeps = 400;
+    let config = |threads: usize| PtConfig {
+        replicas,
+        sweeps,
+        beta_min: 0.05,
+        beta_max: 10.0,
+        swap_interval: 10,
+        threads,
+    };
+    let time = |threads: usize| {
+        let mut pt = ParallelTempering::new(config(threads), 1);
+        let start = Instant::now();
+        let _ = pt.solve(&model);
+        start.elapsed().as_secs_f64()
+    };
+    // warm up thread stacks and allocator, then measure
+    let _ = time(0);
+    let all_cores_sec = time(0);
+    let one_thread_sec = time(1);
+    let speedup = one_thread_sec / all_cores_sec.max(1e-12);
+    PtPoint {
+        n: model.len(),
+        replicas,
+        sweeps,
+        all_cores_sec,
+        one_thread_sec,
+        speedup,
+        parallel_efficiency: speedup / replicas.min(parallel::available_threads()) as f64,
+    }
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_sweep.json");
     let mut args = std::env::args().skip(1);
@@ -123,7 +202,7 @@ fn main() {
         }
     }
 
-    println!("perf snapshot: single-thread sweep throughput + ensemble scaling\n");
+    println!("perf snapshot: sweep throughput + ensemble scaling + PT ladder speedup\n");
     let sweep: Vec<SweepPoint> = [(50, 0.5), (100, 0.5), (200, 0.5), (300, 0.5)]
         .into_iter()
         .map(|(n, d)| {
@@ -156,13 +235,37 @@ fn main() {
         })
         .collect();
 
+    println!();
+    let pt: Vec<PtPoint> = [100usize, 200]
+        .into_iter()
+        .map(|n| {
+            let p = time_pt(n);
+            println!(
+                "pt     n={:4} R={}: all-cores {:7.1} ms, 1-thread {:7.1} ms, speedup {:.2}x, efficiency {:.2}",
+                p.n,
+                p.replicas,
+                p.all_cores_sec * 1e3,
+                p.one_thread_sec * 1e3,
+                p.speedup,
+                p.parallel_efficiency
+            );
+            p
+        })
+        .collect();
+
     let snapshot = Snapshot {
-        schema: 1,
+        schema: 2,
         cores: parallel::available_threads(),
+        git_rev: git_rev(),
+        unix_timestamp: unix_timestamp(),
         sweep,
         ensemble,
+        pt,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serializes");
     std::fs::write(&out_path, json + "\n").expect("snapshot file writes");
-    println!("\nwrote {out_path} ({} cores)", snapshot.cores);
+    println!(
+        "\nwrote {out_path} ({} cores, rev {})",
+        snapshot.cores, snapshot.git_rev
+    );
 }

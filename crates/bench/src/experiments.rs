@@ -225,6 +225,10 @@ pub fn pt_baseline<P: ConstrainedProblem>(
         beta_max: preset.beta_max,
         sweeps: (total / 26).max(50),
         swap_interval: 10,
+        // auto-sized: ladder rounds fan out across cores, except inside an
+        // outer instance grid where the nested map runs inline (no
+        // oversubscription) — results are identical either way
+        threads: 0,
     };
     // PT works on a fixed penalty landscape; like the DA runs it needs the
     // tuned penalty `P = alpha·d·N`.

@@ -1,7 +1,9 @@
 use crate::error::CoreError;
 use crate::problem::{ConstrainedProblem, Evaluation};
 use saim_ising::{BinaryState, Qubo, QuboBuilder};
-use saim_machine::{EnsembleAnnealer, IsingSolver, SampleCounter, SolveOutcome};
+use saim_machine::{
+    EnsembleAnnealer, IsingSolver, ParallelTempering, PtConfig, SampleCounter, SolveOutcome,
+};
 use serde::{Deserialize, Serialize};
 
 /// Builds the penalty-method energy (paper eq. 3):
@@ -242,6 +244,28 @@ impl PenaltyMethod {
         Ok(self.fold_outcomes(problem, outcomes))
     }
 
+    /// Runs the baseline with **parallel tempering** as the solver: `runs`
+    /// replica-exchange solves of the penalty landscape, each fanning its
+    /// ladder rounds out across threads (the PT-DA baseline's structure).
+    ///
+    /// Ladder and swap streams derive from `seed`, so the outcome is
+    /// identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures from [`penalty_qubo`].
+    pub fn run_pt<P>(
+        &self,
+        problem: &P,
+        pt: PtConfig,
+        seed: u64,
+    ) -> Result<PenaltyOutcome, CoreError>
+    where
+        P: ConstrainedProblem + ?Sized,
+    {
+        self.run(problem, ParallelTempering::new(pt, seed))
+    }
+
     /// The tuning protocol of [`PenaltyMethod::run_tuned`] on the parallel
     /// run engine: every α attempt anneals its `runs` measurements across
     /// threads via `make_ensemble(attempt)`.
@@ -456,6 +480,23 @@ mod tests {
         assert!(!out.tuning_trace.is_empty());
         assert!(out.feasibility >= 0.2 || out.tuning_trace.len() == 4);
         assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn pt_baseline_runs_and_is_thread_invariant() {
+        let p = small_problem();
+        let cfg = |threads: usize| PtConfig {
+            replicas: 4,
+            sweeps: 80,
+            threads,
+            ..PtConfig::default()
+        };
+        let method = PenaltyMethod::new(10.0, 5).unwrap();
+        let serial = method.run_pt(&p, cfg(1), 3).unwrap();
+        assert_eq!(method.run_pt(&p, cfg(2), 3).unwrap(), serial);
+        assert_eq!(method.run_pt(&p, cfg(0), 3).unwrap(), serial);
+        assert!(serial.best.is_some());
+        assert_eq!(serial.mcs_total, 5 * 4 * 80);
     }
 
     #[test]

@@ -3,7 +3,9 @@ use crate::lagrangian::LagrangianSystem;
 use crate::problem::{ConstrainedProblem, Evaluation};
 use crate::trace::IterationRecord;
 use saim_ising::BinaryState;
-use saim_machine::{EnsembleAnnealer, EnsembleConfig, IsingSolver, SampleCounter};
+use saim_machine::{
+    EnsembleAnnealer, EnsembleConfig, IsingSolver, ParallelTempering, PtConfig, SampleCounter,
+};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the SAIM outer loop (paper Algorithm 1 and Table I).
@@ -253,6 +255,26 @@ impl SaimRunner {
     {
         self.run(problem, EnsembleAnnealer::new(ensemble, self.config.seed))
     }
+
+    /// Runs Algorithm 1 with **parallel tempering** as the inner minimizer:
+    /// every iteration runs one replica-exchange solve whose ladder rounds
+    /// fan out across threads, and reads the coldest replica's sample for
+    /// the λ update.
+    ///
+    /// [`SaimConfig::seed`] is the PT root seed; per-ladder-slot streams and
+    /// the swap stream are derived from it, so the outcome is bit-identical
+    /// for any thread count (including `threads: 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PT configuration is invalid, plus the conditions of
+    /// [`SaimRunner::run`].
+    pub fn run_pt<P>(&self, problem: &P, pt: PtConfig) -> SaimOutcome
+    where
+        P: ConstrainedProblem + ?Sized,
+    {
+        self.run(problem, ParallelTempering::new(pt, self.config.seed))
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +389,31 @@ mod tests {
             // mean can't beat the best
             assert!(mean >= out.best.as_ref().unwrap().cost - 1e-12);
         }
+    }
+
+    #[test]
+    fn pt_inner_minimizer_runs_and_is_thread_invariant() {
+        let config = SaimConfig {
+            penalty: 0.5,
+            eta: 0.5,
+            iterations: 10,
+            seed: 7,
+        };
+        let problem = cardinality_problem();
+        let run = |threads: usize| {
+            let pt = PtConfig {
+                replicas: 4,
+                sweeps: 60,
+                threads,
+                ..PtConfig::default()
+            };
+            SaimRunner::new(config).run_pt(&problem, pt)
+        };
+        let serial = run(1);
+        assert_eq!(run(4), serial);
+        assert_eq!(run(0), serial);
+        assert_eq!(serial.mcs_total, 10 * 4 * 60);
+        assert_eq!(serial.records.len(), 10);
     }
 
     #[test]

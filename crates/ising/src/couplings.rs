@@ -29,6 +29,32 @@ pub enum Couplings {
 }
 
 impl Couplings {
+    /// Dense models below this pair density store as CSR: the sweep's flip
+    /// propagation then walks the ~`density · n` actual neighbours instead
+    /// of scanning the full zero-padded row.
+    pub const SPARSE_MAX_DENSITY: f64 = 0.25;
+
+    /// Models smaller than this always stay dense — the full row scan fits
+    /// in cache and the CSR indirection would cost more than it saves.
+    pub const SPARSE_MIN_LEN: usize = 64;
+
+    /// Wraps a dense matrix in the representation that sweeps fastest:
+    /// CSR when the model is large and sparse enough
+    /// ([`Couplings::SPARSE_MIN_LEN`] / [`Couplings::SPARSE_MAX_DENSITY`]),
+    /// dense otherwise.
+    ///
+    /// [`Qubo::to_ising`](../../saim_ising/struct.Qubo.html) routes through
+    /// this, so every consumer of a converted model — p-bit machines in
+    /// particular — shares one structure-appropriate coupling store instead
+    /// of mirroring it per machine.
+    pub fn from_dense_auto(matrix: SymmetricMatrix) -> Self {
+        if matrix.len() >= Self::SPARSE_MIN_LEN && matrix.density() <= Self::SPARSE_MAX_DENSITY {
+            Couplings::Sparse(CsrMatrix::from_dense(&matrix))
+        } else {
+            Couplings::Dense(matrix)
+        }
+    }
+
     /// Number of variables.
     pub fn len(&self) -> usize {
         match self {
@@ -106,7 +132,7 @@ impl Couplings {
     pub fn max_abs(&self) -> f64 {
         match self {
             Couplings::Dense(m) => m.max_abs(),
-            Couplings::Sparse(m) => m.to_dense().max_abs(),
+            Couplings::Sparse(m) => m.max_abs(),
         }
     }
 }
@@ -147,6 +173,35 @@ mod tests {
         assert_eq!(cd.density(), cs.density());
         assert_eq!(cd.get(1, 2), cs.get(1, 2));
         assert_eq!(cs.to_dense(), d);
+    }
+
+    #[test]
+    fn from_dense_auto_picks_representation_by_size_and_density() {
+        // small matrices stay dense regardless of density
+        assert!(matches!(
+            Couplings::from_dense_auto(sample_dense()),
+            Couplings::Dense(_)
+        ));
+        // a large sparse ring converts to CSR and keeps its entries
+        let n = Couplings::SPARSE_MIN_LEN;
+        let mut ring = SymmetricMatrix::zeros(n);
+        for i in 0..n {
+            ring.set(i, (i + 1) % n, 1.0 + i as f64).unwrap();
+        }
+        let auto = Couplings::from_dense_auto(ring.clone());
+        assert!(matches!(auto, Couplings::Sparse(_)));
+        assert_eq!(auto.to_dense(), ring);
+        // a large dense matrix stays dense
+        let mut full = SymmetricMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                full.set(i, j, -1.0).unwrap();
+            }
+        }
+        assert!(matches!(
+            Couplings::from_dense_auto(full),
+            Couplings::Dense(_)
+        ));
     }
 
     #[test]

@@ -139,8 +139,10 @@ impl SymmetricMatrix {
     /// The sweep hot path caches its spins as `f64`
     /// ([`PbitMachine`](../../saim_machine/struct.PbitMachine.html) keeps the
     /// mirror), so the per-element `i8 → f64` conversion of
-    /// [`SymmetricMatrix::row_dot_spins`] disappears and the loop reduces to
-    /// a plain dot product the compiler can vectorize.
+    /// [`SymmetricMatrix::row_dot_spins`] disappears. The product runs over
+    /// blocks of 8 lanes into 8 independent accumulators, breaking the
+    /// serial f64-add dependency chain so the compiler can keep the loop in
+    /// vector registers; the accumulators fold pairwise at the end.
     ///
     /// # Panics
     ///
@@ -148,7 +150,19 @@ impl SymmetricMatrix {
     pub fn row_dot_f64(&self, i: usize, spins: &[f64]) -> f64 {
         let row = self.row(i);
         assert_eq!(spins.len(), self.n, "spin vector length mismatch");
-        row.iter().zip(spins).map(|(&m, &s)| m * s).sum()
+        let mut acc = [0.0f64; 8];
+        let mut row_blocks = row.chunks_exact(8);
+        let mut spin_blocks = spins.chunks_exact(8);
+        for (r, s) in (&mut row_blocks).zip(&mut spin_blocks) {
+            for (lane, a) in acc.iter_mut().enumerate() {
+                *a += r[lane] * s[lane];
+            }
+        }
+        let mut tail = 0.0;
+        for (&m, &s) in row_blocks.remainder().iter().zip(spin_blocks.remainder()) {
+            tail += m * s;
+        }
+        ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
     }
 
     /// Number of structurally nonzero off-diagonal entries, counting each

@@ -145,7 +145,10 @@ impl Qubo {
     ///
     /// The resulting model satisfies
     /// `ising.energy(&x.to_spins()) == qubo.energy(&x)` for every `x`
-    /// (up to floating-point rounding).
+    /// (up to floating-point rounding). Couplings are stored in the
+    /// representation that sweeps fastest
+    /// ([`Couplings::from_dense_auto`]): CSR for large low-density models,
+    /// dense otherwise.
     pub fn to_ising(&self) -> IsingModel {
         let n = self.len();
         let mut j = SymmetricMatrix::zeros(n);
@@ -165,7 +168,7 @@ impl Qubo {
             h[b] -= q / 4.0;
             offset += q / 4.0;
         }
-        IsingModel::new(Couplings::Dense(j), h, offset)
+        IsingModel::new(Couplings::from_dense_auto(j), h, offset)
             .expect("conversion preserves dimensions and finiteness")
     }
 

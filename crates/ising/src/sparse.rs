@@ -62,9 +62,33 @@ impl CsrMatrix {
     }
 
     /// Converts a dense symmetric matrix to CSR, keeping only nonzeros.
+    ///
+    /// Builds the rows by a direct scan of the dense storage (columns come
+    /// out ascending for free), so the conversion is a single O(n²) pass
+    /// with no intermediate map — cheap enough for
+    /// [`PbitMachine`](../../saim_machine/struct.PbitMachine.html) to mirror
+    /// low-density models on every resync.
     pub fn from_dense(dense: &SymmetricMatrix) -> Self {
-        let pairs: Vec<_> = dense.iter_pairs().collect();
-        CsrMatrix::from_pairs(dense.len(), &pairs)
+        let n = dense.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..n {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows (equivalently columns).
@@ -129,6 +153,11 @@ impl CsrMatrix {
     pub fn row_dot_f64(&self, i: usize, spins: &[f64]) -> f64 {
         assert_eq!(spins.len(), self.n, "spin vector length mismatch");
         self.row_iter(i).map(|(j, v)| v * spins[j]).sum()
+    }
+
+    /// Largest absolute stored value (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0_f64, |acc, &v| acc.max(v.abs()))
     }
 
     /// Converts back to a dense symmetric matrix.

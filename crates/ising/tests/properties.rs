@@ -117,4 +117,39 @@ proptest! {
         let x = BinaryState::from_bits(&bits);
         prop_assert_eq!(x.to_spins().to_binary(), x);
     }
+
+    /// The CSR row/spin dot products agree with their dense equivalents on
+    /// random symmetric matrices — including empty rows and the zero-density
+    /// case (an empty `entries` vec), where every dot must be exactly 0.
+    /// The dense kernel sums in 8-lane blocks and CSR skips zeros, so the
+    /// comparison allows reassociation-level tolerance only.
+    #[test]
+    fn csr_row_dots_match_dense(
+        n in 1usize..12,
+        entries in proptest::collection::vec(((0usize..12, 0usize..12), -5.0..5.0f64), 0..24),
+        seed in 0u64..4096,
+    ) {
+        let mut dense = SymmetricMatrix::zeros(n);
+        for ((i, j), v) in entries {
+            let (i, j) = (i % n, j % n);
+            if i != j {
+                dense.set(i, j, v).expect("in range");
+            }
+        }
+        let csr = CsrMatrix::from_dense(&dense);
+        let spins: Vec<i8> = (0..n).map(|i| if (seed >> (i % 12)) & 1 == 1 { 1 } else { -1 }).collect();
+        let spins_f: Vec<f64> = spins.iter().map(|&s| f64::from(s)).collect();
+        for i in 0..n {
+            let dense_i8 = dense.row_dot_spins(i, &spins);
+            let dense_f = dense.row_dot_f64(i, &spins_f);
+            let csr_i8 = csr.row_dot_spins(i, &spins);
+            let csr_f = csr.row_dot_f64(i, &spins_f);
+            prop_assert!((dense_i8 - csr_i8).abs() < 1e-9, "i8 dot row {}: {} vs {}", i, dense_i8, csr_i8);
+            prop_assert!((dense_f - csr_f).abs() < 1e-9, "f64 dot row {}: {} vs {}", i, dense_f, csr_f);
+            prop_assert!((dense_f - dense_i8).abs() < 1e-9, "blocked f64 vs i8 row {}", i);
+            if csr.row_iter(i).len() == 0 {
+                prop_assert!(csr_f == 0.0 && dense_f.abs() < 1e-12, "empty row {} must dot to zero", i);
+            }
+        }
+    }
 }

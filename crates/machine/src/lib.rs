@@ -36,7 +36,10 @@
 //! - [`parallel`] — the deterministic fork–join primitive the ensemble (and
 //!   the bench harness's instance grids) run on,
 //! - [`ParallelTempering`] — a replica-exchange solver standing in for the
-//!   PT-DA baseline of the paper's evaluation,
+//!   PT-DA baseline of the paper's evaluation; ladder rounds fan out over
+//!   [`parallel`] with per-slot RNG streams and a dedicated swap stream, so
+//!   outcomes are bit-identical for any thread count (the type's docs
+//!   describe the stream layout and swap schedule),
 //! - [`GreedyDescent`] — deterministic single-flip descent, useful as a
 //!   sanity baseline,
 //! - [`IsingSolver`] — the trait unifying all of the above, and

@@ -1,16 +1,24 @@
 //! Deterministic fork–join helpers on OS threads.
 //!
 //! The build container has no registry access, so instead of `rayon` this
-//! module provides the one primitive the replica-ensemble engine needs: an
-//! indexed parallel map whose output is ordered by index and therefore
-//! **independent of thread count and scheduling**. Work items are handed out
-//! dynamically through an atomic cursor (load balancing), but every item's
-//! result lands in its own slot, so the reduction the caller performs over
-//! the returned `Vec` is bit-identical to a serial run.
+//! module provides the two primitives the parallel engines need, both with
+//! outputs **independent of thread count and scheduling**:
+//!
+//! - [`parallel_map_indexed`] — a one-shot indexed map whose results are
+//!   ordered by index (the replica-ensemble engine's shape). Work items are
+//!   handed out dynamically through an atomic cursor (load balancing), but
+//!   every item's result lands in its own slot, so the reduction the caller
+//!   performs over the returned `Vec` is bit-identical to a serial run.
+//! - [`parallel_rounds`] — a repeated fork–join over one **persistent**
+//!   worker pool with a serial join phase between rounds (parallel
+//!   tempering's shape). Spawning once and synchronizing rounds on a
+//!   barrier keeps the per-round cost at two barrier crossings instead of a
+//!   full thread spawn/join cycle — the difference between useful and
+//!   useless parallelism when one round is tens of microseconds of work.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Barrier, Mutex};
 
 /// Number of worker threads to use when the caller asks for "all cores".
 pub fn available_threads() -> usize {
@@ -46,16 +54,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = if threads == 0 {
-        if IN_POOL.with(std::cell::Cell::get) {
-            1
-        } else {
-            available_threads()
-        }
-    } else {
-        threads
-    };
-    let threads = threads.min(count).max(1);
+    let threads = resolve_threads(threads, count);
     if threads == 1 {
         return (0..count).map(f).collect();
     }
@@ -95,6 +94,129 @@ where
         .collect()
 }
 
+/// Resolves a requested thread count: `0` means all cores — except inside
+/// another auto-sized primitive's worker, where it means 1 (no nested
+/// pools). Always capped at `count` and at least 1.
+fn resolve_threads(threads: usize, count: usize) -> usize {
+    let threads = if threads == 0 {
+        if IN_POOL.with(std::cell::Cell::get) {
+            1
+        } else {
+            available_threads()
+        }
+    } else {
+        threads
+    };
+    threads.min(count).max(1)
+}
+
+/// Runs `rounds` fork–join rounds over one persistent worker pool.
+///
+/// Each round applies `work(round, item)` to every `item in 0..items`
+/// exactly once (items are handed out dynamically), then calls
+/// `join(round)` on the caller's thread — with every worker parked at a
+/// barrier — before the next round begins. Per-item state lives with the
+/// caller (e.g. a `Vec<Mutex<_>>` indexed by item), so results are
+/// deterministic whenever items don't share mutable state across indices.
+///
+/// `threads` resolves like [`parallel_map_indexed`]: `0` means all cores
+/// (or 1 inside another auto-sized pool), the effective count is capped at
+/// `items`, and one effective thread runs everything inline on the caller's
+/// thread with no pool at all. None of this ever changes results, only
+/// wall-clock.
+///
+/// # Panics
+///
+/// Propagates the first panic observed in `work` (the round's workers all
+/// reach the barrier first, then the pool shuts down), and any panic from
+/// `join`.
+pub fn parallel_rounds<W, J>(items: usize, threads: usize, rounds: usize, work: W, mut join: J)
+where
+    W: Fn(usize, usize) + Sync,
+    J: FnMut(usize),
+{
+    let threads = resolve_threads(threads, items);
+    if threads == 1 {
+        for round in 0..rounds {
+            for item in 0..items {
+                work(round, item);
+            }
+            join(round);
+        }
+        return;
+    }
+
+    // workers + the caller all meet at the barrier twice per round: once to
+    // open the round, once to close it (the join phase runs between closes
+    // and opens, so workers never observe it mid-flight)
+    let barrier = Barrier::new(threads + 1);
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let barrier = &barrier;
+            let cursor = &cursor;
+            let stop = &stop;
+            let panic_slot = &panic_slot;
+            let work = &work;
+            scope.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                let mut round = 0usize;
+                loop {
+                    barrier.wait(); // round opens (or the pool shuts down)
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // a panicking item must not strand the others at the
+                    // closing barrier: catch it, park the payload, and let
+                    // the caller re-raise it after the round closes
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        work(round, i);
+                    }));
+                    if let Err(payload) = result {
+                        let mut slot = panic_slot.lock().expect("panic slot is never poisoned");
+                        slot.get_or_insert(payload);
+                    }
+                    barrier.wait(); // round closes
+                    round += 1;
+                }
+            });
+        }
+
+        for round in 0..rounds {
+            cursor.store(0, Ordering::Relaxed);
+            barrier.wait(); // open the round
+            barrier.wait(); // closed: every item is done
+            let payload = panic_slot
+                .lock()
+                .expect("panic slot is never poisoned")
+                .take();
+            if let Some(payload) = payload {
+                stop.store(true, Ordering::Relaxed);
+                barrier.wait(); // release the workers so the scope can join
+                std::panic::resume_unwind(payload);
+            }
+            // a panicking join must also release the parked workers, or the
+            // scope would deadlock waiting for them
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join(round)))
+            {
+                stop.store(true, Ordering::Relaxed);
+                barrier.wait();
+                std::panic::resume_unwind(payload);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        barrier.wait(); // release the workers into shutdown
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +246,71 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn rounds_visit_every_item_once_per_round_for_any_thread_count() {
+        for threads in [0usize, 1, 2, 3, 8] {
+            let slots: Vec<Mutex<Vec<usize>>> = (0..5).map(|_| Mutex::new(Vec::new())).collect();
+            let mut joined = Vec::new();
+            parallel_rounds(
+                5,
+                threads,
+                4,
+                |round, item| slots[item].lock().unwrap().push(round),
+                |round| joined.push(round),
+            );
+            assert_eq!(joined, vec![0, 1, 2, 3], "threads = {threads}");
+            for (item, slot) in slots.iter().enumerate() {
+                assert_eq!(
+                    *slot.lock().unwrap(),
+                    vec![0, 1, 2, 3],
+                    "item {item}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_join_sees_the_whole_round() {
+        // every item increments its counter once per round; the join phase
+        // must observe all of them at exactly round + 1
+        let counters: Vec<Mutex<usize>> = (0..7).map(|_| Mutex::new(0)).collect();
+        parallel_rounds(
+            7,
+            4,
+            5,
+            |_, item| *counters[item].lock().unwrap() += 1,
+            |round| {
+                for c in &counters {
+                    assert_eq!(*c.lock().unwrap(), round + 1);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn rounds_with_zero_rounds_or_items_are_noops() {
+        parallel_rounds(5, 2, 0, |_, _| panic!("no work"), |_| panic!("no join"));
+        let mut joins = 0;
+        parallel_rounds(0, 2, 3, |_, _| panic!("no items"), |_| joins += 1);
+        assert_eq!(joins, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom in a round worker")]
+    fn rounds_propagate_worker_panics() {
+        parallel_rounds(
+            4,
+            2,
+            3,
+            |round, item| {
+                if round == 1 && item == 2 {
+                    panic!("boom in a round worker");
+                }
+            },
+            |_| {},
+        );
     }
 
     #[test]

@@ -77,8 +77,9 @@ impl PbitMachine {
         machine
     }
 
-    /// Rebuilds the local fields (O(N²) on dense models) and then the energy
-    /// in O(N) via [`PbitMachine::energy_from_fields`].
+    /// Rebuilds the local fields (O(N²) on dense models, O(nnz) on sparse
+    /// ones) and then the energy in O(N) via
+    /// [`PbitMachine::energy_from_fields`].
     fn recompute_books(&mut self, model: &IsingModel) {
         let couplings = model.couplings();
         for (i, (field, &h)) in self.local_fields.iter_mut().zip(model.fields()).enumerate() {
@@ -168,11 +169,10 @@ impl PbitMachine {
         let delta = -2.0 * old; // new - old spin value
         match model.couplings() {
             Couplings::Dense(m) => {
-                let row = m.row(i);
-                for (f, &jij) in self.local_fields.iter_mut().zip(row) {
-                    *f += jij * delta;
-                }
+                Self::propagate_dense(&mut self.local_fields, m.row(i), delta);
             }
+            // sparse fast path: only actual neighbours shift (Qubo::to_ising
+            // stores low-density models as CSR for exactly this loop)
             Couplings::Sparse(m) => {
                 for (j, jij) in m.row_iter(i) {
                     self.local_fields[j] += jij * delta;
@@ -180,6 +180,27 @@ impl PbitMachine {
             }
         }
         self.flips += 1;
+    }
+
+    /// The dense flip propagation `I += delta · row`, chunked into blocks of
+    /// 8 lanes so the axpy update stays in vector registers. Elementwise, so
+    /// the results are bit-identical to the scalar loop.
+    #[inline]
+    fn propagate_dense(fields: &mut [f64], row: &[f64], delta: f64) {
+        let mut field_blocks = fields.chunks_exact_mut(8);
+        let mut row_blocks = row.chunks_exact(8);
+        for (f, r) in (&mut field_blocks).zip(&mut row_blocks) {
+            for lane in 0..8 {
+                f[lane] += r[lane] * delta;
+            }
+        }
+        for (f, &jij) in field_blocks
+            .into_remainder()
+            .iter_mut()
+            .zip(row_blocks.remainder())
+        {
+            *f += jij * delta;
+        }
     }
 
     /// One Monte Carlo sweep: sequentially updates every p-bit at inverse
@@ -362,6 +383,50 @@ mod tests {
         for i in 0..model.len() {
             assert!(model.delta_energy(machine.state(), i) >= -1e-12);
         }
+    }
+
+    /// A ring model big and sparse enough that `to_ising` stores it as CSR.
+    fn sparse_ring_model(n: usize) -> IsingModel {
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_pair(i, (i + 1) % n, if i % 2 == 0 { 1.0 } else { -1.5 })
+                .unwrap();
+            b.add_linear(i, 0.3 - 0.1 * (i % 5) as f64).unwrap();
+        }
+        b.build().to_ising()
+    }
+
+    #[test]
+    fn low_density_models_sweep_over_csr_and_keep_books() {
+        let model = sparse_ring_model(80);
+        assert!(
+            matches!(model.couplings(), Couplings::Sparse(_)),
+            "a large ring model should convert to CSR couplings"
+        );
+        let mut rng = new_rng(13);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        for sweep in 0..100 {
+            machine.sweep(&model, 0.1 * sweep as f64, &mut rng);
+        }
+        assert!(
+            (machine.energy() - model.energy(machine.state())).abs() < 1e-9,
+            "energy drifted on the CSR path"
+        );
+        for i in 0..model.len() {
+            let expected = model.local_field(machine.state(), i);
+            assert!(
+                (machine.local_field(i) - expected).abs() < 1e-9,
+                "field {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_or_dense_models_stay_on_dense_couplings() {
+        let small = sparse_ring_model(8); // below the CSR size cut
+        assert!(matches!(small.couplings(), Couplings::Dense(_)));
+        let dense = frustrated_model(); // tiny and dense
+        assert!(matches!(dense.couplings(), Couplings::Dense(_)));
     }
 
     #[test]

@@ -1,10 +1,71 @@
+//! Deterministic parallel tempering (replica exchange) on the p-bit machine.
+//!
+//! `R` replicas sample the same model at a geometric ladder of inverse
+//! temperatures. The run is organised in *rounds* of `swap_interval` sweeps:
+//! within a round every ladder slot sweeps independently, between rounds
+//! adjacent slots propose a state exchange accepted with the Metropolis
+//! probability `min(1, exp(Δβ · ΔE))`. Hot replicas roam; cold replicas
+//! refine — the standard remedy for the rugged landscapes that large penalty
+//! terms create, and the algorithm run on Fujitsu's Digital Annealer in the
+//! paper's comparison \[17\].
+//!
+//! # Parallel execution and determinism
+//!
+//! Rounds are embarrassingly parallel across the ladder, so each round's
+//! sweeps fan out over one **persistent per-solve worker pool**
+//! ([`parallel::parallel_rounds`]): the pool spawns once, rounds open and
+//! close on a barrier, and the serial exchange phase runs between rounds
+//! with every worker parked — a swap cadence of a few microseconds of work
+//! per slot would be swamped by per-round thread spawns otherwise. Results
+//! are **bit-identical for any thread count** because no random stream is
+//! ever shared between concurrently-running slots:
+//!
+//! - **RNG-stream layout.** Each `solve` call is a *batch*; batch `b` of a
+//!   solver seeded `s` derives `batch_seed = derive_seed(s, b)`. Ladder slot
+//!   `k` (0 = hottest … R−1 = coldest) then owns the SplitMix64-derived
+//!   stream `derive_seed(batch_seed, k)`, which draws its initial state and
+//!   every sweep at that temperature. Stream index `R` —
+//!   `derive_seed(batch_seed, R)` — is the dedicated **swap stream**,
+//!   consumed only by the serial exchange phase between rounds.
+//! - **Swap schedule.** Round `t` (0-based) attempts exchanges on the fixed
+//!   pair set `{(k, k+1) : k ≡ t (mod 2)}` in ascending `k` — even pairs on
+//!   even rounds, odd pairs on odd rounds — so proposals within a round are
+//!   disjoint and the accept decisions are a pure function of slot energies
+//!   and the swap stream, never of scheduling. Exchanges happen strictly
+//!   *between* rounds: none follows the final round, so the readout is the
+//!   coldest slot's state straight after its last sweeps.
+//! - **Exchange semantics.** An accepted swap exchanges the *machines*
+//!   (spin states and their bookkeeping) between the two slots; streams and
+//!   temperatures stay attached to their ladder slots.
+//!
+//! A serial replay of the same layout (sweep slots `0..R` in order each
+//! round, then apply the swap phase) reproduces the parallel result exactly;
+//! `tests/determinism.rs` asserts both properties.
+//!
+//! ```
+//! use saim_ising::QuboBuilder;
+//! use saim_machine::{IsingSolver, ParallelTempering, PtConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = QuboBuilder::new(3);
+//! for i in 0..3 { b.add_linear(i, -1.0)?; }
+//! let model = b.build().to_ising();
+//! let cfg = PtConfig { replicas: 4, sweeps: 100, ..PtConfig::default() };
+//! let out = ParallelTempering::new(cfg, 11).solve(&model);
+//! assert!((out.best_energy - (-3.0)).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::parallel;
 use crate::pbit::PbitMachine;
-use crate::rng::new_rng;
+use crate::rng::{derive_seed, new_rng};
 use crate::solver::{IsingSolver, SolveOutcome};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use saim_ising::IsingModel;
+use saim_ising::{IsingModel, SpinState};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Configuration of the parallel-tempering solver.
 ///
@@ -20,8 +81,13 @@ pub struct PtConfig {
     pub beta_max: f64,
     /// Monte Carlo sweeps per replica per solve call.
     pub sweeps: usize,
-    /// Replica-exchange attempts happen every `swap_interval` sweeps.
+    /// Replica-exchange attempts happen between rounds of `swap_interval`
+    /// sweeps (never after the final round).
     pub swap_interval: usize,
+    /// Worker threads for the per-round sweep fan-out; `0` means all
+    /// available cores. The thread count affects wall-clock only, never
+    /// results.
+    pub threads: usize,
 }
 
 impl Default for PtConfig {
@@ -32,6 +98,7 @@ impl Default for PtConfig {
             beta_max: 10.0,
             sweeps: 1000,
             swap_interval: 10,
+            threads: 0,
         }
     }
 }
@@ -71,40 +138,60 @@ impl PtConfig {
     }
 }
 
-/// Parallel tempering (replica exchange) on the p-bit substrate.
+/// One ladder slot: the machine currently at this temperature, the slot's
+/// private RNG stream, and the best sample the slot has observed.
+struct LadderSlot {
+    machine: PbitMachine,
+    rng: ChaCha8Rng,
+    best_energy: f64,
+    best: SpinState,
+}
+
+impl LadderSlot {
+    fn new(model: &IsingModel, seed: u64) -> Self {
+        let mut rng = new_rng(seed);
+        let machine = PbitMachine::new(model, &mut rng);
+        let best = machine.state().clone();
+        let best_energy = machine.energy();
+        LadderSlot {
+            machine,
+            rng,
+            best_energy,
+            best,
+        }
+    }
+
+    /// Runs `sweeps` Monte Carlo sweeps at inverse temperature `beta`,
+    /// tracking the slot-local best.
+    fn run_round(&mut self, model: &IsingModel, beta: f64, sweeps: usize) {
+        for _ in 0..sweeps {
+            self.machine.sweep(model, beta, &mut self.rng);
+            if self.machine.energy() < self.best_energy {
+                self.best_energy = self.machine.energy();
+                self.best.copy_from(self.machine.state());
+            }
+        }
+    }
+}
+
+/// Parallel tempering with deterministic round-parallel sweeps.
 ///
-/// `R` replicas sample the same model at a geometric ladder of inverse
-/// temperatures; every `swap_interval` sweeps, adjacent replicas propose a
-/// state exchange accepted with the Metropolis probability
-/// `min(1, exp(Δβ · ΔE))`. Hot replicas roam; cold replicas refine — the
-/// standard remedy for the rugged landscapes that large penalty terms create,
-/// and the algorithm run on Fujitsu's Digital Annealer in the paper's
-/// comparison \[17\].
-///
-/// ```
-/// use saim_ising::QuboBuilder;
-/// use saim_machine::{IsingSolver, ParallelTempering, PtConfig};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut b = QuboBuilder::new(3);
-/// for i in 0..3 { b.add_linear(i, -1.0)?; }
-/// let model = b.build().to_ising();
-/// let cfg = PtConfig { replicas: 4, sweeps: 100, ..PtConfig::default() };
-/// let out = ParallelTempering::new(cfg, 11).solve(&model);
-/// assert!((out.best_energy - (-3.0)).abs() < 1e-9);
-/// # Ok(())
-/// # }
-/// ```
+/// See the [module docs](self) for the RNG-stream layout, the fixed even/odd
+/// swap schedule, and the thread-count-invariance guarantee. Consecutive
+/// [`IsingSolver::solve`] calls use fresh stream batches, exactly like
+/// consecutive runs of a serial solver.
 #[derive(Debug, Clone)]
 pub struct ParallelTempering {
     config: PtConfig,
-    rng: ChaCha8Rng,
+    root_seed: u64,
+    /// Batches issued so far: each `solve` call derives a fresh seed block.
+    batches: u64,
     swap_attempts: u64,
     swap_accepts: u64,
 }
 
 impl ParallelTempering {
-    /// Creates a solver with the given configuration and seed.
+    /// Creates a solver with the given configuration and root seed.
     ///
     /// # Panics
     ///
@@ -113,7 +200,8 @@ impl ParallelTempering {
         config.validate();
         ParallelTempering {
             config,
-            rng: new_rng(seed),
+            root_seed: seed,
+            batches: 0,
             swap_attempts: 0,
             swap_accepts: 0,
         }
@@ -124,6 +212,17 @@ impl ParallelTempering {
         self.config
     }
 
+    /// The root seed ladder streams derive from.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The seed of ladder slot `slot` within batch `batch`; `slot ==
+    /// replicas` is the swap stream. See the module docs for the layout.
+    pub fn stream_seed(&self, batch: u64, slot: u64) -> u64 {
+        derive_seed(derive_seed(self.root_seed, batch), slot)
+    }
+
     /// Fraction of accepted replica exchanges so far (NaN before any attempt).
     pub fn swap_acceptance(&self) -> f64 {
         self.swap_accepts as f64 / self.swap_attempts as f64
@@ -132,46 +231,99 @@ impl ParallelTempering {
 
 impl IsingSolver for ParallelTempering {
     fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
-        let ladder = self.config.ladder();
-        let mut replicas: Vec<PbitMachine> = (0..self.config.replicas)
-            .map(|_| PbitMachine::new(model, &mut self.rng))
-            .collect();
-        let mut best = replicas[0].state().clone();
-        let mut best_energy = replicas[0].energy();
+        let batch = self.batches;
+        self.batches += 1;
+        let config = self.config;
+        let r = config.replicas;
+        let ladder = config.ladder();
 
-        for sweep in 0..self.config.sweeps {
-            for (machine, &beta) in replicas.iter_mut().zip(&ladder) {
-                machine.sweep(model, beta, &mut self.rng);
-                if machine.energy() < best_energy {
-                    best_energy = machine.energy();
-                    best = machine.state().clone();
+        // Slot construction consumes only the slot's own stream, so it can
+        // fan out exactly like a round; building serially keeps it simple —
+        // either way the result is the same by construction.
+        let slots: Vec<Mutex<LadderSlot>> = (0..r)
+            .map(|k| Mutex::new(LadderSlot::new(model, self.stream_seed(batch, k as u64))))
+            .collect();
+        let mut swap_rng = new_rng(self.stream_seed(batch, r as u64));
+
+        // round lengths: swap_interval sweeps each, with a short final round
+        // when the budget doesn't divide evenly
+        let mut lens = Vec::with_capacity(config.sweeps / config.swap_interval + 1);
+        let mut done = 0usize;
+        while done < config.sweeps {
+            let len = config.swap_interval.min(config.sweeps - done);
+            lens.push(len);
+            done += len;
+        }
+        let rounds = lens.len();
+
+        let swap_attempts = &mut self.swap_attempts;
+        let swap_accepts = &mut self.swap_accepts;
+        parallel::parallel_rounds(
+            r,
+            config.threads,
+            rounds,
+            // fork: every slot sweeps its round on its private stream
+            |round, k| {
+                let mut slot = slots[k].lock().expect("no worker panicked");
+                slot.run_round(model, ladder[k], lens[round]);
+            },
+            // join: serial exchange phase on the dedicated swap stream,
+            // fixed even/odd pair schedule (round parity picks the offset);
+            // no exchange follows the final round — the readout comes
+            // straight from the last sweeps
+            |round| {
+                if round + 1 == rounds {
+                    return;
                 }
-            }
-            if (sweep + 1) % self.config.swap_interval == 0 {
-                // alternate even/odd pairs to keep proposals independent
-                let parity = (sweep / self.config.swap_interval) % 2;
-                let mut k = parity;
-                while k + 1 < replicas.len() {
-                    self.swap_attempts += 1;
-                    let delta_beta = ladder[k] - ladder[k + 1];
-                    let delta_e = replicas[k].energy() - replicas[k + 1].energy();
-                    let accept_ln = delta_beta * delta_e;
-                    if accept_ln >= 0.0 || self.rng.gen::<f64>() < accept_ln.exp() {
-                        replicas.swap(k, k + 1);
-                        self.swap_accepts += 1;
+                let mut k = round % 2;
+                while k + 1 < r {
+                    *swap_attempts += 1;
+                    let energy_k = slots[k]
+                        .lock()
+                        .expect("no worker panicked")
+                        .machine
+                        .energy();
+                    let energy_k1 = slots[k + 1]
+                        .lock()
+                        .expect("no worker panicked")
+                        .machine
+                        .energy();
+                    let accept_ln = (ladder[k] - ladder[k + 1]) * (energy_k - energy_k1);
+                    if accept_ln >= 0.0 || swap_rng.gen::<f64>() < accept_ln.exp() {
+                        *swap_accepts += 1;
+                        let mut a = slots[k].lock().expect("no worker panicked");
+                        let mut b = slots[k + 1].lock().expect("no worker panicked");
+                        std::mem::swap(&mut a.machine, &mut b.machine);
                     }
                     k += 2;
                 }
+            },
+        );
+
+        // ordered reduction: lowest best energy wins, ties break to the
+        // lowest (hottest) slot index — deterministic for any thread count
+        let mut best_slot = 0usize;
+        let mut best_energy = f64::INFINITY;
+        for (k, slot) in slots.iter().enumerate() {
+            let slot = slot.lock().expect("no worker panicked");
+            if slot.best_energy < best_energy {
+                best_energy = slot.best_energy;
+                best_slot = k;
             }
         }
-        // the coldest replica is the machine's readout
-        let cold = replicas.last().expect("at least two replicas");
+        let best = slots[best_slot]
+            .lock()
+            .expect("no worker panicked")
+            .best
+            .clone();
+        // the coldest slot is the machine's readout
+        let cold = slots[r - 1].lock().expect("no worker panicked");
         SolveOutcome {
-            last: cold.state().clone(),
-            last_energy: cold.energy(),
+            last: cold.machine.state().clone(),
+            last_energy: cold.machine.energy(),
             best,
             best_energy,
-            mcs: (self.config.sweeps * self.config.replicas) as u64,
+            mcs: (config.sweeps * r) as u64,
         }
     }
 
@@ -245,6 +397,60 @@ mod tests {
         let r0 = ladder[1] / ladder[0];
         let r1 = ladder[3] / ladder[2];
         assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let model = rugged_model();
+        let config = |threads: usize| PtConfig {
+            replicas: 6,
+            sweeps: 150,
+            threads,
+            ..PtConfig::default()
+        };
+        let reference = ParallelTempering::new(config(1), 42).solve(&model);
+        for threads in [2, 3, 8, 0] {
+            let got = ParallelTempering::new(config(threads), 42).solve(&model);
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn consecutive_solves_are_distinct_batches() {
+        let model = rugged_model();
+        let cfg = PtConfig {
+            replicas: 4,
+            sweeps: 20,
+            beta_max: 1.0,
+            ..PtConfig::default()
+        };
+        let mut pt = ParallelTempering::new(cfg, 8);
+        let a = pt.solve(&model);
+        let b = pt.solve(&model);
+        // at these temperatures two short batches almost surely read differently
+        assert_ne!(a.last, b.last);
+        // and a fresh solver replays batch 0 exactly
+        let again = ParallelTempering::new(cfg, 8).solve(&model);
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_across_slots_and_batches() {
+        let cfg = PtConfig {
+            replicas: 4,
+            ..PtConfig::default()
+        };
+        let pt = ParallelTempering::new(cfg, 3);
+        let mut seen = std::collections::HashSet::new();
+        for batch in 0..4 {
+            // slots 0..replicas plus the swap stream at index `replicas`
+            for slot in 0..=4 {
+                assert!(
+                    seen.insert(pt.stream_seed(batch, slot)),
+                    "stream collision at batch {batch} slot {slot}"
+                );
+            }
+        }
     }
 
     #[test]

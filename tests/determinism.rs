@@ -53,6 +53,112 @@ fn saim_outcome_is_bit_identical_under_fixed_seed() {
 }
 
 #[test]
+fn pt_outcome_is_invariant_in_thread_count() {
+    // the round-parallel PT engine must produce bit-identical outcomes for
+    // 1, 2 and 8 worker threads (and auto-sizing)
+    let inst = generate::qkp(25, 0.5, 14).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(40.0))
+        .expect("valid penalty")
+        .to_ising();
+    let config = |threads: usize| PtConfig {
+        replicas: 6,
+        sweeps: 130,
+        swap_interval: 10,
+        threads,
+        ..PtConfig::default()
+    };
+    let serial = ParallelTempering::new(config(1), 77).solve(&model);
+    for threads in [2, 8, 0] {
+        let parallel = ParallelTempering::new(config(threads), 77).solve(&model);
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn pt_parallel_engine_matches_serial_reference_replay() {
+    // a from-scratch serial replay of the documented RNG-stream layout and
+    // swap schedule — ladder slot k on stream derive(derive(seed, batch), k),
+    // the swap phase on stream index R, even pairs on even rounds, no
+    // exchange after the final round — must reproduce the engine's parallel
+    // outcome exactly, with no engine machinery at all (the PT analogue of
+    // the ensemble replica replay)
+    use rand::Rng;
+    use saim_machine::{new_rng, PbitMachine};
+
+    let inst = generate::qkp(20, 0.5, 5).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(40.0))
+        .expect("valid penalty")
+        .to_ising();
+    let cfg = PtConfig {
+        replicas: 5,
+        sweeps: 97, // deliberately not a multiple of the swap interval
+        swap_interval: 10,
+        threads: 8,
+        ..PtConfig::default()
+    };
+    let seed = 123u64;
+    let engine = ParallelTempering::new(cfg, seed).solve(&model);
+
+    let ladder = cfg.ladder();
+    let r = cfg.replicas;
+    let batch_seed = derive_seed(seed, 0);
+    let mut machines = Vec::new();
+    let mut rngs = Vec::new();
+    let mut bests: Vec<(f64, saim_ising::SpinState)> = Vec::new();
+    for k in 0..r {
+        let mut rng = new_rng(derive_seed(batch_seed, k as u64));
+        let machine = PbitMachine::new(&model, &mut rng);
+        bests.push((machine.energy(), machine.state().clone()));
+        machines.push(machine);
+        rngs.push(rng);
+    }
+    let mut swap_rng = new_rng(derive_seed(batch_seed, r as u64));
+
+    let mut done = 0;
+    let mut round = 0usize;
+    while done < cfg.sweeps {
+        let len = cfg.swap_interval.min(cfg.sweeps - done);
+        for k in 0..r {
+            for _ in 0..len {
+                machines[k].sweep(&model, ladder[k], &mut rngs[k]);
+                if machines[k].energy() < bests[k].0 {
+                    bests[k] = (machines[k].energy(), machines[k].state().clone());
+                }
+            }
+        }
+        done += len;
+        if done == cfg.sweeps {
+            break; // no exchange follows the final round
+        }
+        let mut k = round % 2;
+        while k + 1 < r {
+            let accept_ln =
+                (ladder[k] - ladder[k + 1]) * (machines[k].energy() - machines[k + 1].energy());
+            if accept_ln >= 0.0 || swap_rng.gen::<f64>() < accept_ln.exp() {
+                machines.swap(k, k + 1);
+            }
+            k += 2;
+        }
+        round += 1;
+    }
+
+    let (mut best_energy, mut best_state) = (f64::INFINITY, None);
+    for (e, s) in &bests {
+        if *e < best_energy {
+            best_energy = *e;
+            best_state = Some(s.clone());
+        }
+    }
+    assert_eq!(engine.best_energy, best_energy);
+    assert_eq!(engine.best, best_state.expect("at least one slot"));
+    assert_eq!(engine.last, machines[r - 1].state().clone());
+    assert_eq!(engine.last_energy, machines[r - 1].energy());
+    assert_eq!(engine.mcs, (cfg.sweeps * r) as u64);
+}
+
+#[test]
 fn pt_and_ga_replay_under_fixed_seed() {
     let inst = generate::qkp(20, 0.5, 3).expect("valid");
     let enc = inst.encode().expect("encodes");
