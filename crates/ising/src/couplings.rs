@@ -105,6 +105,24 @@ impl Couplings {
         }
     }
 
+    /// Lane-broadcast axpy over row `i`: `planes[j*W + r] += M_ij *
+    /// deltas[r]` for every column `j` (dense) or stored neighbour `j`
+    /// (sparse) and every lane `r`, with `W = deltas.len()`.
+    ///
+    /// One pass over the coupling row updates the local-field lane of all
+    /// `W` replicas of a batched sweep — see
+    /// [`SymmetricMatrix::row_axpy_lanes`] and [`CsrMatrix::row_axpy_lanes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes.len() != self.len() * deltas.len()`.
+    pub fn row_axpy_lanes(&self, i: usize, deltas: &[f64], planes: &mut [f64]) {
+        match self {
+            Couplings::Dense(m) => m.row_axpy_lanes(i, deltas, planes),
+            Couplings::Sparse(m) => m.row_axpy_lanes(i, deltas, planes),
+        }
+    }
+
     /// Fraction of coupled unordered pairs.
     pub fn density(&self) -> f64 {
         match self {

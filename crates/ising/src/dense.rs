@@ -165,6 +165,46 @@ impl SymmetricMatrix {
         ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
     }
 
+    /// Lane-broadcast axpy over row `i`: for every column `j` and every lane
+    /// `r`, `planes[j*W + r] += M_ij * deltas[r]`, where `W = deltas.len()`.
+    ///
+    /// This is the batched-replica field update: `planes` is an `n × W`
+    /// structure-of-arrays plane (lane `r` of variable `j` at `j*W + r`) and
+    /// `deltas` carries one flip delta per replica lane. The row is streamed
+    /// from memory **once** for all `W` lanes — the amortization the
+    /// multi-replica sweep engine is built on — and the per-lane arithmetic
+    /// is element-wise, so each lane's result is identical to applying the
+    /// scalar axpy to that lane alone (a `0.0` delta only adds `±0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes.len() != self.len() * deltas.len()`.
+    pub fn row_axpy_lanes(&self, i: usize, deltas: &[f64], planes: &mut [f64]) {
+        let width = deltas.len();
+        let row = self.row(i);
+        assert_eq!(
+            planes.len(),
+            self.n * width,
+            "plane length must be rows × lanes"
+        );
+        // monomorphize the common lane counts: a compile-time width turns
+        // the inner loop into one packed broadcast-multiply-add per block
+        match width {
+            0 => {}
+            2 => axpy_lanes::<2>(row, deltas, planes),
+            4 => axpy_lanes::<4>(row, deltas, planes),
+            8 => axpy_lanes::<8>(row, deltas, planes),
+            16 => axpy_lanes::<16>(row, deltas, planes),
+            _ => {
+                for (&jij, plane) in row.iter().zip(planes.chunks_exact_mut(width)) {
+                    for (p, &d) in plane.iter_mut().zip(deltas) {
+                        *p += jij * d;
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of structurally nonzero off-diagonal entries, counting each
     /// unordered pair once.
     pub fn pair_count(&self) -> usize {
@@ -228,6 +268,18 @@ impl SymmetricMatrix {
             out.data[i * new_n..i * new_n + self.n].copy_from_slice(src);
         }
         out
+    }
+}
+
+/// The lane-broadcast axpy with the lane count known at compile time; the
+/// per-lane arithmetic is identical to the runtime-width loop.
+fn axpy_lanes<const W: usize>(row: &[f64], deltas: &[f64], planes: &mut [f64]) {
+    let deltas: &[f64; W] = deltas.try_into().expect("width was matched");
+    for (plane, &jij) in planes.chunks_exact_mut(W).zip(row) {
+        let plane: &mut [f64; W] = plane.try_into().expect("exact chunks");
+        for (p, &d) in plane.iter_mut().zip(deltas) {
+            *p += jij * d;
+        }
     }
 }
 
@@ -305,6 +357,36 @@ mod tests {
         m.set(1, 2, -2.0).unwrap();
         let pairs: Vec<_> = m.iter_pairs().collect();
         assert_eq!(pairs, vec![(0, 2, 1.0), (1, 2, -2.0)]);
+    }
+
+    #[test]
+    fn row_axpy_lanes_matches_per_lane_scalar_axpy() {
+        let mut m = SymmetricMatrix::zeros(4);
+        m.set(0, 1, 2.0).unwrap();
+        m.set(0, 3, -1.5).unwrap();
+        m.set(1, 2, 0.5).unwrap();
+        let width = 3;
+        let deltas = [2.0, 0.0, -2.0];
+        let mut planes: Vec<f64> = (0..4 * width).map(|k| k as f64 * 0.25).collect();
+        let reference: Vec<f64> = {
+            let mut lanes = planes.clone();
+            for (r, &d) in deltas.iter().enumerate() {
+                for j in 0..4 {
+                    lanes[j * width + r] += m.get(0, j) * d;
+                }
+            }
+            lanes
+        };
+        m.row_axpy_lanes(0, &deltas, &mut planes);
+        assert_eq!(planes, reference);
+    }
+
+    #[test]
+    fn row_axpy_lanes_with_zero_lanes_is_a_noop() {
+        let m = SymmetricMatrix::zeros(3);
+        let mut planes: Vec<f64> = Vec::new();
+        m.row_axpy_lanes(1, &[], &mut planes);
+        assert!(planes.is_empty());
     }
 
     #[test]

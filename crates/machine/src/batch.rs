@@ -1,0 +1,784 @@
+//! Batched structure-of-arrays multi-replica sweep engine.
+//!
+//! [`ReplicaBatch`] advances `R` replicas of **one** [`IsingModel`] through
+//! Monte Carlo sweeps together. The sweep hot path is memory-bandwidth-bound:
+//! a serial [`PbitMachine`] re-streams spin *i*'s coupling row from memory
+//! once per flip per replica. The batch engine instead holds the whole
+//! ensemble in structure-of-arrays planes so **one pass over the coupling
+//! row (dense chunk or CSR neighbour list) updates the local-field lane of
+//! all `R` replicas at once** — the row load is amortized `R`-fold, and the
+//! per-lane arithmetic is a contiguous broadcast-multiply the compiler keeps
+//! in vector registers. This is the CPU-side proof of the exact kernel shape
+//! a GPU batch sweep needs: the same `n × R` planes map directly onto a
+//! kernel advancing one lane per GPU thread.
+//!
+//! # Memory layout
+//!
+//! All per-replica data is *spin-major*: lane `r` of spin `i` lives at index
+//! `i * R + r`, so the `R` lanes a decision touches are one contiguous
+//! cache-line-friendly block, and the row-axpy writes
+//! (`fields[j*R + r] += J_ij · delta[r]`) stream linearly through the plane:
+//!
+//! ```text
+//! spins  = [ s₀⁰ s₀¹ … s₀ᴿ⁻¹ | s₁⁰ s₁¹ … s₁ᴿ⁻¹ | … ]   (±1.0 floats)
+//! fields = [ I₀⁰ I₀¹ … I₀ᴿ⁻¹ | I₁⁰ I₁¹ … I₁ᴿ⁻¹ | … ]
+//! ```
+//!
+//! # RNG-stream layout
+//!
+//! Replica lane `r` owns the ChaCha8 stream seeded with `seeds[r]`, consumed
+//! exactly like a serial machine's: `n` coin flips for the initial state,
+//! then one block-buffered `U(-1, 1)` draw per undecided spin in spin order
+//! (see [`NoiseSource`] for why buffering preserves the draw order). Lanes
+//! never share a stream, so the batch width and the processing order of
+//! other lanes cannot influence a lane's trajectory.
+//!
+//! # Batch-width invariance
+//!
+//! Replica `r`'s trajectory — every spin, field, energy and flip count — is
+//! identical whether it runs in a batch of 1, a batch of 8, or on a serial
+//! [`PbitMachine`] fed the same stream. Decisions use only lane-`r` data;
+//! field updates apply the same adds in the same order per lane (unflipped
+//! lanes receive `J_ij · 0.0 = ±0.0`, which is invisible by value); and the
+//! initial books are computed with the *same* blocked row-dot kernel as the
+//! serial machine. `tests/determinism.rs` and the machine crate's proptests
+//! assert the contract for R = 1 vs R = 8 vs serial replay, on dense and
+//! CSR models, including n = 0/1. (The only representational difference is
+//! the sign of zero on unflipped lanes' fields, which no decision, energy
+//! or comparison can observe.)
+//!
+//! ```
+//! use saim_ising::QuboBuilder;
+//! use saim_machine::{derive_seed, ReplicaBatch};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = QuboBuilder::new(4);
+//! for i in 0..4 { b.add_linear(i, -1.0)?; }
+//! let model = b.build().to_ising();
+//! let seeds: Vec<u64> = (0..8).map(|r| derive_seed(3, r)).collect();
+//! let mut batch = ReplicaBatch::new(&model, &seeds);
+//! for _ in 0..50 {
+//!     batch.sweep_uniform(&model, 6.0);
+//! }
+//! // every replica of this trivial model reaches the ground state
+//! for r in 0..batch.width() {
+//!     assert!((batch.energy(r) - (-4.0)).abs() < 1e-9);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::pbit::SATURATION;
+use crate::rng::{new_rng, NoiseSource};
+use rand::Rng;
+use saim_ising::{Couplings, IsingModel, Spin, SpinState};
+
+/// `R` replicas of one Ising model in structure-of-arrays layout, advanced
+/// by batched Monte Carlo sweeps.
+///
+/// See the [module docs](self) for the memory layout, the RNG-stream layout
+/// and the batch-width-invariance contract.
+#[derive(Debug, Clone)]
+pub struct ReplicaBatch {
+    n: usize,
+    width: usize,
+    /// `±1.0` spin plane, lane `r` of spin `i` at `i * width + r`.
+    spins: Vec<f64>,
+    /// Local-field plane `I_i = Σ_j J_ij s_j + h_i`, same indexing.
+    fields: Vec<f64>,
+    /// Per-replica model energy, maintained incrementally.
+    energies: Vec<f64>,
+    /// Per-replica flip counters.
+    flips: Vec<u64>,
+    /// Per-replica noise streams (block-buffered ChaCha8).
+    streams: Vec<NoiseSource>,
+    /// Scratch: per-lane flip deltas for the current spin.
+    deltas: Vec<f64>,
+    /// Scratch: per-lane β for the uniform-temperature sweeps.
+    betas_uniform: Vec<f64>,
+    /// Scratch: per-lane settled thresholds (`≈ SATURATION / β`, padded).
+    thresholds: Vec<f64>,
+}
+
+impl ReplicaBatch {
+    /// Builds a batch of `seeds.len()` replicas, lane `r` initialized from
+    /// the stream seeded `seeds[r]` exactly like a serial
+    /// [`PbitMachine::new`]: `n` coin flips for the state, then one blocked
+    /// row-dot per spin for the fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn new(model: &IsingModel, seeds: &[u64]) -> Self {
+        assert!(!seeds.is_empty(), "a batch needs at least one replica lane");
+        let n = model.len();
+        let width = seeds.len();
+        let mut spins = vec![0.0; n * width];
+        let mut streams = Vec::with_capacity(width);
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut rng = new_rng(seed);
+            for i in 0..n {
+                spins[i * width + r] = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            }
+            streams.push(NoiseSource::new(rng));
+        }
+
+        // the initial books must replay the serial machine bit-for-bit, so
+        // each lane is gathered into a contiguous vector and run through the
+        // very same blocked row-dot kernel the serial resync uses
+        let mut fields = vec![0.0; n * width];
+        let mut energies = vec![0.0; width];
+        let couplings = model.couplings();
+        let mut lane_spins = vec![0.0; n];
+        for (r, energy) in energies.iter_mut().enumerate() {
+            for (i, s) in lane_spins.iter_mut().enumerate() {
+                *s = spins[i * width + r];
+            }
+            let mut acc = 0.0;
+            for (i, &h) in model.fields().iter().enumerate() {
+                let field = couplings.row_dot_f64(i, &lane_spins) + h;
+                fields[i * width + r] = field;
+                acc += lane_spins[i] * (field + h);
+            }
+            *energy = model.offset() - 0.5 * acc;
+        }
+
+        ReplicaBatch {
+            n,
+            width,
+            spins,
+            fields,
+            energies,
+            flips: vec![0; width],
+            streams,
+            deltas: vec![0.0; width],
+            betas_uniform: vec![0.0; width],
+            thresholds: vec![0.0; width],
+        }
+    }
+
+    /// Fills the per-lane settled thresholds for this sweep's β values.
+    ///
+    /// A lane with `field · spin ≥ thresholds[r]` is guaranteed to satisfy
+    /// the serial saturation-and-aligned test `β · field · spin ≥
+    /// SATURATION`: the threshold is `SATURATION / β` padded by a few ulps,
+    /// so division rounding can only make the filter *conservative*. A lane
+    /// that fails the filter merely takes the exact slow path (which
+    /// consumes no randomness for saturated lanes), never the other way
+    /// around — trajectories are unaffected, the fast path just gets one
+    /// multiply cheaper. β = 0 maps to `+∞` (nothing saturates).
+    fn fill_thresholds(&mut self, betas: &[f64]) {
+        const PAD: f64 = 1.0 + 16.0 * f64::EPSILON;
+        for (t, &b) in self.thresholds.iter_mut().zip(betas) {
+            *t = if b > 0.0 {
+                (SATURATION / b) * PAD
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+
+    /// Number of replica lanes `R`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of spins per replica.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the model has zero spins.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The current model energy of replica `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn energy(&self, r: usize) -> f64 {
+        self.energies[r]
+    }
+
+    /// Total spin flips replica `r` has performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn flips(&self, r: usize) -> u64 {
+        self.flips[r]
+    }
+
+    /// The current local field `I_i` of spin `i` in replica `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `r` is out of bounds.
+    pub fn local_field(&self, r: usize, i: usize) -> f64 {
+        assert!(r < self.width, "lane index out of bounds");
+        self.fields[i * self.width + r]
+    }
+
+    /// The spin configuration of replica `r` as a fresh [`SpinState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn state(&self, r: usize) -> SpinState {
+        assert!(r < self.width, "lane index out of bounds");
+        (0..self.n)
+            .map(|i| Spin::from_sign(self.spins[i * self.width + r]))
+            .collect()
+    }
+
+    /// Gathers replica `r`'s spins into `out` without allocating — the
+    /// best-state tracking path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or `out.len() != self.len()`.
+    pub fn copy_state_into(&self, r: usize, out: &mut SpinState) {
+        assert!(r < self.width, "lane index out of bounds");
+        assert_eq!(out.len(), self.n, "state length mismatch");
+        for i in 0..self.n {
+            out.set(i, Spin::from_sign(self.spins[i * self.width + r]));
+        }
+    }
+
+    /// Exchanges the full replica payload (spins, fields, energy, flips) of
+    /// lanes `a` and `b`. Noise streams stay attached to their lanes — the
+    /// parallel-tempering exchange semantics, where machines move between
+    /// ladder slots but each slot keeps its stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either lane is out of bounds.
+    pub fn swap_lanes(&mut self, a: usize, b: usize) {
+        assert!(a < self.width && b < self.width, "lane index out of bounds");
+        if a == b {
+            return;
+        }
+        for i in 0..self.n {
+            self.spins.swap(i * self.width + a, i * self.width + b);
+            self.fields.swap(i * self.width + a, i * self.width + b);
+        }
+        self.energies.swap(a, b);
+        self.flips.swap(a, b);
+    }
+
+    /// [`ReplicaBatch::swap_lanes`] across two batches of the same model —
+    /// the cross-group exchange of a ladder partitioned into several
+    /// batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batches have different spin counts or a lane is out of
+    /// bounds.
+    pub fn swap_lanes_between(x: &mut ReplicaBatch, a: usize, y: &mut ReplicaBatch, b: usize) {
+        assert_eq!(x.n, y.n, "batches must share one model size");
+        assert!(a < x.width && b < y.width, "lane index out of bounds");
+        for i in 0..x.n {
+            std::mem::swap(&mut x.spins[i * x.width + a], &mut y.spins[i * y.width + b]);
+            std::mem::swap(
+                &mut x.fields[i * x.width + a],
+                &mut y.fields[i * y.width + b],
+            );
+        }
+        std::mem::swap(&mut x.energies[a], &mut y.energies[b]);
+        std::mem::swap(&mut x.flips[a], &mut y.flips[b]);
+    }
+
+    /// One batched Gibbs sweep with per-lane inverse temperatures (the
+    /// parallel-tempering shape: lane `r` samples at `betas[r]`).
+    ///
+    /// Every lane's decisions replay [`PbitMachine::sweep`] on that lane's
+    /// stream bit-for-bit; see the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `betas.len() != self.width()`.
+    pub fn sweep(&mut self, model: &IsingModel, betas: &[f64]) {
+        assert_eq!(betas.len(), self.width, "one β per replica lane");
+        assert_eq!(self.n, model.len(), "batch built for a different model");
+        self.fill_thresholds(betas);
+        // monomorphize the per-spin settled check for the common widths so
+        // the lane loop unrolls into straight-line code with maximal
+        // instruction-level parallelism; any other width takes the
+        // runtime-width loop (same semantics)
+        match self.width {
+            1 => self.sweep_gibbs::<1>(model, betas),
+            2 => self.sweep_gibbs::<2>(model, betas),
+            4 => self.sweep_gibbs::<4>(model, betas),
+            8 => self.sweep_gibbs::<8>(model, betas),
+            16 => self.sweep_gibbs::<16>(model, betas),
+            _ => self.sweep_gibbs_dyn(model, betas),
+        }
+    }
+
+    /// The Gibbs sweep with the lane count known at compile time: the
+    /// settled check below unrolls to `W` fused compare-and-accumulate
+    /// lanes with no loop-carried control flow.
+    fn sweep_gibbs<const W: usize>(&mut self, model: &IsingModel, betas: &[f64]) {
+        debug_assert_eq!(self.width, W);
+        let thresh: [f64; W] = self.thresholds[..W].try_into().expect("width was checked");
+        let couplings = model.couplings();
+        for i in 0..self.n {
+            let base = i * W;
+            // Fast path: `field · spin ≥ threshold` is a conservative,
+            // exactness-preserving filter for "saturated and already
+            // aligned" — no draw, no flip, no write (see
+            // [`ReplicaBatch::fill_thresholds`]). The product is exact
+            // (spin = ±1.0); counting lanes instead of `&&`-ing them keeps
+            // the unrolled check branchless, so the W independent
+            // multiply-compare chains overlap in the pipeline.
+            let fields_i: &[f64; W] = self.fields[base..base + W]
+                .try_into()
+                .expect("plane is n × W");
+            let spins_i: &[f64; W] = self.spins[base..base + W]
+                .try_into()
+                .expect("plane is n × W");
+            let mut settled_lanes = 0u32;
+            for r in 0..W {
+                settled_lanes += u32::from(fields_i[r] * spins_i[r] >= thresh[r]);
+            }
+            if settled_lanes != W as u32 {
+                self.gibbs_spin_slow(couplings, i, betas);
+            }
+        }
+    }
+
+    /// Runtime-width fallback of [`ReplicaBatch::sweep_gibbs`].
+    fn sweep_gibbs_dyn(&mut self, model: &IsingModel, betas: &[f64]) {
+        let width = self.width;
+        let couplings = model.couplings();
+        for i in 0..self.n {
+            let base = i * width;
+            let fields_i = &self.fields[base..base + width];
+            let spins_i = &self.spins[base..base + width];
+            let mut settled_lanes = 0u32;
+            for ((&f, &s), &t) in fields_i.iter().zip(spins_i).zip(&self.thresholds) {
+                settled_lanes += u32::from(f * s >= t);
+            }
+            if settled_lanes != width as u32 {
+                self.gibbs_spin_slow(couplings, i, betas);
+            }
+        }
+    }
+
+    /// The exact serial decision for every lane of spin `i`, in lane order —
+    /// taken whenever some lane is unsaturated or flips. Consumes each
+    /// undecided lane's noise stream exactly like [`PbitMachine::sweep`].
+    fn gibbs_spin_slow(&mut self, couplings: &Couplings, i: usize, betas: &[f64]) {
+        let width = self.width;
+        let base = i * width;
+        let mut any_flip = false;
+        let spins_i = &mut self.spins[base..base + width];
+        let fields_i = &self.fields[base..base + width];
+        for (r, (s, (&f, (&b, d)))) in spins_i
+            .iter_mut()
+            .zip(fields_i.iter().zip(betas.iter().zip(&mut self.deltas)))
+            .enumerate()
+        {
+            let drive = b * f;
+            let new_up = if drive >= SATURATION {
+                true
+            } else if drive <= -SATURATION {
+                false
+            } else {
+                let activation = drive.tanh();
+                let noise = self.streams[r].symmetric();
+                activation + noise >= 0.0
+            };
+            let old = *s;
+            if new_up != (old > 0.0) {
+                // ΔH for flipping spin i is 2 s_i I_i
+                self.energies[r] += 2.0 * old * f;
+                *s = -old;
+                self.flips[r] += 1;
+                *d = -2.0 * old; // new - old spin value
+                any_flip = true;
+            } else {
+                *d = 0.0;
+            }
+        }
+        if any_flip {
+            Self::propagate(couplings, i, &self.deltas, &mut self.fields);
+        }
+    }
+
+    /// Applies the flip deltas of spin `i` to the field plane with one pass
+    /// over the coupling row.
+    ///
+    /// When only a few lanes flipped, per-lane strided updates skip the
+    /// untouched lanes entirely (work ∝ actual flips, and no `±0.0` adds);
+    /// when most lanes flipped, the full lane-broadcast kernel
+    /// ([`Couplings::row_axpy_lanes`]) reuses the single row pass for all of
+    /// them. Per lane both shapes apply the identical adds in identical
+    /// order, so the choice is invisible to trajectories.
+    fn propagate(couplings: &Couplings, i: usize, deltas: &[f64], fields: &mut [f64]) {
+        let width = deltas.len();
+        let flipped = deltas.iter().filter(|&&d| d != 0.0).count();
+        if flipped * 3 <= width {
+            for (r, &d) in deltas.iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                match couplings {
+                    Couplings::Dense(m) => {
+                        for (plane, &jij) in fields.chunks_exact_mut(width).zip(m.row(i)) {
+                            plane[r] += jij * d;
+                        }
+                    }
+                    Couplings::Sparse(m) => {
+                        for (j, jij) in m.row_iter(i) {
+                            fields[j * width + r] += jij * d;
+                        }
+                    }
+                }
+            }
+        } else {
+            couplings.row_axpy_lanes(i, deltas, fields);
+        }
+    }
+
+    /// One batched Gibbs sweep with a single inverse temperature shared by
+    /// every lane (the replica-ensemble shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was built for a different model size.
+    pub fn sweep_uniform(&mut self, model: &IsingModel, beta: f64) {
+        self.betas_uniform.fill(beta);
+        let betas = std::mem::take(&mut self.betas_uniform);
+        self.sweep(model, &betas);
+        self.betas_uniform = betas;
+    }
+
+    /// One batched Metropolis sweep with per-lane inverse temperatures.
+    ///
+    /// Every lane replays [`PbitMachine::metropolis_sweep`] on that lane's
+    /// stream bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `betas.len() != self.width()`.
+    pub fn metropolis_sweep(&mut self, model: &IsingModel, betas: &[f64]) {
+        assert_eq!(betas.len(), self.width, "one β per replica lane");
+        assert_eq!(self.n, model.len(), "batch built for a different model");
+        let width = self.width;
+        let couplings = model.couplings();
+        for i in 0..self.n {
+            let base = i * width;
+            let mut any_flip = false;
+            for (r, &beta) in betas.iter().enumerate() {
+                let field = self.fields[base + r];
+                let old = self.spins[base + r];
+                let delta = 2.0 * old * field;
+                let accept = delta <= 0.0 || self.streams[r].unit() < (-beta * delta).exp();
+                if accept {
+                    self.energies[r] += 2.0 * old * field;
+                    self.spins[base + r] = -old;
+                    self.flips[r] += 1;
+                    self.deltas[r] = -2.0 * old;
+                    any_flip = true;
+                } else {
+                    self.deltas[r] = 0.0;
+                }
+            }
+            if any_flip {
+                Self::propagate(couplings, i, &self.deltas, &mut self.fields);
+            }
+        }
+    }
+
+    /// One batched Metropolis sweep at a single shared inverse temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was built for a different model size.
+    pub fn metropolis_sweep_uniform(&mut self, model: &IsingModel, beta: f64) {
+        self.betas_uniform.fill(beta);
+        let betas = std::mem::take(&mut self.betas_uniform);
+        self.metropolis_sweep(model, &betas);
+        self.betas_uniform = betas;
+    }
+}
+
+/// Per-lane best-sample tracking over a [`ReplicaBatch`]'s sweeps.
+///
+/// Both batched engines (the replica ensemble and the parallel-tempering
+/// ladder) keep, for every lane, the lowest-energy state observed after any
+/// sweep, with the serial engines' strict-improvement rule (`<`, so the
+/// earliest sample wins ties). Centralizing the rule here keeps the two
+/// engines from drifting apart.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneBests {
+    energies: Vec<f64>,
+    states: Vec<SpinState>,
+}
+
+impl LaneBests {
+    /// Seeds the tracker with every lane's initial state and energy.
+    pub(crate) fn new(batch: &ReplicaBatch) -> Self {
+        LaneBests {
+            energies: (0..batch.width()).map(|r| batch.energy(r)).collect(),
+            states: (0..batch.width()).map(|r| batch.state(r)).collect(),
+        }
+    }
+
+    /// Records every lane that strictly improved on its best (call once
+    /// after each sweep). Improvements overwrite in place — no allocation.
+    pub(crate) fn update(&mut self, batch: &ReplicaBatch) {
+        for (r, (e, b)) in self.energies.iter_mut().zip(&mut self.states).enumerate() {
+            if batch.energy(r) < *e {
+                *e = batch.energy(r);
+                batch.copy_state_into(r, b);
+            }
+        }
+    }
+
+    /// Lane `r`'s best energy so far.
+    pub(crate) fn energy(&self, r: usize) -> f64 {
+        self.energies[r]
+    }
+
+    /// Lane `r`'s best state so far.
+    pub(crate) fn state(&self, r: usize) -> &SpinState {
+        &self.states[r]
+    }
+
+    /// Decomposes into `(energies, states)`, in lane order.
+    pub(crate) fn into_parts(self) -> (Vec<f64>, Vec<SpinState>) {
+        (self.energies, self.states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbit::PbitMachine;
+    use crate::rng::derive_seed;
+    use saim_ising::{Couplings, QuboBuilder};
+
+    fn frustrated_model() -> IsingModel {
+        let mut b = QuboBuilder::new(5);
+        b.add_pair(0, 1, 2.0).unwrap();
+        b.add_pair(1, 2, -1.5).unwrap();
+        b.add_pair(2, 3, 1.0).unwrap();
+        b.add_pair(3, 4, -0.5).unwrap();
+        b.add_linear(0, -1.0).unwrap();
+        b.add_linear(4, 0.5).unwrap();
+        b.build().to_ising()
+    }
+
+    /// A ring model big and sparse enough that `to_ising` stores it as CSR.
+    fn sparse_ring_model(n: usize) -> IsingModel {
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_pair(i, (i + 1) % n, if i % 2 == 0 { 1.0 } else { -1.5 })
+                .unwrap();
+            b.add_linear(i, 0.3 - 0.1 * (i % 5) as f64).unwrap();
+        }
+        b.build().to_ising()
+    }
+
+    /// Serial replay: a fresh machine on lane `r`'s stream must match the
+    /// lane exactly after every sweep.
+    fn assert_matches_serial(model: &IsingModel, seeds: &[u64], sweeps: usize) {
+        let mut batch = ReplicaBatch::new(model, seeds);
+        let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = new_rng(s);
+                let machine = PbitMachine::new(model, &mut rng);
+                (machine, NoiseSource::new(rng))
+            })
+            .collect();
+        for (r, (machine, _)) in serial.iter().enumerate() {
+            assert_eq!(batch.state(r), *machine.state(), "initial state lane {r}");
+            assert_eq!(
+                batch.energy(r).to_bits(),
+                machine.energy().to_bits(),
+                "initial energy lane {r}"
+            );
+        }
+        for sweep in 0..sweeps {
+            let beta = 0.15 * sweep as f64;
+            batch.sweep_uniform(model, beta);
+            for (r, (machine, noise)) in serial.iter_mut().enumerate() {
+                machine.sweep_buffered(model, beta, noise);
+                assert_eq!(batch.state(r), *machine.state(), "sweep {sweep} lane {r}");
+                assert_eq!(
+                    batch.energy(r).to_bits(),
+                    machine.energy().to_bits(),
+                    "sweep {sweep} lane {r}"
+                );
+                assert_eq!(batch.flips(r), machine.flips(), "sweep {sweep} lane {r}");
+            }
+        }
+        for (r, (machine, _)) in serial.iter().enumerate() {
+            for i in 0..model.len() {
+                assert_eq!(
+                    batch.local_field(r, i),
+                    machine.local_field(i),
+                    "field {i} lane {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_batch_replays_serial_machines() {
+        let model = frustrated_model();
+        let seeds: Vec<u64> = (0..8).map(|r| derive_seed(11, r)).collect();
+        assert_matches_serial(&model, &seeds, 60);
+    }
+
+    #[test]
+    fn csr_batch_replays_serial_machines() {
+        let model = sparse_ring_model(80);
+        assert!(matches!(model.couplings(), Couplings::Sparse(_)));
+        let seeds: Vec<u64> = (0..4).map(|r| derive_seed(23, r)).collect();
+        assert_matches_serial(&model, &seeds, 40);
+    }
+
+    #[test]
+    fn width_one_batch_replays_serial_machines() {
+        let model = frustrated_model();
+        assert_matches_serial(&model, &[derive_seed(5, 0)], 50);
+    }
+
+    #[test]
+    fn lanes_are_independent_of_batch_width() {
+        let model = frustrated_model();
+        let seeds: Vec<u64> = (0..6).map(|r| derive_seed(77, r)).collect();
+        let mut wide = ReplicaBatch::new(&model, &seeds);
+        let mut narrow: Vec<ReplicaBatch> = seeds
+            .iter()
+            .map(|&s| ReplicaBatch::new(&model, &[s]))
+            .collect();
+        for sweep in 0..50 {
+            let beta = 0.1 * sweep as f64;
+            wide.sweep_uniform(&model, beta);
+            for (r, solo) in narrow.iter_mut().enumerate() {
+                solo.sweep_uniform(&model, beta);
+                assert_eq!(wide.state(r), solo.state(0), "sweep {sweep} lane {r}");
+                assert_eq!(wide.energy(r).to_bits(), solo.energy(0).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn metropolis_batch_replays_serial_machines() {
+        let model = frustrated_model();
+        let seeds: Vec<u64> = (0..5).map(|r| derive_seed(3, r)).collect();
+        let mut batch = ReplicaBatch::new(&model, &seeds);
+        let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = new_rng(s);
+                let machine = PbitMachine::new(&model, &mut rng);
+                (machine, NoiseSource::new(rng))
+            })
+            .collect();
+        for sweep in 0..60 {
+            let beta = 0.08 * sweep as f64;
+            batch.metropolis_sweep_uniform(&model, beta);
+            for (r, (machine, noise)) in serial.iter_mut().enumerate() {
+                machine.metropolis_sweep_buffered(&model, beta, noise);
+                assert_eq!(batch.state(r), *machine.state(), "sweep {sweep} lane {r}");
+                assert_eq!(batch.energy(r).to_bits(), machine.energy().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn energies_never_drift_from_the_model() {
+        let model = frustrated_model();
+        let seeds: Vec<u64> = (0..4).map(|r| derive_seed(9, r)).collect();
+        let mut batch = ReplicaBatch::new(&model, &seeds);
+        for sweep in 0..100 {
+            batch.sweep_uniform(&model, 0.07 * sweep as f64);
+            for r in 0..batch.width() {
+                let full = model.energy(&batch.state(r));
+                assert!(
+                    (batch.energy(r) - full).abs() < 1e-9,
+                    "lane {r} drifted at sweep {sweep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_lanes_exchanges_full_payload() {
+        let model = frustrated_model();
+        let seeds: Vec<u64> = (0..3).map(|r| derive_seed(31, r)).collect();
+        let mut batch = ReplicaBatch::new(&model, &seeds);
+        batch.sweep_uniform(&model, 1.0);
+        let (s0, e0, f0) = (batch.state(0), batch.energy(0), batch.flips(0));
+        let (s2, e2, f2) = (batch.state(2), batch.energy(2), batch.flips(2));
+        batch.swap_lanes(0, 2);
+        assert_eq!(batch.state(0), s2);
+        assert_eq!(batch.state(2), s0);
+        assert_eq!(batch.energy(0), e2);
+        assert_eq!(batch.energy(2), e0);
+        assert_eq!(batch.flips(0), f2);
+        assert_eq!(batch.flips(2), f0);
+        // fields travelled with the payload: books must still be exact
+        for r in [0usize, 2] {
+            for i in 0..model.len() {
+                let expected = model.local_field(&batch.state(r), i);
+                assert!((batch.local_field(r, i) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_lanes_between_batches_matches_in_batch_swap() {
+        let model = frustrated_model();
+        let seeds: Vec<u64> = (0..4).map(|r| derive_seed(41, r)).collect();
+        // one 4-lane batch vs two 2-lane batches over the same streams
+        let mut whole = ReplicaBatch::new(&model, &seeds);
+        let mut left = ReplicaBatch::new(&model, &seeds[..2]);
+        let mut right = ReplicaBatch::new(&model, &seeds[2..]);
+        whole.sweep_uniform(&model, 0.8);
+        left.sweep_uniform(&model, 0.8);
+        right.sweep_uniform(&model, 0.8);
+        whole.swap_lanes(1, 2);
+        ReplicaBatch::swap_lanes_between(&mut left, 1, &mut right, 0);
+        let views: [(&ReplicaBatch, usize); 4] = [(&left, 0), (&left, 1), (&right, 0), (&right, 1)];
+        for (lane, &(batch, local)) in views.iter().enumerate() {
+            assert_eq!(whole.state(lane), batch.state(local), "lane {lane}");
+            assert_eq!(whole.energy(lane).to_bits(), batch.energy(local).to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_and_one_spin_models_work() {
+        for n in [0usize, 1] {
+            let mut b = QuboBuilder::new(n);
+            if n == 1 {
+                b.add_linear(0, -1.0).unwrap();
+            }
+            let model = b.build().to_ising();
+            let seeds: Vec<u64> = (0..3).map(|r| derive_seed(1, r)).collect();
+            let mut batch = ReplicaBatch::new(&model, &seeds);
+            assert_eq!(batch.len(), n);
+            batch.sweep_uniform(&model, 2.0);
+            batch.metropolis_sweep_uniform(&model, 2.0);
+            for r in 0..batch.width() {
+                assert_eq!(batch.state(r).len(), n);
+                assert!((batch.energy(r) - model.energy(&batch.state(r))).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica lane")]
+    fn rejects_empty_seed_list() {
+        let model = frustrated_model();
+        let _ = ReplicaBatch::new(&model, &[]);
+    }
+}

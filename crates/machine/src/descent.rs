@@ -29,6 +29,9 @@ use saim_ising::IsingModel;
 pub struct GreedyDescent {
     rng: ChaCha8Rng,
     max_sweeps: usize,
+    /// Reused across solves: a restart re-randomizes in place (one field
+    /// resync, no allocation) instead of constructing a fresh machine.
+    machine: Option<PbitMachine>,
 }
 
 impl GreedyDescent {
@@ -37,6 +40,7 @@ impl GreedyDescent {
         GreedyDescent {
             rng: new_rng(seed),
             max_sweeps: 10_000,
+            machine: None,
         }
     }
 
@@ -54,7 +58,7 @@ impl GreedyDescent {
 
 impl IsingSolver for GreedyDescent {
     fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
-        let mut machine = PbitMachine::new(model, &mut self.rng);
+        let machine = PbitMachine::obtain_randomized(&mut self.machine, model, &mut self.rng);
         let mut sweeps = 0u64;
         for _ in 0..self.max_sweeps {
             sweeps += 1;

@@ -1,15 +1,20 @@
-//! Replica-ensemble annealing: R independent annealed runs across threads.
+//! Replica-ensemble annealing: R independent annealed runs across threads,
+//! batched into structure-of-arrays lane groups per worker.
 //!
 //! The paper's experimental unit is "many independent annealed runs" — e.g.
 //! 2000 SA runs of 10³ MCS per instance (Table I). Runs are embarrassingly
 //! parallel, but naively sharing one RNG across threads would make results
 //! depend on scheduling. The [`EnsembleAnnealer`] instead derives one
 //! SplitMix64 stream per replica from a root seed
-//! ([`derive_seed`](crate::derive_seed)), runs each replica's
-//! [`SimulatedAnnealing`] to completion on its own thread, and reduces with
-//! an **ordered** best-of-ensemble rule (lowest best energy, ties broken by
-//! lowest replica index). The outcome is therefore bit-identical for 1, 2 or
-//! N threads — asserted by `tests/determinism.rs`.
+//! ([`derive_seed`](crate::derive_seed)), groups the replicas assigned to
+//! each worker into a [`ReplicaBatch`] — advancing the whole group through
+//! each sweep together so one coupling-row pass serves every lane — and
+//! reduces with an **ordered** best-of-ensemble rule (lowest best energy,
+//! ties broken by lowest replica index). Lane trajectories are
+//! batch-width-invariant and each replays a serial
+//! [`SimulatedAnnealing`](crate::SimulatedAnnealing) of its derived seed, so
+//! the outcome is bit-identical for 1, 2 or N threads and for any
+//! [`EnsembleConfig::batch_width`] — asserted by `tests/determinism.rs`.
 //!
 //! ```
 //! use saim_ising::QuboBuilder;
@@ -33,9 +38,10 @@
 //! # }
 //! ```
 
+use crate::batch::{LaneBests, ReplicaBatch};
 use crate::parallel;
 use crate::rng::derive_seed;
-use crate::sa::{Dynamics, SimulatedAnnealing};
+use crate::sa::Dynamics;
 use crate::schedule::BetaSchedule;
 use crate::solver::{IsingSolver, SolveOutcome};
 use saim_ising::IsingModel;
@@ -49,6 +55,15 @@ pub struct EnsembleConfig {
     /// Worker threads; `0` means all available cores. The thread count
     /// affects wall-clock only, never results.
     pub threads: usize,
+    /// Replica lanes advanced together per structure-of-arrays batch
+    /// ([`ReplicaBatch`]). `0` (the default) adapts the width to the worker
+    /// pool — as wide as possible without starving workers of groups,
+    /// capped at [`EnsembleConfig::DEFAULT_BATCH_WIDTH`]; a nonzero value
+    /// is used as-is. Wider batches amortize each coupling-row load over
+    /// more replicas. The batch width affects wall-clock only, never
+    /// results — lane trajectories are batch-width-invariant by the
+    /// [`ReplicaBatch`] contract.
+    pub batch_width: usize,
     /// The annealing schedule every replica follows.
     pub schedule: BetaSchedule,
     /// Monte Carlo sweeps per replica run.
@@ -64,6 +79,7 @@ impl Default for EnsembleConfig {
         EnsembleConfig {
             replicas: 8,
             threads: 0,
+            batch_width: 0,
             schedule: BetaSchedule::default(),
             mcs_per_run: 1000,
             dynamics: Dynamics::Gibbs,
@@ -72,6 +88,12 @@ impl Default for EnsembleConfig {
 }
 
 impl EnsembleConfig {
+    /// Cap on the adaptive lane count when [`EnsembleConfig::batch_width`]
+    /// is `0`: up to eight replicas share each coupling-row pass, and eight
+    /// f64 lanes fill one AVX-512 register (two AVX2 registers) while
+    /// keeping the spin/field planes cache-resident.
+    pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
     fn validate(&self) {
         assert!(self.replicas > 0, "an ensemble needs at least one replica");
         assert!(self.mcs_per_run > 0, "a run needs at least one sweep");
@@ -171,18 +193,46 @@ impl EnsembleAnnealer {
     /// Runs `count` independent annealed runs of `model` in parallel and
     /// returns their outcomes **in run order** (thread-count invariant).
     ///
+    /// Runs are grouped into [`ReplicaBatch`]es: each worker advances its
+    /// whole group through every sweep together, so one coupling-row pass
+    /// serves the full lane set. With the default
+    /// [`EnsembleConfig::batch_width`] of `0`, the group width adapts
+    /// downward so the fan-out still covers the worker pool (more workers →
+    /// narrower groups), capped at
+    /// [`EnsembleConfig::DEFAULT_BATCH_WIDTH`]; an explicit width is used
+    /// as-is. Each run's trajectory is in every case bit-identical to a
+    /// serial [`SimulatedAnnealing`](crate::SimulatedAnnealing) of the same
+    /// derived seed — the batch-width-invariance contract, asserted by
+    /// `tests/determinism.rs` — so the grouping affects wall-clock only.
+    ///
     /// This is the run-level engine behind both the ensemble reduction and
     /// the baselines' "K runs of 10³ MCS" repetition loops.
     pub fn solve_runs(&mut self, model: &IsingModel, count: usize) -> Vec<SolveOutcome> {
         let batch = self.batches;
         self.batches += 1;
         let config = self.config;
-        parallel::parallel_map_indexed(count, config.threads, |i| {
-            let seed = self.replica_seed(batch, i as u64);
-            SimulatedAnnealing::new(config.schedule, config.mcs_per_run, seed)
-                .with_dynamics(config.dynamics)
-                .solve(model)
-        })
+        let width = if config.batch_width == 0 {
+            let workers = if config.threads == 0 {
+                parallel::available_threads()
+            } else {
+                config.threads
+            };
+            count
+                .div_ceil(workers.max(1))
+                .clamp(1, EnsembleConfig::DEFAULT_BATCH_WIDTH)
+        } else {
+            config.batch_width
+        };
+        let groups = count.div_ceil(width.max(1));
+        let grouped = parallel::parallel_map_indexed(groups, config.threads, |g| {
+            let lo = g * width;
+            let hi = count.min(lo + width);
+            let seeds: Vec<u64> = (lo..hi)
+                .map(|i| self.replica_seed(batch, i as u64))
+                .collect();
+            run_batched(model, &config, &seeds)
+        });
+        grouped.into_iter().flatten().collect()
     }
 
     /// Runs the configured ensemble once with full per-replica telemetry.
@@ -217,6 +267,36 @@ impl EnsembleAnnealer {
     }
 }
 
+/// One batched group of annealed runs: every lane follows the configured
+/// schedule together, one sweep at a time, with per-lane best tracking —
+/// the batched equivalent of `seeds.len()` fresh
+/// [`SimulatedAnnealing`](crate::SimulatedAnnealing) solves.
+fn run_batched(model: &IsingModel, config: &EnsembleConfig, seeds: &[u64]) -> Vec<SolveOutcome> {
+    let mut batch = ReplicaBatch::new(model, seeds);
+    let mut bests = LaneBests::new(&batch);
+    for step in 0..config.mcs_per_run {
+        let beta = config.schedule.beta_at(step, config.mcs_per_run);
+        match config.dynamics {
+            Dynamics::Gibbs => batch.sweep_uniform(model, beta),
+            Dynamics::Metropolis => batch.metropolis_sweep_uniform(model, beta),
+        }
+        bests.update(&batch);
+    }
+    let (best_energies, best_states) = bests.into_parts();
+    best_energies
+        .into_iter()
+        .zip(best_states)
+        .enumerate()
+        .map(|(r, (best_energy, best))| SolveOutcome {
+            last: batch.state(r),
+            last_energy: batch.energy(r),
+            best,
+            best_energy,
+            mcs: config.mcs_per_run as u64,
+        })
+        .collect()
+}
+
 impl IsingSolver for EnsembleAnnealer {
     fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
         self.solve_ensemble(model).reduce()
@@ -234,6 +314,7 @@ impl IsingSolver for EnsembleAnnealer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sa::SimulatedAnnealing;
     use saim_ising::{BinaryState, QuboBuilder};
 
     fn planted_model() -> (IsingModel, f64) {
@@ -254,6 +335,7 @@ mod tests {
         EnsembleConfig {
             replicas,
             threads,
+            batch_width: 0,
             schedule: BetaSchedule::linear(6.0),
             mcs_per_run: 60,
             dynamics: Dynamics::Gibbs,
@@ -267,6 +349,24 @@ mod tests {
         for threads in [2, 3, 8] {
             let got = EnsembleAnnealer::new(config(6, threads), 42).solve_ensemble(&model);
             assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_width_never_changes_results() {
+        let (model, _) = planted_model();
+        let narrow = EnsembleConfig {
+            batch_width: 1,
+            ..config(6, 0)
+        };
+        let reference = EnsembleAnnealer::new(narrow, 42).solve_ensemble(&model);
+        for batch_width in [2, 3, 8, 16, 0] {
+            let cfg = EnsembleConfig {
+                batch_width,
+                ..config(6, 0)
+            };
+            let got = EnsembleAnnealer::new(cfg, 42).solve_ensemble(&model);
+            assert_eq!(got, reference, "batch_width = {batch_width}");
         }
     }
 

@@ -24,15 +24,22 @@
 //!
 //! - [`PbitMachine`] — the p-bit network with incremental local-field and
 //!   energy bookkeeping,
+//! - [`ReplicaBatch`] — R replicas of one model in structure-of-arrays spin
+//!   and field planes, advanced together so one coupling-row pass updates
+//!   every replica's field lane; per-lane trajectories are bit-identical to
+//!   serial machines for any batch width (the CPU shape of the future GPU
+//!   batch sweep),
+//! - [`NoiseSource`] — a block-buffered tap on a ChaCha8 stream for the
+//!   sweep noise, preserving the per-decision draw order exactly,
 //! - [`BetaSchedule`] — annealing schedules (the paper uses a linear sweep
 //!   from 0 to `β_max` per run),
 //! - [`SimulatedAnnealing`] — one annealed run reading the last sample, as
 //!   SAIM's inner minimizer,
 //! - [`EnsembleAnnealer`] — R independent replicas of a model annealed
-//!   across threads with deterministic per-replica RNG streams and an
-//!   ordered best-of-ensemble reduction (bit-identical for any thread
-//!   count); the run-level engine behind the bench harness's repetition
-//!   loops,
+//!   across threads in batched lane groups, with deterministic per-replica
+//!   RNG streams and an ordered best-of-ensemble reduction (bit-identical
+//!   for any thread count and batch width); the run-level engine behind the
+//!   bench harness's repetition loops,
 //! - [`parallel`] — the deterministic fork–join primitive the ensemble (and
 //!   the bench harness's instance grids) run on,
 //! - [`ParallelTempering`] — a replica-exchange solver standing in for the
@@ -69,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod descent;
 mod ensemble;
 pub mod parallel;
@@ -80,11 +88,12 @@ mod schedule;
 mod solver;
 mod telemetry;
 
+pub use batch::ReplicaBatch;
 pub use descent::GreedyDescent;
 pub use ensemble::{EnsembleAnnealer, EnsembleConfig, EnsembleOutcome, ReplicaOutcome};
 pub use pbit::PbitMachine;
 pub use pt::{ParallelTempering, PtConfig};
-pub use rng::{derive_seed, new_rng};
+pub use rng::{derive_seed, new_rng, NoiseSource};
 pub use sa::{Dynamics, SimulatedAnnealing};
 pub use schedule::BetaSchedule;
 pub use solver::{IsingSolver, SolveOutcome};

@@ -1,6 +1,17 @@
+use crate::rng::{NoiseSource, SweepNoise};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use saim_ising::{Couplings, IsingModel, Spin, SpinState};
+
+/// Beyond this drive, `tanh(x)` rounds to exactly `±1.0` in `f64`
+/// (`2e^{-2x} < 2^{-53}` ulp), and `sign(±1 + u)` with `u ∈ [-1, 1)` is the
+/// sign of the saturated activation for every drawable `u` — the update is
+/// deterministic, so both the tanh and the noise draw are skipped. This is
+/// exact, not approximate: cold sweeps (large `β·I`) cost a compare instead
+/// of a transcendental plus an RNG advance. The batched sweep engine
+/// ([`crate::ReplicaBatch`]) shares this constant so its per-lane decisions
+/// replay the serial machine bit-for-bit.
+pub(crate) const SATURATION: f64 = 20.0;
 
 /// A network of probabilistic bits emulating a p-computer in software.
 ///
@@ -60,6 +71,11 @@ impl PbitMachine {
 
     /// Creates a machine starting from a given spin configuration.
     ///
+    /// Initialization performs exactly one field resync (O(n²) dense,
+    /// O(nnz) sparse); to re-anneal an existing machine without fresh
+    /// allocations use [`PbitMachine::randomize`] or
+    /// [`PbitMachine::reset_to`] instead of constructing a new one.
+    ///
     /// # Panics
     ///
     /// Panics if `state.len() != model.len()`.
@@ -75,6 +91,49 @@ impl PbitMachine {
         };
         machine.recompute_books(model);
         machine
+    }
+
+    /// Reuses the machine in `slot` for a fresh uniformly-random run of
+    /// `model` — re-randomizing in place when the size matches (no
+    /// allocation), constructing anew otherwise — and returns it.
+    ///
+    /// This is the shared re-anneal entry point of the restart-based
+    /// solvers ([`SimulatedAnnealing`](crate::SimulatedAnnealing),
+    /// [`GreedyDescent`](crate::GreedyDescent)), so the reuse rule lives in
+    /// one place. Either path draws exactly `model.len()` coin flips from
+    /// `rng` and performs exactly one field resync.
+    pub fn obtain_randomized<'a>(
+        slot: &'a mut Option<PbitMachine>,
+        model: &IsingModel,
+        rng: &mut ChaCha8Rng,
+    ) -> &'a mut PbitMachine {
+        match slot {
+            Some(m) if m.state().len() == model.len() => m.randomize(model, rng),
+            _ => *slot = Some(PbitMachine::new(model, rng)),
+        }
+        slot.as_mut().expect("just set")
+    }
+
+    /// Re-initializes the machine in place from `state`, reusing every
+    /// internal buffer — the re-anneal path: no allocation when the size is
+    /// unchanged, and exactly one field resync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != model.len()`.
+    pub fn reset_to(&mut self, model: &IsingModel, state: &SpinState) {
+        assert_eq!(state.len(), model.len(), "state length mismatch");
+        if self.state.len() == state.len() {
+            self.state.copy_from(state);
+        } else {
+            self.state = state.clone();
+            self.spins_f.resize(state.len(), 0.0);
+            self.local_fields.resize(state.len(), 0.0);
+        }
+        for (s, &v) in self.spins_f.iter_mut().zip(state.values()) {
+            *s = f64::from(v);
+        }
+        self.recompute_books(model);
     }
 
     /// Rebuilds the local fields (O(N²) on dense models, O(nnz) on sparse
@@ -146,7 +205,15 @@ impl PbitMachine {
     }
 
     /// Re-randomizes the spin state uniformly (the start of a fresh SA run).
+    ///
+    /// Reuses every internal buffer and performs exactly one field resync —
+    /// re-annealing allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was built for a different model size.
     pub fn randomize(&mut self, model: &IsingModel, rng: &mut ChaCha8Rng) {
+        assert_eq!(self.state.len(), model.len(), "state length mismatch");
         for i in 0..self.state.len() {
             let spin = if rng.gen::<bool>() {
                 Spin::Up
@@ -156,7 +223,7 @@ impl PbitMachine {
             self.state.set(i, spin);
             self.spins_f[i] = f64::from(spin.value());
         }
-        self.resync(model);
+        self.recompute_books(model);
     }
 
     #[inline]
@@ -206,24 +273,45 @@ impl PbitMachine {
     /// One Monte Carlo sweep: sequentially updates every p-bit at inverse
     /// temperature `beta` with the stochastic rule of paper eq. 10.
     ///
+    /// Noise is drawn per decision from `rng`; the annealers' hot paths use
+    /// [`PbitMachine::sweep_buffered`], which consumes the same stream in
+    /// blocks and replays this method bit-for-bit (see
+    /// [`NoiseSource`](crate::NoiseSource) for the draw-order contract).
+    ///
     /// Returns the number of spins that changed.
     ///
     /// # Panics
     ///
     /// Panics if the machine was built for a different model size.
     pub fn sweep(&mut self, model: &IsingModel, beta: f64, rng: &mut ChaCha8Rng) -> usize {
+        self.sweep_with(model, beta, rng)
+    }
+
+    /// [`PbitMachine::sweep`] drawing its noise from a block-buffered
+    /// [`NoiseSource`] — one buffer load per undecided spin instead of a
+    /// generator round trip. Bit-identical to the per-decision path on the
+    /// same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was built for a different model size.
+    pub fn sweep_buffered(
+        &mut self,
+        model: &IsingModel,
+        beta: f64,
+        noise: &mut NoiseSource,
+    ) -> usize {
+        self.sweep_with(model, beta, noise)
+    }
+
+    fn sweep_with<N: SweepNoise>(&mut self, model: &IsingModel, beta: f64, noise: &mut N) -> usize {
         assert_eq!(self.state.len(), model.len(), "state length mismatch");
-        // beyond this input, tanh(x) rounds to exactly ±1.0 in f64
-        // (2e^{-2x} < 2^{-53} ulp), and sign(±1 + u) with u ∈ [-1, 1) is the
-        // sign of the saturated activation for every drawable u — the update
-        // is deterministic, so both the tanh and the noise draw are skipped.
-        // This is exact, not approximate: cold sweeps (large β·I) cost a
-        // compare instead of a transcendental plus an RNG advance.
-        const SATURATION: f64 = 20.0;
         let mut changed = 0;
         for i in 0..self.state.len() {
             // fused activation/noise decision: m_i = sign(tanh(βI_i) + U(−1,1));
-            // a flip happens iff the drawn sign disagrees with the cached spin
+            // a flip happens iff the drawn sign disagrees with the cached
+            // spin, and a saturated drive (|βI| ≥ SATURATION) decides without
+            // tanh or a draw — see the constant's docs
             let drive = beta * self.local_fields[i];
             let new_up = if drive >= SATURATION {
                 true
@@ -231,7 +319,7 @@ impl PbitMachine {
                 false
             } else {
                 let activation = drive.tanh();
-                let noise: f64 = rng.gen_range(-1.0..1.0);
+                let noise: f64 = noise.noise_symmetric();
                 activation + noise >= 0.0
             };
             if new_up != (self.spins_f[i] > 0.0) {
@@ -262,11 +350,36 @@ impl PbitMachine {
         beta: f64,
         rng: &mut ChaCha8Rng,
     ) -> usize {
+        self.metropolis_sweep_with(model, beta, rng)
+    }
+
+    /// [`PbitMachine::metropolis_sweep`] drawing its accept tests from a
+    /// block-buffered [`NoiseSource`]. Bit-identical to the per-decision
+    /// path on the same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was built for a different model size.
+    pub fn metropolis_sweep_buffered(
+        &mut self,
+        model: &IsingModel,
+        beta: f64,
+        noise: &mut NoiseSource,
+    ) -> usize {
+        self.metropolis_sweep_with(model, beta, noise)
+    }
+
+    fn metropolis_sweep_with<N: SweepNoise>(
+        &mut self,
+        model: &IsingModel,
+        beta: f64,
+        noise: &mut N,
+    ) -> usize {
         assert_eq!(self.state.len(), model.len(), "state length mismatch");
         let mut changed = 0;
         for i in 0..self.state.len() {
             let delta = 2.0 * self.spins_f[i] * self.local_fields[i];
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp();
+            let accept = delta <= 0.0 || noise.noise_unit() < (-beta * delta).exp();
             if accept {
                 self.apply_flip(model, i);
                 changed += 1;
@@ -427,6 +540,54 @@ mod tests {
         assert!(matches!(small.couplings(), Couplings::Dense(_)));
         let dense = frustrated_model(); // tiny and dense
         assert!(matches!(dense.couplings(), Couplings::Dense(_)));
+    }
+
+    #[test]
+    fn buffered_sweeps_replay_the_per_decision_path() {
+        // the block-buffered noise source must not change a single decision:
+        // same stream, same trajectory, bit-identical energies
+        let model = frustrated_model();
+        let mut rng_a = new_rng(8);
+        let mut a = PbitMachine::new(&model, &mut rng_a);
+        let mut rng_b = new_rng(8);
+        let b_init = PbitMachine::new(&model, &mut rng_b);
+        let mut b = b_init;
+        let mut noise = NoiseSource::new(rng_b);
+        for sweep in 0..150 {
+            let beta = 0.05 * sweep as f64;
+            if sweep % 3 == 2 {
+                a.metropolis_sweep(&model, beta, &mut rng_a);
+                b.metropolis_sweep_buffered(&model, beta, &mut noise);
+            } else {
+                a.sweep(&model, beta, &mut rng_a);
+                b.sweep_buffered(&model, beta, &mut noise);
+            }
+            assert_eq!(a.state(), b.state(), "sweep {sweep}");
+            assert_eq!(a.energy().to_bits(), b.energy().to_bits(), "sweep {sweep}");
+        }
+    }
+
+    #[test]
+    fn reset_to_matches_fresh_construction() {
+        let model = frustrated_model();
+        let mut rng = new_rng(6);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        for _ in 0..20 {
+            machine.sweep(&model, 1.0, &mut rng);
+        }
+        let target = SpinState::from_values(&[1, -1, -1, 1]);
+        machine.reset_to(&model, &target);
+        let fresh = PbitMachine::with_state(&model, target.clone());
+        assert_eq!(machine.state(), fresh.state());
+        assert_eq!(machine.energy().to_bits(), fresh.energy().to_bits());
+        for i in 0..model.len() {
+            assert_eq!(
+                machine.local_field(i).to_bits(),
+                fresh.local_field(i).to_bits()
+            );
+        }
+        // flips survive a reset (they count the machine's lifetime work)
+        assert!(machine.flips() > 0);
     }
 
     #[test]

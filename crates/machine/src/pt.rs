@@ -9,16 +9,21 @@
 //! terms create, and the algorithm run on Fujitsu's Digital Annealer in the
 //! paper's comparison \[17\].
 //!
-//! # Parallel execution and determinism
+//! # Batched parallel execution and determinism
 //!
-//! Rounds are embarrassingly parallel across the ladder, so each round's
-//! sweeps fan out over one **persistent per-solve worker pool**
+//! Rounds are embarrassingly parallel across the ladder. Adjacent slots are
+//! grouped — eight per group — into one structure-of-arrays
+//! [`ReplicaBatch`], so within a group every coupling-row pass of a sweep
+//! serves all member slots at once, and each round's group sweeps fan out
+//! over one **persistent per-solve worker pool**
 //! ([`parallel::parallel_rounds`]): the pool spawns once, rounds open and
 //! close on a barrier, and the serial exchange phase runs between rounds
 //! with every worker parked — a swap cadence of a few microseconds of work
 //! per slot would be swamped by per-round thread spawns otherwise. Results
-//! are **bit-identical for any thread count** because no random stream is
-//! ever shared between concurrently-running slots:
+//! are **bit-identical for any thread count** — and identical to the
+//! one-machine-per-slot engine, by the batch's lane-invariance contract —
+//! because no random stream is ever shared between concurrently-running
+//! slots:
 //!
 //! - **RNG-stream layout.** Each `solve` call is a *batch*; batch `b` of a
 //!   solver seeded `s` derives `batch_seed = derive_seed(s, b)`. Ladder slot
@@ -34,9 +39,11 @@
 //!   and the swap stream, never of scheduling. Exchanges happen strictly
 //!   *between* rounds: none follows the final round, so the readout is the
 //!   coldest slot's state straight after its last sweeps.
-//! - **Exchange semantics.** An accepted swap exchanges the *machines*
-//!   (spin states and their bookkeeping) between the two slots; streams and
-//!   temperatures stay attached to their ladder slots.
+//! - **Exchange semantics.** An accepted swap exchanges the *replica
+//!   payloads* (spin state, local fields, energy, flip count — batch lanes
+//!   here, whole machines in a serial replay) between the two slots;
+//!   streams, temperatures and best-so-far tracking stay attached to their
+//!   ladder slots.
 //!
 //! A serial replay of the same layout (sweep slots `0..R` in order each
 //! round, then apply the swap phase) reproduces the parallel result exactly;
@@ -57,15 +64,25 @@
 //! # }
 //! ```
 
+use crate::batch::{LaneBests, ReplicaBatch};
 use crate::parallel;
-use crate::pbit::PbitMachine;
 use crate::rng::{derive_seed, new_rng};
 use crate::solver::{IsingSolver, SolveOutcome};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use saim_ising::{IsingModel, SpinState};
+use saim_ising::IsingModel;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
+
+/// Cap on ladder slots advanced together per structure-of-arrays batch:
+/// within a group every coupling-row pass is shared ([`ReplicaBatch`]), and
+/// eight f64 lanes fill one AVX-512 register while keeping the spin/field
+/// planes cache-resident. The actual group width adapts downward so the
+/// per-round fan-out still covers the worker pool (more workers → narrower
+/// groups, never below one slot); lane trajectories are
+/// batch-width-invariant, so the grouping affects wall-clock only — results
+/// match the one-machine-per-slot engine bit for bit for every thread
+/// count, as `tests/determinism.rs` asserts.
+const MAX_GROUP_WIDTH: usize = 8;
 
 /// Configuration of the parallel-tempering solver.
 ///
@@ -84,7 +101,8 @@ pub struct PtConfig {
     /// Replica-exchange attempts happen between rounds of `swap_interval`
     /// sweeps (never after the final round).
     pub swap_interval: usize,
-    /// Worker threads for the per-round sweep fan-out; `0` means all
+    /// Worker threads for the per-round fan-out over slot groups (eight
+    /// adjacent ladder slots share one batched sweep); `0` means all
     /// available cores. The thread count affects wall-clock only, never
     /// results.
     pub threads: usize,
@@ -138,38 +156,37 @@ impl PtConfig {
     }
 }
 
-/// One ladder slot: the machine currently at this temperature, the slot's
-/// private RNG stream, and the best sample the slot has observed.
-struct LadderSlot {
-    machine: PbitMachine,
-    rng: ChaCha8Rng,
-    best_energy: f64,
-    best: SpinState,
+/// One batched group of adjacent ladder slots: the slots' replicas in
+/// structure-of-arrays lanes (lane `l` = slot `base + l`), their β
+/// sub-ladder, and per-slot best tracking.
+///
+/// An exchange moves the replica payload (state, fields, energy, flips)
+/// between lanes while each slot keeps its stream and its best — exactly
+/// the machine-swap semantics of the serial engine.
+struct PtGroup {
+    batch: ReplicaBatch,
+    /// β of each lane (`ladder[base..base + width]`).
+    betas: Vec<f64>,
+    bests: LaneBests,
 }
 
-impl LadderSlot {
-    fn new(model: &IsingModel, seed: u64) -> Self {
-        let mut rng = new_rng(seed);
-        let machine = PbitMachine::new(model, &mut rng);
-        let best = machine.state().clone();
-        let best_energy = machine.energy();
-        LadderSlot {
-            machine,
-            rng,
-            best_energy,
-            best,
+impl PtGroup {
+    fn new(model: &IsingModel, seeds: &[u64], betas: Vec<f64>) -> Self {
+        let batch = ReplicaBatch::new(model, seeds);
+        let bests = LaneBests::new(&batch);
+        PtGroup {
+            batch,
+            betas,
+            bests,
         }
     }
 
-    /// Runs `sweeps` Monte Carlo sweeps at inverse temperature `beta`,
-    /// tracking the slot-local best.
-    fn run_round(&mut self, model: &IsingModel, beta: f64, sweeps: usize) {
+    /// Runs `sweeps` batched Monte Carlo sweeps, each lane at its own β,
+    /// tracking every slot's best after every sweep.
+    fn run_round(&mut self, model: &IsingModel, sweeps: usize) {
         for _ in 0..sweeps {
-            self.machine.sweep(model, beta, &mut self.rng);
-            if self.machine.energy() < self.best_energy {
-                self.best_energy = self.machine.energy();
-                self.best.copy_from(self.machine.state());
-            }
+            self.batch.sweep(model, &self.betas);
+            self.bests.update(&self.batch);
         }
     }
 }
@@ -237,12 +254,32 @@ impl IsingSolver for ParallelTempering {
         let r = config.replicas;
         let ladder = config.ladder();
 
-        // Slot construction consumes only the slot's own stream, so it can
-        // fan out exactly like a round; building serially keeps it simple —
-        // either way the result is the same by construction.
-        let slots: Vec<Mutex<LadderSlot>> = (0..r)
-            .map(|k| Mutex::new(LadderSlot::new(model, self.stream_seed(batch, k as u64))))
+        // Adjacent slots share a batch so every coupling-row pass serves the
+        // whole group. The width adapts to the worker pool — narrower groups
+        // when more workers are available, so the round fan-out still covers
+        // every core — capped at MAX_GROUP_WIDTH for cache residency. Lane
+        // trajectories are batch-width-invariant, so this is wall-clock
+        // only. Group construction consumes only the member slots' own
+        // streams, so building serially changes nothing.
+        let workers = if config.threads == 0 {
+            parallel::available_threads()
+        } else {
+            config.threads
+        };
+        let width = r.div_ceil(workers.max(1)).clamp(1, MAX_GROUP_WIDTH);
+        let group_count = r.div_ceil(width);
+        let groups: Vec<Mutex<PtGroup>> = (0..group_count)
+            .map(|g| {
+                let lo = g * width;
+                let hi = r.min(lo + width);
+                let seeds: Vec<u64> = (lo..hi)
+                    .map(|k| self.stream_seed(batch, k as u64))
+                    .collect();
+                Mutex::new(PtGroup::new(model, &seeds, ladder[lo..hi].to_vec()))
+            })
             .collect();
+        // slot k lives in group k / width, lane k % width
+        let locate = |k: usize| (k / width, k % width);
         let mut swap_rng = new_rng(self.stream_seed(batch, r as u64));
 
         // round lengths: swap_interval sweeps each, with a short final round
@@ -259,13 +296,14 @@ impl IsingSolver for ParallelTempering {
         let swap_attempts = &mut self.swap_attempts;
         let swap_accepts = &mut self.swap_accepts;
         parallel::parallel_rounds(
-            r,
+            group_count,
             config.threads,
             rounds,
-            // fork: every slot sweeps its round on its private stream
-            |round, k| {
-                let mut slot = slots[k].lock().expect("no worker panicked");
-                slot.run_round(model, ladder[k], lens[round]);
+            // fork: every group batch-sweeps its round, each lane on its
+            // private stream at its own β
+            |round, g| {
+                let mut group = groups[g].lock().expect("no worker panicked");
+                group.run_round(model, lens[round]);
             },
             // join: serial exchange phase on the dedicated swap stream,
             // fixed even/odd pair schedule (round parity picks the offset);
@@ -278,22 +316,32 @@ impl IsingSolver for ParallelTempering {
                 let mut k = round % 2;
                 while k + 1 < r {
                     *swap_attempts += 1;
-                    let energy_k = slots[k]
+                    let (ga, la) = locate(k);
+                    let (gb, lb) = locate(k + 1);
+                    let energy_k = groups[ga]
                         .lock()
                         .expect("no worker panicked")
-                        .machine
-                        .energy();
-                    let energy_k1 = slots[k + 1]
+                        .batch
+                        .energy(la);
+                    let energy_k1 = groups[gb]
                         .lock()
                         .expect("no worker panicked")
-                        .machine
-                        .energy();
+                        .batch
+                        .energy(lb);
                     let accept_ln = (ladder[k] - ladder[k + 1]) * (energy_k - energy_k1);
                     if accept_ln >= 0.0 || swap_rng.gen::<f64>() < accept_ln.exp() {
                         *swap_accepts += 1;
-                        let mut a = slots[k].lock().expect("no worker panicked");
-                        let mut b = slots[k + 1].lock().expect("no worker panicked");
-                        std::mem::swap(&mut a.machine, &mut b.machine);
+                        if ga == gb {
+                            groups[ga]
+                                .lock()
+                                .expect("no worker panicked")
+                                .batch
+                                .swap_lanes(la, lb);
+                        } else {
+                            let mut a = groups[ga].lock().expect("no worker panicked");
+                            let mut b = groups[gb].lock().expect("no worker panicked");
+                            ReplicaBatch::swap_lanes_between(&mut a.batch, la, &mut b.batch, lb);
+                        }
                     }
                     k += 2;
                 }
@@ -304,23 +352,27 @@ impl IsingSolver for ParallelTempering {
         // lowest (hottest) slot index — deterministic for any thread count
         let mut best_slot = 0usize;
         let mut best_energy = f64::INFINITY;
-        for (k, slot) in slots.iter().enumerate() {
-            let slot = slot.lock().expect("no worker panicked");
-            if slot.best_energy < best_energy {
-                best_energy = slot.best_energy;
+        for k in 0..r {
+            let (g, l) = locate(k);
+            let group = groups[g].lock().expect("no worker panicked");
+            if group.bests.energy(l) < best_energy {
+                best_energy = group.bests.energy(l);
                 best_slot = k;
             }
         }
-        let best = slots[best_slot]
+        let (g, l) = locate(best_slot);
+        let best = groups[g]
             .lock()
             .expect("no worker panicked")
-            .best
+            .bests
+            .state(l)
             .clone();
         // the coldest slot is the machine's readout
-        let cold = slots[r - 1].lock().expect("no worker panicked");
+        let (g, l) = locate(r - 1);
+        let cold = groups[g].lock().expect("no worker panicked");
         SolveOutcome {
-            last: cold.machine.state().clone(),
-            last_energy: cold.machine.energy(),
+            last: cold.batch.state(l),
+            last_energy: cold.batch.energy(l),
             best,
             best_energy,
             mcs: (config.sweeps * r) as u64,

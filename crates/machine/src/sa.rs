@@ -1,8 +1,7 @@
 use crate::pbit::PbitMachine;
-use crate::rng::new_rng;
+use crate::rng::NoiseSource;
 use crate::schedule::BetaSchedule;
 use crate::solver::{IsingSolver, SolveOutcome};
-use rand_chacha::ChaCha8Rng;
 use saim_ising::{IsingModel, SpinState};
 
 /// Simulated annealing on the p-bit machine (paper section III-B).
@@ -35,7 +34,12 @@ use saim_ising::{IsingModel, SpinState};
 pub struct SimulatedAnnealing {
     schedule: BetaSchedule,
     mcs_per_run: usize,
-    rng: ChaCha8Rng,
+    /// The solver's stream, tapped in blocks for the sweep noise. Each run
+    /// resets the buffer, draws the initial state from the raw stream, then
+    /// consumes block-buffered noise — exactly the per-lane discipline of
+    /// [`crate::ReplicaBatch`], so a fresh single-run annealer is the serial
+    /// replay reference for a batch lane on the same seed.
+    noise: NoiseSource,
     machine: Option<PbitMachine>,
     /// Preallocated best-state buffer: improvements are `copy_from_slice`
     /// overwrites instead of fresh clones (an improvement can happen on a
@@ -69,7 +73,7 @@ impl SimulatedAnnealing {
         SimulatedAnnealing {
             schedule,
             mcs_per_run,
-            rng: new_rng(seed),
+            noise: NoiseSource::from_seed(seed),
             machine: None,
             best_buf: None,
             dynamics: Dynamics::Gibbs,
@@ -100,16 +104,11 @@ impl SimulatedAnnealing {
 
 impl IsingSolver for SimulatedAnnealing {
     fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
-        let machine = match &mut self.machine {
-            Some(m) if m.state().len() == model.len() => {
-                m.randomize(model, &mut self.rng);
-                m
-            }
-            _ => {
-                self.machine = Some(PbitMachine::new(model, &mut self.rng));
-                self.machine.as_mut().expect("just set")
-            }
-        };
+        // run boundary: discard buffered noise so the initial-state coin
+        // flips read the raw stream, then sweeps consume fresh blocks
+        self.noise.reset();
+        let machine =
+            PbitMachine::obtain_randomized(&mut self.machine, model, self.noise.rng_mut());
         let best = match &mut self.best_buf {
             Some(b) if b.len() == model.len() => {
                 b.copy_from(machine.state());
@@ -124,8 +123,10 @@ impl IsingSolver for SimulatedAnnealing {
         for step in 0..self.mcs_per_run {
             let beta = self.schedule.beta_at(step, self.mcs_per_run);
             match self.dynamics {
-                Dynamics::Gibbs => machine.sweep(model, beta, &mut self.rng),
-                Dynamics::Metropolis => machine.metropolis_sweep(model, beta, &mut self.rng),
+                Dynamics::Gibbs => machine.sweep_buffered(model, beta, &mut self.noise),
+                Dynamics::Metropolis => {
+                    machine.metropolis_sweep_buffered(model, beta, &mut self.noise)
+                }
             };
             if machine.energy() < best_energy {
                 best_energy = machine.energy();

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use saim_ising::{BinaryState, QuboBuilder};
-use saim_machine::{new_rng, BetaSchedule, Dynamics, IsingSolver, PbitMachine, SimulatedAnnealing};
+use saim_machine::{
+    derive_seed, new_rng, BetaSchedule, Dynamics, IsingSolver, NoiseSource, PbitMachine,
+    ReplicaBatch, SimulatedAnnealing,
+};
 
 /// A small random Ising model built from a QUBO.
 fn arb_model() -> impl Strategy<Value = saim_ising::IsingModel> {
@@ -22,6 +25,136 @@ fn arb_model() -> impl Strategy<Value = saim_ising::IsingModel> {
             b.build().to_ising()
         })
     })
+}
+
+/// A small random Ising model that may be empty or a single spin — the
+/// degenerate shapes the batched engine must survive.
+fn arb_model_with_edge_sizes() -> impl Strategy<Value = saim_ising::IsingModel> {
+    (0usize..6).prop_flat_map(|n| {
+        let pairs = if n >= 2 {
+            proptest::collection::vec(((0..n, 0..n), -2.0..2.0f64), 0..8).boxed()
+        } else {
+            Just(Vec::new()).boxed()
+        };
+        let linear = proptest::collection::vec(-2.0..2.0f64, n);
+        (pairs, linear).prop_map(move |(pairs, linear)| {
+            let mut b = QuboBuilder::new(n);
+            for ((i, j), v) in pairs {
+                if i != j {
+                    b.add_pair(i, j, v).expect("indices in range");
+                }
+            }
+            for (i, v) in linear.into_iter().enumerate() {
+                b.add_linear(i, v).expect("index in range");
+            }
+            b.build().to_ising()
+        })
+    })
+}
+
+/// A ring QUBO large and sparse enough that `to_ising` stores CSR couplings.
+fn arb_csr_model() -> impl Strategy<Value = saim_ising::IsingModel> {
+    (64usize..90, proptest::collection::vec(-2.0..2.0f64, 90)).prop_map(|(n, weights)| {
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            let w = weights[i % weights.len()];
+            if w != 0.0 {
+                b.add_pair(i, (i + 1) % n, w).expect("indices in range");
+            }
+            b.add_linear(i, 0.4 - 0.2 * (i % 3) as f64)
+                .expect("index in range");
+        }
+        b.build().to_ising()
+    })
+}
+
+/// Asserts the batch-width-invariance contract on `model`: lanes of an R=8
+/// batch, lanes of R=1 batches, and serial [`PbitMachine`] replays of the
+/// same streams produce identical trajectories and energies sweep by sweep.
+fn assert_batch_width_invariance(model: &saim_ising::IsingModel, seed: u64, sweeps: usize) {
+    let seeds: Vec<u64> = (0..8).map(|r| derive_seed(seed, r)).collect();
+    let mut wide = ReplicaBatch::new(model, &seeds);
+    let mut narrow: Vec<ReplicaBatch> = seeds
+        .iter()
+        .map(|&s| ReplicaBatch::new(model, &[s]))
+        .collect();
+    let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+        .iter()
+        .map(|&s| {
+            let mut rng = new_rng(s);
+            let machine = PbitMachine::new(model, &mut rng);
+            (machine, NoiseSource::new(rng))
+        })
+        .collect();
+    for sweep in 0..sweeps {
+        let beta = 0.4 * sweep as f64;
+        wide.sweep_uniform(model, beta);
+        for (r, (solo, (machine, noise))) in narrow.iter_mut().zip(&mut serial).enumerate() {
+            solo.sweep_uniform(model, beta);
+            machine.sweep_buffered(model, beta, noise);
+            assert_eq!(wide.state(r), solo.state(0), "R=8 vs R=1, lane {r}");
+            assert_eq!(wide.state(r), *machine.state(), "R=8 vs serial, lane {r}");
+            assert_eq!(
+                wide.energy(r).to_bits(),
+                solo.energy(0).to_bits(),
+                "energy R=8 vs R=1, lane {r}"
+            );
+            assert_eq!(
+                wide.energy(r).to_bits(),
+                machine.energy().to_bits(),
+                "energy R=8 vs serial, lane {r}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Batch-width invariance on dense models, including n = 0 and n = 1:
+    /// R = 1, R = 8 and serial replay are trajectory-identical.
+    #[test]
+    fn batch_width_invariance_on_dense_models(
+        model in arb_model_with_edge_sizes(),
+        seed in 0u64..500,
+    ) {
+        assert_batch_width_invariance(&model, seed, 15);
+    }
+
+    /// Batch-width invariance on CSR-backed models.
+    #[test]
+    fn batch_width_invariance_on_csr_models(
+        model in arb_csr_model(),
+        seed in 0u64..200,
+    ) {
+        prop_assume!(matches!(model.couplings(), saim_ising::Couplings::Sparse(_)));
+        assert_batch_width_invariance(&model, seed, 8);
+    }
+
+    /// The batched Metropolis sweep replays the serial machine too.
+    #[test]
+    fn batched_metropolis_replays_serial(
+        model in arb_model(),
+        seed in 0u64..200,
+    ) {
+        let seeds: Vec<u64> = (0..4).map(|r| derive_seed(seed, r)).collect();
+        let mut batch = ReplicaBatch::new(&model, &seeds);
+        let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = new_rng(s);
+                let machine = PbitMachine::new(&model, &mut rng);
+                (machine, NoiseSource::new(rng))
+            })
+            .collect();
+        for sweep in 0..12 {
+            let beta = 0.3 * sweep as f64;
+            batch.metropolis_sweep_uniform(&model, beta);
+            for (r, (machine, noise)) in serial.iter_mut().enumerate() {
+                machine.metropolis_sweep_buffered(&model, beta, noise);
+                prop_assert_eq!(batch.state(r), machine.state().clone(), "lane {}", r);
+                prop_assert_eq!(batch.energy(r).to_bits(), machine.energy().to_bits());
+            }
+        }
+    }
 }
 
 proptest! {

@@ -199,6 +199,7 @@ fn ensemble_outcome_is_invariant_in_thread_count() {
     let config = |threads: usize| EnsembleConfig {
         replicas: 6,
         threads,
+        batch_width: 0,
         schedule: BetaSchedule::linear(10.0),
         mcs_per_run: 150,
         dynamics: Dynamics::Gibbs,
@@ -218,6 +219,78 @@ fn ensemble_outcome_is_invariant_in_thread_count() {
 }
 
 #[test]
+fn ensemble_outcome_is_invariant_in_batch_width() {
+    // the batched SoA sweep engine must leave every replica's trajectory
+    // untouched no matter how many lanes share a batch — R runs grouped
+    // 1-wide, 3-wide, 8-wide or 16-wide read bit-identically
+    let inst = generate::qkp(22, 0.5, 33).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(2.0))
+        .expect("valid penalty")
+        .to_ising();
+    let config = |batch_width: usize| EnsembleConfig {
+        replicas: 6,
+        threads: 1,
+        batch_width,
+        schedule: BetaSchedule::linear(8.0),
+        mcs_per_run: 120,
+        dynamics: Dynamics::Gibbs,
+    };
+    let reference = EnsembleAnnealer::new(config(1), 55).solve_ensemble(&model);
+    for batch_width in [2, 3, 8, 16, 0] {
+        let got = EnsembleAnnealer::new(config(batch_width), 55).solve_ensemble(&model);
+        assert_eq!(got, reference, "batch_width = {batch_width}");
+    }
+    // and the width-1 path is still the serial SimulatedAnnealing replay
+    for r in &reference.replicas {
+        let serial = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 120, r.seed).solve(&model);
+        assert_eq!(r.outcome, serial, "replica {}", r.replica);
+    }
+}
+
+#[test]
+fn engines_are_invariant_at_env_selected_thread_count() {
+    // CI runs this test in a matrix over SAIM_DETERMINISM_THREADS=1/2/8;
+    // whatever the leg, the engines must reproduce the single-thread result
+    let threads: usize = std::env::var("SAIM_DETERMINISM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let inst = generate::qkp(20, 0.5, 41).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(2.0))
+        .expect("valid penalty")
+        .to_ising();
+
+    let ens_config = |threads: usize| EnsembleConfig {
+        replicas: 5,
+        threads,
+        batch_width: 0,
+        schedule: BetaSchedule::linear(9.0),
+        mcs_per_run: 80,
+        dynamics: Dynamics::Gibbs,
+    };
+    assert_eq!(
+        EnsembleAnnealer::new(ens_config(threads), 13).solve_ensemble(&model),
+        EnsembleAnnealer::new(ens_config(1), 13).solve_ensemble(&model),
+        "ensemble at {threads} threads"
+    );
+
+    let pt_config = |threads: usize| PtConfig {
+        replicas: 10,
+        sweeps: 90,
+        swap_interval: 10,
+        threads,
+        ..PtConfig::default()
+    };
+    assert_eq!(
+        ParallelTempering::new(pt_config(threads), 13).solve(&model),
+        ParallelTempering::new(pt_config(1), 13).solve(&model),
+        "PT at {threads} threads"
+    );
+}
+
+#[test]
 fn saim_ensemble_path_is_invariant_in_thread_count() {
     // the full SAIM outer loop on the ensemble engine: root seed comes from
     // SaimConfig::seed, outcomes must not depend on worker threads
@@ -233,6 +306,7 @@ fn saim_ensemble_path_is_invariant_in_thread_count() {
         let ensemble = EnsembleConfig {
             replicas: 4,
             threads,
+            batch_width: 0,
             schedule: BetaSchedule::linear(10.0),
             mcs_per_run: 100,
             dynamics: Dynamics::Gibbs,
