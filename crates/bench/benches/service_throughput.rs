@@ -1,0 +1,76 @@
+//! Criterion bench — job-service throughput (jobs/s) vs worker count.
+//!
+//! One iteration starts a fresh [`solver_service`], submits a fixed
+//! mixed-instance workload (ensemble, PT and descent jobs over three QKP
+//! model sizes, every job pinned to one thread), and drains every result.
+//! The series over worker counts isolates the scheduler's job-level
+//! parallelism: on a multi-core machine throughput should grow until the
+//! worker count passes the core count, and the `submit_try` variant checks
+//! that the backpressure path costs nothing when the queue never fills.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use saim_bench::experiments::service_mix;
+use saim_machine::service::{solver_service, ServiceConfig, SubmitError};
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    // the shared mixed workload (see `experiments::service_mix`), sized
+    // down so one iteration stays in the tens of milliseconds
+    let specs = service_mix(&[30, 45, 60], 18, 2, 120);
+    let mut group = c.benchmark_group("service_jobs_per_sec");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(specs.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("blocking_submit", workers),
+            &specs,
+            |b, specs| {
+                b.iter(|| {
+                    let mut service = solver_service(ServiceConfig {
+                        workers,
+                        queue_depth: 32,
+                    });
+                    for spec in specs.iter().cloned() {
+                        service.submit(spec);
+                    }
+                    service.drain()
+                });
+            },
+        );
+    }
+    // the non-blocking path at one representative width: try_submit with a
+    // recv fallback when the queue is momentarily full
+    group.bench_with_input(
+        BenchmarkId::new("try_submit", 4usize),
+        &specs,
+        |b, specs| {
+            b.iter(|| {
+                let mut service = solver_service(ServiceConfig {
+                    workers: 4,
+                    queue_depth: 4,
+                });
+                let mut done = Vec::with_capacity(specs.len());
+                for spec in specs.iter().cloned() {
+                    let mut pending = spec;
+                    loop {
+                        match service.try_submit(pending) {
+                            Ok(_) => break,
+                            Err(SubmitError::Full(back)) => {
+                                // make room by consuming a finished job
+                                if let Some(result) = service.recv() {
+                                    done.push(result.value);
+                                }
+                                pending = back;
+                            }
+                        }
+                    }
+                }
+                done.extend(service.drain());
+                done
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling);
+criterion_main!(benches);

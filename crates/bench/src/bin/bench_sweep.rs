@@ -9,9 +9,12 @@
 //!    n = 213 dense row — aggregate Mupd/s of one `ReplicaBatch` against R
 //!    independent serial machines (the coupling-row amortization payoff),
 //! 3. ensemble wall-clock vs replica count on all cores — the parallel
-//!    efficiency of the replica engine (1.0 = perfect linear scaling), and
+//!    efficiency of the replica engine (1.0 = perfect linear scaling),
 //! 4. parallel-tempering wall-clock on an 8-temperature ladder, all cores
-//!    vs pinned to one thread — the round-parallel PT engine's speedup.
+//!    vs pinned to one thread — the round-parallel PT engine's speedup, and
+//! 5. job-service throughput (jobs/s) on a fixed mixed-instance workload —
+//!    ensemble, PT and descent jobs over several model sizes — as the
+//!    worker count grows: the multi-instance scheduler's scaling.
 //!
 //! The snapshot records the detected core count, git revision and a unix
 //! timestamp so trajectory points from different machines stay comparable.
@@ -23,6 +26,7 @@
 
 use saim_core::{penalty_qubo, ConstrainedProblem};
 use saim_knapsack::generate;
+use saim_machine::service::{solver_service, ServiceConfig};
 use saim_machine::{
     derive_seed, new_rng, parallel, BetaSchedule, Dynamics, EnsembleAnnealer, EnsembleConfig,
     IsingSolver, NoiseSource, ParallelTempering, PbitMachine, PtConfig, ReplicaBatch,
@@ -89,7 +93,25 @@ struct PtPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct ServicePoint {
+    /// Worker threads of the job service (jobs themselves run 1-threaded,
+    /// so this axis isolates the scheduler's job-level parallelism).
+    workers: usize,
+    /// Jobs in the fixed mixed workload.
+    jobs: usize,
+    /// Wall-clock of submit-all + drain, seconds.
+    wall_sec: f64,
+    jobs_per_sec: f64,
+    /// one-worker wall / this wall — the scheduler's scaling in workers.
+    speedup_vs_one_worker: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Snapshot {
+    /// Snapshot schema version. Changelog: v4 adds the `service` section
+    /// (job-service throughput vs worker count on a mixed instance
+    /// workload); v3 added `batch`; v2 added `pt` and the
+    /// cores/git_rev/timestamp provenance fields.
     schema: u32,
     /// Detected worker-thread count (what `threads: 0` resolves to).
     cores: usize,
@@ -101,6 +123,7 @@ struct Snapshot {
     batch: Vec<BatchPoint>,
     ensemble: Vec<EnsemblePoint>,
     pt: Vec<PtPoint>,
+    service: Vec<ServicePoint>,
 }
 
 fn git_rev() -> String {
@@ -291,6 +314,37 @@ fn time_pt(n: usize) -> PtPoint {
     }
 }
 
+fn time_service(workers: usize, one_worker_sec: Option<f64>) -> ServicePoint {
+    // the shared mixed workload: 24 ensemble/PT/descent jobs over three
+    // model sizes, every job pinned to one thread so the axis under test
+    // is the scheduler's job-level parallelism alone
+    let workload = saim_bench::experiments::service_mix(&[40, 60, 80], 24, 4, 250);
+    let jobs = workload.len();
+    let run = || {
+        let mut service = solver_service(ServiceConfig {
+            workers,
+            queue_depth: 32,
+        });
+        let start = Instant::now();
+        for spec in workload.iter().cloned() {
+            service.submit(spec);
+        }
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), jobs);
+        start.elapsed().as_secs_f64()
+    };
+    // warm up thread stacks and allocator, then take the best of three
+    let _ = run();
+    let wall_sec = (0..3).map(|_| run()).fold(f64::INFINITY, f64::min);
+    ServicePoint {
+        workers,
+        jobs,
+        wall_sec,
+        jobs_per_sec: jobs as f64 / wall_sec.max(1e-12),
+        speedup_vs_one_worker: one_worker_sec.map_or(1.0, |one| one / wall_sec.max(1e-12)),
+    }
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_sweep.json");
     let mut args = std::env::args().skip(1);
@@ -300,7 +354,9 @@ fn main() {
         }
     }
 
-    println!("perf snapshot: sweep throughput + ensemble scaling + PT ladder speedup\n");
+    println!(
+        "perf snapshot: sweep throughput + batch/ensemble scaling + PT ladder speedup + job-service throughput\n"
+    );
     let sweep: Vec<SweepPoint> = [(50, 0.5), (100, 0.5), (200, 0.5), (300, 0.5)]
         .into_iter()
         .map(|(n, d)| {
@@ -368,8 +424,35 @@ fn main() {
         })
         .collect();
 
+    println!();
+    let mut service: Vec<ServicePoint> = Vec::new();
+    // a fixed 1/2/4 axis (comparable across snapshot machines) plus the
+    // detected core count when it lies outside it; on few-core hosts the
+    // larger rows simply document that extra workers don't help there
+    let worker_axis = {
+        let cores = parallel::available_threads();
+        let mut axis = vec![1usize, 2, 4];
+        if !axis.contains(&cores) {
+            axis.push(cores);
+        }
+        axis
+    };
+    for workers in worker_axis {
+        let one = service.first().map(|p: &ServicePoint| p.wall_sec);
+        let p = time_service(workers, one);
+        println!(
+            "service W={:2}: {:6} jobs in {:7.1} ms, {:7.1} jobs/s, speedup {:.2}x",
+            p.workers,
+            p.jobs,
+            p.wall_sec * 1e3,
+            p.jobs_per_sec,
+            p.speedup_vs_one_worker
+        );
+        service.push(p);
+    }
+
     let snapshot = Snapshot {
-        schema: 3,
+        schema: 4,
         cores: parallel::available_threads(),
         git_rev: git_rev(),
         unix_timestamp: unix_timestamp(),
@@ -377,6 +460,7 @@ fn main() {
         batch,
         ensemble,
         pt,
+        service,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("serializes");
     std::fs::write(&out_path, json + "\n").expect("snapshot file writes");

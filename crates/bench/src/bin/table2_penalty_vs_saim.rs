@@ -22,7 +22,7 @@ use saim_bench::experiments::{self, MethodResult};
 use saim_bench::report::Table;
 use saim_core::presets;
 use saim_knapsack::generate;
-use saim_machine::{derive_seed, parallel};
+use saim_machine::derive_seed;
 use std::time::Duration;
 
 fn fmt_acc(v: Option<f64>) -> String {
@@ -66,10 +66,11 @@ fn main() {
     let mut pen_best_acc = Vec::new();
     let mut tuned_best_acc = Vec::new();
 
-    // the instance grid fans out across cores; rows fold back in grid order
+    // the instance grid flows through the batched job service (the same
+    // scheduler production traffic uses); rows fold back in grid order
     let densities = [0.25, 0.5];
     let cells =
-        parallel::parallel_map_indexed(densities.len() * instances_per_density, 0, |cell| {
+        experiments::grid_via_service(densities.len() * instances_per_density, move |cell| {
             let di = cell / instances_per_density;
             let idx = cell % instances_per_density;
             let density = densities[di];

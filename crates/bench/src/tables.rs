@@ -6,7 +6,7 @@ use crate::report::Table;
 use crate::stats;
 use saim_core::presets;
 use saim_knapsack::generate;
-use saim_machine::{derive_seed, parallel};
+use saim_machine::derive_seed;
 use std::time::Duration;
 
 /// Per-instance outcome of the three-way QKP comparison.
@@ -36,13 +36,15 @@ pub fn qkp_comparison(
 ) -> Vec<QkpComparisonRow> {
     let preset = presets::qkp();
     // every instance is seeded independently, so the whole comparison grid
-    // fans out across cores; rows come back in grid order. Solver digests
-    // are thread-count invariant; the wall-clock-limited B&B *reference* is
-    // not (it explores fewer nodes under core contention), which the serial
-    // loop already suffered under machine load — treat the OPT/best-known
-    // labels as machine-dependent either way.
+    // flows through the batched job service — the same scheduler a traffic
+    // front-end would feed — and rows fold back in grid order. Solver
+    // digests are worker-count invariant; the wall-clock-limited B&B
+    // *reference* is not (it explores fewer nodes under core contention),
+    // which the serial loop already suffered under machine load — treat
+    // the OPT/best-known labels as machine-dependent either way.
     let count = densities.len() * instances_per_density;
-    parallel::parallel_map_indexed(count, 0, |cell| {
+    let densities = densities.to_vec();
+    experiments::grid_via_service(count, move |cell| {
         let di = cell / instances_per_density;
         let idx = cell % instances_per_density;
         let density = densities[di];

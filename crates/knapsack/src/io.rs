@@ -31,6 +31,20 @@ use crate::mkp::MkpInstance;
 use crate::qkp::QkpInstance;
 use std::fmt::Write as _;
 
+/// FNV-1a over `bytes` — the 64-bit digest under
+/// [`QkpInstance::digest`](crate::QkpInstance::digest) and
+/// [`MkpInstance::digest`](crate::MkpInstance::digest). Not cryptographic;
+/// it tags job specs and result stores so payload mix-ups are detectable,
+/// and must stay stable across platforms (it is pure integer arithmetic).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325_u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 fn parse_numbers<T: std::str::FromStr>(
     line: &str,
     line_no: usize,
@@ -235,6 +249,25 @@ mod tests {
             read_mkp("only-label\n"),
             Err(KnapsackError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn digests_are_stable_and_content_sensitive() {
+        let q = generate::qkp(15, 0.5, 3).unwrap();
+        assert_eq!(q.digest(), q.digest());
+        // a text round-trip preserves the digest exactly
+        assert_eq!(read_qkp(&write_qkp(&q)).unwrap().digest(), q.digest());
+        // different content (or a different label) digests differently
+        assert_ne!(q.digest(), generate::qkp(15, 0.5, 4).unwrap().digest());
+        assert_ne!(q.digest(), q.clone().with_label("renamed").digest());
+
+        let m = generate::mkp(12, 3, 0.5, 5).unwrap();
+        assert_eq!(m.digest(), read_mkp(&write_mkp(&m)).unwrap().digest());
+        assert_ne!(m.digest(), generate::mkp(12, 3, 0.5, 6).unwrap().digest());
+        // FNV-1a of the empty string is the offset basis — pins the exact
+        // hash function so digests stay comparable across builds
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
     }
 
     #[test]

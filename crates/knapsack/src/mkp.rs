@@ -97,6 +97,15 @@ impl MkpInstance {
         &self.label
     }
 
+    /// A stable 64-bit content digest (FNV-1a over the canonical text
+    /// serialization, label included) — the `instance_digest` tag of the
+    /// job-service wire schema. Equal instances always digest equally on
+    /// every platform; inequality of digests proves inequality of
+    /// instances (the converse is a hash, not a guarantee).
+    pub fn digest(&self) -> u64 {
+        crate::io::fnv1a64(crate::io::write_mkp(self).as_bytes())
+    }
+
     /// Number of items `N`.
     pub fn len(&self) -> usize {
         self.values.len()

@@ -40,8 +40,16 @@
 //!   RNG streams and an ordered best-of-ensemble reduction (bit-identical
 //!   for any thread count and batch width); the run-level engine behind the
 //!   bench harness's repetition loops,
-//! - [`parallel`] — the deterministic fork–join primitive the ensemble (and
-//!   the bench harness's instance grids) run on,
+//! - [`parallel`] — the deterministic fork–join primitives the ensemble
+//!   (and the bench harness's instance grids) run on, plus the bounded
+//!   queue under the job service,
+//! - [`service`] — the batched multi-instance job layer: a
+//!   [`service::JobService`] schedules many independent jobs (model +
+//!   solver selection + seed) over a persistent worker pool with
+//!   backpressure, streaming results in completion order tagged with
+//!   submission order — bit-identical to direct engine calls for any
+//!   worker count — and the serialized [`service::JobSpec`] /
+//!   [`service::JobOutcome`] wire schema a network front-end would speak,
 //! - [`ParallelTempering`] — a replica-exchange solver standing in for the
 //!   PT-DA baseline of the paper's evaluation; ladder rounds fan out over
 //!   [`parallel`] with per-slot RNG streams and a dedicated swap stream, so
@@ -85,6 +93,7 @@ mod pt;
 mod rng;
 mod sa;
 mod schedule;
+pub mod service;
 mod solver;
 mod telemetry;
 

@@ -15,10 +15,17 @@
 //!   barrier keeps the per-round cost at two barrier crossings instead of a
 //!   full thread spawn/join cycle — the difference between useful and
 //!   useless parallelism when one round is tens of microseconds of work.
+//! - [`BoundedQueue`] — a blocking bounded MPMC queue (the job service's
+//!   backpressure primitive): producers park when the queue is full,
+//!   consumers park when it is empty, and closing wakes everyone. The
+//!   queue itself imposes no ordering on *completions*, only on hand-offs —
+//!   determinism comes from the items being independent, exactly as in
+//!   [`parallel_map_indexed`].
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Barrier, Mutex};
+use std::sync::{mpsc, Barrier, Condvar, Mutex};
 
 /// Number of worker threads to use when the caller asks for "all cores".
 pub fn available_threads() -> usize {
@@ -28,12 +35,49 @@ pub fn available_threads() -> usize {
 }
 
 std::thread_local! {
-    /// Whether the current thread is a `parallel_map_indexed` worker.
-    /// Auto-sized (`threads == 0`) maps called from inside a worker run
-    /// inline instead of spawning a nested all-cores pool — an outer
-    /// instance grid over inner run ensembles would otherwise oversubscribe
-    /// the machine with up to cores² threads.
+    /// Whether the current thread is a pool worker (a `parallel_map_indexed`
+    /// / `parallel_rounds` worker or a job-service worker). Auto-sized
+    /// (`threads == 0`) maps called from inside a worker run inline instead
+    /// of spawning a nested all-cores pool — an outer instance grid over
+    /// inner run ensembles would otherwise oversubscribe the machine with up
+    /// to cores² threads.
     static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Marks the current thread as a pool worker, so auto-sized (`threads == 0`)
+/// primitives invoked from it run inline instead of spawning nested
+/// all-cores pools. Worker threads of long-lived pools (the job service)
+/// call this once at startup; the flag never changes results, only how many
+/// OS threads nested engines spawn.
+pub(crate) fn mark_pool_worker() {
+    IN_POOL.with(|flag| flag.set(true));
+}
+
+/// Resolves a requested long-lived-pool worker count the same way the
+/// fork–join primitives resolve `threads`: `0` means all cores — except on
+/// a thread that is already a pool worker, where it means 1, so a service
+/// constructed from inside another pool cannot recreate the cores²
+/// oversubscription the flag exists to prevent. An explicit count is
+/// always honored. Never changes results, only thread counts.
+pub(crate) fn resolve_pool_workers(requested: usize) -> usize {
+    if requested == 0 {
+        auto_workers()
+    } else {
+        requested
+    }
+}
+
+/// The worker count an auto-sized (`0`) request resolves to on the current
+/// thread: all cores, or 1 inside another pool's worker. Use this to cap
+/// an explicit worker count (say, at a job count) without losing the
+/// nested-pool guard — `count.clamp(1, auto_workers())` stays 1 when the
+/// caller is itself pool work.
+pub fn auto_workers() -> usize {
+    if IN_POOL.with(std::cell::Cell::get) {
+        1
+    } else {
+        available_threads()
+    }
 }
 
 /// Maps `f` over `0..count` using up to `threads` OS threads, returning the
@@ -217,6 +261,182 @@ where
     });
 }
 
+/// Why a [`BoundedQueue::try_push`] was rejected. The item comes back to the
+/// caller in both cases, so nothing is dropped silently.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue was at capacity; retry later or fall back to the blocking
+    /// [`BoundedQueue::push`].
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking bounded multi-producer/multi-consumer queue.
+///
+/// This is the backpressure primitive under the job service
+/// (`saim_machine::service`): submitters block (or get [`PushError::Full`])
+/// when `capacity` items are waiting, workers block when none are, and
+/// [`BoundedQueue::close`] wakes every parked thread so pools can shut down
+/// without leaking workers. Plain `Mutex` + `Condvar` — hand-off latency is
+/// microseconds, which is noise against jobs that run for milliseconds.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (a zero-slot queue can never accept work).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The maximum number of waiting items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently waiting (racy by nature; for telemetry).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock is never poisoned")
+            .items
+            .len()
+    }
+
+    /// Whether no items are currently waiting (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue is (or becomes, while waiting)
+    /// closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        while state.items.len() == self.capacity && !state.closed {
+            state = self
+                .not_full
+                .wait(state)
+                .expect("queue lock is never poisoned");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` only if a slot is free right now.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] when at capacity and [`PushError::Closed`]
+    /// after [`BoundedQueue::close`]; the item comes back in both cases.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() == self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    ///
+    /// Returns `None` once the queue is closed **and** drained — the
+    /// worker-shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("queue lock is never poisoned");
+        }
+    }
+
+    /// Closes the queue: no further pushes are accepted, already-queued
+    /// items can still be popped, and every parked thread wakes up.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .expect("queue lock is never poisoned")
+            .closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Discards everything still waiting without closing the queue,
+    /// returning how many items were dropped — the cancellation path:
+    /// producers and consumers keep working, the queued backlog is gone.
+    pub fn clear(&self) -> usize {
+        let dropped;
+        {
+            let mut state = self.state.lock().expect("queue lock is never poisoned");
+            dropped = state.items.len();
+            state.items.clear();
+        }
+        self.not_full.notify_all();
+        dropped
+    }
+
+    /// Closes the queue and discards everything still waiting, returning how
+    /// many items were dropped — the drop-mid-stream path: queued jobs that
+    /// never started simply never run.
+    pub fn close_and_clear(&self) -> usize {
+        let dropped;
+        {
+            let mut state = self.state.lock().expect("queue lock is never poisoned");
+            state.closed = true;
+            dropped = state.items.len();
+            state.items.clear();
+        }
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+        dropped
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +545,90 @@ mod tests {
         // an explicit inner thread count is still honored inside a pool
         let got = parallel_map_indexed(2, 0, |i| parallel_map_indexed(3, 2, move |j| i + j));
         assert_eq!(got, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn auto_workers_collapses_inside_a_pool() {
+        assert!(auto_workers() >= 1);
+        // from inside any pool worker, an auto-sized request means 1
+        let got = parallel_map_indexed(2, 2, |_| auto_workers());
+        assert_eq!(got, vec![1, 1]);
+    }
+
+    #[test]
+    fn queue_is_fifo_and_reports_capacity() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.capacity(), 4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.push(i).expect("open");
+        }
+        assert_eq!(q.len(), 4);
+        assert!(matches!(q.try_push(9), Err(PushError::Full(9))));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn queue_close_rejects_pushes_but_drains_pops() {
+        let q = BoundedQueue::new(2);
+        q.push(1).expect("open");
+        q.close();
+        assert_eq!(q.push(2), Err(2));
+        assert!(matches!(q.try_push(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_close_and_clear_discards_pending() {
+        let q = BoundedQueue::new(8);
+        q.push(1).expect("open");
+        q.push(2).expect("open");
+        assert_eq!(q.close_and_clear(), 2);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_blocking_push_makes_progress_under_a_consumer() {
+        // a full queue's blocking push completes once a consumer frees a slot
+        let q = std::sync::Arc::new(BoundedQueue::new(1));
+        q.push(0usize).expect("open");
+        let consumer = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+        for i in 1..64usize {
+            q.push(i).expect("open");
+        }
+        q.close();
+        let got = consumer.join().expect("consumer finishes");
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_close_wakes_parked_consumers() {
+        let q = std::sync::Arc::new(BoundedQueue::<usize>::new(1));
+        let waiter = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // give the consumer a chance to park, then close
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(waiter.join().expect("waiter finishes"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn queue_rejects_zero_capacity() {
+        let _ = BoundedQueue::<usize>::new(0);
     }
 }

@@ -1,5 +1,7 @@
 //! Cross-solver agreement: every independent solver in the workspace must
-//! agree on small instances where enumeration is the ground truth.
+//! agree on small instances where enumeration is the ground truth. The
+//! multi-solver runs also go through the batched job service, with the
+//! direct calls kept as the oracle — agreement must survive the scheduler.
 
 use saim_core::dual;
 use saim_core::{BinaryProblem, LinearConstraint};
@@ -7,7 +9,11 @@ use saim_exact::{bb, brute, dp};
 use saim_heuristics::ga::{ChuBeasleyGa, GaConfig};
 use saim_ising::QuboBuilder;
 use saim_knapsack::generate;
-use saim_machine::{BetaSchedule, IsingSolver, ParallelTempering, PtConfig, SimulatedAnnealing};
+use saim_machine::service::{solver_service, JobOutcome, JobSpec, ServiceConfig, SolverSpec};
+use saim_machine::{
+    BetaSchedule, Dynamics, EnsembleAnnealer, EnsembleConfig, IsingSolver, ParallelTempering,
+    PtConfig, SimulatedAnnealing,
+};
 
 #[test]
 fn bb_equals_brute_force_qkp_and_mkp() {
@@ -37,7 +43,8 @@ fn dp_equals_bb_on_single_constraint() {
 
 #[test]
 fn sa_and_pt_find_the_same_ground_state_on_small_models() {
-    // a frustrated 10-spin model solved by brute force, SA, and PT
+    // a frustrated 10-spin model solved by brute force, SA, and PT —
+    // directly (the oracle) and through the batched job service
     let mut b = QuboBuilder::new(10);
     for i in 0..10 {
         for j in (i + 1)..10 {
@@ -47,7 +54,8 @@ fn sa_and_pt_find_the_same_ground_state_on_small_models() {
         b.add_linear(i, if i % 2 == 0 { -0.4 } else { 0.3 })
             .expect("valid index");
     }
-    let model = b.build().to_ising();
+    let qubo = b.build();
+    let model = qubo.to_ising();
     let brute_min = (0u64..1024)
         .map(|m| model.energy(&saim_ising::BinaryState::from_mask(m, 10).to_spins()))
         .fold(f64::INFINITY, f64::min);
@@ -65,11 +73,53 @@ fn sa_and_pt_find_the_same_ground_state_on_small_models() {
         ..PtConfig::default()
     };
     let mut pt = ParallelTempering::new(cfg, 2);
-    let pt_best = pt.solve(&model).best_energy;
+    let pt_direct = pt.solve(&model);
     assert!(
-        (pt_best - brute_min).abs() < 1e-9,
-        "PT missed: {pt_best} vs {brute_min}"
+        (pt_direct.best_energy - brute_min).abs() < 1e-9,
+        "PT missed: {} vs {brute_min}",
+        pt_direct.best_energy
     );
+
+    // the same multi-solver agreement through the service: an ensemble of
+    // SA runs, the PT solve above, and greedy descent submitted as jobs
+    let ens_cfg = EnsembleConfig {
+        replicas: 4,
+        threads: 1,
+        batch_width: 0,
+        schedule: BetaSchedule::linear(12.0),
+        mcs_per_run: 600,
+        dynamics: Dynamics::Gibbs,
+    };
+    let specs = vec![
+        JobSpec::new(0, qubo.clone(), SolverSpec::Ensemble(ens_cfg), 2),
+        JobSpec::new(1, qubo.clone(), SolverSpec::Pt(cfg), 2),
+        JobSpec::new(2, qubo.clone(), SolverSpec::Descent { max_sweeps: 500 }, 3),
+    ];
+    let mut service = solver_service(ServiceConfig {
+        workers: 2,
+        queue_depth: 2,
+    });
+    for spec in &specs {
+        service.submit(spec.clone());
+    }
+    let outcomes = service.drain();
+
+    // bit-exact against the direct oracle calls...
+    let ens_direct = EnsembleAnnealer::new(ens_cfg, 2).solve(&model);
+    assert_eq!(
+        outcomes[0].canonical(),
+        JobOutcome::new(&specs[0], &ens_direct, std::time::Duration::ZERO).canonical()
+    );
+    assert_eq!(
+        outcomes[1].canonical(),
+        JobOutcome::new(&specs[1], &pt_direct, std::time::Duration::ZERO).canonical()
+    );
+    // ...and still in agreement on the ground state (descent is a local
+    // heuristic, so it only bounds from above)
+    assert!((outcomes[0].best_energy - brute_min).abs() < 1e-9);
+    assert!((outcomes[1].best_energy - brute_min).abs() < 1e-9);
+    assert!(outcomes[2].best_energy >= brute_min - 1e-9);
+    assert_eq!(outcomes[2].job, 2);
 }
 
 #[test]
