@@ -123,6 +123,20 @@ impl Couplings {
         }
     }
 
+    /// `Σ_j |M_ij|` of row `i` — the tightest bound on `|Σ_j M_ij s_j|` over
+    /// all ±1 spin vectors, used to build per-spin drive bounds
+    /// ([`IsingModel::drive_bounds`](crate::IsingModel::drive_bounds)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_abs_sum(&self, i: usize) -> f64 {
+        match self {
+            Couplings::Dense(m) => m.row_abs_sum(i),
+            Couplings::Sparse(m) => m.row_abs_sum(i),
+        }
+    }
+
     /// Fraction of coupled unordered pairs.
     pub fn density(&self) -> f64 {
         match self {

@@ -165,6 +165,37 @@ impl SymmetricMatrix {
         ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
     }
 
+    /// `Σ_j |M_ij|` — the largest magnitude a ±1-spin dot product of row `i`
+    /// can reach.
+    ///
+    /// This is the coupling half of a spin's *drive bound*
+    /// `D_i = |h_i| + Σ_j |J_ij|`
+    /// (see [`IsingModel::drive_bounds`](crate::IsingModel::drive_bounds)):
+    /// a p-bit whose `β · D_i` stays below the tanh saturation point can
+    /// never take the deterministic short-circuit, so the sweep engines
+    /// classify it once per β instead of testing it every update. Uses the
+    /// same 8-lane blocked accumulation as [`SymmetricMatrix::row_dot_f64`],
+    /// so the result is deterministic across platforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_abs_sum(&self, i: usize) -> f64 {
+        let row = self.row(i);
+        let mut acc = [0.0f64; 8];
+        let mut blocks = row.chunks_exact(8);
+        for r in &mut blocks {
+            for (lane, a) in acc.iter_mut().enumerate() {
+                *a += r[lane].abs();
+            }
+        }
+        let mut tail = 0.0;
+        for &m in blocks.remainder() {
+            tail += m.abs();
+        }
+        ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+    }
+
     /// Lane-broadcast axpy over row `i`: for every column `j` and every lane
     /// `r`, `planes[j*W + r] += M_ij * deltas[r]`, where `W = deltas.len()`.
     ///
@@ -387,6 +418,18 @@ mod tests {
         let mut planes: Vec<f64> = Vec::new();
         m.row_axpy_lanes(1, &[], &mut planes);
         assert!(planes.is_empty());
+    }
+
+    #[test]
+    fn row_abs_sum_matches_manual() {
+        let mut m = SymmetricMatrix::zeros(11); // exercises blocks + tail
+        m.set(0, 1, 2.0).unwrap();
+        m.set(0, 9, -1.5).unwrap();
+        m.set(0, 10, -0.25).unwrap();
+        assert_eq!(m.row_abs_sum(0), 3.75);
+        assert_eq!(m.row_abs_sum(5), 0.0);
+        // symmetric mirror contributes to the other row too
+        assert_eq!(m.row_abs_sum(9), 1.5);
     }
 
     #[test]

@@ -173,6 +173,26 @@ impl IsingModel {
     pub fn density(&self) -> f64 {
         self.couplings.density()
     }
+
+    /// Per-spin drive bounds `D_i = |h_i| + Σ_j |J_ij|`: the largest
+    /// magnitude the local field `I_i = Σ_j J_ij s_j + h_i` (paper eq. 9)
+    /// can reach over *any* spin configuration.
+    ///
+    /// The sweep engines use these to classify spins once per β stage: a
+    /// spin with `β · D_i` safely below the tanh saturation point can never
+    /// take the deterministic short-circuit, so its per-update saturation
+    /// tests are dropped entirely. The bound is computed in floating point
+    /// (one abs-sum row pass per spin, dense or CSR), so consumers must pad
+    /// it by a small relative margin before treating it as exact — the
+    /// machine crate's classification pad covers both this rounding and the
+    /// drift of incrementally-maintained fields.
+    pub fn drive_bounds(&self) -> Vec<f64> {
+        self.fields
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| h.abs() + self.couplings.row_abs_sum(i))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +272,23 @@ mod tests {
             IsingModel::new(Couplings::Dense(j), vec![f64::NAN, 0.0], 0.0),
             Err(ModelError::NonFiniteCoefficient { .. })
         ));
+    }
+
+    #[test]
+    fn drive_bounds_dominate_every_reachable_field() {
+        let m = sample_model();
+        let bounds = m.drive_bounds();
+        assert_eq!(bounds.len(), m.len());
+        // exhaustive over all 2^n states: |I_i| ≤ D_i with equality reached
+        // by the sign-matched configuration
+        for mask in 0u64..8 {
+            let s = BinaryState::from_mask(mask, 3).to_spins();
+            for (i, &d) in bounds.iter().enumerate() {
+                assert!(m.local_field(&s, i).abs() <= d + 1e-12, "spin {i}");
+            }
+        }
+        // row 1 couples to 0 (1.0) and 2 (-0.5), field 0.0 → D = 1.5
+        assert!((bounds[1] - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -183,6 +183,17 @@ impl CsrMatrix {
         }
     }
 
+    /// `Σ_j |M_ij|` over the stored entries of row `i` — the sparse
+    /// counterpart of [`SymmetricMatrix::row_abs_sum`], walking only actual
+    /// neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_abs_sum(&self, i: usize) -> f64 {
+        self.row_iter(i).map(|(_, v)| v.abs()).sum()
+    }
+
     /// Largest absolute stored value (0 for an empty matrix).
     pub fn max_abs(&self) -> f64 {
         self.values.iter().fold(0.0_f64, |acc, &v| acc.max(v.abs()))
@@ -296,6 +307,18 @@ mod tests {
         // ±0.0 the dense kernel adds — compare by value, not bits
         for (a, b) in dense_planes.iter().zip(&csr_planes) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn row_abs_sum_walks_neighbours_only() {
+        let mut d = SymmetricMatrix::zeros(6);
+        d.set(0, 2, -2.0).unwrap();
+        d.set(0, 5, 0.5).unwrap();
+        d.set(1, 3, -1.0).unwrap();
+        let csr = CsrMatrix::from_dense(&d);
+        for i in 0..6 {
+            assert_eq!(csr.row_abs_sum(i), d.row_abs_sum(i), "row {i}");
         }
     }
 

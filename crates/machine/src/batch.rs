@@ -24,6 +24,23 @@
 //! fields = [ I₀⁰ I₀¹ … I₀ᴿ⁻¹ | I₁⁰ I₁¹ … I₁ᴿ⁻¹ | … ]
 //! ```
 //!
+//! # Decision kernel
+//!
+//! Every lane decision runs the same three-tier kernel as the serial
+//! machine (see [`PbitMachine`](crate::PbitMachine)): per-spin saturation
+//! classification from the model's drive bounds, the exact saturation
+//! short-circuit, and the certified tanh bracket ([`crate::bracket`]).
+//! On top of it the batch adds a **two-sided branchless lane
+//! classification** over the field plane: per spin, one unrolled pass
+//! counts lanes that are *settled* (saturated and aligned — skip with no
+//! draw) and lanes that are certified *unsaturated*; an all-settled spin is
+//! skipped whole, an all-unsaturated spin routes the whole lane group past
+//! the per-lane saturation compares straight to the drawn bracket
+//! decisions, and only mixed spins take the fully general per-lane path.
+//! Single-lane batches bypass the lane machinery entirely through a
+//! serial-shaped sweep. None of this changes any decision or draw — it
+//! only re-routes which code computes it.
+//!
 //! # RNG-stream layout
 //!
 //! Replica lane `r` owns the ChaCha8 stream seeded with `seeds[r]`, consumed
@@ -68,7 +85,10 @@
 //! # }
 //! ```
 
-use crate::pbit::SATURATION;
+use crate::bracket::gibbs_decision;
+use crate::pbit::{
+    propagate_dense, settled_run, CLASS_PAD, SATURATION, SETTLE_PAD_DOWN, SETTLE_PAD_UP,
+};
 use crate::rng::{new_rng, NoiseSource};
 use rand::Rng;
 use saim_ising::{Couplings, IsingModel, Spin, SpinState};
@@ -96,8 +116,22 @@ pub struct ReplicaBatch {
     deltas: Vec<f64>,
     /// Scratch: per-lane β for the uniform-temperature sweeps.
     betas_uniform: Vec<f64>,
-    /// Scratch: per-lane settled thresholds (`≈ SATURATION / β`, padded).
+    /// Scratch: per-lane settled thresholds (`≈ SATURATION / β`, padded up
+    /// so the filter is conservative).
     thresholds: Vec<f64>,
+    /// Scratch: per-lane *unsaturated* thresholds (`≈ SATURATION / β`,
+    /// padded down): `|field| < thresholds_lo[r]` certifies
+    /// `|β·field| < SATURATION` exactly, the other side of the two-sided
+    /// lane classification.
+    thresholds_lo: Vec<f64>,
+    /// Per-spin drive bounds `D_i = |h_i| + Σ_j |J_ij|` of the construction
+    /// model (a batch is bound to one model for its lifetime) — computed
+    /// only for width-1 batches (empty otherwise): the serial path
+    /// classifies undecided spins from them on demand, exactly like
+    /// [`PbitMachine`](crate::PbitMachine), while the wide paths get the
+    /// same classification for free from the unsaturated side of the
+    /// two-sided lane filter and never read the bounds.
+    drive_bounds: Vec<f64>,
 }
 
 impl ReplicaBatch {
@@ -154,27 +188,49 @@ impl ReplicaBatch {
             deltas: vec![0.0; width],
             betas_uniform: vec![0.0; width],
             thresholds: vec![0.0; width],
+            thresholds_lo: vec![0.0; width],
+            drive_bounds: if width == 1 {
+                model.drive_bounds()
+            } else {
+                Vec::new()
+            },
         }
     }
 
-    /// Fills the per-lane settled thresholds for this sweep's β values.
+    /// Fills both per-lane threshold planes for this sweep's β values —
+    /// the two sides of the branchless lane classification.
     ///
-    /// A lane with `field · spin ≥ thresholds[r]` is guaranteed to satisfy
-    /// the serial saturation-and-aligned test `β · field · spin ≥
-    /// SATURATION`: the threshold is `SATURATION / β` padded by a few ulps,
-    /// so division rounding can only make the filter *conservative*. A lane
-    /// that fails the filter merely takes the exact slow path (which
-    /// consumes no randomness for saturated lanes), never the other way
-    /// around — trajectories are unaffected, the fast path just gets one
-    /// multiply cheaper. β = 0 maps to `+∞` (nothing saturates).
+    /// **Settled side** (`thresholds`): a lane with `field · spin ≥
+    /// thresholds[r]` is guaranteed to satisfy the serial
+    /// saturation-and-aligned test `β · field · spin ≥ SATURATION`: the
+    /// threshold is `SATURATION / β` padded *up* by a few ulps, so division
+    /// rounding can only make the filter conservative.
+    ///
+    /// **Unsaturated side** (`thresholds_lo`): `|field · spin| <
+    /// thresholds_lo[r]` — the same quantity padded *down* — certifies
+    /// `|β · field| < SATURATION` exactly, so a spin whose every lane
+    /// passes it can skip the per-lane saturation compares and go straight
+    /// to the drawn bracket decision.
+    ///
+    /// A lane that fails either filter merely takes the exact per-lane
+    /// path, never the other way around — trajectories are unaffected, the
+    /// fast paths just get cheaper. β = 0 maps to `+∞` on both sides
+    /// (nothing saturates, everything is unsaturated).
     fn fill_thresholds(&mut self, betas: &[f64]) {
-        const PAD: f64 = 1.0 + 16.0 * f64::EPSILON;
-        for (t, &b) in self.thresholds.iter_mut().zip(betas) {
-            *t = if b > 0.0 {
-                (SATURATION / b) * PAD
+        for ((t, lo), &b) in self
+            .thresholds
+            .iter_mut()
+            .zip(&mut self.thresholds_lo)
+            .zip(betas)
+        {
+            if b > 0.0 {
+                let base = SATURATION / b;
+                *t = base * SETTLE_PAD_UP;
+                *lo = base * SETTLE_PAD_DOWN;
             } else {
-                f64::INFINITY
-            };
+                *t = f64::INFINITY;
+                *lo = f64::INFINITY;
+            }
         }
     }
 
@@ -302,13 +358,18 @@ impl ReplicaBatch {
     pub fn sweep(&mut self, model: &IsingModel, betas: &[f64]) {
         assert_eq!(betas.len(), self.width, "one β per replica lane");
         assert_eq!(self.n, model.len(), "batch built for a different model");
+        // a single-lane group is exactly a serial machine: route it through
+        // the serial-shaped sweep so width-1 batches (narrow ensemble /
+        // PT groups) pay no structure-of-arrays machinery
+        if self.width == 1 {
+            return self.sweep_gibbs_serial(model, betas[0]);
+        }
         self.fill_thresholds(betas);
-        // monomorphize the per-spin settled check for the common widths so
-        // the lane loop unrolls into straight-line code with maximal
-        // instruction-level parallelism; any other width takes the
+        // monomorphize the per-spin lane classification for the common
+        // widths so the lane loop unrolls into straight-line code with
+        // maximal instruction-level parallelism; any other width takes the
         // runtime-width loop (same semantics)
         match self.width {
-            1 => self.sweep_gibbs::<1>(model, betas),
             2 => self.sweep_gibbs::<2>(model, betas),
             4 => self.sweep_gibbs::<4>(model, betas),
             8 => self.sweep_gibbs::<8>(model, betas),
@@ -318,21 +379,53 @@ impl ReplicaBatch {
     }
 
     /// The Gibbs sweep with the lane count known at compile time: the
-    /// settled check below unrolls to `W` fused compare-and-accumulate
-    /// lanes with no loop-carried control flow.
+    /// two-sided lane classification below unrolls to `W` fused
+    /// compare-and-accumulate lanes with no loop-carried control flow.
     fn sweep_gibbs<const W: usize>(&mut self, model: &IsingModel, betas: &[f64]) {
         debug_assert_eq!(self.width, W);
         let thresh: [f64; W] = self.thresholds[..W].try_into().expect("width was checked");
+        let thresh_lo: [f64; W] = self.thresholds_lo[..W]
+            .try_into()
+            .expect("width was checked");
         let couplings = model.couplings();
-        for i in 0..self.n {
-            let base = i * W;
-            // Fast path: `field · spin ≥ threshold` is a conservative,
-            // exactness-preserving filter for "saturated and already
-            // aligned" — no draw, no flip, no write (see
-            // [`ReplicaBatch::fill_thresholds`]). The product is exact
+        // Spins per settled tile: a tile is the contiguous `TILE × W` plane
+        // slab of `TILE` consecutive spins; a fully settled tile (every
+        // lane of every spin saturated and aligned) is skipped whole, the
+        // batched counterpart of the serial machine's blocked settled scan.
+        const TILE: usize = 8;
+        let n = self.n;
+        let mut i = 0;
+        while i < n {
+            // Tile scan: branchless settled count over the contiguous slab.
+            while i + TILE <= n {
+                let base = i * W;
+                let tile_f = &self.fields[base..base + TILE * W];
+                let tile_s = &self.spins[base..base + TILE * W];
+                let mut settled = 0u32;
+                for k in 0..TILE {
+                    for r in 0..W {
+                        settled += u32::from(tile_f[k * W + r] * tile_s[k * W + r] >= thresh[r]);
+                    }
+                }
+                if settled != (TILE * W) as u32 {
+                    break;
+                }
+                i += TILE;
+            }
+            if i >= n {
+                break;
+            }
+            // Two-sided branchless lane classification over one spin's
+            // lanes: `field · spin ≥ thresholds` certifies saturated *and*
+            // aligned (no draw, no flip, no write), `|field · spin| <
+            // thresholds_lo` certifies unsaturated — the per-spin
+            // never-saturating classification falls out for free, since a
+            // spin whose drive bound sits below `SATURATION / β` reads
+            // all-unsaturated in every lane. The products are exact
             // (spin = ±1.0); counting lanes instead of `&&`-ing them keeps
             // the unrolled check branchless, so the W independent
             // multiply-compare chains overlap in the pipeline.
+            let base = i * W;
             let fields_i: &[f64; W] = self.fields[base..base + W]
                 .try_into()
                 .expect("plane is n × W");
@@ -340,12 +433,22 @@ impl ReplicaBatch {
                 .try_into()
                 .expect("plane is n × W");
             let mut settled_lanes = 0u32;
+            let mut unsat_lanes = 0u32;
             for r in 0..W {
-                settled_lanes += u32::from(fields_i[r] * spins_i[r] >= thresh[r]);
+                let aligned = fields_i[r] * spins_i[r];
+                settled_lanes += u32::from(aligned >= thresh[r]);
+                unsat_lanes += u32::from(aligned.abs() < thresh_lo[r]);
             }
             if settled_lanes != W as u32 {
-                self.gibbs_spin_slow(couplings, i, betas);
+                if unsat_lanes == W as u32 {
+                    // every lane unsaturated: the whole group skips the
+                    // per-lane saturation compares together
+                    self.gibbs_spin_lanes::<false>(couplings, i, betas);
+                } else {
+                    self.gibbs_spin_lanes::<true>(couplings, i, betas);
+                }
             }
+            i += 1;
         }
     }
 
@@ -358,19 +461,45 @@ impl ReplicaBatch {
             let fields_i = &self.fields[base..base + width];
             let spins_i = &self.spins[base..base + width];
             let mut settled_lanes = 0u32;
-            for ((&f, &s), &t) in fields_i.iter().zip(spins_i).zip(&self.thresholds) {
-                settled_lanes += u32::from(f * s >= t);
+            let mut unsat_lanes = 0u32;
+            for (((&f, &s), &t), &lo) in fields_i
+                .iter()
+                .zip(spins_i)
+                .zip(&self.thresholds)
+                .zip(&self.thresholds_lo)
+            {
+                let aligned = f * s;
+                settled_lanes += u32::from(aligned >= t);
+                unsat_lanes += u32::from(aligned.abs() < lo);
             }
-            if settled_lanes != width as u32 {
-                self.gibbs_spin_slow(couplings, i, betas);
+            if settled_lanes == width as u32 {
+                continue;
+            }
+            if unsat_lanes == width as u32 {
+                self.gibbs_spin_lanes::<false>(couplings, i, betas);
+            } else {
+                self.gibbs_spin_lanes::<true>(couplings, i, betas);
             }
         }
     }
 
-    /// The exact serial decision for every lane of spin `i`, in lane order —
-    /// taken whenever some lane is unsaturated or flips. Consumes each
-    /// undecided lane's noise stream exactly like [`PbitMachine::sweep`].
-    fn gibbs_spin_slow(&mut self, couplings: &Couplings, i: usize, betas: &[f64]) {
+    /// The exact per-lane decision for every lane of spin `i`, in lane
+    /// order — taken whenever some lane needs a draw or flips. Consumes
+    /// each undecided lane's noise stream exactly like
+    /// [`PbitMachine::sweep`]: one word per unsaturated lane, resolved by
+    /// the certified bracket with the exact `tanh` only on the residual
+    /// sliver ([`crate::bracket`]).
+    ///
+    /// `CHECK_SAT = false` drops the per-lane saturation compares — valid
+    /// only when the caller certified every lane unsaturated (tier 1
+    /// classification or the two-sided filter); both monomorphizations
+    /// make identical decisions and draws on such spins.
+    fn gibbs_spin_lanes<const CHECK_SAT: bool>(
+        &mut self,
+        couplings: &Couplings,
+        i: usize,
+        betas: &[f64],
+    ) {
         let width = self.width;
         let base = i * width;
         let mut any_flip = false;
@@ -382,14 +511,12 @@ impl ReplicaBatch {
             .enumerate()
         {
             let drive = b * f;
-            let new_up = if drive >= SATURATION {
+            let new_up = if CHECK_SAT && drive >= SATURATION {
                 true
-            } else if drive <= -SATURATION {
+            } else if CHECK_SAT && drive <= -SATURATION {
                 false
             } else {
-                let activation = drive.tanh();
-                let noise = self.streams[r].symmetric();
-                activation + noise >= 0.0
+                gibbs_decision(drive, self.streams[r].symmetric())
             };
             let old = *s;
             if new_up != (old > 0.0) {
@@ -408,15 +535,81 @@ impl ReplicaBatch {
         }
     }
 
+    /// The width-1 Gibbs sweep in serial shape: for a single lane the spin
+    /// and field planes *are* the serial machine's contiguous vectors, so
+    /// this path mirrors [`PbitMachine::sweep`] — three-tier decision per
+    /// spin, direct flip propagation over the coupling row — with none of
+    /// the lane-group scaffolding (thresholds, delta scatter, lane-count
+    /// plumbing). Decisions, draws and field updates are element-wise
+    /// identical to the generic path, so trajectories are unchanged; only
+    /// the width-1 overhead disappears.
+    fn sweep_gibbs_serial(&mut self, model: &IsingModel, beta: f64) {
+        debug_assert_eq!(self.width, 1);
+        let couplings = model.couplings();
+        let settle = if beta > 0.0 {
+            (SATURATION / beta) * SETTLE_PAD_UP
+        } else {
+            f64::INFINITY
+        };
+        let n = self.n;
+        let mut i = 0;
+        while i < n {
+            // settled scan + three-tier decisions, exactly like
+            // [`PbitMachine`]'s sweep (see its docs for the certificates)
+            let run = settled_run(&self.fields[i..n], &self.spins[i..n], settle);
+            i += run;
+            while i < n {
+                let f = self.fields[i];
+                if f * self.spins[i] >= settle {
+                    break;
+                }
+                let drive = beta * f;
+                let new_up = if beta * self.drive_bounds[i] * CLASS_PAD >= SATURATION {
+                    if drive >= SATURATION {
+                        true
+                    } else if drive <= -SATURATION {
+                        false
+                    } else {
+                        gibbs_decision(drive, self.streams[0].symmetric())
+                    }
+                } else {
+                    gibbs_decision(drive, self.streams[0].symmetric())
+                };
+                let old = self.spins[i];
+                if new_up != (old > 0.0) {
+                    self.energies[0] += 2.0 * old * f;
+                    self.spins[i] = -old;
+                    self.flips[0] += 1;
+                    let delta = -2.0 * old;
+                    match couplings {
+                        Couplings::Dense(m) => propagate_dense(&mut self.fields, m.row(i), delta),
+                        Couplings::Sparse(m) => {
+                            for (j, jij) in m.row_iter(i) {
+                                self.fields[j] += jij * delta;
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
     /// Applies the flip deltas of spin `i` to the field plane with one pass
     /// over the coupling row.
     ///
     /// When only a few lanes flipped, per-lane strided updates skip the
-    /// untouched lanes entirely (work ∝ actual flips, and no `±0.0` adds);
-    /// when most lanes flipped, the full lane-broadcast kernel
-    /// ([`Couplings::row_axpy_lanes`]) reuses the single row pass for all of
-    /// them. Per lane both shapes apply the identical adds in identical
-    /// order, so the choice is invisible to trajectories.
+    /// untouched lanes' arithmetic (no `±0.0` adds); when most lanes
+    /// flipped, the full lane-broadcast kernel
+    /// ([`Couplings::row_axpy_lanes`]) reuses the single row pass for all
+    /// of them. Note the memory traffic is the same either way on dense
+    /// rows — in the spin-major plane a strided single-lane update touches
+    /// one f64 per 64-byte line, i.e. every line the contiguous slab pass
+    /// touches — which is why hot-regime batches are propagation-bound
+    /// regardless of this choice (see the ROADMAP's PR 5 perf finding; an
+    /// A/B of always-axpy measured no better). Per lane both shapes apply
+    /// the identical adds in identical order, so the choice is invisible
+    /// to trajectories.
     fn propagate(couplings: &Couplings, i: usize, deltas: &[f64], fields: &mut [f64]) {
         let width = deltas.len();
         let flipped = deltas.iter().filter(|&&d| d != 0.0).count();

@@ -31,6 +31,9 @@ pub struct GreedyDescent {
     max_sweeps: usize,
     /// Reused across solves: a restart re-randomizes in place (one field
     /// resync, no allocation) instead of constructing a fresh machine.
+    /// Greedy sweeps never draw noise or evaluate `tanh`, so the machine's
+    /// Gibbs-kernel drive bounds stay lazily uncomputed — restarts don't
+    /// pay for books they never read.
     machine: Option<PbitMachine>,
 }
 

@@ -271,7 +271,19 @@ impl EnsembleAnnealer {
 /// schedule together, one sweep at a time, with per-lane best tracking —
 /// the batched equivalent of `seeds.len()` fresh
 /// [`SimulatedAnnealing`](crate::SimulatedAnnealing) solves.
+///
+/// A single-seed group routes through a serial
+/// [`SimulatedAnnealing`](crate::SimulatedAnnealing) directly: that solver
+/// *is* the documented replay reference for a batch lane on the same seed,
+/// so the outcome is identical by contract while skipping the batch
+/// scaffolding a one-lane group would pay for (the `R = 1` overhead the
+/// perf snapshot's `batch` section records).
 fn run_batched(model: &IsingModel, config: &EnsembleConfig, seeds: &[u64]) -> Vec<SolveOutcome> {
+    if let [seed] = seeds {
+        let mut sa = crate::sa::SimulatedAnnealing::new(config.schedule, config.mcs_per_run, *seed)
+            .with_dynamics(config.dynamics);
+        return vec![sa.solve(model)];
+    }
     let mut batch = ReplicaBatch::new(model, seeds);
     let mut bests = LaneBests::new(&batch);
     for step in 0..config.mcs_per_run {

@@ -23,7 +23,12 @@
 //! This crate provides:
 //!
 //! - [`PbitMachine`] — the p-bit network with incremental local-field and
-//!   energy bookkeeping,
+//!   energy bookkeeping, updating through a three-tier decision kernel
+//!   (per-spin saturation classification, exact saturation short-circuit,
+//!   certified tanh bracket) that replays the exact-`tanh` rule
+//!   bit-for-bit at a fraction of its hot-regime cost,
+//! - [`bracket`] — the certified rational `tanh` bounds behind tier 3 and
+//!   their flip-decision helper,
 //! - [`ReplicaBatch`] — R replicas of one model in structure-of-arrays spin
 //!   and field planes, advanced together so one coupling-row pass updates
 //!   every replica's field lane; per-lane trajectories are bit-identical to
@@ -85,6 +90,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod bracket;
 mod descent;
 mod ensemble;
 pub mod parallel;

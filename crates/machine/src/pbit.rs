@@ -1,3 +1,4 @@
+use crate::bracket::gibbs_decision;
 use crate::rng::{NoiseSource, SweepNoise};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -13,6 +14,36 @@ use saim_ising::{Couplings, IsingModel, Spin, SpinState};
 /// replay the serial machine bit-for-bit.
 pub(crate) const SATURATION: f64 = 20.0;
 
+/// Relative pad (`1 + 2⁻¹⁶`) on the per-spin saturation classification: a
+/// spin counts as *never-saturating* at β only when `β · D_i · CLASS_PAD`
+/// stays below [`SATURATION`], where `D_i = |h_i| + Σ_j |J_ij|` bounds the
+/// true local field ([`IsingModel::drive_bounds`]).
+///
+/// The pad is what makes dropping the per-update saturation compares sound:
+/// the incrementally-maintained field can exceed the real bound only by
+/// accumulated rounding — about one part in 2⁵² per neighbour flip — so the
+/// classification would need on the order of 2³⁶ flips *of one spin's
+/// neighbours between resyncs* to be breached, far beyond any realizable
+/// run. The oracle replay proptests and the determinism suites pin the
+/// contract empirically. Shared by the serial and batched engines.
+pub(crate) const CLASS_PAD: f64 = 1.0 + 1.0 / (1u64 << 16) as f64;
+
+/// Upward pad on the settled-filter thresholds: `field · spin ≥
+/// (SATURATION / β) · SETTLE_PAD_UP` *certifies* `β · field · spin ≥
+/// SATURATION` despite the rounding of the division and the final multiply
+/// (the products themselves are exact — spin is ±1.0) — so a spin passing
+/// the settled test provably takes the old kernel's deterministic
+/// short-circuit with no flip and no draw, independent of any
+/// classification. Division rounding can only make the filter
+/// conservative: a settled spin that fails it merely pays the exact
+/// compares. Shared by the serial and batched engines.
+pub(crate) const SETTLE_PAD_UP: f64 = 1.0 + 16.0 * f64::EPSILON;
+
+/// Downward pad for the reverse certificate: `|field| < (SATURATION / β) ·
+/// SETTLE_PAD_DOWN` certifies `|β · field| < SATURATION` exactly — the
+/// unsaturated side of the batched engine's two-sided lane classification.
+pub(crate) const SETTLE_PAD_DOWN: f64 = 1.0 - 16.0 * f64::EPSILON;
+
 /// A network of probabilistic bits emulating a p-computer in software.
 ///
 /// Each p-bit holds a spin `m_i = ±1`, reads its input
@@ -24,6 +55,41 @@ pub(crate) const SATURATION: f64 = 20.0;
 /// The machine keeps the local-field vector and the model energy current
 /// incrementally: a flip of spin `j` shifts every `I_i` by `2 J_ij m_j`,
 /// which costs one row scan instead of the full `O(n²)` recompute.
+///
+/// # The three-tier decision kernel
+///
+/// Every Gibbs update resolves `m_i = sign(tanh(β I_i) + u)` through three
+/// tiers of increasing cost, each bit-identical to the exact rule:
+///
+/// 1. **Settled scan + per-spin saturation classification.** A blocked
+///    scan skips whole runs of spins whose `field · spin` clears the
+///    padded `SATURATION / β` threshold — each is certifiably saturated
+///    *and* aligned, so the exact rule would keep it with no draw. For the
+///    few spins the scan leaves undecided, the per-spin drive bounds
+///    `D_i = |h_i| + Σ_j |J_ij|` ([`IsingModel::drive_bounds`], cached
+///    with the books) classify on demand whether the spin can reach
+///    `|β I_i| ≥ 20` at all: spins that can *never* saturate at this β —
+///    the weakly-coupled slack bits that dominate hot-regime knapsack
+///    sweeps — skip the saturation compares entirely (see `CLASS_PAD` for
+///    why dropping them is sound). The classification is a pure two-multiply
+///    test of the precomputed bound, so a β that changes every sweep (any
+///    annealing schedule) costs no reclassification pass.
+/// 2. **Saturation short-circuit** (maybe-saturating spins only): a drive
+///    past `±20` — where `tanh` rounds to exactly `±1.0` — decides without
+///    `tanh` or a draw; the deep-quench fast path.
+/// 3. **Certified tanh bracket** ([`crate::bracket`]): one `U(-1, 1)` word
+///    is drawn, then cheap polynomial/rational bounds `lo ≤ tanh ≤ hi` (no
+///    `libm` call) decide the sign whenever `u` falls outside `[-hi, -lo)`;
+///    only the residual sliver (well under 1% of hot-regime draws)
+///    computes the exact `tanh`.
+///
+/// **RNG-consumption contract:** tier 3 consumes exactly one `u64` from the
+/// stream per update, whether the bracket or the exact `tanh` decides;
+/// tiers 1–2 consume nothing, exactly like the pre-bracket kernel. The
+/// trajectory is therefore bit-identical to
+/// [`PbitMachine::sweep_exact_oracle`] — the retained exact-`tanh`
+/// reference kernel — for every seed, schedule, batch width and thread
+/// count, as the oracle replay proptests and `tests/determinism.rs` assert.
 ///
 /// ```
 /// use saim_ising::{QuboBuilder, IsingModel};
@@ -52,6 +118,17 @@ pub struct PbitMachine {
     local_fields: Vec<f64>,
     energy: f64,
     flips: u64,
+    /// Per-spin drive bounds `D_i` (tier 1 of the decision kernel),
+    /// refreshed lazily after a book recompute so solvers that never take a
+    /// Gibbs sweep (greedy descent, Metropolis) don't pay for them. Spin
+    /// `i`'s classification at any β is the pure test
+    /// `β · D_i · CLASS_PAD ≥ SATURATION`, evaluated on demand for the few
+    /// spins the settled scan leaves undecided — so a changing β (every
+    /// annealing schedule) costs no per-spin reclassification pass.
+    drive_bounds: Vec<f64>,
+    /// Whether `drive_bounds` must be recomputed from the model before the
+    /// next classification.
+    bounds_stale: bool,
 }
 
 impl PbitMachine {
@@ -88,6 +165,8 @@ impl PbitMachine {
             local_fields: vec![0.0; model.len()],
             energy: 0.0,
             flips: 0,
+            drive_bounds: vec![0.0; model.len()],
+            bounds_stale: true,
         };
         machine.recompute_books(model);
         machine
@@ -129,6 +208,7 @@ impl PbitMachine {
             self.state = state.clone();
             self.spins_f.resize(state.len(), 0.0);
             self.local_fields.resize(state.len(), 0.0);
+            self.drive_bounds.resize(state.len(), 0.0);
         }
         for (s, &v) in self.spins_f.iter_mut().zip(state.values()) {
             *s = f64::from(v);
@@ -139,12 +219,32 @@ impl PbitMachine {
     /// Rebuilds the local fields (O(N²) on dense models, O(nnz) on sparse
     /// ones) and then the energy in O(N) via
     /// [`PbitMachine::energy_from_fields`].
+    ///
+    /// Also invalidates the cached drive bounds and saturation
+    /// classification: every book recompute may follow a model change (a
+    /// SAIM λ-resync, or machine reuse on a different model of the same
+    /// size), and the bounds depend on `|h|` and `|J|`.
     fn recompute_books(&mut self, model: &IsingModel) {
         let couplings = model.couplings();
         for (i, (field, &h)) in self.local_fields.iter_mut().zip(model.fields()).enumerate() {
             *field = couplings.row_dot_f64(i, &self.spins_f) + h;
         }
         self.energy = self.energy_from_fields(model);
+        self.bounds_stale = true;
+    }
+
+    /// Refreshes the per-spin drive bounds (lazily, only after a book
+    /// recompute) — tier 1 of the decision kernel. One abs-sum row pass per
+    /// spin (O(N²) dense / O(nnz) sparse), the same cost as the field
+    /// resync that staled them.
+    fn ensure_drive_bounds(&mut self, model: &IsingModel) {
+        if self.bounds_stale {
+            let couplings = model.couplings();
+            for (i, (d, &h)) in self.drive_bounds.iter_mut().zip(model.fields()).enumerate() {
+                *d = h.abs() + couplings.row_abs_sum(i);
+            }
+            self.bounds_stale = false;
+        }
     }
 
     /// The model energy recomputed in O(N) from the incrementally-maintained
@@ -236,7 +336,7 @@ impl PbitMachine {
         let delta = -2.0 * old; // new - old spin value
         match model.couplings() {
             Couplings::Dense(m) => {
-                Self::propagate_dense(&mut self.local_fields, m.row(i), delta);
+                propagate_dense(&mut self.local_fields, m.row(i), delta);
             }
             // sparse fast path: only actual neighbours shift (Qubo::to_ising
             // stores low-density models as CSR for exactly this loop)
@@ -247,27 +347,6 @@ impl PbitMachine {
             }
         }
         self.flips += 1;
-    }
-
-    /// The dense flip propagation `I += delta · row`, chunked into blocks of
-    /// 8 lanes so the axpy update stays in vector registers. Elementwise, so
-    /// the results are bit-identical to the scalar loop.
-    #[inline]
-    fn propagate_dense(fields: &mut [f64], row: &[f64], delta: f64) {
-        let mut field_blocks = fields.chunks_exact_mut(8);
-        let mut row_blocks = row.chunks_exact(8);
-        for (f, r) in (&mut field_blocks).zip(&mut row_blocks) {
-            for lane in 0..8 {
-                f[lane] += r[lane] * delta;
-            }
-        }
-        for (f, &jij) in field_blocks
-            .into_remainder()
-            .iter_mut()
-            .zip(row_blocks.remainder())
-        {
-            *f += jij * delta;
-        }
     }
 
     /// One Monte Carlo sweep: sequentially updates every p-bit at inverse
@@ -306,12 +385,104 @@ impl PbitMachine {
 
     fn sweep_with<N: SweepNoise>(&mut self, model: &IsingModel, beta: f64, noise: &mut N) -> usize {
         assert_eq!(self.state.len(), model.len(), "state length mismatch");
+        self.ensure_drive_bounds(model);
+        // `field · spin ≥ settle` certifies saturated *and* aligned (see
+        // `SETTLE_PAD_UP`) — independent of any per-spin bound, so one
+        // scalar threshold serves the whole scan; β = 0 maps to +∞
+        // (nothing settles).
+        let settle = if beta > 0.0 {
+            (SATURATION / beta) * SETTLE_PAD_UP
+        } else {
+            f64::INFINITY
+        };
+        let n = self.state.len();
+        let mut changed = 0;
+        let mut i = 0;
+        while i < n {
+            // Settled scan: a whole run of settled spins — for each of
+            // which the old kernel would decide "keep, no draw" — is
+            // skipped with one blocked multiply-compare per spin
+            // ([`settled_run`]). Never-saturating spins can never pass the
+            // test (their field bound sits below `SATURATION / β`), so
+            // they always stop the scan.
+            let run = settled_run(&self.local_fields[i..n], &self.spins_f[i..n], settle);
+            i += run;
+            // Then a run of *unsettled* spins — the hot knapsack slack bits
+            // sit on consecutive indices, so deciding them in one tight
+            // loop (one settled re-test per spin, fields re-read after any
+            // flip) avoids re-entering the scan per decision.
+            while i < n {
+                let f = self.local_fields[i];
+                if f * self.spins_f[i] >= settle {
+                    break;
+                }
+                // The three-tier decision (see the type docs): spins whose
+                // precomputed drive bound can reach saturation at this β
+                // run the exact compares; never-saturating spins — the hot
+                // regime's majority — go straight to the drawn bracket
+                // decision. Both replay the exact kernel bit-for-bit.
+                let drive = beta * f;
+                let new_up = if beta * self.drive_bounds[i] * CLASS_PAD >= SATURATION {
+                    if drive >= SATURATION {
+                        true
+                    } else if drive <= -SATURATION {
+                        false
+                    } else {
+                        gibbs_decision(drive, noise.noise_symmetric())
+                    }
+                } else {
+                    gibbs_decision(drive, noise.noise_symmetric())
+                };
+                if new_up != (self.spins_f[i] > 0.0) {
+                    self.apply_flip(model, i);
+                    changed += 1;
+                }
+                i += 1;
+            }
+        }
+        changed
+    }
+
+    /// The pre-bracket reference Gibbs sweep: exact `tanh` plus one noise
+    /// draw on every unsaturated spin, one global saturation short-circuit —
+    /// the kernel [`PbitMachine::sweep`] replaced and must replay
+    /// bit-for-bit.
+    ///
+    /// Kept as the **oracle** for the bracket-kernel replay proptests and
+    /// as the exact-tanh baseline of the hot-regime benches; never called
+    /// by production paths.
+    #[doc(hidden)]
+    pub fn sweep_exact_oracle(
+        &mut self,
+        model: &IsingModel,
+        beta: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> usize {
+        self.sweep_exact_with(model, beta, rng)
+    }
+
+    /// [`PbitMachine::sweep_exact_oracle`] drawing from a block-buffered
+    /// [`NoiseSource`] — the oracle counterpart of
+    /// [`PbitMachine::sweep_buffered`].
+    #[doc(hidden)]
+    pub fn sweep_exact_oracle_buffered(
+        &mut self,
+        model: &IsingModel,
+        beta: f64,
+        noise: &mut NoiseSource,
+    ) -> usize {
+        self.sweep_exact_with(model, beta, noise)
+    }
+
+    fn sweep_exact_with<N: SweepNoise>(
+        &mut self,
+        model: &IsingModel,
+        beta: f64,
+        noise: &mut N,
+    ) -> usize {
+        assert_eq!(self.state.len(), model.len(), "state length mismatch");
         let mut changed = 0;
         for i in 0..self.state.len() {
-            // fused activation/noise decision: m_i = sign(tanh(βI_i) + U(−1,1));
-            // a flip happens iff the drawn sign disagrees with the cached
-            // spin, and a saturated drive (|βI| ≥ SATURATION) decides without
-            // tanh or a draw — see the constant's docs
             let drive = beta * self.local_fields[i];
             let new_up = if drive >= SATURATION {
                 true
@@ -403,6 +574,50 @@ impl PbitMachine {
             }
         }
         changed
+    }
+}
+
+/// Length of the leading *settled run*: the largest `k` such that
+/// `fields[j] · spins[j] ≥ thresh` for every `j < k`.
+///
+/// The hot loop of the settled scan: whole blocks of 8 spins are tested
+/// with a branchless compare-count the compiler keeps in vector registers
+/// (the same shape as the batched engine's lane filter), and only the
+/// breaking block is refined element-wise. Purely a read-only count — the
+/// caller decides the first unsettled spin through the full kernel, so
+/// blocking can never change a decision or a draw.
+#[inline(always)]
+pub(crate) fn settled_run(fields: &[f64], spins: &[f64], thresh: f64) -> usize {
+    const BLOCK: usize = 8;
+    let n = fields.len();
+    let mut i = 0;
+    while i + BLOCK <= n {
+        let f: &[f64; BLOCK] = fields[i..i + BLOCK].try_into().expect("blocked slice");
+        let s: &[f64; BLOCK] = spins[i..i + BLOCK].try_into().expect("blocked slice");
+        let mut settled = 0u32;
+        for lane in 0..BLOCK {
+            settled += u32::from(f[lane] * s[lane] >= thresh);
+        }
+        if settled != BLOCK as u32 {
+            break;
+        }
+        i += BLOCK;
+    }
+    while i < n && fields[i] * spins[i] >= thresh {
+        i += 1;
+    }
+    i
+}
+
+/// The dense flip propagation `I += delta · row` as a plain zip loop the
+/// compiler auto-vectorizes (an A/B against a manually 8-blocked version
+/// measured no slower — the pass is memory-bound). Elementwise, so the
+/// results are bit-identical to any blocking. Shared with the batched
+/// engine's width-1 serial path ([`crate::ReplicaBatch`]).
+#[inline]
+pub(crate) fn propagate_dense(fields: &mut [f64], row: &[f64], delta: f64) {
+    for (f, &jij) in fields.iter_mut().zip(row) {
+        *f += jij * delta;
     }
 }
 
@@ -672,6 +887,75 @@ mod tests {
             .filter(|&i| model.delta_energy(machine.state(), i) < -1e-9)
             .count();
         assert_eq!(uphill, 0, "still has strictly improving flips");
+    }
+
+    #[test]
+    fn bracket_kernel_replays_exact_oracle() {
+        // the three-tier kernel must be bit-identical to the pre-bracket
+        // exact-tanh kernel across the whole hot regime, dense and CSR
+        for model in [frustrated_model(), sparse_ring_model(80)] {
+            let mut rng_a = new_rng(14);
+            let mut a = PbitMachine::new(&model, &mut rng_a);
+            let mut rng_b = new_rng(14);
+            let mut b = PbitMachine::new(&model, &mut rng_b);
+            for sweep in 0..300 {
+                let beta = 0.05 * sweep as f64;
+                let ca = a.sweep(&model, beta, &mut rng_a);
+                let cb = b.sweep_exact_oracle(&model, beta, &mut rng_b);
+                assert_eq!(ca, cb, "changed count at sweep {sweep}");
+                assert_eq!(a.state(), b.state(), "sweep {sweep}");
+                assert_eq!(a.energy().to_bits(), b.energy().to_bits(), "sweep {sweep}");
+                assert_eq!(a.flips(), b.flips(), "sweep {sweep}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_marks_weak_spins_never_saturating() {
+        // spin 0 carries a drive bound far past SATURATION at β = 1, spin 1
+        // one far below it
+        let mut b = QuboBuilder::new(2);
+        b.add_linear(0, -100.0).unwrap();
+        b.add_linear(1, -0.1).unwrap();
+        let model = b.build().to_ising();
+        let mut rng = new_rng(1);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        machine.sweep(&model, 1.0, &mut rng);
+        assert_eq!(machine.drive_bounds, model.drive_bounds());
+        let class = |beta: f64, i: usize| beta * machine.drive_bounds[i] * CLASS_PAD >= SATURATION;
+        assert!(class(1.0, 0), "strong spin must keep the sat tests");
+        assert!(!class(1.0, 1), "weak spin can never saturate");
+        // β = 0: nothing saturates
+        assert!(!class(0.0, 0) && !class(0.0, 1));
+    }
+
+    #[test]
+    fn resync_refreshes_drive_bounds() {
+        let mut model = frustrated_model();
+        let mut rng = new_rng(2);
+        let mut machine = PbitMachine::new(&model, &mut rng);
+        machine.sweep(&model, 1.0, &mut rng);
+        model.fields_mut()[2] += 50.0;
+        machine.resync(&model);
+        machine.sweep(&model, 1.0, &mut rng);
+        assert_eq!(machine.drive_bounds, model.drive_bounds());
+    }
+
+    #[test]
+    fn settled_run_counts_leading_settled_prefix() {
+        // blocked and element-wise refinement must agree with the naive
+        // definition across block boundaries
+        let thresh = 2.0;
+        for break_at in [0usize, 1, 7, 8, 9, 15, 16, 20] {
+            let n = 21;
+            let fields: Vec<f64> = (0..n)
+                .map(|i| if i == break_at { 1.0 } else { 3.0 })
+                .collect();
+            let spins = vec![1.0; n];
+            assert_eq!(settled_run(&fields, &spins, thresh), break_at, "{break_at}");
+        }
+        assert_eq!(settled_run(&[], &[], 1.0), 0);
+        assert_eq!(settled_run(&[5.0; 19], &[1.0; 19], 2.0), 19);
     }
 
     #[test]

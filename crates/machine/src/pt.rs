@@ -171,6 +171,12 @@ struct PtGroup {
 }
 
 impl PtGroup {
+    /// Builds the group's batch once per solve; the batch computes the
+    /// model's per-spin drive bounds at construction, so the three-tier
+    /// decision kernel's classification is shared by every round (the
+    /// ladder's fixed per-lane β costs no per-round rework). Width-1 groups
+    /// — the narrow-group shape on many-core hosts — take the batch's
+    /// serial sweep path, paying no structure-of-arrays overhead.
     fn new(model: &IsingModel, seeds: &[u64], betas: Vec<f64>) -> Self {
         let batch = ReplicaBatch::new(model, seeds);
         let bests = LaneBests::new(&batch);

@@ -15,6 +15,12 @@ use saim_ising::{IsingModel, SpinState};
 /// stochastic runs of one reproducible stream — exactly the "2000 SA runs of
 /// 10³ MCS" structure of the paper's Table I.
 ///
+/// The machine is reused across runs, so the per-spin drive bounds behind
+/// the sweep's three-tier decision kernel (see [`PbitMachine`]) are
+/// computed once per model and survive every re-anneal; the per-sweep β of
+/// the schedule costs no reclassification (the kernel classifies undecided
+/// spins on demand from the cached bounds).
+///
 /// ```
 /// use saim_ising::QuboBuilder;
 /// use saim_machine::{BetaSchedule, IsingSolver, SimulatedAnnealing};

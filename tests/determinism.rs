@@ -249,6 +249,68 @@ fn ensemble_outcome_is_invariant_in_batch_width() {
 }
 
 #[test]
+fn hot_regime_engines_are_invariant_in_thread_count_and_width() {
+    // β ∈ {2, 4, 8}: the hot regime the bracket decision kernel
+    // accelerates — exactly what the deep-quench schedules above never
+    // exercise. Constant-β ensembles at every batch width and thread
+    // count, plus the serial SimulatedAnnealing replica replay, must stay
+    // bit-identical.
+    let inst = generate::qkp(24, 0.5, 61).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(2.0))
+        .expect("valid penalty")
+        .to_ising();
+    for beta in [2.0, 4.0, 8.0] {
+        let config = |threads: usize, batch_width: usize| EnsembleConfig {
+            replicas: 5,
+            threads,
+            batch_width,
+            schedule: BetaSchedule::constant(beta),
+            mcs_per_run: 120,
+            dynamics: Dynamics::Gibbs,
+        };
+        let reference = EnsembleAnnealer::new(config(1, 1), 19).solve_ensemble(&model);
+        for (threads, batch_width) in [(2, 0), (8, 8), (0, 2), (1, 16)] {
+            let got =
+                EnsembleAnnealer::new(config(threads, batch_width), 19).solve_ensemble(&model);
+            assert_eq!(
+                got, reference,
+                "beta = {beta}, threads = {threads}, width = {batch_width}"
+            );
+        }
+        for r in &reference.replicas {
+            let serial =
+                SimulatedAnnealing::new(BetaSchedule::constant(beta), 120, r.seed).solve(&model);
+            assert_eq!(r.outcome, serial, "beta = {beta}, replica {}", r.replica);
+        }
+    }
+}
+
+#[test]
+fn hot_regime_pt_is_invariant_in_thread_count() {
+    // a ladder capped at β = 8 keeps every slot in the hot regime for the
+    // whole run — the bracket kernel decides nearly every update
+    let inst = generate::qkp(22, 0.5, 62).expect("valid");
+    let enc = inst.encode().expect("encodes");
+    let model = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(2.0))
+        .expect("valid penalty")
+        .to_ising();
+    let config = |threads: usize| PtConfig {
+        replicas: 6,
+        sweeps: 110,
+        swap_interval: 10,
+        beta_min: 0.5,
+        beta_max: 8.0,
+        threads,
+    };
+    let serial = ParallelTempering::new(config(1), 29).solve(&model);
+    for threads in [2, 8, 0] {
+        let parallel = ParallelTempering::new(config(threads), 29).solve(&model);
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}
+
+#[test]
 fn engines_are_invariant_at_env_selected_thread_count() {
     // CI runs this test in a matrix over SAIM_DETERMINISM_THREADS=1/2/8;
     // whatever the leg, the engines must reproduce the single-thread result
@@ -287,6 +349,36 @@ fn engines_are_invariant_at_env_selected_thread_count() {
         ParallelTempering::new(pt_config(threads), 13).solve(&model),
         ParallelTempering::new(pt_config(1), 13).solve(&model),
         "PT at {threads} threads"
+    );
+
+    // hot-regime legs (β ≤ 8) in the same env-selected matrix: the bracket
+    // decision kernel must stay thread-count-invariant where it actually
+    // fires, not just on the deep-quench schedules above
+    let hot_ens = |threads: usize| EnsembleConfig {
+        replicas: 5,
+        threads,
+        batch_width: 0,
+        schedule: BetaSchedule::constant(4.0),
+        mcs_per_run: 80,
+        dynamics: Dynamics::Gibbs,
+    };
+    assert_eq!(
+        EnsembleAnnealer::new(hot_ens(threads), 17).solve_ensemble(&model),
+        EnsembleAnnealer::new(hot_ens(1), 17).solve_ensemble(&model),
+        "hot ensemble at {threads} threads"
+    );
+    let hot_pt = |threads: usize| PtConfig {
+        replicas: 6,
+        sweeps: 70,
+        swap_interval: 10,
+        beta_min: 0.5,
+        beta_max: 8.0,
+        threads,
+    };
+    assert_eq!(
+        ParallelTempering::new(hot_pt(threads), 23).solve(&model),
+        ParallelTempering::new(hot_pt(1), 23).solve(&model),
+        "hot PT at {threads} threads"
     );
 }
 

@@ -144,6 +144,84 @@ fn submission_interleaving_never_changes_outcomes() {
     }
 }
 
+/// Hot-regime solver kinds (β ≤ 8 throughout): ensemble and PT runs that
+/// never leave the regime the bracket decision kernel accelerates, plus a
+/// descent control.
+fn hot_solver_kinds() -> [SolverSpec; 3] {
+    [
+        SolverSpec::Ensemble(EnsembleConfig {
+            replicas: 3,
+            threads: 0,
+            batch_width: 0,
+            schedule: BetaSchedule::constant(4.0),
+            mcs_per_run: 70,
+            dynamics: Dynamics::Gibbs,
+        }),
+        SolverSpec::Pt(PtConfig {
+            replicas: 4,
+            sweeps: 60,
+            swap_interval: 10,
+            beta_min: 0.5,
+            beta_max: 8.0,
+            threads: 1,
+        }),
+        SolverSpec::Descent { max_sweeps: 300 },
+    ]
+}
+
+#[test]
+fn hot_regime_jobs_replay_direct_engine_calls() {
+    // the hot-regime leg of the replay contract, in the same env-selected
+    // worker matrix as the deep-quench suite: β ∈ {2, 4, 8} jobs streamed
+    // through the service must match the direct engine calls bit for bit
+    let env_workers: usize = std::env::var("SAIM_DETERMINISM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let mut specs = Vec::new();
+    for (slot, beta) in [2.0f64, 4.0, 8.0].into_iter().enumerate() {
+        let inst = generate::qkp(20 + 2 * slot, 0.5, 70 + slot as u64).expect("valid parameters");
+        let enc = inst.encode().expect("encodes");
+        let qubo =
+            saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(2.0)).expect("valid penalty");
+        for (kind, solver) in hot_solver_kinds().into_iter().enumerate() {
+            let solver = match solver {
+                SolverSpec::Ensemble(config) => SolverSpec::Ensemble(EnsembleConfig {
+                    schedule: BetaSchedule::constant(beta),
+                    ..config
+                }),
+                other => other,
+            };
+            let job = (slot * 3 + kind) as u64;
+            specs.push(
+                JobSpec::new(job, qubo.clone(), solver, derive_seed(11, job))
+                    .with_instance_digest(inst.digest()),
+            );
+        }
+    }
+    let oracle: Vec<JobOutcome> = specs.iter().map(direct_outcome).collect();
+    for workers in [1usize, env_workers] {
+        let mut service = solver_service(ServiceConfig {
+            workers,
+            queue_depth: 8,
+        });
+        for spec in &specs {
+            service.submit(spec.clone());
+        }
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), oracle.len());
+        for (got, want) in outcomes.iter().zip(&oracle) {
+            assert_eq!(
+                got.canonical(),
+                want.canonical(),
+                "workers = {workers}, job {}",
+                want.job
+            );
+            assert_eq!(got.canonical().to_json(), want.canonical().to_json());
+        }
+    }
+}
+
 #[test]
 fn service_is_invariant_at_env_selected_worker_count() {
     // CI runs this test in a matrix over SAIM_DETERMINISM_THREADS=1/2/8;
