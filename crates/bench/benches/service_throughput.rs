@@ -57,14 +57,19 @@ fn bench_worker_scaling(c: &mut Criterion) {
                             Err(SubmitError::Full(back)) => {
                                 // make room by consuming a finished job
                                 if let Some(result) = service.recv() {
-                                    done.push(result.value);
+                                    done.push(result.expect("solver jobs do not panic").value);
                                 }
                                 pending = back;
                             }
                         }
                     }
                 }
-                done.extend(service.drain());
+                done.extend(
+                    service
+                        .drain()
+                        .into_iter()
+                        .map(|r| r.expect("solver jobs do not panic")),
+                );
                 done
             });
         },

@@ -550,6 +550,7 @@ fn time_service(workers: usize, one_worker_sec: Option<f64>) -> ServicePoint {
         }
         let outcomes = service.drain();
         assert_eq!(outcomes.len(), jobs);
+        assert!(outcomes.iter().all(Result::is_ok), "no solver job panics");
         start.elapsed().as_secs_f64()
     };
     // warm up thread stacks and allocator, then take the best of three

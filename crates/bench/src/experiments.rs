@@ -47,7 +47,11 @@ where
     for cell in 0..count {
         service.submit(cell);
     }
-    service.drain()
+    service
+        .drain()
+        .into_iter()
+        .map(|result| result.unwrap_or_else(|failure| panic!("{failure}")))
+        .collect()
 }
 
 /// A fixed mixed job-service workload: `jobs` specs cycling through QKP

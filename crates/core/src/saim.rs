@@ -320,7 +320,9 @@ impl SaimRunner {
     /// # Panics
     ///
     /// Panics if any job's configuration is invalid, plus the conditions of
-    /// [`SaimRunner::run`].
+    /// [`SaimRunner::run`]. (The service reports a poisoned job as a typed
+    /// failure in its slot; this all-or-nothing facade re-raises it, since
+    /// a partial grid is useless to the benchmark protocol.)
     pub fn run_jobs<P>(
         jobs: Vec<(SaimConfig, P)>,
         solver: &SolverSpec,
@@ -336,7 +338,11 @@ impl SaimRunner {
         for job in jobs {
             service.submit(job);
         }
-        service.drain()
+        service
+            .drain()
+            .into_iter()
+            .map(|result| result.unwrap_or_else(|failure| panic!("{failure}")))
+            .collect()
     }
 }
 

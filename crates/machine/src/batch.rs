@@ -87,9 +87,10 @@
 
 use crate::bracket::gibbs_decision;
 use crate::pbit::{
-    propagate_dense, settled_run, CLASS_PAD, SATURATION, SETTLE_PAD_DOWN, SETTLE_PAD_UP,
+    propagate_dense, settled_run, MachineSnapshot, CLASS_PAD, SATURATION, SETTLE_PAD_DOWN,
+    SETTLE_PAD_UP,
 };
-use crate::rng::{new_rng, NoiseSource};
+use crate::rng::{new_rng, NoiseSnapshot, NoiseSource};
 use rand::Rng;
 use saim_ising::{Couplings, IsingModel, Spin, SpinState};
 
@@ -184,6 +185,94 @@ impl ReplicaBatch {
             fields,
             energies,
             flips: vec![0; width],
+            streams,
+            deltas: vec![0.0; width],
+            betas_uniform: vec![0.0; width],
+            thresholds: vec![0.0; width],
+            thresholds_lo: vec![0.0; width],
+            drive_bounds: if width == 1 {
+                model.drive_bounds()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Captures lane `r`'s complete trajectory state — spins, exact
+    /// incrementally-maintained fields and energy, flip counter, and the
+    /// lane's noise-stream state — for the checkpoint layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub(crate) fn lane_snapshot(&self, r: usize) -> (MachineSnapshot, NoiseSnapshot) {
+        assert!(r < self.width, "lane index out of bounds");
+        let spins: Vec<i8> = (0..self.n)
+            .map(|i| {
+                if self.spins[i * self.width + r] > 0.0 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect();
+        let fields: Vec<f64> = (0..self.n)
+            .map(|i| self.fields[i * self.width + r])
+            .collect();
+        (
+            MachineSnapshot {
+                spins,
+                fields,
+                energy: self.energies[r],
+                flips: self.flips[r],
+            },
+            self.streams[r].snapshot(),
+        )
+    }
+
+    /// Rebuilds a batch from per-lane snapshots **without recomputing the
+    /// books**: stored fields and energies are scattered into the planes
+    /// verbatim, so the restored batch continues every lane's trajectory
+    /// bit-identically (see [`crate::PbitMachine`]'s snapshot docs for why
+    /// a resync would fork it). The restored lane's field plane holds the
+    /// serial field values exactly; sign-of-zero differences relative to an
+    /// uninterrupted batch are invisible by the batch-width-invariance
+    /// argument in the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty or a snapshot's length does not match
+    /// `model.len()` (the checkpoint loader validates sizes first).
+    pub(crate) fn from_lane_snapshots(
+        model: &IsingModel,
+        lanes: &[(MachineSnapshot, NoiseSnapshot)],
+    ) -> Self {
+        assert!(!lanes.is_empty(), "a batch needs at least one replica lane");
+        let n = model.len();
+        let width = lanes.len();
+        let mut spins = vec![0.0; n * width];
+        let mut fields = vec![0.0; n * width];
+        let mut energies = vec![0.0; width];
+        let mut flips = vec![0u64; width];
+        let mut streams = Vec::with_capacity(width);
+        for (r, (machine, noise)) in lanes.iter().enumerate() {
+            assert_eq!(machine.spins.len(), n, "snapshot length mismatch");
+            assert_eq!(machine.fields.len(), n, "snapshot field mismatch");
+            for i in 0..n {
+                spins[i * width + r] = f64::from(machine.spins[i]);
+                fields[i * width + r] = machine.fields[i];
+            }
+            energies[r] = machine.energy;
+            flips[r] = machine.flips;
+            streams.push(NoiseSource::from_snapshot(noise));
+        }
+        ReplicaBatch {
+            n,
+            width,
+            spins,
+            fields,
+            energies,
+            flips,
             streams,
             deltas: vec![0.0; width],
             betas_uniform: vec![0.0; width],
@@ -745,6 +834,17 @@ impl LaneBests {
     /// Decomposes into `(energies, states)`, in lane order.
     pub(crate) fn into_parts(self) -> (Vec<f64>, Vec<SpinState>) {
         (self.energies, self.states)
+    }
+
+    /// Rebuilds a tracker from previously-captured parts (the checkpoint
+    /// restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length.
+    pub(crate) fn from_parts(energies: Vec<f64>, states: Vec<SpinState>) -> Self {
+        assert_eq!(energies.len(), states.len(), "lane count mismatch");
+        LaneBests { energies, states }
     }
 }
 

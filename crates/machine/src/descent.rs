@@ -1,3 +1,6 @@
+use crate::checkpoint::{
+    CheckpointError, Controlled, DescentState, MachineState, OutcomeKind, RngState, RunController,
+};
 use crate::pbit::PbitMachine;
 use crate::rng::new_rng;
 use crate::solver::{IsingSolver, SolveOutcome};
@@ -56,6 +59,85 @@ impl GreedyDescent {
         assert!(max_sweeps > 0, "at least one sweep is required");
         self.max_sweeps = max_sweeps;
         self
+    }
+
+    /// Like [`IsingSolver::solve`], but polling `ctrl` at every sweep
+    /// boundary. With an idle controller the result is bit-identical to
+    /// `solve`.
+    pub fn solve_controlled(
+        &mut self,
+        model: &IsingModel,
+        ctrl: &RunController,
+    ) -> Controlled<DescentState> {
+        PbitMachine::obtain_randomized(&mut self.machine, model, &mut self.rng);
+        self.run_from(model, 0, ctrl)
+    }
+
+    /// Continues a checkpointed descent from its [`DescentState`]; the
+    /// completed run is bit-identical to one that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] when the state does not fit this
+    /// solver's sweep cap or the model's size.
+    pub fn resume_controlled(
+        &mut self,
+        model: &IsingModel,
+        state: &DescentState,
+        ctrl: &RunController,
+    ) -> Result<Controlled<DescentState>, CheckpointError> {
+        if state.sweeps_done >= self.max_sweeps as u64 {
+            return Err(CheckpointError::Malformed(format!(
+                "resume at sweep {} is beyond the {}-sweep cap",
+                state.sweeps_done, self.max_sweeps
+            )));
+        }
+        let snap = state.machine.rebuild(model.len())?;
+        self.machine = Some(PbitMachine::from_snapshot(model, &snap));
+        self.rng = state.rng.rebuild()?;
+        Ok(self.run_from(model, state.sweeps_done, ctrl))
+    }
+
+    /// The greedy loop from a completed-sweep count, shared by fresh and
+    /// resumed controlled runs. Convergence is checked before the poll, so
+    /// a descent that just settled always reports `Completed`.
+    fn run_from(
+        &mut self,
+        model: &IsingModel,
+        start: u64,
+        ctrl: &RunController,
+    ) -> Controlled<DescentState> {
+        let machine = self.machine.as_mut().expect("machine installed by caller");
+        let mut sweeps = start;
+        let mut status = OutcomeKind::Completed;
+        while sweeps < self.max_sweeps as u64 {
+            sweeps += 1;
+            if machine.greedy_sweep(model) == 0 {
+                break;
+            }
+            if sweeps < self.max_sweeps as u64 {
+                if let Some(stop) = ctrl.poll(sweeps) {
+                    status = stop;
+                    break;
+                }
+            }
+        }
+        let state = (status == OutcomeKind::Checkpointed).then(|| DescentState {
+            sweeps_done: sweeps,
+            machine: MachineState::capture(&machine.snapshot()),
+            rng: RngState::capture(&self.rng),
+        });
+        Controlled {
+            outcome: SolveOutcome {
+                last: machine.state().clone(),
+                last_energy: machine.energy(),
+                best: machine.state().clone(),
+                best_energy: machine.energy(),
+                mcs: sweeps,
+            },
+            status,
+            state,
+        }
     }
 }
 
@@ -117,5 +199,68 @@ mod tests {
         let out = GreedyDescent::new(0).solve(&model);
         assert_eq!(out.last, out.best);
         assert_eq!(out.last_energy, out.best_energy);
+    }
+
+    /// A frustrated model large enough for descent to take several sweeps.
+    fn rugged_model() -> IsingModel {
+        let mut b = QuboBuilder::new(24);
+        for i in 0..24 {
+            b.add_linear(i, if i % 2 == 0 { -1.0 } else { 0.75 })
+                .unwrap();
+        }
+        for i in 1..24 {
+            b.add_pair(i - 1, i, if i % 3 == 0 { 1.5 } else { -0.5 })
+                .unwrap();
+        }
+        b.build().to_ising()
+    }
+
+    #[test]
+    fn controlled_solve_with_idle_controller_matches_solve() {
+        let model = rugged_model();
+        let a = GreedyDescent::new(12).solve(&model);
+        let mut d = GreedyDescent::new(12);
+        let b = d.solve_controlled(&model, &RunController::unlimited());
+        assert_eq!(b.status, OutcomeKind::Completed);
+        assert_eq!(b.outcome, a);
+    }
+
+    #[test]
+    fn interrupted_resume_is_bit_identical() {
+        let model = rugged_model();
+        let oracle = GreedyDescent::new(5).solve(&model);
+        assert!(oracle.mcs > 2, "model must take a few sweeps to settle");
+        let mut first = GreedyDescent::new(5);
+        let ctrl = RunController::unlimited()
+            .with_stop_after(1)
+            .with_poll_interval(1);
+        let cut = first.solve_controlled(&model, &ctrl);
+        assert_eq!(cut.status, OutcomeKind::Checkpointed);
+        let state = cut.state.expect("checkpointed runs carry state");
+        assert_eq!(state.sweeps_done, 1);
+        let mut second = GreedyDescent::new(5);
+        let resumed = second
+            .resume_controlled(&model, &state, &RunController::unlimited())
+            .expect("state fits the solver");
+        assert_eq!(resumed.status, OutcomeKind::Completed);
+        assert_eq!(resumed.outcome, oracle);
+    }
+
+    #[test]
+    fn resume_rejects_a_sweep_count_beyond_the_cap() {
+        let model = rugged_model();
+        let mut d = GreedyDescent::new(5);
+        let ctrl = RunController::unlimited()
+            .with_stop_after(1)
+            .with_poll_interval(1);
+        let state = d
+            .solve_controlled(&model, &ctrl)
+            .state
+            .expect("checkpointed");
+        let mut capped = GreedyDescent::new(5).with_max_sweeps(1);
+        assert!(matches!(
+            capped.resume_controlled(&model, &state, &RunController::unlimited()),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 }

@@ -39,12 +39,16 @@
 //! ```
 
 use crate::batch::{LaneBests, ReplicaBatch};
+use crate::checkpoint::{
+    BestState, CheckpointError, Controlled, DoneLane, EnsembleState, GroupState, LaneState,
+    OutcomeKind, RunController, SaState,
+};
 use crate::parallel;
 use crate::rng::derive_seed;
 use crate::sa::Dynamics;
 use crate::schedule::BetaSchedule;
 use crate::solver::{IsingSolver, SolveOutcome};
-use saim_ising::IsingModel;
+use saim_ising::{IsingModel, SpinState};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a replica ensemble.
@@ -211,18 +215,7 @@ impl EnsembleAnnealer {
         let batch = self.batches;
         self.batches += 1;
         let config = self.config;
-        let width = if config.batch_width == 0 {
-            let workers = if config.threads == 0 {
-                parallel::available_threads()
-            } else {
-                config.threads
-            };
-            count
-                .div_ceil(workers.max(1))
-                .clamp(1, EnsembleConfig::DEFAULT_BATCH_WIDTH)
-        } else {
-            config.batch_width
-        };
+        let width = self.group_width(count);
         let groups = count.div_ceil(width.max(1));
         let grouped = parallel::parallel_map_indexed(groups, config.threads, |g| {
             let lo = g * width;
@@ -264,6 +257,84 @@ impl EnsembleAnnealer {
             replicas,
             mcs_total,
         }
+    }
+
+    /// The lane-group width `solve_runs` uses for `count` replicas.
+    fn group_width(&self, count: usize) -> usize {
+        if self.config.batch_width == 0 {
+            let workers = if self.config.threads == 0 {
+                parallel::available_threads()
+            } else {
+                self.config.threads
+            };
+            count
+                .div_ceil(workers.max(1))
+                .clamp(1, EnsembleConfig::DEFAULT_BATCH_WIDTH)
+        } else {
+            self.config.batch_width
+        }
+    }
+
+    /// Like [`IsingSolver::solve`], but polling `ctrl` from every lane
+    /// group. With an idle controller the reduced outcome is bit-identical
+    /// to `solve`.
+    ///
+    /// Each group polls with its own schedule-step count; lanes are
+    /// independent until the final reduction, so a stop may catch groups at
+    /// different steps — the captured [`EnsembleState`] records each group
+    /// at its own boundary and [`EnsembleAnnealer::resume_controlled`]
+    /// finishes each from exactly there.
+    pub fn solve_controlled(
+        &mut self,
+        model: &IsingModel,
+        ctrl: &RunController,
+    ) -> Controlled<EnsembleState> {
+        let batch = self.batches;
+        self.batches += 1;
+        let config = self.config;
+        let count = config.replicas;
+        let width = self.group_width(count);
+        let groups = count.div_ceil(width.max(1));
+        let runs = parallel::parallel_map_indexed(groups, config.threads, |g| {
+            let lo = g * width;
+            let hi = count.min(lo + width);
+            let seeds: Vec<u64> = (lo..hi)
+                .map(|i| self.replica_seed(batch, i as u64))
+                .collect();
+            run_group_fresh(model, &config, &seeds, ctrl)
+        });
+        assemble(model, batch, runs)
+    }
+
+    /// Continues a checkpointed ensemble from its [`EnsembleState`]; the
+    /// completed reduction is bit-identical to an uninterrupted run at any
+    /// worker count (group membership is fixed by the checkpoint, so the
+    /// worker pool only changes which thread finishes which group).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] when the recorded groups do not add
+    /// up to this ensemble's replica count or any group image fails
+    /// validation.
+    pub fn resume_controlled(
+        &mut self,
+        model: &IsingModel,
+        state: &EnsembleState,
+        ctrl: &RunController,
+    ) -> Result<Controlled<EnsembleState>, CheckpointError> {
+        let total: usize = state.groups.iter().map(group_len).sum();
+        if total != self.config.replicas {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint holds {total} replicas for a {}-replica ensemble",
+                self.config.replicas
+            )));
+        }
+        let config = self.config;
+        let runs = parallel::parallel_map_indexed(state.groups.len(), config.threads, |g| {
+            run_group_resumed(model, &config, &state.groups[g], ctrl)
+        });
+        let runs = runs.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(assemble(model, state.batch_index, runs))
     }
 }
 
@@ -307,6 +378,293 @@ fn run_batched(model: &IsingModel, config: &EnsembleConfig, seeds: &[u64]) -> Ve
             mcs: config.mcs_per_run as u64,
         })
         .collect()
+}
+
+/// One group's controlled run: its stop status, its resumable image (when
+/// one exists), and the per-lane outcomes produced so far.
+struct GroupRun {
+    status: OutcomeKind,
+    /// `Some` for completed groups (a [`GroupState::Done`] image) and
+    /// checkpointed ones; `None` when the group stopped without capture
+    /// (cancellation or a missed deadline).
+    state: Option<GroupState>,
+    outcomes: Vec<SolveOutcome>,
+}
+
+/// Replicas a recorded group accounts for.
+fn group_len(group: &GroupState) -> usize {
+    match group {
+        GroupState::Pending { seeds } => seeds.len(),
+        GroupState::Serial { .. } => 1,
+        GroupState::Batch { seeds, .. } => seeds.len(),
+        GroupState::Done { lanes } => lanes.len(),
+    }
+}
+
+/// The controlled counterpart of [`run_batched`]: checks the controller
+/// before the first sweep (a stop there records the group as
+/// [`GroupState::Pending`], consuming no RNG words) and polls it at every
+/// sweep boundary after.
+fn run_group_fresh(
+    model: &IsingModel,
+    config: &EnsembleConfig,
+    seeds: &[u64],
+    ctrl: &RunController,
+) -> GroupRun {
+    if let Some(stop) = ctrl.check(0) {
+        return GroupRun {
+            status: stop,
+            state: Some(GroupState::Pending {
+                seeds: seeds.to_vec(),
+            }),
+            outcomes: Vec::new(),
+        };
+    }
+    if let [seed] = seeds {
+        let mut sa = crate::sa::SimulatedAnnealing::new(config.schedule, config.mcs_per_run, *seed)
+            .with_dynamics(config.dynamics);
+        return serial_group_run(*seed, sa.solve_controlled(model, ctrl));
+    }
+    let batch = ReplicaBatch::new(model, seeds);
+    let bests = LaneBests::new(&batch);
+    run_group_steps(model, config, seeds, batch, bests, 0, ctrl)
+}
+
+/// Wraps a serial lane's controlled result as a one-lane group.
+fn serial_group_run(seed: u64, run: Controlled<SaState>) -> GroupRun {
+    let state = match run.status {
+        OutcomeKind::Completed => Some(GroupState::Done {
+            lanes: vec![DoneLane::capture(&run.outcome)],
+        }),
+        OutcomeKind::Checkpointed => run.state.map(|sa| GroupState::Serial { seed, sa }),
+        _ => None,
+    };
+    GroupRun {
+        status: run.status,
+        state,
+        outcomes: vec![run.outcome],
+    }
+}
+
+/// Advances a multi-lane group from schedule step `start` under the
+/// controller — shared by fresh and resumed runs. The final sweep never
+/// checkpoints: a group caught there completes instead.
+fn run_group_steps(
+    model: &IsingModel,
+    config: &EnsembleConfig,
+    seeds: &[u64],
+    mut batch: ReplicaBatch,
+    mut bests: LaneBests,
+    start: usize,
+    ctrl: &RunController,
+) -> GroupRun {
+    let mut status = OutcomeKind::Completed;
+    let mut next_step = config.mcs_per_run;
+    for step in start..config.mcs_per_run {
+        let beta = config.schedule.beta_at(step, config.mcs_per_run);
+        match config.dynamics {
+            Dynamics::Gibbs => batch.sweep_uniform(model, beta),
+            Dynamics::Metropolis => batch.metropolis_sweep_uniform(model, beta),
+        }
+        bests.update(&batch);
+        if step + 1 < config.mcs_per_run {
+            if let Some(stop) = ctrl.poll((step + 1) as u64) {
+                status = stop;
+                next_step = step + 1;
+                break;
+            }
+        }
+    }
+    let outcomes: Vec<SolveOutcome> = (0..batch.width())
+        .map(|r| SolveOutcome {
+            last: batch.state(r),
+            last_energy: batch.energy(r),
+            best: bests.state(r).clone(),
+            best_energy: bests.energy(r),
+            mcs: next_step as u64,
+        })
+        .collect();
+    let state = match status {
+        OutcomeKind::Completed => Some(GroupState::Done {
+            lanes: outcomes.iter().map(DoneLane::capture).collect(),
+        }),
+        OutcomeKind::Checkpointed => Some(GroupState::Batch {
+            seeds: seeds.to_vec(),
+            next_step: next_step as u64,
+            lanes: (0..batch.width())
+                .map(|r| LaneState::capture(&batch.lane_snapshot(r)))
+                .collect(),
+            bests: (0..batch.width())
+                .map(|r| BestState::capture(bests.energy(r), bests.state(r)))
+                .collect(),
+        }),
+        _ => None,
+    };
+    GroupRun {
+        status,
+        state,
+        outcomes,
+    }
+}
+
+/// Rebuilds one recorded group and carries it forward: finished groups
+/// re-emit verbatim, pending groups start fresh, interrupted groups resume
+/// from their recorded boundary.
+fn run_group_resumed(
+    model: &IsingModel,
+    config: &EnsembleConfig,
+    group: &GroupState,
+    ctrl: &RunController,
+) -> Result<GroupRun, CheckpointError> {
+    let n = model.len();
+    match group {
+        GroupState::Done { lanes } => {
+            let outcomes = lanes
+                .iter()
+                .map(|l| l.rebuild(n))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(GroupRun {
+                status: OutcomeKind::Completed,
+                state: Some(group.clone()),
+                outcomes,
+            })
+        }
+        GroupState::Pending { seeds } => {
+            if seeds.is_empty() {
+                return Err(CheckpointError::Malformed(
+                    "a pending group holds no seeds".into(),
+                ));
+            }
+            Ok(run_group_fresh(model, config, seeds, ctrl))
+        }
+        GroupState::Serial { seed, sa } => {
+            let mut solver =
+                crate::sa::SimulatedAnnealing::new(config.schedule, config.mcs_per_run, *seed)
+                    .with_dynamics(config.dynamics);
+            Ok(serial_group_run(
+                *seed,
+                solver.resume_controlled(model, sa, ctrl)?,
+            ))
+        }
+        GroupState::Batch {
+            seeds,
+            next_step,
+            lanes,
+            bests,
+        } => {
+            if seeds.is_empty() || seeds.len() != lanes.len() || seeds.len() != bests.len() {
+                return Err(CheckpointError::Malformed(format!(
+                    "batch group holds {} seeds, {} lanes, {} bests",
+                    seeds.len(),
+                    lanes.len(),
+                    bests.len()
+                )));
+            }
+            let start = usize::try_from(*next_step)
+                .ok()
+                .filter(|&s| s <= config.mcs_per_run)
+                .ok_or_else(|| {
+                    CheckpointError::Malformed(format!(
+                        "resume step {next_step} is beyond the {}-sweep schedule",
+                        config.mcs_per_run
+                    ))
+                })?;
+            let snaps = lanes
+                .iter()
+                .map(|l| l.rebuild(n))
+                .collect::<Result<Vec<_>, _>>()?;
+            let batch = ReplicaBatch::from_lane_snapshots(model, &snaps);
+            let (energies, states): (Vec<f64>, Vec<SpinState>) = bests
+                .iter()
+                .map(|b| b.rebuild(n))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .unzip();
+            let bests = LaneBests::from_parts(energies, states);
+            Ok(run_group_steps(
+                model, config, seeds, batch, bests, start, ctrl,
+            ))
+        }
+    }
+}
+
+/// Folds per-group runs into one controlled ensemble result: the ordered
+/// strict-`<` reduction over every lane outcome produced so far, a status
+/// merged across groups, and — when every group captured an image — the
+/// resumable [`EnsembleState`].
+///
+/// The merge ranks `Cancelled` over `DeadlineExceeded` over `Checkpointed`.
+/// Ranking the deadline above the checkpoint — the opposite of the
+/// single-run priority — is deliberate: a deadline-stopped group carries no
+/// image, so a mixed deadline/checkpoint race must degrade the whole run to
+/// `DeadlineExceeded` rather than claim a resumable state that does not
+/// exist.
+fn assemble(
+    model: &IsingModel,
+    batch_index: u64,
+    runs: Vec<GroupRun>,
+) -> Controlled<EnsembleState> {
+    fn rank(k: OutcomeKind) -> u8 {
+        match k {
+            OutcomeKind::Completed => 0,
+            OutcomeKind::Checkpointed => 1,
+            OutcomeKind::DeadlineExceeded => 2,
+            OutcomeKind::Cancelled => 3,
+        }
+    }
+    let status = runs
+        .iter()
+        .map(|r| r.status)
+        .max_by_key(|&k| rank(k))
+        .unwrap_or(OutcomeKind::Completed);
+    let mut mcs_total = 0u64;
+    let mut best_energy = f64::INFINITY;
+    let mut winner: Option<&SolveOutcome> = None;
+    for outcome in runs.iter().flat_map(|r| &r.outcomes) {
+        mcs_total += outcome.mcs;
+        // ordered reduction: strict < keeps the lowest replica on ties
+        if outcome.best_energy < best_energy {
+            best_energy = outcome.best_energy;
+            winner = Some(outcome);
+        }
+    }
+    let outcome = match winner {
+        Some(w) => SolveOutcome {
+            last: w.last.clone(),
+            last_energy: w.last_energy,
+            best: w.best.clone(),
+            best_energy: w.best_energy,
+            mcs: mcs_total,
+        },
+        // every group stopped before its first sweep: report the trivial
+        // all-up sample so the partial outcome is still well-formed
+        None => {
+            let state = SpinState::from_values(&vec![1; model.len()]);
+            let energy = model.energy(&state);
+            SolveOutcome {
+                last: state.clone(),
+                last_energy: energy,
+                best: state,
+                best_energy: energy,
+                mcs: 0,
+            }
+        }
+    };
+    let state = (status == OutcomeKind::Checkpointed).then(|| EnsembleState {
+        batch_index,
+        groups: runs
+            .into_iter()
+            .map(|r| {
+                r.state
+                    .expect("checkpoint-merged groups all carry an image")
+            })
+            .collect(),
+    });
+    Controlled {
+        outcome,
+        status,
+        state,
+    }
 }
 
 impl IsingSolver for EnsembleAnnealer {
@@ -450,5 +808,143 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn rejects_zero_replicas() {
         let _ = EnsembleAnnealer::new(config(0, 0), 0);
+    }
+
+    #[test]
+    fn controlled_solve_with_idle_controller_matches_solve() {
+        let (model, _) = planted_model();
+        let a = EnsembleAnnealer::new(config(6, 0), 42).solve(&model);
+        let mut e = EnsembleAnnealer::new(config(6, 0), 42);
+        let b = e.solve_controlled(&model, &RunController::unlimited());
+        assert_eq!(b.status, OutcomeKind::Completed);
+        assert!(b.state.is_none());
+        assert_eq!(b.outcome, a);
+    }
+
+    #[test]
+    fn interrupted_resume_is_bit_identical_across_widths_and_threads() {
+        let (model, _) = planted_model();
+        let oracle = EnsembleAnnealer::new(config(6, 1), 42).solve(&model);
+        for stop in [1u64, 7, 29] {
+            for batch_width in [1usize, 4, 8] {
+                let cfg = EnsembleConfig {
+                    batch_width,
+                    ..config(6, 1)
+                };
+                let ctrl = RunController::unlimited()
+                    .with_stop_after(stop)
+                    .with_poll_interval(1);
+                let cut = EnsembleAnnealer::new(cfg, 42).solve_controlled(&model, &ctrl);
+                assert_eq!(cut.status, OutcomeKind::Checkpointed);
+                let state = cut.state.expect("checkpointed runs carry state");
+                for threads in [1usize, 2, 8] {
+                    let cfg2 = EnsembleConfig { threads, ..cfg };
+                    let mut second = EnsembleAnnealer::new(cfg2, 42);
+                    let resumed = second
+                        .resume_controlled(&model, &state, &RunController::unlimited())
+                        .expect("state fits the ensemble");
+                    assert_eq!(resumed.status, OutcomeKind::Completed);
+                    assert_eq!(
+                        resumed.outcome, oracle,
+                        "stop={stop} width={batch_width} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_interruption_still_replays_exactly() {
+        let (model, _) = planted_model();
+        let oracle = EnsembleAnnealer::new(config(6, 0), 17).solve(&model);
+        let first_cut = RunController::unlimited()
+            .with_stop_after(3)
+            .with_poll_interval(1);
+        let cut = EnsembleAnnealer::new(config(6, 0), 17).solve_controlled(&model, &first_cut);
+        let state = cut.state.expect("checkpointed");
+        let second_cut = RunController::unlimited()
+            .with_stop_after(20)
+            .with_poll_interval(1);
+        let cut2 = EnsembleAnnealer::new(config(6, 0), 17)
+            .resume_controlled(&model, &state, &second_cut)
+            .expect("state fits");
+        assert_eq!(cut2.status, OutcomeKind::Checkpointed);
+        let state2 = cut2.state.expect("checkpointed");
+        let resumed = EnsembleAnnealer::new(config(6, 0), 17)
+            .resume_controlled(&model, &state2, &RunController::unlimited())
+            .expect("state fits");
+        assert_eq!(resumed.outcome, oracle);
+    }
+
+    #[test]
+    fn cancel_before_the_first_sweep_yields_a_well_formed_partial() {
+        let (model, _) = planted_model();
+        let mut e = EnsembleAnnealer::new(config(4, 1), 7);
+        let ctrl = RunController::unlimited();
+        ctrl.request_cancel();
+        let cut = e.solve_controlled(&model, &ctrl);
+        assert_eq!(cut.status, OutcomeKind::Cancelled);
+        assert!(cut.state.is_none());
+        assert_eq!(cut.outcome.mcs, 0);
+        assert_eq!(cut.outcome.best_energy, model.energy(&cut.outcome.best));
+    }
+
+    #[test]
+    fn checkpoint_before_the_first_sweep_resumes_to_the_full_run() {
+        let (model, _) = planted_model();
+        let oracle = EnsembleAnnealer::new(config(4, 0), 11).solve(&model);
+        let mut e = EnsembleAnnealer::new(config(4, 0), 11);
+        let ctrl = RunController::unlimited();
+        ctrl.request_checkpoint();
+        let cut = e.solve_controlled(&model, &ctrl);
+        assert_eq!(cut.status, OutcomeKind::Checkpointed);
+        let state = cut.state.expect("checkpointed");
+        assert!(state
+            .groups
+            .iter()
+            .all(|g| matches!(g, GroupState::Pending { .. })));
+        let resumed = EnsembleAnnealer::new(config(4, 0), 11)
+            .resume_controlled(&model, &state, &RunController::unlimited())
+            .expect("pending groups run fresh");
+        assert_eq!(resumed.outcome, oracle);
+    }
+
+    #[test]
+    fn done_groups_re_emit_verbatim_on_resume() {
+        let (model, _) = planted_model();
+        let oracle = EnsembleAnnealer::new(config(4, 1), 13).solve_ensemble(&model);
+        let groups: Vec<GroupState> = oracle
+            .replicas
+            .iter()
+            .map(|r| GroupState::Done {
+                lanes: vec![DoneLane::capture(&r.outcome)],
+            })
+            .collect();
+        let state = EnsembleState {
+            batch_index: 0,
+            groups,
+        };
+        let resumed = EnsembleAnnealer::new(config(4, 1), 13)
+            .resume_controlled(&model, &state, &RunController::unlimited())
+            .expect("well-formed state");
+        assert_eq!(resumed.status, OutcomeKind::Completed);
+        assert_eq!(resumed.outcome, oracle.reduce());
+    }
+
+    #[test]
+    fn resume_rejects_a_replica_count_mismatch() {
+        let (model, _) = planted_model();
+        let ctrl = RunController::unlimited()
+            .with_stop_after(1)
+            .with_poll_interval(1);
+        let state = EnsembleAnnealer::new(config(6, 0), 42)
+            .solve_controlled(&model, &ctrl)
+            .state
+            .expect("checkpointed");
+        let mut other = EnsembleAnnealer::new(config(5, 0), 42);
+        assert!(matches!(
+            other.resume_controlled(&model, &state, &RunController::unlimited()),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 }

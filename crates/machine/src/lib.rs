@@ -55,6 +55,15 @@
 //!   submission order — bit-identical to direct engine calls for any
 //!   worker count — and the serialized [`service::JobSpec`] /
 //!   [`service::JobOutcome`] wire schema a network front-end would speak,
+//! - [`checkpoint`] — the fault-tolerance layer under all of the engines: a
+//!   [`RunController`] cooperatively cancels, deadlines, or checkpoints any
+//!   sweep loop from cheap every-k-sweeps polls, and a versioned,
+//!   checksummed [`Checkpoint`] file captures full engine state (spins,
+//!   fields, best-so-far, schedule position, exact RNG stream positions)
+//!   so an interrupted run — or a whole drained
+//!   [`service::ControlledService`] — resumes bit-identically to one that
+//!   was never interrupted; corrupt files land on typed
+//!   [`CheckpointError`]s, never a panic,
 //! - [`ParallelTempering`] — a replica-exchange solver standing in for the
 //!   PT-DA baseline of the paper's evaluation; ladder rounds fan out over
 //!   [`parallel`] with per-slot RNG streams and a dedicated swap stream, so
@@ -91,6 +100,7 @@
 
 mod batch;
 pub mod bracket;
+pub mod checkpoint;
 mod descent;
 mod ensemble;
 pub mod parallel;
@@ -104,6 +114,9 @@ mod solver;
 mod telemetry;
 
 pub use batch::ReplicaBatch;
+pub use checkpoint::{
+    Checkpoint, CheckpointError, Controlled, EngineState, OutcomeKind, RunController,
+};
 pub use descent::GreedyDescent;
 pub use ensemble::{EnsembleAnnealer, EnsembleConfig, EnsembleOutcome, ReplicaOutcome};
 pub use pbit::PbitMachine;

@@ -179,15 +179,46 @@ where
     W: Fn(usize, usize) + Sync,
     J: FnMut(usize),
 {
+    parallel_rounds_while(items, threads, rounds, work, |round| {
+        join(round);
+        true
+    });
+}
+
+/// [`parallel_rounds`] whose join phase can stop the run early: `join`
+/// returns `true` to continue into the next round, `false` to shut the pool
+/// down immediately (remaining rounds never run). This is the cooperative
+/// cancellation / checkpoint shape — the decision to stop is taken on the
+/// caller's thread with every worker parked, so per-item state is safe to
+/// snapshot right before returning `false`.
+///
+/// Returns the number of rounds whose work phase completed.
+///
+/// # Panics
+///
+/// Propagates panics exactly like [`parallel_rounds`].
+pub fn parallel_rounds_while<W, J>(
+    items: usize,
+    threads: usize,
+    rounds: usize,
+    work: W,
+    mut join: J,
+) -> usize
+where
+    W: Fn(usize, usize) + Sync,
+    J: FnMut(usize) -> bool,
+{
     let threads = resolve_threads(threads, items);
     if threads == 1 {
         for round in 0..rounds {
             for item in 0..items {
                 work(round, item);
             }
-            join(round);
+            if !join(round) {
+                return round + 1;
+            }
         }
-        return;
+        return rounds;
     }
 
     // workers + the caller all meet at the barrier twice per round: once to
@@ -233,10 +264,12 @@ where
             });
         }
 
+        let mut completed = 0usize;
         for round in 0..rounds {
             cursor.store(0, Ordering::Relaxed);
             barrier.wait(); // open the round
             barrier.wait(); // closed: every item is done
+            completed = round + 1;
             let payload = panic_slot
                 .lock()
                 .expect("panic slot is never poisoned")
@@ -248,17 +281,20 @@ where
             }
             // a panicking join must also release the parked workers, or the
             // scope would deadlock waiting for them
-            if let Err(payload) =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join(round)))
-            {
-                stop.store(true, Ordering::Relaxed);
-                barrier.wait();
-                std::panic::resume_unwind(payload);
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join(round))) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(payload) => {
+                    stop.store(true, Ordering::Relaxed);
+                    barrier.wait();
+                    std::panic::resume_unwind(payload);
+                }
             }
         }
         stop.store(true, Ordering::Relaxed);
         barrier.wait(); // release the workers into shutdown
-    });
+        completed
+    })
 }
 
 /// Why a [`BoundedQueue::try_push`] was rejected. The item comes back to the
@@ -420,6 +456,23 @@ impl<T> BoundedQueue<T> {
         dropped
     }
 
+    /// Closes the queue and hands back everything still waiting, in FIFO
+    /// order — the graceful-shutdown path: queued jobs that never started
+    /// are returned to the caller (to be persisted and resubmitted later)
+    /// instead of silently discarded, and workers drain out through
+    /// [`BoundedQueue::pop`] returning `None`.
+    pub fn take_pending(&self) -> Vec<T> {
+        let taken;
+        {
+            let mut state = self.state.lock().expect("queue lock is never poisoned");
+            state.closed = true;
+            taken = state.items.drain(..).collect();
+        }
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+        taken
+    }
+
     /// Closes the queue and discards everything still waiting, returning how
     /// many items were dropped — the drop-mid-stream path: queued jobs that
     /// never started simply never run.
@@ -531,6 +584,41 @@ mod tests {
             },
             |_| {},
         );
+    }
+
+    #[test]
+    fn rounds_while_stops_early_at_the_join_decision() {
+        for threads in [0usize, 1, 2, 4] {
+            let counters: Vec<Mutex<usize>> = (0..5).map(|_| Mutex::new(0)).collect();
+            let completed = parallel_rounds_while(
+                5,
+                threads,
+                10,
+                |_, item| *counters[item].lock().unwrap() += 1,
+                |round| round < 2, // continue after rounds 0 and 1, stop after 2
+            );
+            assert_eq!(completed, 3, "threads = {threads}");
+            for c in &counters {
+                assert_eq!(*c.lock().unwrap(), 3, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_while_runs_to_completion_when_join_never_stops() {
+        let completed = parallel_rounds_while(3, 2, 4, |_, _| {}, |_| true);
+        assert_eq!(completed, 4);
+    }
+
+    #[test]
+    fn queue_take_pending_returns_fifo_and_closes() {
+        let q = BoundedQueue::new(8);
+        q.push(1).expect("open");
+        q.push(2).expect("open");
+        q.push(3).expect("open");
+        assert_eq!(q.take_pending(), vec![1, 2, 3]);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push(4), Err(4));
     }
 
     #[test]

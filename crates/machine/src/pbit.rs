@@ -44,6 +44,22 @@ pub(crate) const SETTLE_PAD_UP: f64 = 1.0 + 16.0 * f64::EPSILON;
 /// unsaturated side of the batched engine's two-sided lane classification.
 pub(crate) const SETTLE_PAD_DOWN: f64 = 1.0 - 16.0 * f64::EPSILON;
 
+/// Plain-data image of a [`PbitMachine`]'s books — exact field and energy
+/// values included — used by the checkpoint layer. The fields must be the
+/// *incrementally maintained* values, not a recompute (see
+/// [`PbitMachine::from_snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MachineSnapshot {
+    /// Spin values (±1) in index order.
+    pub spins: Vec<i8>,
+    /// Incrementally-maintained local fields, exact.
+    pub fields: Vec<f64>,
+    /// Incrementally-maintained energy, exact.
+    pub energy: f64,
+    /// Lifetime flip counter.
+    pub flips: u64,
+}
+
 /// A network of probabilistic bits emulating a p-computer in software.
 ///
 /// Each p-bit holds a spin `m_i = ±1`, reads its input
@@ -191,6 +207,48 @@ impl PbitMachine {
             _ => *slot = Some(PbitMachine::new(model, rng)),
         }
         slot.as_mut().expect("just set")
+    }
+
+    /// Captures the machine's books exactly — spins, incrementally
+    /// maintained local fields and energy, and the flip counter — for the
+    /// checkpoint layer.
+    pub(crate) fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            spins: self.state.values().to_vec(),
+            fields: self.local_fields.clone(),
+            energy: self.energy,
+            flips: self.flips,
+        }
+    }
+
+    /// Rebuilds a machine from a [`PbitMachine::snapshot`] **without a field
+    /// resync**: the stored fields and energy are installed verbatim.
+    ///
+    /// This is deliberate. [`PbitMachine::with_state`] recomputes the books
+    /// from the model, but a recomputed field is summed in a different
+    /// association order than the incrementally-maintained one and so is not
+    /// bit-identical to it; resuming through a resync would fork the
+    /// trajectory from the uninterrupted run. Drive bounds are derived data
+    /// and are lazily recomputed on the first sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's length does not match `model.len()` (the
+    /// checkpoint loader validates sizes before calling this).
+    pub(crate) fn from_snapshot(model: &IsingModel, snap: &MachineSnapshot) -> Self {
+        assert_eq!(snap.spins.len(), model.len(), "snapshot length mismatch");
+        assert_eq!(snap.fields.len(), model.len(), "snapshot field mismatch");
+        let state = SpinState::from_values(&snap.spins);
+        let spins_f: Vec<f64> = state.values().iter().map(|&v| f64::from(v)).collect();
+        PbitMachine {
+            state,
+            spins_f,
+            local_fields: snap.fields.clone(),
+            energy: snap.energy,
+            flips: snap.flips,
+            drive_bounds: vec![0.0; model.len()],
+            bounds_stale: true,
+        }
     }
 
     /// Re-initializes the machine in place from `state`, reusing every

@@ -65,11 +65,16 @@
 //! ```
 
 use crate::batch::{LaneBests, ReplicaBatch};
+use crate::checkpoint::{
+    BestState, CheckpointError, Controlled, LaneState, OutcomeKind, PtState, RngState,
+    RunController,
+};
 use crate::parallel;
 use crate::rng::{derive_seed, new_rng};
 use crate::solver::{IsingSolver, SolveOutcome};
 use rand::Rng;
-use saim_ising::IsingModel;
+use rand_chacha::ChaCha8Rng;
+use saim_ising::{IsingModel, SpinState};
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
@@ -250,15 +255,72 @@ impl ParallelTempering {
     pub fn swap_acceptance(&self) -> f64 {
         self.swap_accepts as f64 / self.swap_attempts as f64
     }
-}
 
-impl IsingSolver for ParallelTempering {
-    fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
+    /// Like [`IsingSolver::solve`] (which delegates here), but checking
+    /// `ctrl` after every swap round. With an idle controller the outcome
+    /// is bit-identical to `solve`.
+    ///
+    /// Rounds — `swap_interval` sweeps per slot — are this engine's natural
+    /// stop boundary: the exchange phase runs with every worker parked, so
+    /// the ladder is safe to snapshot right after it. The controller's
+    /// `poll_interval` does not apply; every round boundary checks. A
+    /// captured [`PtState`] records the round's swaps as already applied
+    /// (`next_round` points past them) with the swap stream advanced
+    /// accordingly.
+    pub fn solve_controlled(
+        &mut self,
+        model: &IsingModel,
+        ctrl: &RunController,
+    ) -> Controlled<PtState> {
         let batch = self.batches;
         self.batches += 1;
+        self.run(model, ctrl, batch, None)
+            .expect("a fresh run validates no checkpoint")
+    }
+
+    /// Continues a checkpointed run from its [`PtState`]; the completed run
+    /// is bit-identical to one that was never interrupted, at any thread
+    /// count — slots are stored flat and regrouped under the resuming
+    /// pool's own width (lane trajectories are batch-width-invariant).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] when the recorded ladder does not
+    /// match this solver's configuration or any slot image fails
+    /// validation.
+    pub fn resume_controlled(
+        &mut self,
+        model: &IsingModel,
+        state: &PtState,
+        ctrl: &RunController,
+    ) -> Result<Controlled<PtState>, CheckpointError> {
+        self.run(model, ctrl, state.batch_index, Some(state))
+    }
+
+    /// The controlled core shared by fresh solves and resumes.
+    fn run(
+        &mut self,
+        model: &IsingModel,
+        ctrl: &RunController,
+        batch: u64,
+        resume: Option<&PtState>,
+    ) -> Result<Controlled<PtState>, CheckpointError> {
         let config = self.config;
         let r = config.replicas;
+        let n = model.len();
         let ladder = config.ladder();
+
+        // round lengths: swap_interval sweeps each, with a short final round
+        // when the budget doesn't divide evenly. This is the absolute
+        // schedule — a resume indexes into the same table.
+        let mut lens = Vec::with_capacity(config.sweeps / config.swap_interval + 1);
+        let mut done = 0usize;
+        while done < config.sweeps {
+            let len = config.swap_interval.min(config.sweeps - done);
+            lens.push(len);
+            done += len;
+        }
+        let rounds = lens.len();
 
         // Adjacent slots share a batch so every coupling-row pass serves the
         // whole group. The width adapts to the worker pool — narrower groups
@@ -274,85 +336,167 @@ impl IsingSolver for ParallelTempering {
         };
         let width = r.div_ceil(workers.max(1)).clamp(1, MAX_GROUP_WIDTH);
         let group_count = r.div_ceil(width);
-        let groups: Vec<Mutex<PtGroup>> = (0..group_count)
-            .map(|g| {
-                let lo = g * width;
-                let hi = r.min(lo + width);
-                let seeds: Vec<u64> = (lo..hi)
-                    .map(|k| self.stream_seed(batch, k as u64))
-                    .collect();
-                Mutex::new(PtGroup::new(model, &seeds, ladder[lo..hi].to_vec()))
-            })
-            .collect();
         // slot k lives in group k / width, lane k % width
         let locate = |k: usize| (k / width, k % width);
-        let mut swap_rng = new_rng(self.stream_seed(batch, r as u64));
 
-        // round lengths: swap_interval sweeps each, with a short final round
-        // when the budget doesn't divide evenly
-        let mut lens = Vec::with_capacity(config.sweeps / config.swap_interval + 1);
-        let mut done = 0usize;
-        while done < config.sweeps {
-            let len = config.swap_interval.min(config.sweeps - done);
-            lens.push(len);
-            done += len;
-        }
-        let rounds = lens.len();
-
-        let swap_attempts = &mut self.swap_attempts;
-        let swap_accepts = &mut self.swap_accepts;
-        parallel::parallel_rounds(
-            group_count,
-            config.threads,
-            rounds,
-            // fork: every group batch-sweeps its round, each lane on its
-            // private stream at its own β
-            |round, g| {
-                let mut group = groups[g].lock().expect("no worker panicked");
-                group.run_round(model, lens[round]);
-            },
-            // join: serial exchange phase on the dedicated swap stream,
-            // fixed even/odd pair schedule (round parity picks the offset);
-            // no exchange follows the final round — the readout comes
-            // straight from the last sweeps
-            |round| {
-                if round + 1 == rounds {
-                    return;
+        let (groups, mut swap_rng, start_round) = match resume {
+            None => {
+                let groups: Vec<Mutex<PtGroup>> = (0..group_count)
+                    .map(|g| {
+                        let lo = g * width;
+                        let hi = r.min(lo + width);
+                        let seeds: Vec<u64> = (lo..hi)
+                            .map(|k| self.stream_seed(batch, k as u64))
+                            .collect();
+                        Mutex::new(PtGroup::new(model, &seeds, ladder[lo..hi].to_vec()))
+                    })
+                    .collect();
+                (groups, new_rng(self.stream_seed(batch, r as u64)), 0usize)
+            }
+            Some(state) => {
+                if state.lanes.len() != r || state.bests.len() != r {
+                    return Err(CheckpointError::Malformed(format!(
+                        "checkpoint holds {} lanes / {} bests for a {r}-slot ladder",
+                        state.lanes.len(),
+                        state.bests.len()
+                    )));
                 }
-                let mut k = round % 2;
-                while k + 1 < r {
-                    *swap_attempts += 1;
-                    let (ga, la) = locate(k);
-                    let (gb, lb) = locate(k + 1);
-                    let energy_k = groups[ga]
-                        .lock()
-                        .expect("no worker panicked")
-                        .batch
-                        .energy(la);
-                    let energy_k1 = groups[gb]
-                        .lock()
-                        .expect("no worker panicked")
-                        .batch
-                        .energy(lb);
-                    let accept_ln = (ladder[k] - ladder[k + 1]) * (energy_k - energy_k1);
-                    if accept_ln >= 0.0 || swap_rng.gen::<f64>() < accept_ln.exp() {
-                        *swap_accepts += 1;
-                        if ga == gb {
-                            groups[ga]
-                                .lock()
-                                .expect("no worker panicked")
-                                .batch
-                                .swap_lanes(la, lb);
-                        } else {
-                            let mut a = groups[ga].lock().expect("no worker panicked");
-                            let mut b = groups[gb].lock().expect("no worker panicked");
-                            ReplicaBatch::swap_lanes_between(&mut a.batch, la, &mut b.batch, lb);
-                        }
+                let start = usize::try_from(state.next_round)
+                    .ok()
+                    .filter(|&s| s < rounds)
+                    .ok_or_else(|| {
+                        CheckpointError::Malformed(format!(
+                            "resume round {} is beyond the {rounds}-round schedule",
+                            state.next_round
+                        ))
+                    })?;
+                let groups = (0..group_count)
+                    .map(|g| {
+                        let lo = g * width;
+                        let hi = r.min(lo + width);
+                        let snaps = state.lanes[lo..hi]
+                            .iter()
+                            .map(|l| l.rebuild(n))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let (energies, states): (Vec<f64>, Vec<SpinState>) = state.bests[lo..hi]
+                            .iter()
+                            .map(|b| b.rebuild(n))
+                            .collect::<Result<Vec<_>, _>>()?
+                            .into_iter()
+                            .unzip();
+                        Ok(Mutex::new(PtGroup {
+                            batch: ReplicaBatch::from_lane_snapshots(model, &snaps),
+                            betas: ladder[lo..hi].to_vec(),
+                            bests: LaneBests::from_parts(energies, states),
+                        }))
+                    })
+                    .collect::<Result<Vec<_>, CheckpointError>>()?;
+                self.swap_attempts = state.swap_attempts;
+                self.swap_accepts = state.swap_accepts;
+                (groups, state.swap_rng.rebuild()?, start)
+            }
+        };
+
+        let mut attempts = self.swap_attempts;
+        let mut accepts = self.swap_accepts;
+        let mut sweeps_done: u64 = lens[..start_round].iter().map(|&l| l as u64).sum();
+        let mut status = OutcomeKind::Completed;
+        let mut captured: Option<PtState> = None;
+
+        if let Some(stop) = ctrl.check(sweeps_done) {
+            // stopped before the first (remaining) round: the freshly-built
+            // or rebuilt ladder is itself the resumable image
+            status = stop;
+            if stop == OutcomeKind::Checkpointed {
+                captured = Some(capture_state(
+                    &groups,
+                    batch,
+                    start_round,
+                    &swap_rng,
+                    attempts,
+                    accepts,
+                ));
+            }
+        } else {
+            parallel::parallel_rounds_while(
+                group_count,
+                config.threads,
+                rounds - start_round,
+                // fork: every group batch-sweeps its round, each lane on its
+                // private stream at its own β
+                |round, g| {
+                    let mut group = groups[g].lock().expect("no worker panicked");
+                    group.run_round(model, lens[start_round + round]);
+                },
+                // join: serial exchange phase on the dedicated swap stream,
+                // fixed even/odd pair schedule (absolute round parity picks
+                // the offset); no exchange follows the final round — the
+                // readout comes straight from the last sweeps. The
+                // controller check runs AFTER the swaps so a captured state
+                // always sits exactly on a round boundary.
+                |round| {
+                    let abs = start_round + round;
+                    sweeps_done += lens[abs] as u64;
+                    if abs + 1 == rounds {
+                        return true;
                     }
-                    k += 2;
-                }
-            },
-        );
+                    let mut k = abs % 2;
+                    while k + 1 < r {
+                        attempts += 1;
+                        let (ga, la) = locate(k);
+                        let (gb, lb) = locate(k + 1);
+                        let energy_k = groups[ga]
+                            .lock()
+                            .expect("no worker panicked")
+                            .batch
+                            .energy(la);
+                        let energy_k1 = groups[gb]
+                            .lock()
+                            .expect("no worker panicked")
+                            .batch
+                            .energy(lb);
+                        let accept_ln = (ladder[k] - ladder[k + 1]) * (energy_k - energy_k1);
+                        if accept_ln >= 0.0 || swap_rng.gen::<f64>() < accept_ln.exp() {
+                            accepts += 1;
+                            if ga == gb {
+                                groups[ga]
+                                    .lock()
+                                    .expect("no worker panicked")
+                                    .batch
+                                    .swap_lanes(la, lb);
+                            } else {
+                                let mut a = groups[ga].lock().expect("no worker panicked");
+                                let mut b = groups[gb].lock().expect("no worker panicked");
+                                ReplicaBatch::swap_lanes_between(
+                                    &mut a.batch,
+                                    la,
+                                    &mut b.batch,
+                                    lb,
+                                );
+                            }
+                        }
+                        k += 2;
+                    }
+                    if let Some(stop) = ctrl.check(sweeps_done) {
+                        status = stop;
+                        if stop == OutcomeKind::Checkpointed {
+                            captured = Some(capture_state(
+                                &groups,
+                                batch,
+                                abs + 1,
+                                &swap_rng,
+                                attempts,
+                                accepts,
+                            ));
+                        }
+                        return false;
+                    }
+                    true
+                },
+            );
+        }
+        self.swap_attempts = attempts;
+        self.swap_accepts = accepts;
 
         // ordered reduction: lowest best energy wins, ties break to the
         // lowest (hottest) slot index — deterministic for any thread count
@@ -376,13 +520,58 @@ impl IsingSolver for ParallelTempering {
         // the coldest slot is the machine's readout
         let (g, l) = locate(r - 1);
         let cold = groups[g].lock().expect("no worker panicked");
-        SolveOutcome {
-            last: cold.batch.state(l),
-            last_energy: cold.batch.energy(l),
-            best,
-            best_energy,
-            mcs: (config.sweeps * r) as u64,
+        Ok(Controlled {
+            outcome: SolveOutcome {
+                last: cold.batch.state(l),
+                last_energy: cold.batch.energy(l),
+                best,
+                best_energy,
+                mcs: sweeps_done * r as u64,
+            },
+            status,
+            state: captured,
+        })
+    }
+}
+
+/// Snapshots the whole ladder — every slot's lane and best, flat and in
+/// slot order — plus the swap stream and counters, as of `next_round`.
+/// Callers hold no group lock; every worker is parked when this runs.
+fn capture_state(
+    groups: &[Mutex<PtGroup>],
+    batch: u64,
+    next_round: usize,
+    swap_rng: &ChaCha8Rng,
+    attempts: u64,
+    accepts: u64,
+) -> PtState {
+    let mut lanes = Vec::new();
+    let mut bests = Vec::new();
+    for group in groups {
+        let group = group.lock().expect("no worker panicked");
+        for l in 0..group.batch.width() {
+            lanes.push(LaneState::capture(&group.batch.lane_snapshot(l)));
+            bests.push(BestState::capture(
+                group.bests.energy(l),
+                group.bests.state(l),
+            ));
         }
+    }
+    PtState {
+        batch_index: batch,
+        next_round: next_round as u64,
+        lanes,
+        bests,
+        swap_rng: RngState::capture(swap_rng),
+        swap_attempts: attempts,
+        swap_accepts: accepts,
+    }
+}
+
+impl IsingSolver for ParallelTempering {
+    fn solve(&mut self, model: &IsingModel) -> SolveOutcome {
+        self.solve_controlled(model, &RunController::unlimited())
+            .outcome
     }
 
     fn mcs_per_solve(&self, _n: usize) -> u64 {
@@ -555,5 +744,127 @@ mod tests {
             ..PtConfig::default()
         };
         let _ = ParallelTempering::new(cfg, 0);
+    }
+
+    #[test]
+    fn controlled_solve_with_idle_controller_matches_solve() {
+        let model = rugged_model();
+        let cfg = PtConfig {
+            replicas: 6,
+            sweeps: 150,
+            ..PtConfig::default()
+        };
+        let a = ParallelTempering::new(cfg, 42).solve(&model);
+        let mut pt = ParallelTempering::new(cfg, 42);
+        let b = pt.solve_controlled(&model, &RunController::unlimited());
+        assert_eq!(b.status, OutcomeKind::Completed);
+        assert!(b.state.is_none());
+        assert_eq!(b.outcome, a);
+    }
+
+    #[test]
+    fn interrupted_resume_is_bit_identical_across_threads() {
+        let model = rugged_model();
+        let cfg = PtConfig {
+            replicas: 6,
+            sweeps: 150,
+            swap_interval: 10,
+            threads: 1,
+            ..PtConfig::default()
+        };
+        let mut oracle_pt = ParallelTempering::new(cfg, 42);
+        let oracle = oracle_pt.solve(&model);
+        for stop in [10u64, 70, 140] {
+            let ctrl = RunController::unlimited().with_stop_after(stop);
+            let cut = ParallelTempering::new(cfg, 42).solve_controlled(&model, &ctrl);
+            assert_eq!(cut.status, OutcomeKind::Checkpointed, "stop={stop}");
+            assert_eq!(cut.outcome.mcs, stop * 6, "stop={stop}");
+            let state = cut.state.expect("checkpointed runs carry state");
+            assert_eq!(state.next_round, stop / 10);
+            for threads in [1usize, 2, 8] {
+                let cfg2 = PtConfig { threads, ..cfg };
+                let mut second = ParallelTempering::new(cfg2, 42);
+                let resumed = second
+                    .resume_controlled(&model, &state, &RunController::unlimited())
+                    .expect("state fits the ladder");
+                assert_eq!(resumed.status, OutcomeKind::Completed);
+                assert_eq!(resumed.outcome, oracle, "stop={stop} threads={threads}");
+                assert_eq!(second.swap_attempts, oracle_pt.swap_attempts);
+                assert_eq!(second.swap_accepts, oracle_pt.swap_accepts);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_before_the_first_round_resumes_identically() {
+        let model = rugged_model();
+        let cfg = PtConfig {
+            replicas: 4,
+            sweeps: 60,
+            ..PtConfig::default()
+        };
+        let oracle = ParallelTempering::new(cfg, 9).solve(&model);
+        let ctrl = RunController::unlimited();
+        ctrl.request_checkpoint();
+        let cut = ParallelTempering::new(cfg, 9).solve_controlled(&model, &ctrl);
+        assert_eq!(cut.status, OutcomeKind::Checkpointed);
+        assert_eq!(cut.outcome.mcs, 0);
+        let state = cut.state.expect("checkpointed");
+        assert_eq!(state.next_round, 0);
+        let resumed = ParallelTempering::new(cfg, 9)
+            .resume_controlled(&model, &state, &RunController::unlimited())
+            .expect("state fits the ladder");
+        assert_eq!(resumed.outcome, oracle);
+    }
+
+    #[test]
+    fn cancel_and_deadline_return_partial_outcomes() {
+        let model = rugged_model();
+        let cfg = PtConfig {
+            replicas: 4,
+            sweeps: 60,
+            ..PtConfig::default()
+        };
+        let cancel = RunController::unlimited();
+        cancel.request_cancel();
+        let cut = ParallelTempering::new(cfg, 3).solve_controlled(&model, &cancel);
+        assert_eq!(cut.status, OutcomeKind::Cancelled);
+        assert!(cut.state.is_none());
+        assert_eq!(cut.outcome.mcs, 0);
+        assert_eq!(cut.outcome.best_energy, model.energy(&cut.outcome.best));
+
+        let expired = RunController::unlimited().with_deadline_in(std::time::Duration::ZERO);
+        let cut = ParallelTempering::new(cfg, 3).solve_controlled(&model, &expired);
+        assert_eq!(cut.status, OutcomeKind::DeadlineExceeded);
+        assert!(cut.state.is_none());
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_ladder() {
+        let model = rugged_model();
+        let cfg = PtConfig {
+            replicas: 6,
+            sweeps: 60,
+            ..PtConfig::default()
+        };
+        let ctrl = RunController::unlimited().with_stop_after(10);
+        let state = ParallelTempering::new(cfg, 42)
+            .solve_controlled(&model, &ctrl)
+            .state
+            .expect("checkpointed");
+        let narrow = PtConfig { replicas: 4, ..cfg };
+        let mut other = ParallelTempering::new(narrow, 42);
+        assert!(matches!(
+            other.resume_controlled(&model, &state, &RunController::unlimited()),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // a tampered round index past the schedule is rejected too
+        let mut tampered = state.clone();
+        tampered.next_round = 6;
+        let mut same = ParallelTempering::new(cfg, 42);
+        assert!(matches!(
+            same.resume_controlled(&model, &tampered, &RunController::unlimited()),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 }

@@ -95,6 +95,37 @@ impl NoiseSource {
         &mut self.rng
     }
 
+    /// Captures the source's complete state: the generator's state words
+    /// plus every buffered-but-unconsumed word.
+    ///
+    /// The buffer must be part of the snapshot — a refill pulls 64 words
+    /// from the stream at once, so at a sweep boundary the buffer typically
+    /// straddles into draws the next sweep will consume. Dropping it and
+    /// re-buffering from the generator position would skip those words and
+    /// silently fork the trajectory.
+    pub(crate) fn snapshot(&self) -> NoiseSnapshot {
+        let (key, counter, word_pos) = self.rng.state_words();
+        NoiseSnapshot {
+            key,
+            counter,
+            word_pos,
+            buf: self.buf.to_vec(),
+            pos: self.pos,
+        }
+    }
+
+    /// Rebuilds a source from a [`NoiseSource::snapshot`]; the restored
+    /// source continues the draw sequence bit-identically.
+    pub(crate) fn from_snapshot(snap: &NoiseSnapshot) -> Self {
+        let mut buf = [0u64; NOISE_BLOCK];
+        buf.copy_from_slice(&snap.buf);
+        NoiseSource {
+            rng: ChaCha8Rng::from_state_words(snap.key, snap.counter, snap.word_pos),
+            buf,
+            pos: snap.pos,
+        }
+    }
+
     #[inline]
     fn next_raw(&mut self) -> u64 {
         if self.pos == NOISE_BLOCK {
@@ -122,6 +153,26 @@ impl NoiseSource {
         -1.0 + self.unit() * 2.0
     }
 }
+
+/// A plain-data image of a [`NoiseSource`]'s state, used by the checkpoint
+/// layer. `buf` always holds exactly [`NOISE_BLOCK`] words (the checkpoint
+/// parser enforces this before [`NoiseSource::from_snapshot`] runs).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NoiseSnapshot {
+    /// ChaCha key words.
+    pub key: [u32; 8],
+    /// ChaCha block counter.
+    pub counter: u64,
+    /// Next unread word index in the generator's current block.
+    pub word_pos: usize,
+    /// The buffered `u64` words (length [`NOISE_BLOCK`]).
+    pub buf: Vec<u64>,
+    /// Next unconsumed index into `buf`; [`NOISE_BLOCK`] = empty.
+    pub pos: usize,
+}
+
+/// Number of buffered words a [`NoiseSnapshot`] must carry.
+pub(crate) const NOISE_SNAPSHOT_WORDS: usize = NOISE_BLOCK;
 
 /// The two noise draws a Monte Carlo sweep makes, abstracted so one sweep
 /// implementation serves both the buffered ([`NoiseSource`]) and the
@@ -206,6 +257,25 @@ mod tests {
                 let a: f64 = direct.gen();
                 assert_eq!(a.to_bits(), buffered.unit().to_bits(), "draw {k}");
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_restores_mid_buffer_draw_sequence() {
+        // interrupt a draw sequence mid-buffer, restore, and check the
+        // restored source replays the rest of the stream bit-identically
+        let mut original = NoiseSource::from_seed(17);
+        for _ in 0..super::NOISE_BLOCK + 13 {
+            let _ = original.symmetric();
+        }
+        let snap = original.snapshot();
+        let mut restored = NoiseSource::from_snapshot(&snap);
+        for k in 0..2 * super::NOISE_BLOCK {
+            assert_eq!(
+                original.symmetric().to_bits(),
+                restored.symmetric().to_bits(),
+                "draw {k}"
+            );
         }
     }
 

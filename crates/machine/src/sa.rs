@@ -1,3 +1,7 @@
+use crate::checkpoint::{
+    BestState, CheckpointError, Controlled, MachineState, NoiseState, OutcomeKind, RunController,
+    SaState,
+};
 use crate::pbit::PbitMachine;
 use crate::rng::NoiseSource;
 use crate::schedule::BetaSchedule;
@@ -105,6 +109,113 @@ impl SimulatedAnnealing {
     /// The update rule in use.
     pub fn dynamics(&self) -> Dynamics {
         self.dynamics
+    }
+
+    /// Like [`IsingSolver::solve`], but polling `ctrl` at every sweep
+    /// boundary: the run can be cancelled, deadlined, or checkpointed
+    /// mid-anneal. With an idle controller the result is bit-identical to
+    /// `solve`.
+    pub fn solve_controlled(
+        &mut self,
+        model: &IsingModel,
+        ctrl: &RunController,
+    ) -> Controlled<SaState> {
+        // run boundary, exactly as in `solve`: discard buffered noise, draw
+        // the initial state from the raw stream
+        self.noise.reset();
+        let machine =
+            PbitMachine::obtain_randomized(&mut self.machine, model, self.noise.rng_mut());
+        let init_energy = machine.energy();
+        let init_state = machine.state();
+        match &mut self.best_buf {
+            Some(b) if b.len() == model.len() => b.copy_from(init_state),
+            _ => self.best_buf = Some(init_state.clone()),
+        }
+        self.run_from(model, 0, init_energy, ctrl)
+    }
+
+    /// Continues a checkpointed run from its [`SaState`]. The machine books,
+    /// noise stream (buffer included), and best-so-far are installed
+    /// verbatim, so the completed run is bit-identical to one that was never
+    /// interrupted.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] when the state does not fit this
+    /// solver's schedule or the model's size.
+    pub fn resume_controlled(
+        &mut self,
+        model: &IsingModel,
+        state: &SaState,
+        ctrl: &RunController,
+    ) -> Result<Controlled<SaState>, CheckpointError> {
+        let next_step = usize::try_from(state.next_step)
+            .map_err(|_| CheckpointError::Malformed("resume step overflows usize".into()))?;
+        if next_step > self.mcs_per_run {
+            return Err(CheckpointError::Malformed(format!(
+                "resume step {next_step} is beyond the {}-sweep schedule",
+                self.mcs_per_run
+            )));
+        }
+        let snap = state.machine.rebuild(model.len())?;
+        let (best_energy, best) = state.best.rebuild(model.len())?;
+        self.noise = NoiseSource::from_snapshot(&state.noise.rebuild()?);
+        self.machine = Some(PbitMachine::from_snapshot(model, &snap));
+        self.best_buf = Some(best);
+        Ok(self.run_from(model, next_step, best_energy, ctrl))
+    }
+
+    /// The annealing loop from `start_step`, shared by fresh and resumed
+    /// controlled runs. Polls after each sweep's best-update; the final
+    /// sweep never checkpoints (a run that finished is `Completed`).
+    fn run_from(
+        &mut self,
+        model: &IsingModel,
+        start_step: usize,
+        mut best_energy: f64,
+        ctrl: &RunController,
+    ) -> Controlled<SaState> {
+        let machine = self.machine.as_mut().expect("machine installed by caller");
+        let best = self.best_buf.as_mut().expect("best installed by caller");
+        let mut status = OutcomeKind::Completed;
+        let mut next_step = self.mcs_per_run;
+        for step in start_step..self.mcs_per_run {
+            let beta = self.schedule.beta_at(step, self.mcs_per_run);
+            match self.dynamics {
+                Dynamics::Gibbs => machine.sweep_buffered(model, beta, &mut self.noise),
+                Dynamics::Metropolis => {
+                    machine.metropolis_sweep_buffered(model, beta, &mut self.noise)
+                }
+            };
+            if machine.energy() < best_energy {
+                best_energy = machine.energy();
+                best.copy_from(machine.state());
+            }
+            if step + 1 < self.mcs_per_run {
+                if let Some(stop) = ctrl.poll((step + 1) as u64) {
+                    status = stop;
+                    next_step = step + 1;
+                    break;
+                }
+            }
+        }
+        let state = (status == OutcomeKind::Checkpointed).then(|| SaState {
+            next_step: next_step as u64,
+            machine: MachineState::capture(&machine.snapshot()),
+            noise: NoiseState::capture(&self.noise.snapshot()),
+            best: BestState::capture(best_energy, best),
+        });
+        Controlled {
+            outcome: SolveOutcome {
+                last: machine.state().clone(),
+                last_energy: machine.energy(),
+                best: best.clone(),
+                best_energy,
+                mcs: next_step as u64,
+            },
+            status,
+            state,
+        }
     }
 }
 
@@ -242,5 +353,96 @@ mod tests {
         let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 123, 0);
         assert_eq!(sa.mcs_per_solve(6), 123);
         assert_eq!(sa.solve(&model).mcs, 123);
+    }
+
+    #[test]
+    fn controlled_solve_with_idle_controller_matches_solve() {
+        let (model, _, _) = planted_model();
+        let mut plain = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 60, 9);
+        let mut controlled = SimulatedAnnealing::new(BetaSchedule::linear(5.0), 60, 9);
+        let ctrl = RunController::unlimited();
+        for _ in 0..3 {
+            let a = plain.solve(&model);
+            let b = controlled.solve_controlled(&model, &ctrl);
+            assert_eq!(b.status, OutcomeKind::Completed);
+            assert!(b.state.is_none());
+            assert_eq!(b.outcome, a);
+        }
+    }
+
+    #[test]
+    fn interrupted_resume_is_bit_identical() {
+        let (model, _, _) = planted_model();
+        let oracle = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 80, 3).solve(&model);
+        for stop in [1u64, 7, 39, 79] {
+            let mut first = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 80, 3);
+            let ctrl = RunController::unlimited()
+                .with_stop_after(stop)
+                .with_poll_interval(1);
+            let cut = first.solve_controlled(&model, &ctrl);
+            assert_eq!(cut.status, OutcomeKind::Checkpointed, "stop {stop}");
+            let state = cut.state.expect("checkpointed runs carry state");
+            assert_eq!(state.next_step, stop);
+            assert_eq!(cut.outcome.mcs, stop);
+            let mut second = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 80, 3);
+            let resumed = second
+                .resume_controlled(&model, &state, &RunController::unlimited())
+                .expect("state fits the solver");
+            assert_eq!(resumed.status, OutcomeKind::Completed);
+            assert_eq!(resumed.outcome, oracle, "stop {stop}");
+        }
+    }
+
+    #[test]
+    fn stop_on_the_final_sweep_is_a_completion() {
+        let (model, _, _) = planted_model();
+        let oracle = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 40, 3).solve(&model);
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 40, 3);
+        let ctrl = RunController::unlimited()
+            .with_stop_after(40)
+            .with_poll_interval(1);
+        let run = sa.solve_controlled(&model, &ctrl);
+        assert_eq!(run.status, OutcomeKind::Completed);
+        assert_eq!(run.outcome, oracle);
+    }
+
+    #[test]
+    fn cancel_and_deadline_return_partial_outcomes() {
+        let (model, _, _) = planted_model();
+        let cancel = RunController::unlimited().with_poll_interval(1);
+        cancel.request_cancel();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 50, 3);
+        let run = sa.solve_controlled(&model, &cancel);
+        assert_eq!(run.status, OutcomeKind::Cancelled);
+        assert!(run.state.is_none());
+        assert_eq!(run.outcome.mcs, 1);
+        assert!((model.energy(&run.outcome.best) - run.outcome.best_energy).abs() < 1e-12);
+
+        let expired = RunController::unlimited()
+            .with_poll_interval(1)
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1));
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 50, 3);
+        let run = sa.solve_controlled(&model, &expired);
+        assert_eq!(run.status, OutcomeKind::DeadlineExceeded);
+        assert_eq!(run.outcome.mcs, 1);
+    }
+
+    #[test]
+    fn resume_rejects_a_step_beyond_the_schedule() {
+        let (model, _, _) = planted_model();
+        let mut sa = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 20, 3);
+        let ctrl = RunController::unlimited()
+            .with_stop_after(5)
+            .with_poll_interval(1);
+        let mut state = sa
+            .solve_controlled(&model, &ctrl)
+            .state
+            .expect("checkpointed");
+        state.next_step = 21;
+        let mut short = SimulatedAnnealing::new(BetaSchedule::linear(8.0), 20, 3);
+        assert!(matches!(
+            short.resume_controlled(&model, &state, &RunController::unlimited()),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 }

@@ -41,6 +41,24 @@
 //! parallelism is already at the job level, and results are
 //! thread-count-invariant either way.
 //!
+//! # Fault tolerance
+//!
+//! Three failure paths are first-class values, never stream teardowns:
+//!
+//! - **A panicking job** reports as a typed [`JobFailure`] in its own slot
+//!   of the result stream ([`JobService::recv`]/[`JobService::drain`]);
+//!   every other job's result is still delivered.
+//! - **Cancellation and deadlines**: a [`ControlledService`] runs every job
+//!   under one shared [`RunController`], so the owner can stop the fleet —
+//!   each job returns a well-formed partial [`JobOutcome`] (tagged by
+//!   [`JobOutcome::outcome_kind`]) within one poll interval.
+//! - **Graceful drain**: [`ControlledService::shutdown_to`] checkpoints
+//!   in-flight jobs and persists still-queued specs into a directory;
+//!   [`ControlledService::resume`] re-submits them such that every
+//!   completed resumed job is **bit-identical** to a never-interrupted run
+//!   at any worker count (see [`crate::checkpoint`] for the format and the
+//!   capture rules that make this hold).
+//!
 //! # Wire schema
 //!
 //! [`JobSpec`] and [`JobOutcome`] are the serialized forms (schema version
@@ -74,11 +92,13 @@
 //! }
 //! let outcomes = service.drain(); // submission order
 //! assert_eq!(outcomes.len(), 4);
-//! assert!((outcomes[0].best_energy - (-3.0)).abs() < 1e-9);
+//! let first = outcomes[0].as_ref().expect("the job ran to completion");
+//! assert!((first.best_energy - (-3.0)).abs() < 1e-9);
 //! # Ok(())
 //! # }
 //! ```
 
+use crate::checkpoint::{Checkpoint, CheckpointError, EngineState, OutcomeKind, RunController};
 use crate::descent::GreedyDescent;
 use crate::ensemble::{EnsembleAnnealer, EnsembleConfig};
 use crate::parallel::{self, BoundedQueue, PushError};
@@ -86,7 +106,8 @@ use crate::pt::{ParallelTempering, PtConfig};
 use crate::solver::{IsingSolver, SolveOutcome};
 use saim_ising::{Qubo, SpinState};
 use serde::{Deserialize, Serialize, Value};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -143,6 +164,39 @@ pub struct JobResult<R> {
     pub value: R,
 }
 
+/// A job whose execution panicked, reported as a **value** in the result
+/// stream: one poisoned job must not tear down the service or strand the
+/// other jobs' results. (The old behavior — re-raising the payload at the
+/// caller's next `recv` — killed the whole stream; a pinning test asserts
+/// it is gone.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    /// The failed job's submission index.
+    pub submitted: u64,
+    /// The panic message, when it was a string (the overwhelmingly common
+    /// case); a placeholder otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.submitted, self.message)
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else if let Some(text) = payload.downcast_ref::<&'static str>() {
+        (*text).to_string()
+    } else {
+        "job panicked with a non-string payload".to_string()
+    }
+}
+
 type TaggedResult<R> = (u64, std::thread::Result<R>);
 
 /// A persistent worker pool executing independent jobs from a bounded
@@ -197,8 +251,8 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
                     parallel::mark_pool_worker();
                     while let Some((index, job)) = queue.pop() {
                         // a panicking job must not kill the worker or strand
-                        // a receiver: ship the payload back and re-raise it
-                        // on the caller's thread at the next recv
+                        // a receiver: ship the payload back, where it becomes
+                        // that job's typed JobFailure in the result stream
                         let result = catch_unwind(AssertUnwindSafe(|| run(job)));
                         // the send only fails when the service (and its
                         // receiver) is already being dropped — the result is
@@ -251,10 +305,10 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
     /// ready. Returns `None` when every submitted job's result has already
     /// been delivered.
     ///
-    /// # Panics
-    ///
-    /// Re-raises the panic of a job whose execution panicked.
-    pub fn recv(&mut self) -> Option<JobResult<R>> {
+    /// A job whose execution panicked reports as `Err(`[`JobFailure`]`)` —
+    /// a value, not a re-raise — so the stream keeps flowing and every
+    /// other job's result is still delivered.
+    pub fn recv(&mut self) -> Option<Result<JobResult<R>, JobFailure>> {
         if self.outstanding() == 0 {
             return None;
         }
@@ -263,26 +317,30 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
             .recv()
             .expect("workers outlive outstanding jobs");
         self.delivered += 1;
-        match result {
-            Ok(value) => Some(JobResult { submitted, value }),
-            Err(payload) => resume_unwind(payload),
-        }
+        Some(match result {
+            Ok(value) => Ok(JobResult { submitted, value }),
+            Err(payload) => Err(JobFailure {
+                submitted,
+                message: panic_message(payload.as_ref()),
+            }),
+        })
     }
 
-    /// Collects every outstanding result and returns the values **in
-    /// submission order** (results already taken via [`JobService::recv`]
-    /// are not replayed).
-    ///
-    /// # Panics
-    ///
-    /// Re-raises the panic of a job whose execution panicked.
-    pub fn drain(&mut self) -> Vec<R> {
-        let mut tagged = Vec::with_capacity(self.outstanding() as usize);
+    /// Collects every outstanding result and returns the per-job
+    /// `Ok(value)` / `Err(`[`JobFailure`]`)` entries **in submission order**
+    /// (results already taken via [`JobService::recv`] are not replayed).
+    /// One panicked job costs exactly its own slot, never the stream.
+    pub fn drain(&mut self) -> Vec<Result<R, JobFailure>> {
+        let mut tagged: Vec<(u64, Result<R, JobFailure>)> =
+            Vec::with_capacity(self.outstanding() as usize);
         while let Some(result) = self.recv() {
-            tagged.push(result);
+            tagged.push(match result {
+                Ok(ok) => (ok.submitted, Ok(ok.value)),
+                Err(failure) => (failure.submitted, Err(failure)),
+            });
         }
-        tagged.sort_by_key(|r| r.submitted);
-        tagged.into_iter().map(|r| r.value).collect()
+        tagged.sort_by_key(|(submitted, _)| *submitted);
+        tagged.into_iter().map(|(_, value)| value).collect()
     }
 
     /// Discards every job still waiting in the queue (jobs already picked
@@ -331,8 +389,10 @@ impl<J, R> Drop for JobService<J, R> {
 
 /// Version tag every [`JobSpec`]/[`JobOutcome`] carries. Bump on any field
 /// change; parsers reject other versions with
-/// [`SchemaError::VersionMismatch`] instead of guessing.
-pub const SCHEMA_VERSION: u32 = 1;
+/// [`SchemaError::VersionMismatch`] instead of guessing. Version 2 added
+/// [`JobOutcome::outcome_kind`] (partial results from cancelled,
+/// deadline-stopped, or checkpointed runs).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Which solver a job runs, with its full configuration. The seed lives on
 /// the [`JobSpec`], not here, so one spec can be fanned out over seeds.
@@ -404,8 +464,8 @@ impl JobSpec {
     /// # Panics
     ///
     /// Panics if the solver configuration is invalid (the same conditions
-    /// as constructing the solver directly). Inside a service the panic is
-    /// re-raised at the caller's next [`JobService::recv`].
+    /// as constructing the solver directly). Inside a service the panic
+    /// becomes the job's typed [`JobFailure`] in the result stream.
     pub fn run(&self) -> JobOutcome {
         let started = Instant::now();
         let model = self.model.to_ising();
@@ -417,6 +477,91 @@ impl JobSpec {
                 .solve(&model),
         };
         JobOutcome::new(self, &solved, started.elapsed())
+    }
+
+    /// Like [`JobSpec::run`], but under a [`RunController`]: the run can be
+    /// cancelled, timed out, or stopped at a checkpoint, returning a
+    /// partial [`JobOutcome`] (tagged via [`JobOutcome::outcome_kind`]) and
+    /// — when checkpointed — the resumable [`Checkpoint`]. With an idle
+    /// controller the outcome is bit-identical to [`JobSpec::run`].
+    pub fn run_controlled(&self, ctrl: &RunController) -> ControlledOutcome {
+        let started = Instant::now();
+        let model = self.model.to_ising();
+        let (solved, status, engine) = match &self.solver {
+            SolverSpec::Ensemble(config) => {
+                let run = EnsembleAnnealer::new(*config, self.seed).solve_controlled(&model, ctrl);
+                (
+                    run.outcome,
+                    run.status,
+                    run.state.map(EngineState::Ensemble),
+                )
+            }
+            SolverSpec::Pt(config) => {
+                let run = ParallelTempering::new(*config, self.seed).solve_controlled(&model, ctrl);
+                (run.outcome, run.status, run.state.map(EngineState::Pt))
+            }
+            SolverSpec::Descent { max_sweeps } => {
+                let run = GreedyDescent::new(self.seed)
+                    .with_max_sweeps(*max_sweeps)
+                    .solve_controlled(&model, ctrl);
+                (run.outcome, run.status, run.state.map(EngineState::Descent))
+            }
+        };
+        ControlledOutcome {
+            outcome: JobOutcome::new(self, &solved, started.elapsed()).with_outcome_kind(status),
+            checkpoint: engine.map(|e| Box::new(Checkpoint::new(self.clone(), e))),
+        }
+    }
+
+    /// Continues this job from a captured [`EngineState`] under a
+    /// [`RunController`]. A resumed run that completes is bit-identical —
+    /// same energies, states, and consumed RNG words — to one that was
+    /// never interrupted; [`JobOutcome::mcs`] then reports the full
+    /// schedule, not just the sweeps after the cut.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] when the engine state's variant does
+    /// not match [`JobSpec::solver`] or its image fails the engine's
+    /// validation (wrong model size, schedule position out of range, …).
+    pub fn resume_controlled(
+        &self,
+        engine: &EngineState,
+        ctrl: &RunController,
+    ) -> Result<ControlledOutcome, CheckpointError> {
+        let started = Instant::now();
+        let model = self.model.to_ising();
+        let (solved, status, engine) = match (&self.solver, engine) {
+            (SolverSpec::Ensemble(config), EngineState::Ensemble(state)) => {
+                let run = EnsembleAnnealer::new(*config, self.seed)
+                    .resume_controlled(&model, state, ctrl)?;
+                (
+                    run.outcome,
+                    run.status,
+                    run.state.map(EngineState::Ensemble),
+                )
+            }
+            (SolverSpec::Pt(config), EngineState::Pt(state)) => {
+                let run = ParallelTempering::new(*config, self.seed)
+                    .resume_controlled(&model, state, ctrl)?;
+                (run.outcome, run.status, run.state.map(EngineState::Pt))
+            }
+            (SolverSpec::Descent { max_sweeps }, EngineState::Descent(state)) => {
+                let run = GreedyDescent::new(self.seed)
+                    .with_max_sweeps(*max_sweeps)
+                    .resume_controlled(&model, state, ctrl)?;
+                (run.outcome, run.status, run.state.map(EngineState::Descent))
+            }
+            _ => {
+                return Err(CheckpointError::Malformed(
+                    "engine state does not match the spec's solver selection".into(),
+                ))
+            }
+        };
+        Ok(ControlledOutcome {
+            outcome: JobOutcome::new(self, &solved, started.elapsed()).with_outcome_kind(status),
+            checkpoint: engine.map(|e| Box::new(Checkpoint::new(self.clone(), e))),
+        })
     }
 
     /// Serializes to compact JSON with a fixed field order, so equal specs
@@ -487,6 +632,12 @@ pub struct JobOutcome {
     pub job: u64,
     /// The spec's instance digest, echoed.
     pub instance_digest: u64,
+    /// How the run ended: [`OutcomeKind::Completed`] for a full solve, or
+    /// the stop reason of a partial one (cancelled, past its deadline, or
+    /// stopped at a checkpoint). Partial outcomes report the best-so-far
+    /// and the in-progress state, with [`JobOutcome::mcs`] counting only
+    /// the sweeps actually consumed.
+    pub outcome_kind: OutcomeKind,
     /// Energy of the best state observed during the run.
     pub best_energy: f64,
     /// Energy of the final sample (what a hardware IM reads out).
@@ -512,6 +663,7 @@ impl JobOutcome {
             schema: SCHEMA_VERSION,
             job: spec.job,
             instance_digest: spec.instance_digest,
+            outcome_kind: OutcomeKind::Completed,
             best_energy: solved.best_energy,
             last_energy: solved.last_energy,
             mcs: solved.mcs,
@@ -519,6 +671,13 @@ impl JobOutcome {
             best: solved.best.clone(),
             last: solved.last.clone(),
         }
+    }
+
+    /// The same outcome tagged with how its run actually ended (see
+    /// [`JobOutcome::outcome_kind`]).
+    pub fn with_outcome_kind(mut self, kind: OutcomeKind) -> Self {
+        self.outcome_kind = kind;
+        self
     }
 
     /// The outcome with its wall-clock timing zeroed — every remaining
@@ -552,6 +711,7 @@ impl JobOutcome {
                 "schema",
                 "job",
                 "instance_digest",
+                "outcome_kind",
                 "best_energy",
                 "last_energy",
                 "mcs",
@@ -564,6 +724,7 @@ impl JobOutcome {
             schema: SCHEMA_VERSION,
             job: parse_field(&value, "job")?,
             instance_digest: parse_field(&value, "instance_digest")?,
+            outcome_kind: parse_field(&value, "outcome_kind")?,
             best_energy: parse_field(&value, "best_energy")?,
             last_energy: parse_field(&value, "last_energy")?,
             mcs: parse_field(&value, "mcs")?,
@@ -710,6 +871,267 @@ pub fn solver_service(config: ServiceConfig) -> JobService<JobSpec, JobOutcome> 
     JobService::start(config, |spec: JobSpec| spec.run())
 }
 
+// ------------------------------------------- controlled service & drain
+
+/// A controlled execution's result: the (possibly partial) [`JobOutcome`]
+/// plus — iff the run stopped at a checkpoint — the image that resumes it.
+#[derive(Debug, Clone)]
+pub struct ControlledOutcome {
+    /// The outcome, tagged with how the run ended via
+    /// [`JobOutcome::outcome_kind`].
+    pub outcome: JobOutcome,
+    /// Present iff the run ended [`OutcomeKind::Checkpointed`]. Boxed:
+    /// a full engine image dwarfs the outcome it rides with.
+    pub checkpoint: Option<Box<Checkpoint>>,
+}
+
+/// What a [`ControlledService`] worker executes: a fresh spec, or a
+/// checkpoint being resumed.
+#[derive(Debug, Clone)]
+pub enum SolverJob {
+    /// Run the spec from the beginning of its schedule.
+    Fresh(JobSpec),
+    /// Continue the embedded spec from its captured engine state.
+    Resume(Box<Checkpoint>),
+}
+
+impl SolverJob {
+    /// The job's spec (for `Resume`, the one embedded in the checkpoint).
+    pub fn spec(&self) -> &JobSpec {
+        match self {
+            SolverJob::Fresh(spec) => spec,
+            SolverJob::Resume(checkpoint) => &checkpoint.spec,
+        }
+    }
+
+    /// Executes the job under `ctrl` — the canonical [`ControlledService`]
+    /// worker body.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `Resume` checkpoint's engine state does not fit its
+    /// own embedded spec — possible only for hand-built checkpoints, since
+    /// [`Checkpoint::load`] and the capture paths keep the pair consistent.
+    /// Inside a service the panic becomes that job's typed [`JobFailure`],
+    /// never a stream teardown.
+    pub fn execute(&self, ctrl: &RunController) -> ControlledOutcome {
+        match self {
+            SolverJob::Fresh(spec) => spec.run_controlled(ctrl),
+            SolverJob::Resume(checkpoint) => checkpoint
+                .spec
+                .resume_controlled(&checkpoint.engine, ctrl)
+                .unwrap_or_else(|e| panic!("checkpoint does not fit its embedded spec: {e}")),
+        }
+    }
+}
+
+/// What [`ControlledService::shutdown_to`] drained and persisted.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Outcomes of jobs that ended without a checkpoint during the drain —
+    /// completed, cancelled, or deadline-stopped — in submission order.
+    pub finished: Vec<JobOutcome>,
+    /// Jobs whose execution panicked, in submission order.
+    pub failures: Vec<JobFailure>,
+    /// In-flight jobs whose state images were written to the directory.
+    pub checkpointed: usize,
+    /// Queued jobs persisted as spec files (they had not started; resuming
+    /// runs them from scratch, which is the same trajectory).
+    pub pending: usize,
+}
+
+/// A [`JobService`] of [`SolverJob`]s governed by one [`RunController`]:
+/// every worker polls the shared controller, so the owner can cancel the
+/// whole fleet, impose a deadline, or drain it through
+/// [`ControlledService::shutdown_to`] into a directory of resumable
+/// checkpoint/spec files that [`ControlledService::resume`] re-submits.
+///
+/// Determinism carries through interruption: a job that is checkpointed at
+/// shutdown and resumed later — at any worker count — produces the
+/// bit-identical [`JobOutcome`] (same energies, states, and consumed RNG
+/// words, with [`JobOutcome::mcs`] reporting the full schedule) as a job
+/// that was never interrupted.
+pub struct ControlledService {
+    inner: JobService<SolverJob, ControlledOutcome>,
+    ctrl: RunController,
+}
+
+impl ControlledService {
+    /// Spawns the worker pool; every job runs under a clone of `ctrl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`queue_depth == 0`).
+    pub fn start(config: ServiceConfig, ctrl: RunController) -> Self {
+        let worker_ctrl = ctrl.clone();
+        let inner = JobService::start(config, move |job: SolverJob| job.execute(&worker_ctrl));
+        ControlledService { inner, ctrl }
+    }
+
+    /// The controller every worker polls. Raise
+    /// [`RunController::request_cancel`] here to stop the fleet with
+    /// partial outcomes within one poll interval per job.
+    pub fn controller(&self) -> &RunController {
+        &self.ctrl
+    }
+
+    /// Enqueues a fresh job; see [`JobService::submit`].
+    pub fn submit(&mut self, spec: JobSpec) -> u64 {
+        self.inner.submit(SolverJob::Fresh(spec))
+    }
+
+    /// Enqueues a checkpointed job to be continued from its captured state;
+    /// see [`JobService::submit`].
+    pub fn submit_resume(&mut self, checkpoint: Checkpoint) -> u64 {
+        self.inner.submit(SolverJob::Resume(Box::new(checkpoint)))
+    }
+
+    /// The next finished job in completion order; see [`JobService::recv`].
+    pub fn recv(&mut self) -> Option<Result<JobResult<ControlledOutcome>, JobFailure>> {
+        self.inner.recv()
+    }
+
+    /// Every outstanding result in submission order; see
+    /// [`JobService::drain`].
+    pub fn drain(&mut self) -> Vec<Result<ControlledOutcome, JobFailure>> {
+        self.inner.drain()
+    }
+
+    /// Jobs submitted whose results have not been delivered yet.
+    pub fn outstanding(&self) -> u64 {
+        self.inner.outstanding()
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    /// Graceful drain: asks every in-flight job to checkpoint, persists the
+    /// still-queued jobs as spec files and the captured states as
+    /// checkpoint files (both written atomically) under `dir`, collects
+    /// what finished anyway, and joins the workers. The directory then
+    /// holds everything [`ControlledService::resume`] needs to continue the
+    /// interrupted work bit-identically.
+    ///
+    /// File layout: `job-NNNNNN.ckpt` ([`Checkpoint::save`] format) for
+    /// checkpointed in-flight jobs, `job-NNNNNN.spec.json`
+    /// ([`JobSpec::to_json`]) for jobs that had not started, where `NNNNNN`
+    /// is the zero-padded submission index — so resuming re-submits in the
+    /// original submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the directory or a file cannot be
+    /// written; state for jobs persisted before the failure remains on
+    /// disk.
+    pub fn shutdown_to(mut self, dir: &Path) -> Result<ShutdownReport, CheckpointError> {
+        std::fs::create_dir_all(dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        self.ctrl.request_checkpoint();
+        // pull the jobs no worker has started before draining, so the drain
+        // below terminates as soon as the in-flight jobs stop
+        let queued = self.inner.queue.take_pending();
+        self.inner.cancelled += queued.len() as u64;
+        let pending = queued.len();
+        for (submitted, job) in queued {
+            match job {
+                SolverJob::Fresh(spec) => write_atomic(
+                    &dir.join(format!("job-{submitted:06}.spec.json")),
+                    &spec.to_json(),
+                )?,
+                SolverJob::Resume(checkpoint) => {
+                    checkpoint.save(&dir.join(format!("job-{submitted:06}.ckpt")))?;
+                }
+            }
+        }
+        let mut results: Vec<(u64, Result<ControlledOutcome, JobFailure>)> = Vec::new();
+        while let Some(result) = self.inner.recv() {
+            results.push(match result {
+                Ok(ok) => (ok.submitted, Ok(ok.value)),
+                Err(failure) => (failure.submitted, Err(failure)),
+            });
+        }
+        results.sort_by_key(|(submitted, _)| *submitted);
+        let mut report = ShutdownReport {
+            finished: Vec::new(),
+            failures: Vec::new(),
+            checkpointed: 0,
+            pending,
+        };
+        for (submitted, result) in results {
+            match result {
+                Ok(run) => {
+                    if let Some(checkpoint) = run.checkpoint {
+                        checkpoint.save(&dir.join(format!("job-{submitted:06}.ckpt")))?;
+                        report.checkpointed += 1;
+                    } else {
+                        report.finished.push(run.outcome);
+                    }
+                }
+                Err(failure) => report.failures.push(failure),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Starts a fresh service and re-submits every job a previous
+    /// [`ControlledService::shutdown_to`] persisted under `dir`, in the
+    /// original submission order: `.ckpt` files continue from their
+    /// captured state, `.spec.json` files run from scratch. Completed
+    /// resumed jobs are bit-identical to never-interrupted runs at any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the directory cannot be read, any
+    /// [`Checkpoint::load`] rejection (truncation, checksum, version,
+    /// digest, shape) for a corrupt checkpoint file, and
+    /// [`CheckpointError::Malformed`] for an unparsable spec file. Nothing
+    /// has run yet when an error is returned.
+    pub fn resume(
+        config: ServiceConfig,
+        ctrl: RunController,
+        dir: &Path,
+    ) -> Result<Self, CheckpointError> {
+        let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| CheckpointError::Io(e.to_string()))?
+            .map(|entry| entry.map(|e| e.path()))
+            .collect::<Result<_, _>>()
+            .map_err(|e| CheckpointError::Io(e.to_string()))?;
+        // zero-padded names: lexicographic order == submission order
+        names.sort();
+        let mut jobs = Vec::new();
+        for path in names {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".ckpt") {
+                jobs.push(SolverJob::Resume(Box::new(Checkpoint::load(&path)?)));
+            } else if name.ends_with(".spec.json") {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| CheckpointError::Io(e.to_string()))?;
+                let spec = JobSpec::from_json(&text)
+                    .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+                jobs.push(SolverJob::Fresh(spec));
+            }
+        }
+        let mut service = ControlledService::start(config, ctrl);
+        for job in jobs {
+            service.inner.submit(job);
+        }
+        Ok(service)
+    }
+}
+
+/// Stages `text` in a `<path>.tmp` sibling and `rename`s it into place —
+/// the same crash-safety contract as [`Checkpoint::save`], for the spec
+/// files [`ControlledService::shutdown_to`] persists alongside checkpoints.
+fn write_atomic(path: &Path, text: &str) -> Result<(), CheckpointError> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, text).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,7 +1202,10 @@ mod tests {
     fn single_job_roundtrips_with_its_tag() {
         let mut service = JobService::start(ServiceConfig::default(), |x: u32| x * 2);
         assert_eq!(service.submit(21), 0);
-        let result = service.recv().expect("one job is outstanding");
+        let result = service
+            .recv()
+            .expect("one job is outstanding")
+            .expect("the job did not panic");
         assert_eq!(result.submitted, 0);
         assert_eq!(result.value, 42);
         assert!(service.recv().is_none());
@@ -796,7 +1221,11 @@ mod tests {
         for x in 0..40u64 {
             assert_eq!(service.submit(x), x);
         }
-        let values = service.drain();
+        let values: Vec<u64> = service
+            .drain()
+            .into_iter()
+            .map(|r| r.expect("no job panicked"))
+            .collect();
         assert_eq!(values, (100..140).collect::<Vec<_>>());
         assert_eq!(service.submitted(), 40);
         assert_eq!(service.outstanding(), 0);
@@ -832,7 +1261,11 @@ mod tests {
         // free the workers; the blocking path must now make progress
         gate.open();
         service.submit(2);
-        let mut values = service.drain();
+        let mut values: Vec<u32> = service
+            .drain()
+            .into_iter()
+            .map(|r| r.expect("no job panicked"))
+            .collect();
         values.sort_unstable();
         assert_eq!(values, vec![0, 1, 2]);
     }
@@ -883,7 +1316,11 @@ mod tests {
         assert_eq!(service.discard_pending(), 4);
         assert_eq!(service.outstanding(), 2);
         gate.open();
-        let mut survivors = service.drain();
+        let mut survivors: Vec<u32> = service
+            .drain()
+            .into_iter()
+            .map(|r| r.expect("no job panicked"))
+            .collect();
         survivors.sort_unstable();
         assert_eq!(survivors, vec![0, 1], "only the in-flight jobs report");
         assert_eq!(started.load(Ordering::SeqCst), 2, "queued jobs never ran");
@@ -914,9 +1351,12 @@ mod tests {
         assert!((2..=6).contains(&started), "started = {started}");
     }
 
+    /// Pins the fault-isolation contract that replaced the old
+    /// re-raise-at-`recv` behavior: a poisoned job costs exactly its own
+    /// result slot, and the drain — which used to panic here — delivers
+    /// every other job's value.
     #[test]
-    #[should_panic(expected = "boom in job 3")]
-    fn job_panics_surface_at_recv() {
+    fn job_panics_become_typed_failures_not_stream_teardown() {
         let mut service = JobService::start(
             ServiceConfig {
                 workers: 1,
@@ -932,7 +1372,26 @@ mod tests {
         for x in 0..5u32 {
             service.submit(x);
         }
-        let _ = service.drain();
+        let results = service.drain();
+        assert_eq!(results.len(), 5, "every job reports, poisoned or not");
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(value) => {
+                    assert_ne!(i, 3);
+                    assert_eq!(*value, i as u32);
+                }
+                Err(failure) => {
+                    assert_eq!(i, 3);
+                    assert_eq!(failure.submitted, 3);
+                    assert!(
+                        failure.message.contains("boom in job 3"),
+                        "panic text survives: {failure}"
+                    );
+                }
+            }
+        }
+        assert!(results[3].is_err());
+        assert!(service.recv().is_none(), "the stream drained cleanly");
     }
 
     #[test]
@@ -969,7 +1428,8 @@ mod tests {
     ) -> Vec<(u64, R)> {
         let mut out = Vec::new();
         while let Some(result) = service.recv() {
-            out.push((result.submitted, result.value));
+            let ok = result.expect("no job panicked");
+            out.push((ok.submitted, ok.value));
         }
         out
     }
@@ -1001,7 +1461,11 @@ mod tests {
         for spec in &specs {
             service.submit(spec.clone());
         }
-        let outcomes = service.drain();
+        let outcomes: Vec<JobOutcome> = service
+            .drain()
+            .into_iter()
+            .map(|r| r.expect("no job panicked"))
+            .collect();
         for (spec, outcome) in specs.iter().zip(&outcomes) {
             let direct = match &spec.solver {
                 SolverSpec::Ensemble(config) => {
@@ -1046,7 +1510,7 @@ mod tests {
             Err(SchemaError::UnknownField("surprise".into()))
         );
 
-        let wrong_version = json.replacen("\"schema\":1", "\"schema\":99", 1);
+        let wrong_version = json.replacen("\"schema\":2", "\"schema\":99", 1);
         assert_eq!(
             JobSpec::from_json(&wrong_version),
             Err(SchemaError::VersionMismatch {
@@ -1056,17 +1520,17 @@ mod tests {
         );
 
         // a future version's unknown fields must read as a version problem
-        let future = extra.replacen("\"schema\":1", "\"schema\":2", 1);
+        let future = extra.replacen("\"schema\":2", "\"schema\":3", 1);
         assert_eq!(
             JobSpec::from_json(&future),
             Err(SchemaError::VersionMismatch {
-                found: 2,
+                found: 3,
                 expected: SCHEMA_VERSION
             })
         );
 
         assert!(matches!(
-            JobSpec::from_json("{\"schema\":1}"),
+            JobSpec::from_json("{\"schema\":2}"),
             Err(SchemaError::Malformed(_))
         ));
 
@@ -1124,7 +1588,11 @@ mod tests {
         for spec in &specs {
             service.submit(spec.clone());
         }
-        let outcomes = service.drain();
+        let outcomes: Vec<JobOutcome> = service
+            .drain()
+            .into_iter()
+            .map(|r| r.expect("no job panicked"))
+            .collect();
         let descent_direct = GreedyDescent::new(11)
             .with_max_sweeps(100)
             .solve(&model.to_ising());
@@ -1145,6 +1613,274 @@ mod tests {
         assert_eq!(
             outcomes[1].canonical(),
             JobOutcome::new(&specs[1], &pt_direct, std::time::Duration::ZERO).canonical()
+        );
+    }
+
+    /// A unique scratch directory, removed when dropped.
+    struct ScratchDir(PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("saim-service-{tag}-{}", std::process::id()));
+            // a leftover from a crashed earlier run must not pollute this one
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+            ScratchDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A mixed-solver job set: ensemble, tempering, and descent specs with
+    /// distinct seeds, `job` identifier == index.
+    fn mixed_specs(model: &Qubo) -> Vec<JobSpec> {
+        vec![
+            JobSpec::new(0, model.clone(), small_ensemble(), 100),
+            JobSpec::new(
+                1,
+                model.clone(),
+                SolverSpec::Pt(PtConfig {
+                    replicas: 3,
+                    sweeps: 50,
+                    swap_interval: 10,
+                    threads: 1,
+                    ..PtConfig::default()
+                }),
+                101,
+            ),
+            JobSpec::new(
+                2,
+                model.clone(),
+                SolverSpec::Descent { max_sweeps: 60 },
+                102,
+            ),
+            JobSpec::new(3, model.clone(), small_ensemble(), 103),
+        ]
+    }
+
+    #[test]
+    fn controlled_service_with_idle_controller_matches_direct_runs() {
+        let model = toy_model(6);
+        let specs = mixed_specs(&model);
+        let mut service = ControlledService::start(
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+            RunController::unlimited(),
+        );
+        for spec in &specs {
+            service.submit(spec.clone());
+        }
+        let runs = service.drain();
+        assert_eq!(runs.len(), specs.len());
+        for (spec, run) in specs.iter().zip(runs) {
+            let run = run.expect("no job panicked");
+            assert_eq!(run.outcome.outcome_kind, OutcomeKind::Completed);
+            assert!(run.checkpoint.is_none());
+            assert_eq!(run.outcome.canonical(), spec.run().canonical());
+        }
+    }
+
+    #[test]
+    fn cancelled_jobs_return_well_formed_partial_outcomes() {
+        let model = toy_model(6);
+        // cancel before anything runs: deterministic — every job stops at
+        // its entry check with zero sweeps consumed
+        let ctrl = RunController::unlimited();
+        ctrl.request_cancel();
+        let mut service = ControlledService::start(
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+            ctrl,
+        );
+        let specs = [
+            JobSpec::new(0, model.clone(), small_ensemble(), 100),
+            JobSpec::new(
+                1,
+                model.clone(),
+                SolverSpec::Pt(PtConfig {
+                    replicas: 3,
+                    sweeps: 50,
+                    threads: 1,
+                    ..PtConfig::default()
+                }),
+                101,
+            ),
+        ];
+        for spec in &specs {
+            service.submit(spec.clone());
+        }
+        for run in service.drain() {
+            let run = run.expect("cancellation is not a failure");
+            assert_eq!(run.outcome.outcome_kind, OutcomeKind::Cancelled);
+            assert!(run.checkpoint.is_none(), "cancel does not capture state");
+            assert_eq!(run.outcome.mcs, 0);
+            assert!(run.outcome.best_energy.is_finite());
+            assert!(run.outcome.best_energy <= run.outcome.last_energy);
+        }
+    }
+
+    #[test]
+    fn shutdown_and_resume_replay_bit_identically_across_worker_counts() {
+        let scratch = ScratchDir::new("shutdown-resume");
+        let model = toy_model(6);
+        let specs = mixed_specs(&model);
+        let oracles: Vec<JobOutcome> = specs.iter().map(|spec| spec.run()).collect();
+
+        // every job deterministically checkpoints once 7 sweeps are done
+        // (descent may settle first and finish — both paths are covered)
+        let ctrl = RunController::unlimited()
+            .with_stop_after(7)
+            .with_poll_interval(1);
+        let mut service = ControlledService::start(
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+            ctrl,
+        );
+        for spec in &specs {
+            service.submit(spec.clone());
+        }
+        let report = service.shutdown_to(scratch.path()).expect("drain persists");
+        assert!(report.failures.is_empty());
+        assert_eq!(
+            report.finished.len() + report.checkpointed + report.pending,
+            specs.len(),
+            "every job is accounted for"
+        );
+        // the three annealing jobs can never complete under the stop: they
+        // are resumable — checkpointed if a worker had picked them up,
+        // persisted as pending specs otherwise (the split is a race)
+        assert!(
+            report.checkpointed + report.pending >= 3,
+            "annealing jobs must all be resumable"
+        );
+        for outcome in &report.finished {
+            // finished-before-the-stop jobs are final results already
+            let oracle = &oracles[outcome.job as usize];
+            assert_eq!(outcome.canonical(), oracle.canonical());
+        }
+
+        // the same directory resumes repeatedly, at any worker count, to
+        // the bit-identical never-interrupted outcomes
+        for workers in [1usize, 2, 8] {
+            let mut resumed = ControlledService::resume(
+                ServiceConfig {
+                    workers,
+                    queue_depth: 8,
+                },
+                RunController::unlimited(),
+                scratch.path(),
+            )
+            .expect("the directory is intact");
+            let runs = resumed.drain();
+            assert_eq!(runs.len(), report.checkpointed + report.pending);
+            for run in runs {
+                let run = run.expect("no job panicked");
+                assert_eq!(run.outcome.outcome_kind, OutcomeKind::Completed);
+                let oracle = &oracles[run.outcome.job as usize];
+                assert_eq!(
+                    run.outcome.canonical(),
+                    oracle.canonical(),
+                    "resumed job {} diverged at {workers} workers",
+                    run.outcome.job
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_runs_persisted_spec_files_from_scratch() {
+        let scratch = ScratchDir::new("resume-spec");
+        let spec = JobSpec::new(7, toy_model(5), small_ensemble(), 21);
+        std::fs::write(scratch.path().join("job-000000.spec.json"), spec.to_json())
+            .expect("spec file is writable");
+        let mut service = ControlledService::resume(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+            },
+            RunController::unlimited(),
+            scratch.path(),
+        )
+        .expect("spec files parse");
+        let runs = service.drain();
+        assert_eq!(runs.len(), 1);
+        let run = runs.into_iter().next().unwrap().expect("no job panicked");
+        assert_eq!(run.outcome.canonical(), spec.run().canonical());
+    }
+
+    #[test]
+    fn resume_rejects_a_corrupt_checkpoint_file() {
+        let scratch = ScratchDir::new("resume-corrupt");
+        let spec = JobSpec::new(3, toy_model(5), small_ensemble(), 9);
+        let cut = spec.run_controlled(
+            &RunController::unlimited()
+                .with_stop_after(3)
+                .with_poll_interval(1),
+        );
+        let checkpoint = cut.checkpoint.expect("the run checkpointed");
+        let path = scratch.path().join("job-000000.ckpt");
+        checkpoint.save(&path).expect("checkpoint saves");
+        let mut bytes = std::fs::read(&path).expect("checkpoint reads");
+        bytes[10] ^= 0x01; // single bit flip in the payload
+        std::fs::write(&path, bytes).expect("corruption lands");
+        let result = ControlledService::resume(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+            },
+            RunController::unlimited(),
+            scratch.path(),
+        );
+        assert!(matches!(result, Err(CheckpointError::ChecksumMismatch)));
+    }
+
+    #[test]
+    fn mismatched_resume_checkpoint_becomes_a_typed_failure() {
+        let model = toy_model(4);
+        let ensemble_spec = JobSpec::new(0, model.clone(), small_ensemble(), 5);
+        let cut = ensemble_spec.run_controlled(
+            &RunController::unlimited()
+                .with_stop_after(3)
+                .with_poll_interval(1),
+        );
+        let checkpoint = cut.checkpoint.expect("the run checkpointed");
+        // graft the ensemble state onto a descent spec: the worker panics,
+        // which must surface as that job's typed failure — not a teardown
+        let descent_spec = JobSpec::new(0, model, SolverSpec::Descent { max_sweeps: 10 }, 5);
+        let mismatched = Checkpoint::new(descent_spec, checkpoint.engine.clone());
+        let mut service = ControlledService::start(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 2,
+            },
+            RunController::unlimited(),
+        );
+        service.submit_resume(mismatched);
+        let runs = service.drain();
+        assert_eq!(runs.len(), 1);
+        let failure = runs
+            .into_iter()
+            .next()
+            .unwrap()
+            .expect_err("the mismatch is a failure value");
+        assert!(
+            failure.message.contains("does not match the spec's solver"),
+            "message: {failure}"
         );
     }
 }

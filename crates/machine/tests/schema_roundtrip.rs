@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use saim_ising::{BinaryState, Qubo, QuboBuilder, SpinState};
 use saim_machine::service::{JobOutcome, JobSpec, SchemaError, SolverSpec, SCHEMA_VERSION};
-use saim_machine::{BetaSchedule, Dynamics, EnsembleConfig, PtConfig};
+use saim_machine::{BetaSchedule, Dynamics, EnsembleConfig, OutcomeKind, PtConfig};
 
 /// Scrubs the one float value whose JSON round-trip is not byte-stable:
 /// `-0.0` prints as `-0` but parses back as the integer `0`.
@@ -116,6 +116,13 @@ fn arb_outcome() -> impl Strategy<Value = JobOutcome> {
                         schema: SCHEMA_VERSION,
                         job,
                         instance_digest: job.wrapping_mul(3),
+                        // partial-result kinds must survive the wire, too
+                        outcome_kind: match job % 4 {
+                            0 => OutcomeKind::Completed,
+                            1 => OutcomeKind::Cancelled,
+                            2 => OutcomeKind::DeadlineExceeded,
+                            _ => OutcomeKind::Checkpointed,
+                        },
                         best_energy: definite(best_energy),
                         last_energy: definite(last_energy),
                         mcs,
@@ -201,6 +208,7 @@ fn empty_state_outcome_roundtrips() {
         schema: SCHEMA_VERSION,
         job: 0,
         instance_digest: 0,
+        outcome_kind: OutcomeKind::Completed,
         best_energy: 0.0,
         last_energy: 0.0,
         mcs: 0,

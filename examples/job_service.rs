@@ -6,7 +6,7 @@
 //! cargo run --release --example job_service
 //! ```
 //!
-//! Two layers are shown:
+//! Three layers are shown:
 //!
 //! 1. the **machine-level** service (`solver_service`): serialized
 //!    `JobSpec`s — QUBO payload + solver selection + seed — stream through
@@ -14,12 +14,17 @@
 //!    in completion order tagged with submission order;
 //! 2. the **SAIM-level** facade (`SaimRunner::run_jobs`): whole
 //!    constrained problems with per-instance penalties, each job a full
-//!    Algorithm-1 run, bit-identical to calling the runner directly.
+//!    Algorithm-1 run, bit-identical to calling the runner directly;
+//! 3. **cancel and resume** (`ControlledService`): a graceful shutdown
+//!    checkpoints in-flight jobs into a directory, and a later resume
+//!    finishes them bit-identically to never-interrupted runs.
 
 use saim_core::{ConstrainedProblem, SaimConfig, SaimRunner};
 use saim_knapsack::generate;
-use saim_machine::service::{solver_service, JobSpec, ServiceConfig, SolverSpec, SubmitError};
-use saim_machine::{derive_seed, BetaSchedule, Dynamics, EnsembleConfig};
+use saim_machine::service::{
+    solver_service, ControlledService, JobSpec, ServiceConfig, SolverSpec, SubmitError,
+};
+use saim_machine::{derive_seed, BetaSchedule, Dynamics, EnsembleConfig, RunController};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -64,6 +69,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 }
                 Err(SubmitError::Full(back)) => {
                     if let Some(result) = service.recv() {
+                        let result = result.expect("solver jobs do not panic");
                         println!(
                             "  ... queue full; drained job {} (E = {:+.1}) to make room",
                             result.value.job, result.value.best_energy
@@ -77,6 +83,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     // results arrive in completion order; the `job` id re-associates them
     while let Some(result) = service.recv() {
+        let result = result.expect("solver jobs do not panic");
         println!(
             "  done: job {:>2} after submission #{:>2}  E = {:+9.1}  ({} sweeps, {:.1} ms)",
             result.value.job,
@@ -122,5 +129,50 @@ fn main() -> Result<(), Box<dyn Error>> {
             None => println!("  instance {i}: no feasible sample"),
         }
     }
+
+    // ---- layer 3: cooperative shutdown, checkpoint, and resume -------
+    // a ControlledService runs every job under one shared RunController;
+    // shutdown_to() drains the fleet, checkpointing in-flight jobs and
+    // persisting still-queued specs into a directory. Here every job stops
+    // deterministically after 100 sweeps — standing in for an operator
+    // interrupt or a deadline landing mid-run.
+    let dir = std::env::temp_dir().join(format!("saim-job-service-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctrl = RunController::unlimited()
+        .with_stop_after(100)
+        .with_poll_interval(1);
+    let mut controlled = ControlledService::start(
+        ServiceConfig {
+            workers: 0,
+            queue_depth: 8,
+        },
+        ctrl,
+    );
+    for spec in &specs {
+        controlled.submit(spec.clone());
+    }
+    let report = controlled.shutdown_to(&dir)?;
+    println!(
+        "\ngraceful shutdown: {} finished, {} checkpointed mid-run, {} persisted unstarted",
+        report.finished.len(),
+        report.checkpointed,
+        report.pending,
+    );
+
+    // ... a process restart later: resume() re-submits everything the
+    // directory holds, and each completed job is bit-identical to a run
+    // that was never interrupted — same energies, states, and RNG stream
+    let mut resumed =
+        ControlledService::resume(ServiceConfig::default(), RunController::unlimited(), &dir)?;
+    while let Some(result) = resumed.recv() {
+        let run = result.expect("solver jobs do not panic").value;
+        let uninterrupted = specs[run.outcome.job as usize].run();
+        assert_eq!(run.outcome.canonical(), uninterrupted.canonical());
+        println!(
+            "  resumed job {:>2}: E = {:+9.1} over {} sweeps — bit-identical to uninterrupted",
+            run.outcome.job, run.outcome.best_energy, run.outcome.mcs,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

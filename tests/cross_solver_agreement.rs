@@ -102,7 +102,11 @@ fn sa_and_pt_find_the_same_ground_state_on_small_models() {
     for spec in &specs {
         service.submit(spec.clone());
     }
-    let outcomes = service.drain();
+    let outcomes: Vec<JobOutcome> = service
+        .drain()
+        .into_iter()
+        .map(|r| r.expect("no solver job panicked"))
+        .collect();
 
     // bit-exact against the direct oracle calls...
     let ens_direct = EnsembleAnnealer::new(ens_cfg, 2).solve(&model);

@@ -61,6 +61,18 @@ fn mixed_specs() -> Vec<JobSpec> {
     specs
 }
 
+/// Drains a solver service, unwrapping the typed-failure layer — no job in
+/// these suites panics.
+fn drain_ok(
+    service: &mut saim_machine::service::JobService<JobSpec, JobOutcome>,
+) -> Vec<JobOutcome> {
+    service
+        .drain()
+        .into_iter()
+        .map(|r| r.expect("no solver job panicked"))
+        .collect()
+}
+
 /// The direct-call oracle: the engine invocation each [`SolverSpec`]
 /// variant documents, with no service machinery at all.
 fn direct_outcome(spec: &JobSpec) -> JobOutcome {
@@ -88,7 +100,7 @@ fn service_outcomes_replay_direct_engine_calls_for_any_worker_count() {
             for spec in &specs {
                 service.submit(spec.clone());
             }
-            let outcomes = service.drain();
+            let outcomes = drain_ok(&mut service);
             assert_eq!(outcomes.len(), oracle.len());
             for (got, want) in outcomes.iter().zip(&oracle) {
                 assert_eq!(
@@ -134,6 +146,7 @@ fn submission_interleaving_never_changes_outcomes() {
         // job id — the streaming path a front-end would use
         let mut seen = 0usize;
         while let Some(result) = service.recv() {
+            let result = result.expect("no solver job panicked");
             let got = result.value.canonical();
             let want = oracle[got.job as usize].canonical();
             assert_eq!(got, want, "job {}", got.job);
@@ -208,7 +221,7 @@ fn hot_regime_jobs_replay_direct_engine_calls() {
         for spec in &specs {
             service.submit(spec.clone());
         }
-        let outcomes = service.drain();
+        let outcomes = drain_ok(&mut service);
         assert_eq!(outcomes.len(), oracle.len());
         for (got, want) in outcomes.iter().zip(&oracle) {
             assert_eq!(
@@ -239,8 +252,7 @@ fn service_is_invariant_at_env_selected_worker_count() {
         for spec in &specs {
             service.submit(spec.clone());
         }
-        service
-            .drain()
+        drain_ok(&mut service)
             .into_iter()
             .map(|o| o.canonical())
             .collect::<Vec<_>>()
@@ -338,7 +350,10 @@ fn zero_and_single_job_streams_through_the_solver_service() {
         queue_depth: 1,
     });
     assert_eq!(single.submit(spec.clone()), 0);
-    let result = single.recv().expect("one job outstanding");
+    let result = single
+        .recv()
+        .expect("one job outstanding")
+        .expect("no solver job panicked");
     assert_eq!(result.submitted, 0);
     assert_eq!(result.value.canonical(), direct_outcome(spec).canonical());
     assert!(single.recv().is_none());
