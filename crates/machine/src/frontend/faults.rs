@@ -1,0 +1,130 @@
+//! Deterministic fault injection for the network front-end.
+//!
+//! A [`FaultPlan`] is a set of always-compiled hooks the [`Frontend`]
+//! consults when one is wired through [`FrontendConfig::faults`] (`None` —
+//! the production default — costs a single `Option` check per site). Every
+//! hook is **scripted and replayable**: nothing here draws randomness or
+//! reads wall clocks, so a test that injects a fault sequence observes the
+//! same degradation path on every run and at every worker count.
+//!
+//! The knobs, and the failure they script:
+//!
+//! - [`FaultPlan::hold_workers`] / [`FaultPlan::release_workers`] — freeze
+//!   every worker *before its next dequeue*. Tests use this to build an
+//!   exact multi-client backlog and then watch the scheduler drain it in
+//!   one deterministic order (the fairness and EDF proofs). Holds are
+//!   released automatically on drain/drop so a scripted freeze can never
+//!   deadlock shutdown.
+//! - [`FaultPlan::panic_on_job`] — the named job's execution panics on the
+//!   worker (the worker-crash script); the harness asserts the panic comes
+//!   back as a typed failure frame while the fleet keeps serving.
+//! - [`FaultPlan::set_skew_ms`] — shifts the scheduler's millisecond clock,
+//!   so queued deadlines can be driven into the past on demand (the
+//!   clock-skew script behind the expired-while-queued shed path).
+//! - [`FaultPlan::dequeue_log`] — the order `(client, job)` pairs left the
+//!   scheduler, recorded at dequeue; the observability hook the scheduling
+//!   assertions read.
+//!
+//! Connection-level faults — dropped sockets, truncated and interleaved
+//! partial frames, slow-loris writers — need no hooks: the loopback tests
+//! in `tests/net_frontend.rs` produce them with raw socket writes.
+//!
+//! [`Frontend`]: crate::frontend::Frontend
+//! [`FrontendConfig::faults`]: crate::frontend::FrontendConfig::faults
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Scripted fault hooks; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    skew_ms: AtomicI64,
+    held: Mutex<bool>,
+    released: Condvar,
+    panic_jobs: Mutex<HashSet<u64>>,
+    dequeues: Mutex<Vec<(u64, u64)>>,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disarmed.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Freezes workers before their next dequeue until
+    /// [`FaultPlan::release_workers`].
+    pub fn hold_workers(&self) {
+        *self.held.lock().expect("fault lock is never poisoned") = true;
+    }
+
+    /// Releases held workers (idempotent; also called by the frontend's
+    /// drain and drop paths so a hold cannot outlive its test).
+    pub fn release_workers(&self) {
+        *self.held.lock().expect("fault lock is never poisoned") = false;
+        self.released.notify_all();
+    }
+
+    /// Blocks while a hold is active — the worker-side check.
+    pub(crate) fn wait_if_held(&self) {
+        let mut held = self.held.lock().expect("fault lock is never poisoned");
+        while *held {
+            held = self
+                .released
+                .wait(held)
+                .expect("fault lock is never poisoned");
+        }
+    }
+
+    /// Scripts the named job (by its client-chosen id) to panic on the
+    /// worker instead of executing.
+    pub fn panic_on_job(&self, job: u64) {
+        self.panic_jobs
+            .lock()
+            .expect("fault lock is never poisoned")
+            .insert(job);
+    }
+
+    /// Panics iff `job` was scripted to — called on the worker inside the
+    /// same `catch_unwind` boundary that contains genuine job panics.
+    pub(crate) fn panic_if_scripted(&self, job: u64) {
+        let scripted = self
+            .panic_jobs
+            .lock()
+            .expect("fault lock is never poisoned")
+            .contains(&job);
+        if scripted {
+            panic!("injected worker panic for job {job}");
+        }
+    }
+
+    /// Shifts the scheduler clock by `ms` (negative rewinds). Affects
+    /// queue-side deadline expiry only — running jobs keep their real
+    /// wall-clock deadlines, which is exactly the asymmetry the skew tests
+    /// assert.
+    pub fn set_skew_ms(&self, ms: i64) {
+        self.skew_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// The current scheduler-clock skew.
+    pub(crate) fn skew_ms(&self) -> i64 {
+        self.skew_ms.load(Ordering::SeqCst)
+    }
+
+    /// Records one dequeue — called by workers as items leave the
+    /// scheduler.
+    pub(crate) fn log_dequeue(&self, client: u64, job: u64) {
+        self.dequeues
+            .lock()
+            .expect("fault lock is never poisoned")
+            .push((client, job));
+    }
+
+    /// The `(client, job)` dequeue order observed so far.
+    pub fn dequeue_log(&self) -> Vec<(u64, u64)> {
+        self.dequeues
+            .lock()
+            .expect("fault lock is never poisoned")
+            .clone()
+    }
+}

@@ -55,6 +55,15 @@
 //!   submission order — bit-identical to direct engine calls for any
 //!   worker count — and the serialized [`service::JobSpec`] /
 //!   [`service::JobOutcome`] wire schema a network front-end would speak,
+//! - [`frontend`] — the fault-tolerant network front-end over the job
+//!   layer: an NDJSON protocol with strict typed framing, per-client
+//!   weighted-fair scheduling with priorities and earliest-deadline-first
+//!   ordering, admission control that sheds overload with typed retry
+//!   hints, per-client cancellation and disconnect cleanup, drain/resume in
+//!   the checkpoint layer's file layout, per-client accounting
+//!   ([`ClientStats`]), and a deterministic fault-injection harness
+//!   ([`frontend::faults`]) — the machinery the `saim-server` binary
+//!   serves over TCP,
 //! - [`checkpoint`] — the fault-tolerance layer under all of the engines: a
 //!   [`RunController`] cooperatively cancels, deadlines, or checkpoints any
 //!   sweep loop from cheap every-k-sweeps polls, and a versioned,
@@ -103,6 +112,7 @@ pub mod bracket;
 pub mod checkpoint;
 mod descent;
 mod ensemble;
+pub mod frontend;
 pub mod parallel;
 mod pbit;
 mod pt;
@@ -125,4 +135,4 @@ pub use rng::{derive_seed, new_rng, NoiseSource};
 pub use sa::{Dynamics, SimulatedAnnealing};
 pub use schedule::BetaSchedule;
 pub use solver::{IsingSolver, SolveOutcome};
-pub use telemetry::{RunRecord, SampleCounter};
+pub use telemetry::{ClientStats, RunRecord, SampleCounter};

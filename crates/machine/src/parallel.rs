@@ -21,8 +21,17 @@
 //!   queue itself imposes no ordering on *completions*, only on hand-offs —
 //!   determinism comes from the items being independent, exactly as in
 //!   [`parallel_map_indexed`].
+//! - [`ScheduledQueue`] — the multi-tenant sibling of [`BoundedQueue`]
+//!   (the network front-end's scheduling primitive): every item carries a
+//!   [`Ticket`] naming its client, weight, priority class, and optional
+//!   deadline, and [`ScheduledQueue::pop`] hands out work by strict
+//!   priority band, weighted-fair across clients inside a band (integer
+//!   virtual-time start tags), and earliest-deadline-first within one
+//!   client's backlog. Items whose deadline already passed at dequeue come
+//!   back tagged [`Scheduled::expired`] so the caller can shed them without
+//!   ever charging a worker — or the client's fairness account — for them.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Barrier, Condvar, Mutex};
@@ -490,6 +499,336 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+// ------------------------------------------------- multi-tenant scheduling
+
+/// Scheduling metadata an item enters a [`ScheduledQueue`] with.
+///
+/// The queue interprets the fields as follows:
+///
+/// - `priority` classes are **strict**: while any item of a higher class is
+///   queued, no lower-class item is handed out.
+/// - Within a class, clients share capacity in proportion to `weight`
+///   (weighted-fair queueing on integer virtual time — see
+///   [`ScheduledQueue::pop`]).
+/// - Within one client's backlog of a class, items are ordered
+///   earliest-deadline-first; items without a deadline come after every
+///   deadlined one, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// The submitting client; fairness is accounted per client.
+    pub client: u64,
+    /// Fair-share weight (clamped to at least 1). A weight-2 client is
+    /// entitled to twice the dequeues of a weight-1 client under contention.
+    pub weight: u32,
+    /// Strict priority class; higher values are served first.
+    pub priority: u8,
+    /// Optional absolute deadline in scheduler-clock ticks (the caller
+    /// decides the unit; the front-end uses milliseconds since its epoch).
+    /// An item whose deadline is in the past when popped is returned with
+    /// [`Scheduled::expired`] set.
+    pub deadline: Option<u64>,
+}
+
+/// One item handed out by [`ScheduledQueue::pop`].
+#[derive(Debug)]
+pub struct Scheduled<T> {
+    /// The queue-assigned submission sequence number (global, monotonic).
+    pub seq: u64,
+    /// The ticket the item was pushed with.
+    pub ticket: Ticket,
+    /// The item itself.
+    pub item: T,
+    /// Whether the item's deadline had already passed at dequeue time.
+    /// Expired items are not charged to the client's fairness account.
+    pub expired: bool,
+}
+
+/// The weighted-fair cost scale: one dequeue costs `SCALE / weight` virtual
+/// ticks. 840 is divisible by every weight in 1..=8, so typical weights
+/// produce exact integer costs and fairness holds without rounding drift.
+const WFQ_SCALE: u64 = 840;
+
+/// Per-client backlog ordering key inside one priority band: deadline first
+/// (`u64::MAX` for none), then submission sequence.
+type EdfKey = (u64, u64);
+
+struct ScheduledState<T> {
+    /// Every queued item, keyed by submission sequence.
+    entries: HashMap<u64, (Ticket, T)>,
+    /// `priority → client → EDF-ordered backlog`. Empty sets and maps are
+    /// pruned eagerly so band/client scans only ever see live backlogs.
+    bands: BTreeMap<u8, BTreeMap<u64, BTreeSet<EdfKey>>>,
+    /// Virtual finish tag per `(priority, client)`.
+    tags: HashMap<(u8, u64), u64>,
+    /// Virtual time per priority band (the start tag of the last dequeue).
+    vtime: HashMap<u8, u64>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A blocking multi-tenant work queue: strict priorities, weighted-fair
+/// service across clients, earliest-deadline-first within a client.
+///
+/// This is the front-end's replacement for the job service's single global
+/// FIFO. It is **unbounded** by design — admission control (shedding load
+/// with a typed overload response instead of letting the backlog grow) is
+/// the caller's policy decision and lives above the queue, where the caller
+/// can count queued items per client and in total.
+///
+/// Like [`BoundedQueue`], the queue orders only *hand-offs*, never
+/// completions; determinism of results comes from items being independent.
+pub struct ScheduledQueue<T> {
+    state: Mutex<ScheduledState<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> Default for ScheduledQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ScheduledQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ScheduledQueue {
+            state: Mutex::new(ScheduledState {
+                entries: HashMap::new(),
+                bands: BTreeMap::new(),
+                tags: HashMap::new(),
+                vtime: HashMap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` under `ticket` and returns its submission sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back once the queue is closed.
+    pub fn push(&self, ticket: Ticket, item: T) -> Result<u64, T> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        if state.closed {
+            return Err(item);
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let key = (ticket.deadline.unwrap_or(u64::MAX), seq);
+        state
+            .bands
+            .entry(ticket.priority)
+            .or_default()
+            .entry(ticket.client)
+            .or_default()
+            .insert(key);
+        state.entries.insert(seq, (ticket, item));
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(seq)
+    }
+
+    /// Number of items currently waiting (racy by nature; for telemetry).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock is never poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether no items are currently waiting (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dequeues the next item under the scheduling policy, blocking while
+    /// the queue is empty. Returns `None` once the queue is closed **and**
+    /// drained — the worker-shutdown signal.
+    ///
+    /// Selection, in order:
+    ///
+    /// 1. the highest priority band with any backlog;
+    /// 2. within it, the client with the smallest virtual start tag
+    ///    `max(finish_tag(client), vtime(band))` — ties go to the smaller
+    ///    client id. The winner's finish tag advances by
+    ///    `WFQ_SCALE / weight`, so heavier clients are picked
+    ///    proportionally more often, and a client returning from idle is
+    ///    caught up to the band's virtual time instead of being either
+    ///    starved or granted a burst of back-credit;
+    /// 3. within that client, the earliest deadline (no-deadline items
+    ///    last), ties by submission order.
+    ///
+    /// `now` is sampled once per dequeue; if the selected item's deadline
+    /// is already past, it is returned with [`Scheduled::expired`] set and
+    /// the client's fairness account is **not** charged — shedding expired
+    /// work must not consume the client's share.
+    pub fn pop(&self, now: &dyn Fn() -> u64) -> Option<Scheduled<T>> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        loop {
+            if !state.entries.is_empty() {
+                return Some(Self::select(&mut state, now()));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("queue lock is never poisoned");
+        }
+    }
+
+    /// Like [`ScheduledQueue::pop`] but never blocks; `None` means empty
+    /// right now (closed or not).
+    pub fn try_pop(&self, now: &dyn Fn() -> u64) -> Option<Scheduled<T>> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        if state.entries.is_empty() {
+            return None;
+        }
+        Some(Self::select(&mut state, now()))
+    }
+
+    fn select(state: &mut ScheduledState<T>, now: u64) -> Scheduled<T> {
+        // 1. highest non-empty band (empties are pruned on removal)
+        let (&priority, clients) = state
+            .bands
+            .iter()
+            .next_back()
+            .expect("select is only called with entries queued");
+        let vtime = state.vtime.get(&priority).copied().unwrap_or(0);
+        // 2. weighted-fair client choice: smallest virtual start tag wins,
+        // ties to the smaller client id (BTreeMap iteration order)
+        let (&client, _) = clients
+            .iter()
+            .min_by_key(|(&client, _)| {
+                state
+                    .tags
+                    .get(&(priority, client))
+                    .copied()
+                    .unwrap_or(0)
+                    .max(vtime)
+            })
+            .expect("non-empty band has at least one client");
+        let start = state
+            .tags
+            .get(&(priority, client))
+            .copied()
+            .unwrap_or(0)
+            .max(vtime);
+        // 3. EDF within the chosen client's backlog
+        let clients = state.bands.get_mut(&priority).expect("band exists");
+        let backlog = clients.get_mut(&client).expect("client has backlog");
+        let key = *backlog.iter().next().expect("backlog is non-empty");
+        backlog.remove(&key);
+        if backlog.is_empty() {
+            clients.remove(&client);
+            if clients.is_empty() {
+                state.bands.remove(&priority);
+            }
+        }
+        let (_, seq) = key;
+        let (ticket, item) = state.entries.remove(&seq).expect("entry exists");
+        let expired = ticket.deadline.is_some_and(|d| d < now);
+        if !expired {
+            let cost = (WFQ_SCALE / u64::from(ticket.weight.max(1))).max(1);
+            state.vtime.insert(priority, start);
+            state.tags.insert((priority, client), start + cost);
+        }
+        Scheduled {
+            seq,
+            ticket,
+            item,
+            expired,
+        }
+    }
+
+    /// Removes every queued item belonging to `client` (and the client's
+    /// fairness tags), returning the items in submission order — the
+    /// client-disconnect path: a vanished client's backlog must not occupy
+    /// workers.
+    pub fn remove_client(&self, client: u64) -> Vec<(u64, T)> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        let ScheduledState {
+            entries,
+            bands,
+            tags,
+            ..
+        } = &mut *state;
+        let mut seqs: Vec<u64> = Vec::new();
+        bands.retain(|&priority, clients| {
+            if let Some(backlog) = clients.remove(&client) {
+                seqs.extend(backlog.iter().map(|&(_, seq)| seq));
+                tags.remove(&(priority, client));
+            }
+            !clients.is_empty()
+        });
+        seqs.sort_unstable();
+        seqs.into_iter()
+            .map(|seq| {
+                let (_, item) = entries.remove(&seq).expect("entry exists");
+                (seq, item)
+            })
+            .collect()
+    }
+
+    /// Removes one queued item by its submission sequence number — the
+    /// explicit-cancel path. Returns `None` when the item already left the
+    /// queue (a worker picked it up, or it was never there).
+    pub fn remove_seq(&self, seq: u64) -> Option<(Ticket, T)> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        let (ticket, item) = state.entries.remove(&seq)?;
+        let key = (ticket.deadline.unwrap_or(u64::MAX), seq);
+        if let Some(clients) = state.bands.get_mut(&ticket.priority) {
+            if let Some(backlog) = clients.get_mut(&ticket.client) {
+                backlog.remove(&key);
+                if backlog.is_empty() {
+                    clients.remove(&ticket.client);
+                }
+            }
+            if clients.is_empty() {
+                state.bands.remove(&ticket.priority);
+            }
+        }
+        Some((ticket, item))
+    }
+
+    /// Closes the queue and hands back everything still waiting, in
+    /// submission order — the graceful-shutdown path, mirroring
+    /// [`BoundedQueue::take_pending`]: not-yet-started work is returned to
+    /// be persisted and resubmitted, and workers drain out through
+    /// [`ScheduledQueue::pop`] returning `None`.
+    pub fn take_pending(&self) -> Vec<(u64, Ticket, T)> {
+        let mut state = self.state.lock().expect("queue lock is never poisoned");
+        state.closed = true;
+        state.bands.clear();
+        state.tags.clear();
+        state.vtime.clear();
+        let mut pending: Vec<(u64, Ticket, T)> = state
+            .entries
+            .drain()
+            .map(|(seq, (ticket, item))| (seq, ticket, item))
+            .collect();
+        pending.sort_by_key(|(seq, _, _)| *seq);
+        drop(state);
+        self.not_empty.notify_all();
+        pending
+    }
+
+    /// Closes the queue: no further pushes are accepted, already-queued
+    /// items can still be popped, and every parked worker wakes up.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .expect("queue lock is never poisoned")
+            .closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,5 +1057,165 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn queue_rejects_zero_capacity() {
         let _ = BoundedQueue::<usize>::new(0);
+    }
+
+    // ------------------------------------------------------ ScheduledQueue
+
+    fn ticket(client: u64, weight: u32, priority: u8, deadline: Option<u64>) -> Ticket {
+        Ticket {
+            client,
+            weight,
+            priority,
+            deadline,
+        }
+    }
+
+    /// Drains the queue without blocking, recording (client, item) pairs.
+    fn drain_order(q: &ScheduledQueue<u32>, now: u64) -> Vec<(u64, u32)> {
+        let clock = move || now;
+        let mut order = Vec::new();
+        while let Some(s) = q.try_pop(&clock) {
+            order.push((s.ticket.client, s.item));
+        }
+        order
+    }
+
+    #[test]
+    fn scheduled_priority_bands_are_strict() {
+        let q = ScheduledQueue::new();
+        q.push(ticket(1, 1, 0, None), 10u32).expect("open");
+        q.push(ticket(2, 1, 2, None), 20).expect("open");
+        q.push(ticket(3, 1, 1, None), 30).expect("open");
+        let order: Vec<u32> = drain_order(&q, 0).into_iter().map(|(_, i)| i).collect();
+        assert_eq!(order, vec![20, 30, 10]);
+    }
+
+    #[test]
+    fn scheduled_equal_weights_interleave_fairly() {
+        // A floods 20 items, B has 2; equal weights → B is served at every
+        // other slot until its backlog is gone, not after A's flood.
+        let q = ScheduledQueue::new();
+        for i in 0..20u32 {
+            q.push(ticket(1, 1, 0, None), i).expect("open");
+        }
+        q.push(ticket(2, 1, 0, None), 100).expect("open");
+        q.push(ticket(2, 1, 0, None), 101).expect("open");
+        let clients: Vec<u64> = drain_order(&q, 0).into_iter().map(|(c, _)| c).collect();
+        assert_eq!(&clients[..4], &[1, 2, 1, 2]);
+        assert!(clients[4..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn scheduled_weights_shape_shares() {
+        // B at weight 4 vs A at weight 1: of any 5 consecutive slots under
+        // full backlog, B gets 4.
+        let q = ScheduledQueue::new();
+        for i in 0..4u32 {
+            q.push(ticket(1, 1, 0, None), i).expect("open");
+        }
+        for i in 0..16u32 {
+            q.push(ticket(2, 4, 0, None), 100 + i).expect("open");
+        }
+        let clients: Vec<u64> = drain_order(&q, 0).into_iter().map(|(c, _)| c).collect();
+        let b_in_first_10 = clients[..10].iter().filter(|&&c| c == 2).count();
+        assert_eq!(clients.len(), 20);
+        assert_eq!(b_in_first_10, 8, "order was {clients:?}");
+    }
+
+    #[test]
+    fn scheduled_edf_within_client() {
+        let q = ScheduledQueue::new();
+        q.push(ticket(1, 1, 0, Some(300)), 3u32).expect("open");
+        q.push(ticket(1, 1, 0, None), 9).expect("open");
+        q.push(ticket(1, 1, 0, Some(100)), 1).expect("open");
+        q.push(ticket(1, 1, 0, Some(200)), 2).expect("open");
+        // tie on deadline breaks by submission order
+        q.push(ticket(1, 1, 0, Some(100)), 4).expect("open");
+        let order: Vec<u32> = drain_order(&q, 0).into_iter().map(|(_, i)| i).collect();
+        assert_eq!(order, vec![1, 4, 2, 3, 9]);
+    }
+
+    #[test]
+    fn scheduled_expired_items_skip_fairness_charge() {
+        let q = ScheduledQueue::new();
+        // A's first two items are already expired at now=50; B queued behind.
+        q.push(ticket(1, 1, 0, Some(10)), 0u32).expect("open");
+        q.push(ticket(1, 1, 0, Some(20)), 1).expect("open");
+        q.push(ticket(1, 1, 0, None), 2).expect("open");
+        q.push(ticket(1, 1, 0, None), 3).expect("open");
+        q.push(ticket(2, 1, 0, None), 100).expect("open");
+        q.push(ticket(2, 1, 0, None), 101).expect("open");
+        let clock = || 50u64;
+        let first = q.try_pop(&clock).expect("item");
+        let second = q.try_pop(&clock).expect("item");
+        assert!(first.expired && second.expired);
+        assert_eq!((first.item, second.item), (0, 1));
+        // A shed two expired items without being charged, so live service
+        // still alternates A, B, A, B.
+        let rest: Vec<(u64, u32)> = drain_order(&q, 50);
+        assert_eq!(rest, vec![(1, 2), (2, 100), (1, 3), (2, 101)]);
+    }
+
+    #[test]
+    fn scheduled_remove_client_clears_backlog_and_tags() {
+        let q = ScheduledQueue::new();
+        q.push(ticket(1, 1, 0, None), 0u32).expect("open");
+        q.push(ticket(1, 1, 1, None), 1).expect("open");
+        q.push(ticket(2, 1, 0, None), 100).expect("open");
+        let removed = q.remove_client(1);
+        assert_eq!(
+            removed.iter().map(|&(_, i)| i).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(drain_order(&q, 0), vec![(2, 100)]);
+    }
+
+    #[test]
+    fn scheduled_remove_seq_cancels_one_item() {
+        let q = ScheduledQueue::new();
+        let a = q.push(ticket(1, 1, 0, Some(5)), 0u32).expect("open");
+        q.push(ticket(1, 1, 0, None), 1).expect("open");
+        let (t, item) = q.remove_seq(a).expect("still queued");
+        assert_eq!((t.client, item), (1, 0));
+        assert!(q.remove_seq(a).is_none(), "second removal finds nothing");
+        assert_eq!(drain_order(&q, 0), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn scheduled_take_pending_returns_submission_order_and_closes() {
+        let q = ScheduledQueue::new();
+        q.push(ticket(1, 1, 0, None), 0u32).expect("open");
+        q.push(ticket(2, 1, 7, None), 1).expect("open");
+        q.push(ticket(1, 1, 3, Some(9)), 2).expect("open");
+        let pending = q.take_pending();
+        let items: Vec<u32> = pending.iter().map(|&(_, _, i)| i).collect();
+        assert_eq!(items, vec![0, 1, 2], "submission order, not schedule order");
+        assert!(q.push(ticket(1, 1, 0, None), 9).is_err(), "closed");
+        assert!(q.pop(&|| 0).is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn scheduled_close_wakes_parked_consumer() {
+        let q = std::sync::Arc::new(ScheduledQueue::<u32>::new());
+        let waiter = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop(&|| 0).map(|s| s.item))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(waiter.join().expect("waiter finishes"), None);
+    }
+
+    #[test]
+    fn scheduled_pop_blocks_until_push() {
+        let q = std::sync::Arc::new(ScheduledQueue::<u32>::new());
+        let waiter = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop(&|| 0).map(|s| s.item))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(ticket(1, 1, 0, None), 42).expect("open");
+        assert_eq!(waiter.join().expect("waiter finishes"), Some(42));
     }
 }

@@ -164,6 +164,31 @@ pub struct JobResult<R> {
     pub value: R,
 }
 
+/// The identifying slice of a [`JobSpec`] — job id, instance digest, solver
+/// selection — without the model payload. Rides on [`JobFailure`] so a
+/// failure can be correlated with what was asked for (by a network client,
+/// a result store, a log line) without keeping a side table of submissions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// The spec's client-chosen job identifier.
+    pub job: u64,
+    /// The spec's instance digest (`0` when unknown).
+    pub instance_digest: u64,
+    /// The spec's solver selection and configuration.
+    pub solver: SolverSpec,
+}
+
+impl JobSummary {
+    /// Extracts the summary from a spec.
+    pub fn of(spec: &JobSpec) -> Self {
+        JobSummary {
+            job: spec.job,
+            instance_digest: spec.instance_digest,
+            solver: spec.solver.clone(),
+        }
+    }
+}
+
 /// A job whose execution panicked, reported as a **value** in the result
 /// stream: one poisoned job must not tear down the service or strand the
 /// other jobs' results. (The old behavior — re-raising the payload at the
@@ -176,18 +201,31 @@ pub struct JobFailure {
     /// The panic message, when it was a string (the overwhelmingly common
     /// case); a placeholder otherwise.
     pub message: String,
+    /// What the failed job *was* — captured before execution, so it is
+    /// present even though the job itself never produced an outcome.
+    /// `None` only for generic services whose job type has no spec (see
+    /// [`JobService::start`]); [`solver_service`] and [`ControlledService`]
+    /// always fill it.
+    pub origin: Option<JobSummary>,
 }
 
 impl std::fmt::Display for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job {} panicked: {}", self.submitted, self.message)
+        match &self.origin {
+            Some(origin) => write!(
+                f,
+                "job {} (id {}, digest {:016x}) panicked: {}",
+                self.submitted, origin.job, origin.instance_digest, self.message
+            ),
+            None => write!(f, "job {} panicked: {}", self.submitted, self.message),
+        }
     }
 }
 
 impl std::error::Error for JobFailure {}
 
 /// Extracts a printable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(text) = payload.downcast_ref::<String>() {
         text.clone()
     } else if let Some(text) = payload.downcast_ref::<&'static str>() {
@@ -197,7 +235,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-type TaggedResult<R> = (u64, std::thread::Result<R>);
+type TaggedResult<R> = (u64, Option<JobSummary>, std::thread::Result<R>);
+
+/// How a worker summarizes a job before running it, so a panic can still
+/// report *what* failed (see [`JobFailure::origin`]).
+type DescribeFn<J> = dyn Fn(&J) -> Option<JobSummary> + Send + Sync;
 
 /// A persistent worker pool executing independent jobs from a bounded
 /// queue, streaming results back in completion order.
@@ -224,7 +266,9 @@ pub struct JobService<J, R> {
 }
 
 impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
-    /// Spawns the worker pool; every job goes through `run`.
+    /// Spawns the worker pool; every job goes through `run`. Failures carry
+    /// no [`JobFailure::origin`] — the generic service cannot know what a
+    /// `J` is; use [`JobService::start_described`] to attach one.
     ///
     /// # Panics
     ///
@@ -232,6 +276,21 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
     pub fn start<F>(config: ServiceConfig, run: F) -> Self
     where
         F: Fn(J) -> R + Send + Sync + 'static,
+    {
+        Self::start_described(config, run, |_| None)
+    }
+
+    /// Like [`JobService::start`], but workers capture `describe(&job)`
+    /// **before** executing it, so a panicking job's [`JobFailure`] still
+    /// reports what the job was ([`JobFailure::origin`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`queue_depth == 0`).
+    pub fn start_described<F, D>(config: ServiceConfig, run: F, describe: D) -> Self
+    where
+        F: Fn(J) -> R + Send + Sync + 'static,
+        D: Fn(&J) -> Option<JobSummary> + Send + Sync + 'static,
     {
         config.validate();
         // `workers: 0` resolves like every auto-sized primitive: all cores,
@@ -242,14 +301,19 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
         let queue = Arc::new(BoundedQueue::new(config.queue_depth));
         let (tx, results) = mpsc::channel::<TaggedResult<R>>();
         let run = Arc::new(run);
+        let describe: Arc<DescribeFn<J>> = Arc::new(describe);
         let workers = (0..worker_count)
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let tx = tx.clone();
                 let run = Arc::clone(&run);
+                let describe = Arc::clone(&describe);
                 std::thread::spawn(move || {
                     parallel::mark_pool_worker();
                     while let Some((index, job)) = queue.pop() {
+                        // summarized before running: a panicked job can no
+                        // longer say what it was, so capture that up front
+                        let origin = describe(&job);
                         // a panicking job must not kill the worker or strand
                         // a receiver: ship the payload back, where it becomes
                         // that job's typed JobFailure in the result stream
@@ -257,7 +321,7 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
                         // the send only fails when the service (and its
                         // receiver) is already being dropped — the result is
                         // unobservable then by construction
-                        let _ = tx.send((index, result));
+                        let _ = tx.send((index, origin, result));
                     }
                 })
             })
@@ -312,7 +376,7 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
         if self.outstanding() == 0 {
             return None;
         }
-        let (submitted, result) = self
+        let (submitted, origin, result) = self
             .results
             .recv()
             .expect("workers outlive outstanding jobs");
@@ -322,6 +386,7 @@ impl<J: Send + 'static, R: Send + 'static> JobService<J, R> {
             Err(payload) => Err(JobFailure {
                 submitted,
                 message: panic_message(payload.as_ref()),
+                origin,
             }),
         })
     }
@@ -587,10 +652,16 @@ impl JobSpec {
     /// at the strict depths above, and [`SchemaError::Malformed`] on
     /// missing fields or shape mismatches.
     pub fn from_json(text: &str) -> Result<Self, SchemaError> {
-        let value = parse_json(text)?;
-        check_version(&value)?;
+        Self::from_value_strict(&parse_json(text)?)
+    }
+
+    /// [`JobSpec::from_json`] on an already-parsed [`Value`] — the network
+    /// front-end embeds specs inside frame envelopes and must apply the
+    /// identical strictness to the nested tree.
+    pub(crate) fn from_value_strict(value: &Value) -> Result<Self, SchemaError> {
+        check_version(value)?;
         check_known_fields(
-            &value,
+            value,
             &[
                 "schema",
                 "job",
@@ -612,11 +683,11 @@ impl JobSpec {
         }
         Ok(JobSpec {
             schema: SCHEMA_VERSION,
-            job: parse_field(&value, "job")?,
-            instance_digest: parse_field(&value, "instance_digest")?,
-            seed: parse_field(&value, "seed")?,
-            solver: parse_field(&value, "solver")?,
-            model: parse_field(&value, "model")?,
+            job: parse_field(value, "job")?,
+            instance_digest: parse_field(value, "instance_digest")?,
+            seed: parse_field(value, "seed")?,
+            solver: parse_field(value, "solver")?,
+            model: parse_field(value, "model")?,
         })
     }
 }
@@ -680,6 +751,29 @@ impl JobOutcome {
         self
     }
 
+    /// The terminal response for a job whose deadline passed **before any
+    /// work started** — expired while still queued, shed at dequeue without
+    /// spinning up an engine. [`JobOutcome::outcome_kind`] is
+    /// [`OutcomeKind::DeadlineExceeded`] and [`JobOutcome::mcs`] is `0` (the
+    /// marker distinguishing it from a run the deadline interrupted, which
+    /// reports its partial best-so-far and the sweeps it consumed). The
+    /// energy and state fields are placeholder zeros/empties — finite, so
+    /// the outcome still serializes losslessly through the wire schema.
+    pub fn expired(spec: &JobSpec) -> Self {
+        JobOutcome {
+            schema: SCHEMA_VERSION,
+            job: spec.job,
+            instance_digest: spec.instance_digest,
+            outcome_kind: OutcomeKind::DeadlineExceeded,
+            best_energy: 0.0,
+            last_energy: 0.0,
+            mcs: 0,
+            elapsed_ns: 0,
+            best: SpinState::from_values(&[]),
+            last: SpinState::from_values(&[]),
+        }
+    }
+
     /// The outcome with its wall-clock timing zeroed — every remaining
     /// field is a pure function of the spec, so two canonical outcomes of
     /// the same job are equal (and serialize to identical bytes) no matter
@@ -703,10 +797,15 @@ impl JobOutcome {
     ///
     /// See [`JobSpec::from_json`].
     pub fn from_json(text: &str) -> Result<Self, SchemaError> {
-        let value = parse_json(text)?;
-        check_version(&value)?;
+        Self::from_value_strict(&parse_json(text)?)
+    }
+
+    /// [`JobOutcome::from_json`] on an already-parsed [`Value`]; see
+    /// [`JobSpec::from_value_strict`].
+    pub(crate) fn from_value_strict(value: &Value) -> Result<Self, SchemaError> {
+        check_version(value)?;
         check_known_fields(
-            &value,
+            value,
             &[
                 "schema",
                 "job",
@@ -722,15 +821,15 @@ impl JobOutcome {
         )?;
         Ok(JobOutcome {
             schema: SCHEMA_VERSION,
-            job: parse_field(&value, "job")?,
-            instance_digest: parse_field(&value, "instance_digest")?,
-            outcome_kind: parse_field(&value, "outcome_kind")?,
-            best_energy: parse_field(&value, "best_energy")?,
-            last_energy: parse_field(&value, "last_energy")?,
-            mcs: parse_field(&value, "mcs")?,
-            elapsed_ns: parse_field(&value, "elapsed_ns")?,
-            best: parse_field(&value, "best")?,
-            last: parse_field(&value, "last")?,
+            job: parse_field(value, "job")?,
+            instance_digest: parse_field(value, "instance_digest")?,
+            outcome_kind: parse_field(value, "outcome_kind")?,
+            best_energy: parse_field(value, "best_energy")?,
+            last_energy: parse_field(value, "last_energy")?,
+            mcs: parse_field(value, "mcs")?,
+            elapsed_ns: parse_field(value, "elapsed_ns")?,
+            best: parse_field(value, "best")?,
+            last: parse_field(value, "last")?,
         })
     }
 }
@@ -774,7 +873,7 @@ impl std::fmt::Display for SchemaError {
 
 impl std::error::Error for SchemaError {}
 
-fn parse_json(text: &str) -> Result<Value, SchemaError> {
+pub(crate) fn parse_json(text: &str) -> Result<Value, SchemaError> {
     serde_json::parse_value_str(text).map_err(|e| SchemaError::Json(e.to_string()))
 }
 
@@ -796,7 +895,7 @@ fn check_version(value: &Value) -> Result<(), SchemaError> {
 }
 
 /// Rejects any top-level field outside `known`.
-fn check_known_fields(value: &Value, known: &[&str]) -> Result<(), SchemaError> {
+pub(crate) fn check_known_fields(value: &Value, known: &[&str]) -> Result<(), SchemaError> {
     match value {
         Value::Object(fields) => {
             for (key, _) in fields {
@@ -858,7 +957,7 @@ fn check_solver_fields(value: &Value) -> Result<(), SchemaError> {
     }
 }
 
-fn parse_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, SchemaError> {
+pub(crate) fn parse_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, SchemaError> {
     let field = value
         .field(name)
         .map_err(|e| SchemaError::Malformed(e.to_string()))?;
@@ -866,9 +965,14 @@ fn parse_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, SchemaErr
 }
 
 /// The solver-level service: [`JobSpec`]s in, [`JobOutcome`]s out, executed
-/// by [`JobSpec::run`] on the worker pool.
+/// by [`JobSpec::run`] on the worker pool. Failures carry their
+/// [`JobFailure::origin`].
 pub fn solver_service(config: ServiceConfig) -> JobService<JobSpec, JobOutcome> {
-    JobService::start(config, |spec: JobSpec| spec.run())
+    JobService::start_described(
+        config,
+        |spec: JobSpec| spec.run(),
+        |spec| Some(JobSummary::of(spec)),
+    )
 }
 
 // ------------------------------------------- controlled service & drain
@@ -915,6 +1019,16 @@ impl SolverJob {
     /// Inside a service the panic becomes that job's typed [`JobFailure`],
     /// never a stream teardown.
     pub fn execute(&self, ctrl: &RunController) -> ControlledOutcome {
+        // a job whose deadline already passed while it sat in the queue is
+        // shed here, before any engine is constructed: it gets the typed
+        // DeadlineExceeded terminal outcome a worker poll would eventually
+        // have produced, at none of the spin-up cost
+        if ctrl.check(0) == Some(OutcomeKind::DeadlineExceeded) {
+            return ControlledOutcome {
+                outcome: JobOutcome::expired(self.spec()),
+                checkpoint: None,
+            };
+        }
         match self {
             SolverJob::Fresh(spec) => spec.run_controlled(ctrl),
             SolverJob::Resume(checkpoint) => checkpoint
@@ -964,7 +1078,11 @@ impl ControlledService {
     /// Panics if the configuration is invalid (`queue_depth == 0`).
     pub fn start(config: ServiceConfig, ctrl: RunController) -> Self {
         let worker_ctrl = ctrl.clone();
-        let inner = JobService::start(config, move |job: SolverJob| job.execute(&worker_ctrl));
+        let inner = JobService::start_described(
+            config,
+            move |job: SolverJob| job.execute(&worker_ctrl),
+            |job: &SolverJob| Some(JobSummary::of(job.spec())),
+        );
         ControlledService { inner, ctrl }
     }
 
@@ -1093,26 +1211,7 @@ impl ControlledService {
         ctrl: RunController,
         dir: &Path,
     ) -> Result<Self, CheckpointError> {
-        let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
-            .map_err(|e| CheckpointError::Io(e.to_string()))?
-            .map(|entry| entry.map(|e| e.path()))
-            .collect::<Result<_, _>>()
-            .map_err(|e| CheckpointError::Io(e.to_string()))?;
-        // zero-padded names: lexicographic order == submission order
-        names.sort();
-        let mut jobs = Vec::new();
-        for path in names {
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.ends_with(".ckpt") {
-                jobs.push(SolverJob::Resume(Box::new(Checkpoint::load(&path)?)));
-            } else if name.ends_with(".spec.json") {
-                let text = std::fs::read_to_string(&path)
-                    .map_err(|e| CheckpointError::Io(e.to_string()))?;
-                let spec = JobSpec::from_json(&text)
-                    .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
-                jobs.push(SolverJob::Fresh(spec));
-            }
-        }
+        let jobs = load_drain_dir(dir)?;
         let mut service = ControlledService::start(config, ctrl);
         for job in jobs {
             service.inner.submit(job);
@@ -1121,10 +1220,37 @@ impl ControlledService {
     }
 }
 
+/// Reads a [`ControlledService::shutdown_to`] drain directory back into
+/// jobs, in the original submission order. Shared with the network
+/// front-end, whose restart path resumes the same file layout.
+pub(crate) fn load_drain_dir(dir: &Path) -> Result<Vec<SolverJob>, CheckpointError> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CheckpointError::Io(e.to_string()))?
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| CheckpointError::Io(e.to_string()))?;
+    // zero-padded names: lexicographic order == submission order
+    names.sort();
+    let mut jobs = Vec::new();
+    for path in names {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".ckpt") {
+            jobs.push(SolverJob::Resume(Box::new(Checkpoint::load(&path)?)));
+        } else if name.ends_with(".spec.json") {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+            let spec =
+                JobSpec::from_json(&text).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+            jobs.push(SolverJob::Fresh(spec));
+        }
+    }
+    Ok(jobs)
+}
+
 /// Stages `text` in a `<path>.tmp` sibling and `rename`s it into place —
 /// the same crash-safety contract as [`Checkpoint::save`], for the spec
 /// files [`ControlledService::shutdown_to`] persists alongside checkpoints.
-fn write_atomic(path: &Path, text: &str) -> Result<(), CheckpointError> {
+pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), CheckpointError> {
     let mut tmp_name = path.as_os_str().to_os_string();
     tmp_name.push(".tmp");
     let tmp = PathBuf::from(tmp_name);
@@ -1432,6 +1558,75 @@ mod tests {
             out.push((ok.submitted, ok.value));
         }
         out
+    }
+
+    #[test]
+    fn solver_failures_carry_their_origin() {
+        // an invalid solver config (zero replicas) panics at engine
+        // construction; the typed failure must still say what the job was
+        let bad = SolverSpec::Ensemble(EnsembleConfig {
+            replicas: 0,
+            ..EnsembleConfig::default()
+        });
+        let mut service = solver_service(ServiceConfig {
+            workers: 1,
+            queue_depth: 4,
+        });
+        service.submit(JobSpec::new(77, toy_model(3), bad.clone(), 1).with_instance_digest(42));
+        let failure = service
+            .recv()
+            .expect("one job outstanding")
+            .expect_err("zero replicas panics");
+        let origin = failure.origin.as_ref().expect("solver services describe");
+        assert_eq!(origin.job, 77);
+        assert_eq!(origin.instance_digest, 42);
+        assert_eq!(origin.solver, bad);
+        let shown = failure.to_string();
+        assert!(shown.contains("id 77"), "display names the job: {shown}");
+    }
+
+    #[test]
+    fn queued_jobs_past_deadline_shed_without_engine_spinup() {
+        let ctrl = RunController::unlimited()
+            .with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        // a spec whose construction would panic: if the dequeue-time shed
+        // ever spins the engine up, this test fails as a JobFailure
+        let poisoned = JobSpec::new(
+            9,
+            toy_model(3),
+            SolverSpec::Ensemble(EnsembleConfig {
+                replicas: 0,
+                ..EnsembleConfig::default()
+            }),
+            1,
+        )
+        .with_instance_digest(13);
+        let mut service = ControlledService::start(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+            },
+            ctrl,
+        );
+        service.submit(poisoned);
+        let run = service
+            .recv()
+            .expect("one job outstanding")
+            .expect("shed at dequeue, not executed");
+        assert_eq!(
+            run.value.outcome.outcome_kind,
+            OutcomeKind::DeadlineExceeded
+        );
+        assert_eq!(run.value.outcome.job, 9);
+        assert_eq!(run.value.outcome.instance_digest, 13);
+        assert_eq!(run.value.outcome.mcs, 0, "no sweeps were consumed");
+        assert!(run.value.checkpoint.is_none());
+        // and the synthesized outcome survives the wire schema losslessly
+        let text = run.value.outcome.to_json();
+        assert_eq!(
+            JobOutcome::from_json(&text).expect("round-trips"),
+            run.value.outcome
+        );
     }
 
     #[test]

@@ -60,9 +60,78 @@ pub struct RunRecord {
     pub mcs_cumulative: u64,
 }
 
+/// Per-client accounting the network front-end keeps (one instance per
+/// connected client, plus an aggregate): every job a client submits lands in
+/// exactly one terminal bucket, so `accepted == completed + failed +
+/// cancelled + expired` once the client's stream has drained — the
+/// no-lost-jobs invariant, checkable from telemetry alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Jobs admitted into the scheduler.
+    pub accepted: u64,
+    /// Frames refused before admission: malformed, oversized, wrong schema
+    /// version, or shed by admission control while overloaded.
+    pub rejected: u64,
+    /// Accepted jobs that completed a full solve.
+    pub completed: u64,
+    /// Accepted jobs whose execution panicked (typed failure delivered).
+    pub failed: u64,
+    /// Accepted jobs cancelled — explicitly, by disconnect, or by fleet
+    /// shutdown — before or during execution.
+    pub cancelled: u64,
+    /// Accepted jobs whose deadline passed (in the queue or mid-run).
+    pub expired: u64,
+}
+
+impl ClientStats {
+    /// Terminal responses delivered so far.
+    pub fn settled(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.expired
+    }
+
+    /// Accepted jobs still queued or running.
+    pub fn in_flight(&self) -> u64 {
+        self.accepted - self.settled()
+    }
+
+    /// Folds another tally into this one (aggregation across clients).
+    pub fn absorb(&mut self, other: &ClientStats) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.expired += other.expired;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn client_stats_buckets_are_exhaustive() {
+        let mut a = ClientStats {
+            accepted: 10,
+            rejected: 3,
+            completed: 4,
+            failed: 1,
+            cancelled: 2,
+            expired: 1,
+        };
+        assert_eq!(a.settled(), 8);
+        assert_eq!(a.in_flight(), 2);
+        let b = ClientStats {
+            accepted: 5,
+            completed: 5,
+            ..ClientStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.accepted, 15);
+        assert_eq!(a.settled(), 13);
+        let s = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<ClientStats>(&s).unwrap(), a);
+    }
 
     #[test]
     fn counter_accumulates_and_saturates() {
