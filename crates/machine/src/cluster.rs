@@ -1,0 +1,1809 @@
+//! Sharded multi-backend routing with health-checked failover and
+//! exactly-once job settlement — the socket-free core of the `saim-router`
+//! binary, mirroring how [`frontend`](crate::frontend) is the socket-free
+//! core of `saim-server`.
+//!
+//! # Topology
+//!
+//! ```text
+//!                        ┌───────────────────────────┐     NDJSON    ┌────────────┐
+//!   clients ── NDJSON ──▶│  saim-router              │──────────────▶│ saim-server│ shard 0
+//!                        │   rendezvous placement    │               └────────────┘
+//!                        │   health state machine    │     NDJSON    ┌────────────┐
+//!                        │   write-ahead journal     │──────────────▶│ saim-server│ shard 1
+//!                        │   exactly-once settlement │               └────────────┘
+//!                        └───────────────────────────┘                   ⋮  shard N-1
+//! ```
+//!
+//! The router speaks the same schema-versioned NDJSON protocol on both
+//! faces. Clients see one logical fleet; behind the router each backend is
+//! an ordinary `saim-server` (or an in-process [`Frontend`] in tests),
+//! reached over a [`BackendLink`] and pumped by one dedicated thread.
+//!
+//! # Placement
+//!
+//! Each job is placed by **rendezvous (highest-random-weight) hashing**
+//! over the currently eligible backends: the shard key is the spec's
+//! instance digest (so repeated solves of one instance land on the same
+//! shard and enjoy its warm state) or an FNV-1a fold of the spec when no
+//! digest is attached. Eligibility respects a per-backend bounded
+//! **in-flight window** ([`ClusterConfig::window`]) and any
+//! [`Response::Overloaded`] hint the backend returned — an overloaded
+//! shard backs off for the hinted delay while the job is re-placed on the
+//! next-highest shard. Jobs with no eligible shard park in the router and
+//! flow as capacity frees.
+//!
+//! # Health
+//!
+//! A per-backend state machine `Up → Suspect → Down → HalfOpen → Up`
+//! ([`BackendState`], driven by [`HealthTracker`]) doubles as a circuit
+//! breaker. The pump probes each backend with protocol `stats` frames at
+//! [`ClusterConfig::probe_interval`]; consecutive missed probes walk
+//! `Up → Suspect → Down`. A `Down` backend gets **no new jobs** and its
+//! journaled-but-unsettled jobs are re-routed. When a probe answer
+//! reappears, the breaker half-opens: exactly **one probe job** (a tiny
+//! solve) is admitted, and only its settlement closes the breaker back to
+//! `Up`. A transport-level death (send or poll error) is an immediate
+//! `Down` plus pump exit; recovery requires attaching a fresh link
+//! ([`Cluster::attach_backend`]) — in the managed flow, one wrapping the
+//! restarted backend's `--resume` recovery stream, which therefore drains
+//! through the router (and its settlement dedup) before the backend can
+//! pass its half-open probe and take new work.
+//!
+//! # Exactly-once settlement
+//!
+//! The router owes each accepted job **exactly one** terminal frame, even
+//! across backend kills, restarts, partitions, and duplicate deliveries.
+//! Three mechanisms compose to prove it:
+//!
+//! 1. **A write-ahead intent journal** ([`journal`]) — `routed` before a
+//!    job is owned, `accepted` once a backend admits it, `settled` after
+//!    the terminal frame is delivered. Atomic tmp+rename compaction on
+//!    open, one checksum per line, conservative torn-tail recovery.
+//! 2. **Global job ids**: the router rewrites each spec's `job` to a
+//!    router-global gid before forwarding, so every backend frame names
+//!    the gid and the original client id is restored only at delivery.
+//! 3. **Settlement dedup by gid**: the first terminal frame for a gid
+//!    settles it; late frames — a partition healing after failover, an
+//!    at-least-once transport replaying outcomes, a restarted backend's
+//!    recovery stream re-delivering work that was already re-routed — are
+//!    counted and dropped. Because a [`JobOutcome`] is a pure function of
+//!    its spec, whichever copy wins is bit-identical to the direct
+//!    `spec.run()` oracle.
+//!
+//! # Degradation
+//!
+//! With every shard down the router **sheds, never hangs**: submits earn
+//! [`Response::Overloaded`] with the configured retry hint. Shutdown stops
+//! the pumps and reports what was still unsettled; in the managed flow each
+//! backend then drains to its checkpoint directory for bit-identical
+//! resume.
+//!
+//! Backend-level fault injection (kill, partition/heal, duplicate-outcome
+//! replay) is scripted through
+//! [`BackendFaultPlan`](crate::frontend::faults::BackendFaultPlan) and the
+//! [`FaultyLink`] wrapper; the loopback suite in `tests/cluster.rs` drives
+//! the proofs.
+//!
+//! [`Frontend`]: crate::frontend::Frontend
+//! [`Response::Overloaded`]: crate::frontend::Response::Overloaded
+//! [`JobOutcome`]: crate::service::JobOutcome
+
+pub mod journal;
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::checkpoint::{digest64, CheckpointError, OutcomeKind};
+use crate::frontend::faults::BackendFaultPlan;
+use crate::frontend::{
+    read_line_capped, ClientHandle, DrainReport, FrameError, Frontend, FrontendConfig,
+    NdjsonClient, ReadError, Request, Response,
+};
+use crate::service::{JobOutcome, JobSpec, SolverSpec};
+use crate::telemetry::ClientStats;
+use journal::{Journal, JournalAnomaly, JournalError, JournalRecord};
+use saim_ising::QuboBuilder;
+
+// ----------------------------------------------------------------- links
+
+/// A transport-level failure on a router↔backend link; fatal for the link
+/// (the pump marks the backend down and exits).
+#[derive(Debug, Clone)]
+pub struct LinkError(pub String);
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend link failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// One router↔backend session: ordered frames out, ordered frames back.
+/// Implementations are driven by exactly one pump thread each.
+pub trait BackendLink: Send {
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] when the transport is dead; the pump treats this as
+    /// the backend crashing.
+    fn send(&mut self, request: &Request) -> Result<(), LinkError>;
+
+    /// Waits up to `timeout` for the next response frame. `Ok(None)` means
+    /// the link is quiet, not dead.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] when the transport is dead.
+    fn poll(&mut self, timeout: Duration) -> Result<Option<Response>, LinkError>;
+}
+
+/// A link to an in-process [`Frontend`] session — the unit-test transport,
+/// and the `--resume` recovery stream's carrier after a managed restart.
+///
+/// The handle is shared behind a mutex so a [`ManagedBackend`] can keep an
+/// anchor clone alive: a killed link's drop then does *not* disconnect the
+/// backend session, which is what lets the backend's unfinished jobs
+/// survive into its drain directory.
+pub struct InProcessLink {
+    handle: Arc<Mutex<ClientHandle>>,
+}
+
+impl InProcessLink {
+    /// Wraps a connected session handle.
+    pub fn new(handle: ClientHandle) -> Self {
+        InProcessLink {
+            handle: Arc::new(Mutex::new(handle)),
+        }
+    }
+
+    fn shared(handle: &Arc<Mutex<ClientHandle>>) -> Self {
+        InProcessLink {
+            handle: Arc::clone(handle),
+        }
+    }
+}
+
+impl BackendLink for InProcessLink {
+    fn send(&mut self, request: &Request) -> Result<(), LinkError> {
+        self.handle
+            .lock()
+            .expect("link lock is never poisoned")
+            .send(request.clone());
+        Ok(())
+    }
+
+    fn poll(&mut self, timeout: Duration) -> Result<Option<Response>, LinkError> {
+        Ok(self
+            .handle
+            .lock()
+            .expect("link lock is never poisoned")
+            .recv_timeout(timeout))
+    }
+}
+
+/// A link to a remote `saim-server` over TCP NDJSON — the deployment
+/// transport of the `saim-router` binary.
+pub struct TcpLink {
+    client: NdjsonClient,
+}
+
+impl TcpLink {
+    /// Connects to a listening backend.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level connect failure.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Ok(TcpLink {
+            client: NdjsonClient::connect(addr)?,
+        })
+    }
+}
+
+impl BackendLink for TcpLink {
+    fn send(&mut self, request: &Request) -> Result<(), LinkError> {
+        self.client
+            .send(request)
+            .map_err(|e| LinkError(e.to_string()))
+    }
+
+    fn poll(&mut self, timeout: Duration) -> Result<Option<Response>, LinkError> {
+        self.client
+            .set_read_timeout(timeout.max(Duration::from_millis(1)))
+            .map_err(|e| LinkError(e.to_string()))?;
+        match self.client.recv() {
+            Ok(response) => Ok(Some(response)),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(LinkError(e.to_string())),
+        }
+    }
+}
+
+/// A fault-injecting link wrapper scripted by a
+/// [`BackendFaultPlan`](crate::frontend::faults::BackendFaultPlan); see the
+/// plan's docs for the three scripts (kill, partition/heal, duplicate
+/// outcomes). Deterministic: faults are switches the test flips, never
+/// random.
+pub struct FaultyLink {
+    inner: Box<dyn BackendLink>,
+    plan: Arc<BackendFaultPlan>,
+    backend: usize,
+    /// Responses captured while partitioned, replayed in order on heal.
+    held: VecDeque<Response>,
+}
+
+impl FaultyLink {
+    /// Wraps `inner` as backend index `backend` of `plan`.
+    pub fn new(inner: Box<dyn BackendLink>, plan: Arc<BackendFaultPlan>, backend: usize) -> Self {
+        FaultyLink {
+            inner,
+            plan,
+            backend,
+            held: VecDeque::new(),
+        }
+    }
+
+    /// Moves every already-arrived inner response into the hold buffer,
+    /// duplicating outcomes when scripted — so a partition holds frames the
+    /// backend produced *during* the partition too, not only before it.
+    fn ingest(&mut self) -> Result<(), LinkError> {
+        while let Some(response) = self.inner.poll(Duration::ZERO)? {
+            let duplicate = matches!(response, Response::Outcome { .. })
+                && self.plan.is_duplicating(self.backend);
+            if duplicate {
+                self.held.push_back(response.clone());
+            }
+            self.held.push_back(response);
+        }
+        Ok(())
+    }
+}
+
+impl BackendLink for FaultyLink {
+    fn send(&mut self, request: &Request) -> Result<(), LinkError> {
+        if self.plan.is_killed(self.backend) {
+            return Err(LinkError(format!("backend {} scripted dead", self.backend)));
+        }
+        // a partitioned backend still receives and computes; only its
+        // responses are invisible
+        self.inner.send(request)
+    }
+
+    fn poll(&mut self, timeout: Duration) -> Result<Option<Response>, LinkError> {
+        if self.plan.is_killed(self.backend) {
+            return Err(LinkError(format!("backend {} scripted dead", self.backend)));
+        }
+        self.ingest()?;
+        if self.plan.is_stalled(self.backend) {
+            std::thread::sleep(timeout.min(Duration::from_millis(5)));
+            return Ok(None);
+        }
+        if let Some(response) = self.held.pop_front() {
+            return Ok(Some(response));
+        }
+        match self.inner.poll(timeout)? {
+            Some(response) => {
+                if matches!(response, Response::Outcome { .. })
+                    && self.plan.is_duplicating(self.backend)
+                {
+                    self.held.push_back(response.clone());
+                }
+                Ok(Some(response))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- health
+
+/// One backend's position in the health state machine; see the
+/// [module docs](self#health).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendState {
+    /// Answering probes; eligible for new jobs.
+    Up,
+    /// Missed at least one probe; no new jobs until it answers again.
+    Suspect,
+    /// Breaker tripped: no new jobs, unsettled jobs re-routed. Probing
+    /// continues (revival detection), but only a transport-alive backend
+    /// can answer.
+    Down,
+    /// Answered a probe while down: admitted exactly one probe job, whose
+    /// settlement closes the breaker.
+    HalfOpen,
+}
+
+/// The pure, clock-free health state machine — the pump feeds it probe
+/// observations; it never reads time itself, so every transition is
+/// unit-testable as plain data.
+#[derive(Debug)]
+pub struct HealthTracker {
+    states: Vec<BackendState>,
+    misses: Vec<u32>,
+    down_after: u32,
+}
+
+impl HealthTracker {
+    /// `backends` slots, all starting [`BackendState::Up`]; `down_after`
+    /// consecutive missed probes trip the breaker (clamped to at least 1).
+    pub fn new(backends: usize, down_after: u32) -> Self {
+        HealthTracker {
+            states: vec![BackendState::Up; backends],
+            misses: vec![0; backends],
+            down_after: down_after.max(1),
+        }
+    }
+
+    /// Backend `b`'s current state.
+    pub fn state(&self, b: usize) -> BackendState {
+        self.states[b]
+    }
+
+    /// Every backend's state, by index.
+    pub fn states(&self) -> Vec<BackendState> {
+        self.states.clone()
+    }
+
+    /// A probe was answered: `Suspect` recovers to `Up`, `Down` half-opens
+    /// (the revival signal), `Up`/`HalfOpen` stay put. Returns the new
+    /// state.
+    pub fn probe_ok(&mut self, b: usize) -> BackendState {
+        self.misses[b] = 0;
+        self.states[b] = match self.states[b] {
+            BackendState::Up | BackendState::Suspect => BackendState::Up,
+            BackendState::Down | BackendState::HalfOpen => BackendState::HalfOpen,
+        };
+        self.states[b]
+    }
+
+    /// A probe went unanswered: `Up` becomes `Suspect`, enough consecutive
+    /// misses trip `Down`, and a `HalfOpen` backend that stops answering
+    /// re-trips immediately. Returns the new state.
+    pub fn probe_missed(&mut self, b: usize) -> BackendState {
+        self.states[b] = match self.states[b] {
+            BackendState::Up => {
+                self.misses[b] = 1;
+                if self.misses[b] >= self.down_after {
+                    BackendState::Down
+                } else {
+                    BackendState::Suspect
+                }
+            }
+            BackendState::Suspect => {
+                self.misses[b] += 1;
+                if self.misses[b] >= self.down_after {
+                    BackendState::Down
+                } else {
+                    BackendState::Suspect
+                }
+            }
+            BackendState::HalfOpen | BackendState::Down => BackendState::Down,
+        };
+        self.states[b]
+    }
+
+    /// A transport-level death: straight to `Down` regardless of history.
+    pub fn fatal(&mut self, b: usize) {
+        self.misses[b] = 0;
+        self.states[b] = BackendState::Down;
+    }
+
+    /// The half-open probe job settled: the breaker closes back to `Up`.
+    pub fn probe_job_settled(&mut self, b: usize) -> BackendState {
+        if self.states[b] == BackendState::HalfOpen {
+            self.states[b] = BackendState::Up;
+            self.misses[b] = 0;
+        }
+        self.states[b]
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+/// Configuration of a [`Cluster`].
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Per-backend bounded in-flight window: queued + submitted-unacked +
+    /// accepted-unsettled jobs a backend may hold before placement skips
+    /// it.
+    pub window: usize,
+    /// How often each pump probes its backend with a `stats` frame.
+    pub probe_interval: Duration,
+    /// Consecutive missed probes before the breaker trips to
+    /// [`BackendState::Down`].
+    pub down_after_misses: u32,
+    /// Retry hint carried on shed [`Response::Overloaded`] frames.
+    pub retry_after_ms: u64,
+    /// Longest client request line accepted before an `oversized`
+    /// rejection.
+    pub max_frame_bytes: usize,
+    /// Slow-loris guard for client connections (same contract as
+    /// [`FrontendConfig::read_timeout`]).
+    pub read_timeout: Duration,
+    /// Where the write-ahead intent journal lives; `None` keeps settlement
+    /// state in memory only (no crash recovery).
+    pub journal: Option<PathBuf>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            window: 8,
+            probe_interval: Duration::from_millis(25),
+            down_after_misses: 3,
+            retry_after_ms: 25,
+            max_frame_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+            journal: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    fn validate(&self) {
+        assert!(self.window > 0, "in-flight window must be positive");
+        assert!(self.max_frame_bytes > 0, "frame limit must be positive");
+        assert!(
+            !self.probe_interval.is_zero(),
+            "probe interval must be positive"
+        );
+    }
+}
+
+// ------------------------------------------------------------------ core
+
+/// One client-owed job's bookkeeping, keyed by its router-global gid.
+struct JobRecord {
+    client: u64,
+    client_job: u64,
+    spec: JobSpec,
+    priority: u8,
+    deadline_ms: Option<u64>,
+    settled: bool,
+    probe: bool,
+}
+
+/// One connected client's router-side state.
+struct RouterClient {
+    stats: ClientStats,
+    by_job: HashMap<u64, u64>,
+    tx: mpsc::Sender<Response>,
+}
+
+/// One backend's routing state. `generation` fences the pump: a stale
+/// pump's observations are ignored after a fresh link is attached.
+struct BackendSlot {
+    generation: u64,
+    pump_alive: bool,
+    /// Cancels forwarded unconditionally, ahead of submits.
+    control: VecDeque<Request>,
+    /// Placed gids not yet forwarded.
+    queued: VecDeque<u64>,
+    /// The one forwarded-but-unacknowledged submit. `Overloaded` carries
+    /// no job id, so submits are serialized per backend to keep the
+    /// correlation exact.
+    awaiting: Option<u64>,
+    /// Accepted-but-unsettled gids on this backend.
+    assigned: HashSet<u64>,
+    /// Scheduler-clock ms before which no submit is forwarded (the
+    /// backend's `Overloaded` hint).
+    backoff_until: u64,
+    last_probe: u64,
+    probe_outstanding: bool,
+    /// Half-open and owed its one probe job.
+    want_probe_job: bool,
+}
+
+impl BackendSlot {
+    fn new() -> Self {
+        BackendSlot {
+            generation: 0,
+            pump_alive: false,
+            control: VecDeque::new(),
+            queued: VecDeque::new(),
+            awaiting: None,
+            assigned: HashSet::new(),
+            backoff_until: 0,
+            last_probe: 0,
+            probe_outstanding: false,
+            want_probe_job: false,
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queued.len() + self.assigned.len() + usize::from(self.awaiting.is_some())
+    }
+}
+
+struct CoreState {
+    clients: HashMap<u64, RouterClient>,
+    backends: Vec<BackendSlot>,
+    jobs: HashMap<u64, JobRecord>,
+    /// Routed jobs with no eligible backend yet, in routing order.
+    parked: VecDeque<u64>,
+    fleet: ClientStats,
+    health: HealthTracker,
+    journal: Option<Journal>,
+    next_client: u64,
+    next_gid: u64,
+    shutting_down: bool,
+    duplicates_dropped: u64,
+    reroutes: u64,
+    timed_settles: u64,
+    timed_settle_ms: u64,
+}
+
+/// The terminal payload a settle delivers, pre-rewrite.
+enum Settlement {
+    Outcome(JobOutcome),
+    Failure {
+        instance_digest: u64,
+        message: String,
+    },
+}
+
+/// The shared router core: client registry, placement, health, journal.
+struct RouterCore {
+    config: ClusterConfig,
+    state: Mutex<CoreState>,
+    epoch: Instant,
+}
+
+/// Rendezvous (highest-random-weight) choice: the candidate whose FNV-1a
+/// digest of `key ‖ candidate` is largest. Stable for a fixed candidate
+/// set, and removing one candidate only moves the jobs that were on it.
+fn rendezvous_choice(key: u64, candidates: &[usize]) -> Option<usize> {
+    candidates.iter().copied().max_by_key(|&b| {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&key.to_le_bytes());
+        bytes[8..].copy_from_slice(&(b as u64).to_le_bytes());
+        (digest64(&bytes), std::cmp::Reverse(b))
+    })
+}
+
+/// The shard key of a spec: its instance digest when attached (same
+/// instance → same shard), else an FNV-1a fold of its identity fields.
+fn shard_key(spec: &JobSpec) -> u64 {
+    if spec.instance_digest != 0 {
+        return spec.instance_digest;
+    }
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&spec.job.to_le_bytes());
+    bytes[8..].copy_from_slice(&spec.seed.to_le_bytes());
+    digest64(&bytes)
+}
+
+/// The half-open probe job: a two-variable descent, trivially cheap, with
+/// the probe's gid as both job id and seed.
+fn probe_spec(gid: u64) -> JobSpec {
+    let mut b = QuboBuilder::new(2);
+    b.add_linear(0, -1.0).expect("index in range");
+    b.add_linear(1, -1.0).expect("index in range");
+    JobSpec::new(gid, b.build(), SolverSpec::Descent { max_sweeps: 4 }, gid)
+}
+
+impl RouterCore {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn probe_interval_ms(&self) -> u64 {
+        u64::try_from(self.config.probe_interval.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1)
+    }
+
+    // -------------------------------------------------------- client face
+
+    fn register_client(&self, tx: mpsc::Sender<Response>) -> u64 {
+        let mut state = self.state.lock().expect("router lock is never poisoned");
+        let id = state.next_client;
+        state.next_client += 1;
+        state.clients.insert(
+            id,
+            RouterClient {
+                stats: ClientStats::default(),
+                by_job: HashMap::new(),
+                tx,
+            },
+        );
+        id
+    }
+
+    /// Disconnect semantics: the slot (and its delivery channel) goes away;
+    /// the router still owes each routed job a settlement — it lands in the
+    /// journal as usual, just with nobody left to deliver to.
+    fn disconnect(&self, client: u64) {
+        let mut state = self.state.lock().expect("router lock is never poisoned");
+        state.clients.remove(&client);
+    }
+
+    fn send_to(state: &CoreState, client: u64, response: Response) {
+        if let Some(slot) = state.clients.get(&client) {
+            let _ = slot.tx.send(response);
+        }
+    }
+
+    fn reject(&self, client: u64, error: &FrameError) {
+        let state = self.state.lock().expect("router lock is never poisoned");
+        Self::send_to(
+            &state,
+            client,
+            Response::Rejected {
+                code: error.code().to_string(),
+                error: error.to_string(),
+            },
+        );
+    }
+
+    fn handle(self: &Arc<Self>, client: u64, request: Request) {
+        match request {
+            // weights are a backend-scheduler concern; the router accepts
+            // the frame for protocol parity and keeps fair sharing local to
+            // each shard
+            Request::Hello { .. } => {}
+            Request::Submit {
+                spec,
+                priority,
+                deadline_ms,
+            } => self.submit(client, spec, priority, deadline_ms),
+            Request::Cancel { job } => self.cancel(client, job),
+            Request::Stats => self.stats(client),
+        }
+    }
+
+    /// Admission: shed while shutting down or with no live shard; else
+    /// journal the intent, stamp the gid, place (or park), and acknowledge
+    /// — all under one lock hold so `Accepted` precedes the terminal frame.
+    fn submit(
+        self: &Arc<Self>,
+        client: u64,
+        spec: JobSpec,
+        priority: u8,
+        deadline_ms: Option<u64>,
+    ) {
+        let mut guard = self.state.lock().expect("router lock is never poisoned");
+        let state = &mut *guard;
+        let now = self.now_ms();
+        let any_alive = state
+            .backends
+            .iter()
+            .enumerate()
+            .any(|(b, slot)| slot.pump_alive && state.health.state(b) != BackendState::Down);
+        if state.shutting_down || !any_alive {
+            state.fleet.rejected += 1;
+            if let Some(slot) = state.clients.get_mut(&client) {
+                slot.stats.rejected += 1;
+            }
+            Self::send_to(
+                state,
+                client,
+                Response::Overloaded {
+                    retry_after_ms: self.config.retry_after_ms,
+                },
+            );
+            return;
+        }
+        let gid = state.next_gid;
+        state.next_gid += 1;
+        let client_job = spec.job;
+        let mut spec = spec;
+        spec.job = gid;
+        if let Some(journal) = &mut state.journal {
+            // write-ahead: the intent must be durable before the job is
+            // owned; a journal that cannot record it sheds instead
+            let record = JournalRecord::Routed {
+                gid,
+                client_job,
+                spec: spec.clone(),
+            };
+            if journal.append(&record).is_err() {
+                state.fleet.rejected += 1;
+                if let Some(slot) = state.clients.get_mut(&client) {
+                    slot.stats.rejected += 1;
+                }
+                Self::send_to(
+                    state,
+                    client,
+                    Response::Overloaded {
+                        retry_after_ms: self.config.retry_after_ms,
+                    },
+                );
+                return;
+            }
+        }
+        state.jobs.insert(
+            gid,
+            JobRecord {
+                client,
+                client_job,
+                spec,
+                priority,
+                deadline_ms,
+                settled: false,
+                probe: false,
+            },
+        );
+        state.fleet.accepted += 1;
+        if let Some(slot) = state.clients.get_mut(&client) {
+            slot.stats.accepted += 1;
+            slot.by_job.insert(client_job, gid);
+        }
+        self.place(state, gid, None, now);
+        Self::send_to(state, client, Response::Accepted { job: client_job });
+    }
+
+    fn cancel(self: &Arc<Self>, client: u64, job: u64) {
+        let mut guard = self.state.lock().expect("router lock is never poisoned");
+        let state = &mut *guard;
+        let gid = state
+            .clients
+            .get(&client)
+            .and_then(|slot| slot.by_job.get(&job).copied());
+        let live = gid.filter(|gid| state.jobs.get(gid).is_some_and(|r| !r.settled));
+        let Some(gid) = live else {
+            Self::send_to(
+                state,
+                client,
+                Response::Rejected {
+                    code: FrameError::UnknownJob(job).code().to_string(),
+                    error: FrameError::UnknownJob(job).to_string(),
+                },
+            );
+            return;
+        };
+        // still router-side (parked or queued): settle the cancel locally —
+        // the backend never saw the job
+        let parked = state.parked.iter().position(|&g| g == gid);
+        if let Some(i) = parked {
+            state.parked.remove(i);
+            let outcome = JobOutcome::expired(&state.jobs[&gid].spec)
+                .with_outcome_kind(OutcomeKind::Cancelled);
+            self.settle(state, None, gid, Settlement::Outcome(outcome));
+            return;
+        }
+        for slot in &mut state.backends {
+            if let Some(i) = slot.queued.iter().position(|&g| g == gid) {
+                slot.queued.remove(i);
+                let outcome = JobOutcome::expired(&state.jobs[&gid].spec)
+                    .with_outcome_kind(OutcomeKind::Cancelled);
+                self.settle(state, None, gid, Settlement::Outcome(outcome));
+                return;
+            }
+        }
+        // on a backend already: forward the cancel ahead of any submits;
+        // the backend's terminal frame settles it
+        for slot in &mut state.backends {
+            if slot.assigned.contains(&gid) || slot.awaiting == Some(gid) {
+                slot.control.push_back(Request::Cancel { job: gid });
+                return;
+            }
+        }
+        // routed but nowhere: should be unreachable, treat as unknown
+        Self::send_to(
+            state,
+            client,
+            Response::Rejected {
+                code: FrameError::UnknownJob(job).code().to_string(),
+                error: FrameError::UnknownJob(job).to_string(),
+            },
+        );
+    }
+
+    fn stats(&self, client: u64) {
+        let guard = self.state.lock().expect("router lock is never poisoned");
+        let state = &*guard;
+        let queue_depth = Self::queue_depth(state);
+        let eta_ms = Self::eta_ms(state, queue_depth);
+        let client_stats = state
+            .clients
+            .get(&client)
+            .map(|slot| slot.stats)
+            .unwrap_or_default();
+        Self::send_to(
+            state,
+            client,
+            Response::Stats {
+                client: client_stats,
+                fleet: state.fleet,
+                queue_depth,
+                eta_ms,
+            },
+        );
+    }
+
+    fn queue_depth(state: &CoreState) -> u64 {
+        let queued: usize = state.backends.iter().map(|slot| slot.queued.len()).sum();
+        (state.parked.len() + queued) as u64
+    }
+
+    /// Same rough contract as the frontend's estimate: backlog × mean
+    /// settled-job wall ms ÷ live shards; `0` until one timed settle.
+    fn eta_ms(state: &CoreState, queue_depth: u64) -> u64 {
+        if state.timed_settles == 0 {
+            return 0;
+        }
+        let shards = state
+            .backends
+            .iter()
+            .filter(|slot| slot.pump_alive)
+            .count()
+            .max(1) as u64;
+        queue_depth.saturating_mul(state.timed_settle_ms / state.timed_settles) / shards
+    }
+
+    // --------------------------------------------------------- placement
+
+    fn eligible(&self, state: &CoreState, now: u64, exclude: Option<usize>) -> Vec<usize> {
+        state
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|&(b, slot)| {
+                Some(b) != exclude
+                    && slot.pump_alive
+                    && state.health.state(b) == BackendState::Up
+                    && slot.in_flight() < self.config.window
+                    && now >= slot.backoff_until
+            })
+            .map(|(b, _)| b)
+            .collect()
+    }
+
+    /// Places `gid` on its rendezvous shard among the eligible backends, or
+    /// parks it when none qualifies.
+    fn place(&self, state: &mut CoreState, gid: u64, exclude: Option<usize>, now: u64) {
+        let Some(record) = state.jobs.get(&gid) else {
+            return;
+        };
+        if record.settled {
+            return;
+        }
+        let key = shard_key(&record.spec);
+        let candidates = self.eligible(state, now, exclude);
+        match rendezvous_choice(key, &candidates) {
+            Some(b) => state.backends[b].queued.push_back(gid),
+            None => state.parked.push_back(gid),
+        }
+    }
+
+    /// Drains the parked queue onto whatever capacity appeared; called on
+    /// every capacity- or health-freeing event.
+    fn flush_parked(&self, state: &mut CoreState, now: u64) {
+        let mut still_parked = VecDeque::new();
+        while let Some(gid) = state.parked.pop_front() {
+            let live = state.jobs.get(&gid).is_some_and(|r| !r.settled);
+            if !live {
+                continue;
+            }
+            let key = shard_key(&state.jobs[&gid].spec);
+            let candidates = self.eligible(state, now, None);
+            match rendezvous_choice(key, &candidates) {
+                Some(b) => state.backends[b].queued.push_back(gid),
+                None => still_parked.push_back(gid),
+            }
+        }
+        state.parked = still_parked;
+    }
+
+    /// Re-places one job after its backend failed it (died, shed it, or
+    /// went down before settling it).
+    fn reroute(&self, state: &mut CoreState, gid: u64, exclude: Option<usize>, now: u64) {
+        let Some(record) = state.jobs.get(&gid) else {
+            return;
+        };
+        if record.settled {
+            return;
+        }
+        if record.probe {
+            // a probe job dies with its backend attempt
+            state.jobs.remove(&gid);
+            return;
+        }
+        state.reroutes += 1;
+        self.place(state, gid, exclude, now);
+    }
+
+    /// Backend `b` can no longer settle anything: every journaled-but-
+    /// unsettled job it held is re-routed (the exactly-once failover).
+    fn unreachable(&self, state: &mut CoreState, b: usize, now: u64) {
+        let queued: Vec<u64> = state.backends[b].queued.drain(..).collect();
+        let awaiting = state.backends[b].awaiting.take();
+        let mut assigned: Vec<u64> = state.backends[b].assigned.drain().collect();
+        assigned.sort_unstable();
+        for gid in queued.into_iter().chain(awaiting).chain(assigned) {
+            self.reroute(state, gid, Some(b), now);
+        }
+    }
+
+    // -------------------------------------------------------- pump hooks
+
+    /// The requests pump `gen` of backend `b` should send now: queued
+    /// cancels first, then a due health probe, then — half-open only — the
+    /// breaker's probe job, then at most one serialized submit. `None`
+    /// tells a superseded or shutting-down pump to exit.
+    fn take_outgoing(self: &Arc<Self>, b: usize, gen: u64) -> Option<Vec<Request>> {
+        let mut guard = self.state.lock().expect("router lock is never poisoned");
+        let state = &mut *guard;
+        if state.shutting_down || state.backends[b].generation != gen {
+            return None;
+        }
+        let now = self.now_ms();
+        let mut out: Vec<Request> = state.backends[b].control.drain(..).collect();
+        let probe_due = state.backends[b].last_probe == 0
+            || now
+                >= state.backends[b]
+                    .last_probe
+                    .saturating_add(self.probe_interval_ms());
+        if probe_due {
+            if state.backends[b].probe_outstanding
+                && state.health.probe_missed(b) == BackendState::Down
+            {
+                self.unreachable(state, b, now);
+            }
+            state.backends[b].last_probe = now;
+            state.backends[b].probe_outstanding = true;
+            out.push(Request::Stats);
+        }
+        if state.health.state(b) == BackendState::HalfOpen && state.backends[b].want_probe_job {
+            let gid = state.next_gid;
+            state.next_gid += 1;
+            state.jobs.insert(
+                gid,
+                JobRecord {
+                    client: 0,
+                    client_job: gid,
+                    spec: probe_spec(gid),
+                    priority: 0,
+                    deadline_ms: None,
+                    settled: false,
+                    probe: true,
+                },
+            );
+            state.backends[b].queued.push_back(gid);
+            state.backends[b].want_probe_job = false;
+        }
+        if state.backends[b].awaiting.is_none() && now >= state.backends[b].backoff_until {
+            while let Some(gid) = state.backends[b].queued.pop_front() {
+                match state.jobs.get(&gid) {
+                    Some(record) if !record.settled => {
+                        out.push(Request::Submit {
+                            spec: record.spec.clone(),
+                            priority: record.priority,
+                            deadline_ms: record.deadline_ms,
+                        });
+                        state.backends[b].awaiting = Some(gid);
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// One response frame from pump `gen` of backend `b`.
+    fn on_response(self: &Arc<Self>, b: usize, gen: u64, response: Response) {
+        let mut guard = self.state.lock().expect("router lock is never poisoned");
+        let state = &mut *guard;
+        if state.backends[b].generation != gen {
+            return;
+        }
+        let now = self.now_ms();
+        match response {
+            Response::Stats { .. } => {
+                state.backends[b].probe_outstanding = false;
+                let was = state.health.state(b);
+                let is = state.health.probe_ok(b);
+                if was != is && is == BackendState::HalfOpen {
+                    state.backends[b].want_probe_job = true;
+                }
+                if is == BackendState::Up {
+                    self.flush_parked(state, now);
+                }
+            }
+            Response::Accepted { job: gid } => {
+                // specs are forwarded with gid as the job id, so the echo
+                // correlates exactly; anything else is a stale ack from a
+                // previous routing attempt of this link
+                if state.backends[b].awaiting == Some(gid) {
+                    state.backends[b].awaiting = None;
+                    if state.jobs.get(&gid).is_some_and(|r| !r.settled) {
+                        state.backends[b].assigned.insert(gid);
+                        let probe = state.jobs[&gid].probe;
+                        if !probe {
+                            if let Some(journal) = &mut state.journal {
+                                // best-effort: acceptance is an optimization
+                                // hint for recovery, not a correctness gate
+                                let _ =
+                                    journal.append(&JournalRecord::Accepted { gid, backend: b });
+                            }
+                        }
+                    }
+                }
+            }
+            Response::Overloaded { retry_after_ms } => {
+                if let Some(gid) = state.backends[b].awaiting.take() {
+                    state.backends[b].backoff_until = now + retry_after_ms.max(1);
+                    self.reroute(state, gid, Some(b), now);
+                }
+            }
+            // backends answer `Rejected` only to forwarded cancels of jobs
+            // they already settled (the race where the outcome is in
+            // flight); never to our well-formed submits — so it must not
+            // consume the awaiting correlation slot
+            Response::Rejected { .. } => {}
+            Response::Outcome { outcome } => {
+                let gid = outcome.job;
+                self.settle(state, Some(b), gid, Settlement::Outcome(outcome));
+            }
+            Response::Failure {
+                job: gid,
+                instance_digest,
+                message,
+            } => {
+                self.settle(
+                    state,
+                    Some(b),
+                    gid,
+                    Settlement::Failure {
+                        instance_digest,
+                        message,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The transport died under pump `gen` of backend `b`: trip the
+    /// breaker, fail the jobs over, and let the pump exit.
+    fn backend_fatal(self: &Arc<Self>, b: usize, gen: u64) {
+        let mut guard = self.state.lock().expect("router lock is never poisoned");
+        let state = &mut *guard;
+        if state.backends[b].generation != gen {
+            return;
+        }
+        let now = self.now_ms();
+        state.backends[b].pump_alive = false;
+        state.backends[b].probe_outstanding = false;
+        state.backends[b].want_probe_job = false;
+        state.health.fatal(b);
+        self.unreachable(state, b, now);
+    }
+
+    // -------------------------------------------------------- settlement
+
+    /// Exactly-once settlement: the first terminal frame for a live gid
+    /// wins — it is journaled, counted, rewritten back to the client's job
+    /// id, and delivered; every later frame for the gid (partition heals,
+    /// duplicate replays, recovery streams) is counted and dropped.
+    /// `from` is the settling backend when one exists (`None` for
+    /// router-local settles such as queued cancels).
+    fn settle(&self, state: &mut CoreState, from: Option<usize>, gid: u64, payload: Settlement) {
+        let now = self.now_ms();
+        let live = state.jobs.get(&gid).is_some_and(|r| !r.settled);
+        if !live {
+            state.duplicates_dropped += 1;
+            return;
+        }
+        // clear every copy of the gid — failover may have spread it
+        for slot in &mut state.backends {
+            slot.assigned.remove(&gid);
+            if let Some(i) = slot.queued.iter().position(|&g| g == gid) {
+                slot.queued.remove(i);
+            }
+        }
+        if let Some(i) = state.parked.iter().position(|&g| g == gid) {
+            state.parked.remove(i);
+        }
+        let record = state.jobs.get_mut(&gid).expect("liveness checked above");
+        record.settled = true;
+        let client = record.client;
+        let client_job = record.client_job;
+        let probe = record.probe;
+        if !probe {
+            if let Some(journal) = &mut state.journal {
+                // best-effort: a lost `settled` record costs one duplicate
+                // delivery attempt after a router restart, which the
+                // backend-side dedup of the next incarnation absorbs
+                let _ = journal.append(&JournalRecord::Settled { gid });
+            }
+        }
+        if probe {
+            if let Some(b) = from {
+                if state.health.probe_job_settled(b) == BackendState::Up {
+                    self.flush_parked(state, now);
+                }
+            }
+            return;
+        }
+        let response = match payload {
+            Settlement::Outcome(mut outcome) => {
+                if outcome.elapsed_ns > 0 {
+                    state.timed_settles += 1;
+                    state.timed_settle_ms += outcome.elapsed_ns / 1_000_000;
+                }
+                let bucket = match outcome.outcome_kind {
+                    OutcomeKind::Cancelled => 2,
+                    OutcomeKind::DeadlineExceeded => 3,
+                    _ => 1,
+                };
+                state.fleet.completed += u64::from(bucket == 1);
+                state.fleet.cancelled += u64::from(bucket == 2);
+                state.fleet.expired += u64::from(bucket == 3);
+                if let Some(slot) = state.clients.get_mut(&client) {
+                    slot.stats.completed += u64::from(bucket == 1);
+                    slot.stats.cancelled += u64::from(bucket == 2);
+                    slot.stats.expired += u64::from(bucket == 3);
+                }
+                outcome.job = client_job;
+                Response::Outcome { outcome }
+            }
+            Settlement::Failure {
+                instance_digest,
+                message,
+            } => {
+                state.fleet.failed += 1;
+                if let Some(slot) = state.clients.get_mut(&client) {
+                    slot.stats.failed += 1;
+                }
+                Response::Failure {
+                    job: client_job,
+                    instance_digest,
+                    message,
+                }
+            }
+        };
+        if let Some(slot) = state.clients.get_mut(&client) {
+            if slot.by_job.get(&client_job) == Some(&gid) {
+                slot.by_job.remove(&client_job);
+            }
+            let _ = slot.tx.send(response);
+        }
+        self.flush_parked(state, now);
+    }
+}
+
+/// One backend's pump: ships outgoing frames, polls for responses, and
+/// reports a transport death exactly once. Exits when superseded by a
+/// fresh link or when the cluster shuts down.
+fn pump(core: Arc<RouterCore>, b: usize, gen: u64, mut link: Box<dyn BackendLink>) {
+    loop {
+        let Some(outgoing) = core.take_outgoing(b, gen) else {
+            return;
+        };
+        for request in outgoing {
+            if link.send(&request).is_err() {
+                core.backend_fatal(b, gen);
+                return;
+            }
+        }
+        match link.poll(Duration::from_millis(10)) {
+            Ok(Some(response)) => core.on_response(b, gen, response),
+            Ok(None) => {}
+            Err(_) => {
+                core.backend_fatal(b, gen);
+                return;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- cluster
+
+/// Counters and backlog of a [`Cluster`], from [`Cluster::stats`] or the
+/// final [`Cluster::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ClusterReport {
+    /// Fleet-wide client counters (accepted/settled buckets).
+    pub fleet: ClientStats,
+    /// Jobs parked in the router plus queued toward backends.
+    pub queue_depth: u64,
+    /// Failovers performed: journaled-but-unsettled jobs re-placed after
+    /// their backend died, shed, or went down.
+    pub reroutes: u64,
+    /// Late or duplicate terminal frames dropped by settlement dedup.
+    pub duplicates_dropped: u64,
+    /// Routed jobs still owed a terminal frame.
+    pub unsettled: u64,
+}
+
+/// The sharded router; see the [module docs](self). Construct with
+/// [`Cluster::start`], connect in-process sessions with
+/// [`Cluster::connect`], serve TCP clients with [`Cluster::serve`].
+pub struct Cluster {
+    core: Arc<RouterCore>,
+    pumps: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    recovery_anomalies: Vec<JournalAnomaly>,
+}
+
+impl Cluster {
+    /// Starts a router over `links` (one per backend shard). When
+    /// [`ClusterConfig::journal`] names a file, an existing journal is
+    /// replayed first: every routed-but-unsettled job is re-admitted,
+    /// owned by the returned recovery handle, and re-placed as backends
+    /// come up — the router-restart half of exactly-once.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when the journal exists but cannot be trusted
+    /// (I/O failure, foreign version, unreadable envelope). Nothing runs
+    /// on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (zero window, frame limit, or
+    /// probe interval).
+    pub fn start(
+        config: ClusterConfig,
+        links: Vec<Box<dyn BackendLink>>,
+    ) -> Result<(Self, RouterHandle), JournalError> {
+        config.validate();
+        let (journal, recovery) = match &config.journal {
+            Some(path) => {
+                let (journal, recovery) = Journal::open(path)?;
+                (Some(journal), Some(recovery))
+            }
+            None => (None, None),
+        };
+        let backends = links.len();
+        let core = Arc::new(RouterCore {
+            state: Mutex::new(CoreState {
+                clients: HashMap::new(),
+                backends: (0..backends).map(|_| BackendSlot::new()).collect(),
+                jobs: HashMap::new(),
+                parked: VecDeque::new(),
+                fleet: ClientStats::default(),
+                health: HealthTracker::new(backends, config.down_after_misses),
+                journal,
+                next_client: 1,
+                next_gid: recovery.as_ref().map_or(1, |r| r.next_gid),
+                shutting_down: false,
+                duplicates_dropped: 0,
+                reroutes: 0,
+                timed_settles: 0,
+                timed_settle_ms: 0,
+            }),
+            config,
+            epoch: Instant::now(),
+        });
+        let mut cluster = Cluster {
+            core: Arc::clone(&core),
+            pumps: Mutex::new(Vec::new()),
+            recovery_anomalies: Vec::new(),
+        };
+        let recovery_handle = cluster.connect();
+        if let Some(recovered) = recovery {
+            cluster.recovery_anomalies = recovered.anomalies;
+            let mut guard = core.state.lock().expect("router lock is never poisoned");
+            let state = &mut *guard;
+            for job in recovered.unsettled {
+                state.jobs.insert(
+                    job.gid,
+                    JobRecord {
+                        client: recovery_handle.id,
+                        client_job: job.client_job,
+                        spec: job.spec,
+                        priority: 0,
+                        deadline_ms: None,
+                        settled: false,
+                        probe: false,
+                    },
+                );
+                state.fleet.accepted += 1;
+                if let Some(slot) = state.clients.get_mut(&recovery_handle.id) {
+                    slot.stats.accepted += 1;
+                    slot.by_job.insert(job.client_job, job.gid);
+                }
+                state.parked.push_back(job.gid);
+            }
+        }
+        for (b, link) in links.into_iter().enumerate() {
+            cluster.attach(b, link, BackendState::Up);
+        }
+        Ok((cluster, recovery_handle))
+    }
+
+    fn attach(&self, b: usize, link: Box<dyn BackendLink>, initial: BackendState) {
+        let gen = {
+            let mut guard = self
+                .core
+                .state
+                .lock()
+                .expect("router lock is never poisoned");
+            let state = &mut *guard;
+            state.backends[b].generation += 1;
+            state.backends[b].pump_alive = true;
+            state.backends[b].control.clear();
+            state.backends[b].awaiting = None;
+            state.backends[b].last_probe = 0;
+            state.backends[b].probe_outstanding = false;
+            state.backends[b].want_probe_job = false;
+            state.backends[b].backoff_until = 0;
+            match initial {
+                BackendState::Up => {
+                    state.health.fatal(b);
+                    state.health.probe_ok(b);
+                    state.health.probe_job_settled(b);
+                }
+                _ => state.health.fatal(b),
+            }
+            state.backends[b].generation
+        };
+        let core = Arc::clone(&self.core);
+        let handle = std::thread::spawn(move || pump(core, b, gen, link));
+        self.pumps
+            .lock()
+            .expect("pump registry lock is never poisoned")
+            .push(handle);
+    }
+
+    /// Attaches a fresh link for backend `b` after its previous link died
+    /// — the restart path. The backend starts [`BackendState::Down`] and
+    /// must walk the half-open probe ritual before taking new jobs, during
+    /// which its recovery stream (resumed outcomes, if any) drains through
+    /// the router's settlement dedup.
+    pub fn attach_backend(&self, b: usize, link: Box<dyn BackendLink>) {
+        self.attach(b, link, BackendState::Down);
+    }
+
+    /// Registers an in-process client session. Dropping the handle
+    /// disconnects it (remaining settlements still happen; delivery is
+    /// dropped).
+    pub fn connect(&self) -> RouterHandle {
+        let (tx, rx) = mpsc::channel();
+        let id = self.core.register_client(tx);
+        RouterHandle {
+            id,
+            core: Arc::clone(&self.core),
+            rx,
+        }
+    }
+
+    /// Serves NDJSON client connections from `listener` on a background
+    /// thread until shutdown, one session per connection — the same wire
+    /// face as `saim-server`, so existing clients need no changes to talk
+    /// to the cluster.
+    pub fn serve(&self, listener: TcpListener) -> std::thread::JoinHandle<()> {
+        let core = Arc::clone(&self.core);
+        listener
+            .set_nonblocking(true)
+            .expect("loopback listeners accept nonblocking mode");
+        std::thread::spawn(move || loop {
+            if core
+                .state
+                .lock()
+                .expect("router lock is never poisoned")
+                .shutting_down
+            {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let core = Arc::clone(&core);
+                    std::thread::spawn(move || client_connection(core, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        })
+    }
+
+    /// Every backend's health state, by index.
+    pub fn backend_states(&self) -> Vec<BackendState> {
+        self.core
+            .state
+            .lock()
+            .expect("router lock is never poisoned")
+            .health
+            .states()
+    }
+
+    /// Current counters and backlog.
+    pub fn stats(&self) -> ClusterReport {
+        let guard = self
+            .core
+            .state
+            .lock()
+            .expect("router lock is never poisoned");
+        let state = &*guard;
+        ClusterReport {
+            fleet: state.fleet,
+            queue_depth: RouterCore::queue_depth(state),
+            reroutes: state.reroutes,
+            duplicates_dropped: state.duplicates_dropped,
+            unsettled: state
+                .jobs
+                .values()
+                .filter(|r| !r.settled && !r.probe)
+                .count() as u64,
+        }
+    }
+
+    /// Typed anomalies the journal replay reported at
+    /// [`Cluster::start`] (empty without a journal, or for a clean one).
+    pub fn recovery_anomalies(&self) -> &[JournalAnomaly] {
+        &self.recovery_anomalies
+    }
+
+    /// Stops routing and joins the pumps, returning the final counters.
+    /// Unsettled jobs stay in the journal (when configured) for the next
+    /// incarnation; draining backends to their checkpoint directories is
+    /// the caller's move next ([`ManagedBackend::drain`]).
+    pub fn shutdown(self) -> ClusterReport {
+        self.stop_pumps();
+        self.stats()
+    }
+
+    fn stop_pumps(&self) {
+        self.core
+            .state
+            .lock()
+            .expect("router lock is never poisoned")
+            .shutting_down = true;
+        let pumps: Vec<_> = self
+            .pumps
+            .lock()
+            .expect("pump registry lock is never poisoned")
+            .drain(..)
+            .collect();
+        for handle in pumps {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop_pumps();
+    }
+}
+
+/// An in-process client session on a [`Cluster`] — the router-side mirror
+/// of [`ClientHandle`].
+pub struct RouterHandle {
+    id: u64,
+    core: Arc<RouterCore>,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl RouterHandle {
+    /// This session's router-assigned client id.
+    pub fn client_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Handles one raw request line exactly as a TCP session would;
+    /// returns whether the line parsed.
+    pub fn send_line(&self, line: &str) -> bool {
+        match Request::from_line(line) {
+            Ok(request) => {
+                self.core.handle(self.id, request);
+                true
+            }
+            Err(error) => {
+                self.core.reject(self.id, &error);
+                false
+            }
+        }
+    }
+
+    /// Sends one typed request.
+    pub fn send(&self, request: Request) {
+        self.core.handle(self.id, request);
+    }
+
+    /// Convenience submit.
+    pub fn submit(&self, spec: JobSpec, priority: u8, deadline_ms: Option<u64>) {
+        self.send(Request::Submit {
+            spec,
+            priority,
+            deadline_ms,
+        });
+    }
+
+    /// Next response, blocking until one arrives (`None` after shutdown).
+    pub fn recv(&self) -> Option<Response> {
+        self.rx.recv().ok()
+    }
+
+    /// Next response, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Response> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Next response if one is already waiting.
+    pub fn try_recv(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.core.disconnect(self.id);
+    }
+}
+
+/// One TCP client session: writer thread drains the response channel while
+/// this thread reads, parses, and dispatches — the router-side twin of the
+/// frontend's connection handler, sharing its framing and slow-loris
+/// rules.
+fn client_connection(core: Arc<RouterCore>, stream: TcpStream) {
+    let limit = core.config.max_frame_bytes;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(core.config.read_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<Response>();
+    let client = core.register_client(tx);
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(write_half);
+        while let Ok(response) = rx.recv() {
+            if out
+                .write_all(response.to_line().as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_line_capped(&mut reader, limit) {
+            Ok(Some(line)) => {
+                if line.is_empty() {
+                    continue;
+                }
+                match Request::from_line(&line) {
+                    Ok(request) => core.handle(client, request),
+                    Err(error) => core.reject(client, &error),
+                }
+            }
+            Ok(None) => break,
+            Err(ReadError::Oversized) => {
+                core.reject(client, &FrameError::Oversized { limit });
+                break;
+            }
+            Err(ReadError::Stalled) | Err(ReadError::Transport) => break,
+        }
+    }
+    core.disconnect(client);
+    drop(reader);
+    let _ = writer.join();
+}
+
+// ------------------------------------------------------- managed backend
+
+/// An in-process backend shard with a crash/drain/restart lifecycle — the
+/// test-harness stand-in for one `saim-server` process, built so the
+/// kill-and-recover scripts exercise the real drain and `--resume` code
+/// paths.
+pub struct ManagedBackend {
+    config: FrontendConfig,
+    drain_dir: PathBuf,
+    frontend: Option<Frontend>,
+    /// Anchor clones of handed-out link sessions: while the backend "runs",
+    /// a killed link's drop must not disconnect the session (a crashed
+    /// router does not un-submit jobs from a live backend).
+    anchors: Vec<Arc<Mutex<ClientHandle>>>,
+}
+
+impl ManagedBackend {
+    /// Starts a shard that will drain to `drain_dir` when killed.
+    pub fn start(config: FrontendConfig, drain_dir: PathBuf) -> Self {
+        ManagedBackend {
+            frontend: Some(Frontend::start(config.clone())),
+            config,
+            drain_dir,
+            anchors: Vec::new(),
+        }
+    }
+
+    /// Whether the shard is currently serving.
+    pub fn is_running(&self) -> bool {
+        self.frontend.is_some()
+    }
+
+    /// Opens a new router link to the running shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard is drained; restart it first.
+    pub fn link(&mut self) -> Box<dyn BackendLink> {
+        let frontend = self
+            .frontend
+            .as_ref()
+            .expect("link() requires a running backend");
+        let anchor = Arc::new(Mutex::new(frontend.connect()));
+        self.anchors.push(Arc::clone(&anchor));
+        Box::new(InProcessLink::shared(&anchor))
+    }
+
+    /// Gracefully stops the shard, persisting every queued and running job
+    /// into the drain directory (the backend half of cluster shutdown, and
+    /// the setup for a bit-identical [`ManagedBackend::restart`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] from the drain; the shard is stopped either
+    /// way.
+    pub fn drain(&mut self) -> Result<DrainReport, CheckpointError> {
+        let frontend = self
+            .frontend
+            .take()
+            .ok_or_else(|| CheckpointError::Io("backend already drained".into()))?;
+        let report = frontend.shutdown_to(&self.drain_dir);
+        self.anchors.clear();
+        report
+    }
+
+    /// Restarts a drained shard via [`Frontend::resume`] and returns the
+    /// link to hand to [`Cluster::attach_backend`]: the `--resume` recovery
+    /// stream *is* the link, so recovered outcomes drain through the
+    /// router's settlement dedup before the shard can pass its half-open
+    /// probe.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] from reading the drain directory, or an
+    /// `Io` error when the shard is still running.
+    pub fn restart(&mut self) -> Result<Box<dyn BackendLink>, CheckpointError> {
+        if self.frontend.is_some() {
+            return Err(CheckpointError::Io(
+                "cannot restart a running backend".into(),
+            ));
+        }
+        let (frontend, recovery) = Frontend::resume(self.config.clone(), &self.drain_dir)?;
+        self.frontend = Some(frontend);
+        let anchor = Arc::new(Mutex::new(recovery));
+        self.anchors.push(Arc::clone(&anchor));
+        Ok(Box::new(InProcessLink::shared(&anchor)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SolverSpec;
+
+    fn toy_spec(job: u64, seed: u64) -> JobSpec {
+        let mut b = QuboBuilder::new(4);
+        for i in 0..4 {
+            b.add_linear(i, -1.0).expect("index in range");
+        }
+        b.add_pair(0, 1, 0.5).expect("indices in range");
+        JobSpec::new(job, b.build(), SolverSpec::Descent { max_sweeps: 50 }, seed)
+    }
+
+    #[test]
+    fn health_walks_up_suspect_down_halfopen_up() {
+        let mut h = HealthTracker::new(1, 3);
+        assert_eq!(h.state(0), BackendState::Up);
+        assert_eq!(h.probe_missed(0), BackendState::Suspect);
+        assert_eq!(h.probe_missed(0), BackendState::Suspect);
+        assert_eq!(h.probe_missed(0), BackendState::Down);
+        // down stays down on further misses
+        assert_eq!(h.probe_missed(0), BackendState::Down);
+        // revival: an answered probe half-opens, not full up
+        assert_eq!(h.probe_ok(0), BackendState::HalfOpen);
+        // half-open that stops answering re-trips immediately
+        assert_eq!(h.probe_missed(0), BackendState::Down);
+        assert_eq!(h.probe_ok(0), BackendState::HalfOpen);
+        // only the probe job's settlement closes the breaker
+        assert_eq!(h.probe_ok(0), BackendState::HalfOpen);
+        assert_eq!(h.probe_job_settled(0), BackendState::Up);
+        // a suspect backend recovers straight to up
+        assert_eq!(h.probe_missed(0), BackendState::Suspect);
+        assert_eq!(h.probe_ok(0), BackendState::Up);
+        // misses reset on recovery: two fresh misses are not down yet
+        assert_eq!(h.probe_missed(0), BackendState::Suspect);
+        assert_eq!(h.probe_missed(0), BackendState::Suspect);
+    }
+
+    #[test]
+    fn fatal_trips_from_any_state_and_settle_outside_halfopen_is_inert() {
+        let mut h = HealthTracker::new(2, 1);
+        h.fatal(0);
+        assert_eq!(h.state(0), BackendState::Down);
+        assert_eq!(h.probe_job_settled(0), BackendState::Down);
+        assert_eq!(h.probe_job_settled(1), BackendState::Up);
+        // down_after=1: one miss trips immediately
+        assert_eq!(h.probe_missed(1), BackendState::Down);
+    }
+
+    #[test]
+    fn rendezvous_is_stable_and_minimally_disruptive() {
+        let all: Vec<usize> = (0..4).collect();
+        let keys: Vec<u64> = (0..64).map(|i| 0x9E37 + i * 0x5851F42D).collect();
+        let placed: Vec<usize> = keys
+            .iter()
+            .map(|&k| rendezvous_choice(k, &all).expect("candidates nonempty"))
+            .collect();
+        // deterministic: same inputs, same placement
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(rendezvous_choice(k, &all), Some(placed[i]));
+        }
+        // spread: no shard owns everything
+        for b in 0..4 {
+            assert!(placed.contains(&b), "shard {b} owns no keys");
+        }
+        // minimal disruption: removing shard 2 moves only shard 2's keys
+        let without: Vec<usize> = all.iter().copied().filter(|&b| b != 2).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            let moved = rendezvous_choice(k, &without).expect("candidates nonempty");
+            if placed[i] != 2 {
+                assert_eq!(moved, placed[i], "non-evicted key moved shards");
+            } else {
+                assert_ne!(moved, 2);
+            }
+        }
+        assert_eq!(rendezvous_choice(7, &[]), None);
+    }
+
+    #[test]
+    fn in_process_cluster_round_trips_and_reports_stats() {
+        let mut b0 = ManagedBackend::start(
+            FrontendConfig {
+                workers: 1,
+                ..FrontendConfig::default()
+            },
+            std::env::temp_dir().join("saim-cluster-unit-b0"),
+        );
+        let mut b1 = ManagedBackend::start(
+            FrontendConfig {
+                workers: 1,
+                ..FrontendConfig::default()
+            },
+            std::env::temp_dir().join("saim-cluster-unit-b1"),
+        );
+        let (cluster, _recovery) =
+            Cluster::start(ClusterConfig::default(), vec![b0.link(), b1.link()])
+                .expect("no journal configured");
+        let handle = cluster.connect();
+        let specs: Vec<JobSpec> = (1..=6).map(|j| toy_spec(j, 40 + j)).collect();
+        for spec in &specs {
+            handle.submit(spec.clone(), 0, None);
+        }
+        let mut outcomes = HashMap::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while outcomes.len() < specs.len() {
+            assert!(Instant::now() < deadline, "cluster round-trip timed out");
+            match handle.recv_timeout(Duration::from_millis(100)) {
+                Some(Response::Outcome { outcome }) => {
+                    outcomes.insert(outcome.job, outcome);
+                }
+                Some(Response::Accepted { .. }) | None => {}
+                Some(other) => panic!("unexpected frame {other:?}"),
+            }
+        }
+        for spec in &specs {
+            let oracle = spec.run().canonical();
+            let got = outcomes[&spec.job].canonical();
+            assert_eq!(got, oracle, "outcome diverged from direct run");
+        }
+        let report = cluster.shutdown();
+        assert_eq!(report.fleet.accepted, 6);
+        assert_eq!(report.fleet.completed, 6);
+        assert_eq!(report.unsettled, 0);
+        b0.drain().expect("drain clean");
+        b1.drain().expect("drain clean");
+    }
+}

@@ -6,7 +6,7 @@
 //! pool over a line-delimited JSON (NDJSON) protocol, with the robustness
 //! properties a shared service needs:
 //!
-//! - **Strict framing** — every request line is parsed against the schema-v2
+//! - **Strict framing** — every request line is parsed against the schema-v3
 //!   wire format with typed rejection ([`FrameError`]): malformed JSON,
 //!   unknown fields, wrong schema versions, and oversized lines each earn an
 //!   error frame on that connection while the fleet keeps running. A bad
@@ -63,17 +63,20 @@
 //! One JSON object per line. Requests:
 //!
 //! ```text
-//! {"schema":2,"frame":"hello","weight":4}
-//! {"schema":2,"frame":"submit","priority":0,"deadline_ms":5000,"spec":{...JobSpec...}}
-//! {"schema":2,"frame":"cancel","job":7}
-//! {"schema":2,"frame":"stats"}
+//! {"schema":3,"frame":"hello","weight":4}
+//! {"schema":3,"frame":"submit","priority":0,"deadline_ms":5000,"spec":{...JobSpec...}}
+//! {"schema":3,"frame":"cancel","job":7}
+//! {"schema":3,"frame":"stats"}
 //! ```
 //!
 //! Responses: `accepted` (job admitted), `outcome` (terminal
 //! [`JobOutcome`], including cancelled/expired partials), `failure` (the job
 //! panicked; carries its origin ids), `rejected` (typed frame/schema error,
 //! connection stays usable unless framing itself is lost), `overloaded`
-//! (admission shed; retry after the hinted delay), and `stats`.
+//! (admission shed; retry after the hinted delay), and `stats` — which
+//! since schema v3 also reports the fleet's live `queue_depth` and an
+//! `eta_ms` drain estimate (queued jobs × the mean settled-job wall time ÷
+//! workers; `0` until the fleet has settled its first job).
 //!
 //! `deadline_ms` is a relative budget: the server stamps the absolute
 //! deadline at admission on its own monotonic clock, so client/server clock
@@ -87,6 +90,17 @@
 //! (freeze dequeue to build exact backlogs), scripted per-job panics, a
 //! scheduler clock-skew knob, and a dequeue log. The loopback tests in
 //! `tests/net_frontend.rs` drive every degradation path through it.
+//!
+//! # Cluster topology
+//!
+//! One front-end is one shard. The [`cluster`](crate::cluster) module
+//! stacks N of them behind `saim-router` — rendezvous-hash placement,
+//! probe-driven health/circuit-breaking, and a write-ahead intent journal
+//! giving exactly-once settlement across backend failures; its module docs
+//! carry the full router ↔ backend wire flow, failure-mode catalogue, and
+//! the exactly-once argument. Backend-level faults for that layer (kill,
+//! partition/heal, duplicate-outcome replay) are scripted through
+//! [`faults::BackendFaultPlan`].
 
 use crate::checkpoint::{CheckpointError, OutcomeKind, RunController};
 use crate::parallel::{self, ScheduledQueue, Ticket};
@@ -325,6 +339,12 @@ pub enum Response {
         client: ClientStats,
         /// Fleet-wide tallies (all clients, including departed ones).
         fleet: ClientStats,
+        /// Jobs currently waiting in the scheduler queue (fleet-wide).
+        queue_depth: u64,
+        /// Rough estimate of how long the current backlog takes to drain:
+        /// `queue_depth × mean settled-job wall ms ÷ workers`. `0` until
+        /// the fleet has settled at least one job.
+        eta_ms: u64,
     },
 }
 
@@ -360,10 +380,17 @@ impl Response {
                 fields.push(("frame".into(), Value::Str("overloaded".into())));
                 fields.push(("retry_after_ms".into(), retry_after_ms.to_value()));
             }
-            Response::Stats { client, fleet } => {
+            Response::Stats {
+                client,
+                fleet,
+                queue_depth,
+                eta_ms,
+            } => {
                 fields.push(("frame".into(), Value::Str("stats".into())));
                 fields.push(("client".into(), client.to_value()));
                 fields.push(("fleet".into(), fleet.to_value()));
+                fields.push(("queue_depth".into(), queue_depth.to_value()));
+                fields.push(("eta_ms".into(), eta_ms.to_value()));
             }
         }
         serde_json::to_string(&Value::Object(fields)).expect("frame serialization is infallible")
@@ -434,11 +461,23 @@ impl Response {
                 })
             }
             "stats" => {
-                check_known_fields(&value, &["schema", "frame", "client", "fleet"])
-                    .map_err(schema_err)?;
+                check_known_fields(
+                    &value,
+                    &[
+                        "schema",
+                        "frame",
+                        "client",
+                        "fleet",
+                        "queue_depth",
+                        "eta_ms",
+                    ],
+                )
+                .map_err(schema_err)?;
                 Ok(Response::Stats {
                     client: parse_field(&value, "client").map_err(FrameError::Schema)?,
                     fleet: parse_field(&value, "fleet").map_err(FrameError::Schema)?,
+                    queue_depth: parse_field(&value, "queue_depth").map_err(FrameError::Schema)?,
+                    eta_ms: parse_field(&value, "eta_ms").map_err(FrameError::Schema)?,
                 })
             }
             other => Err(FrameError::UnknownFrame(other.to_string())),
@@ -509,6 +548,52 @@ impl Backoff {
     /// jitter stream position.
     pub fn reset(&mut self) {
         self.attempt = 0;
+    }
+}
+
+/// Why [`NdjsonClient::submit_retrying`] gave up.
+#[derive(Debug)]
+pub enum RetryError {
+    /// The transport failed underneath the retry loop.
+    Io(std::io::Error),
+    /// Every attempt in the retry budget was shed with
+    /// [`Response::Overloaded`]; the job was never admitted.
+    RetriesExhausted {
+        /// Attempts made (submits sent) before giving up.
+        attempts: u32,
+        /// The server's `retry_after_ms` hint on the final shed.
+        last_retry_after_ms: u64,
+    },
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::Io(e) => write!(f, "transport failed while retrying: {e}"),
+            RetryError::RetriesExhausted {
+                attempts,
+                last_retry_after_ms,
+            } => write!(
+                f,
+                "submit shed as overloaded on all {attempts} attempts \
+                 (last retry hint {last_retry_after_ms} ms)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetryError::Io(e) => Some(e),
+            RetryError::RetriesExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RetryError {
+    fn from(e: std::io::Error) -> Self {
+        RetryError::Io(e)
     }
 }
 
@@ -588,6 +673,10 @@ struct HubState {
     fleet: ClientStats,
     next_client: u64,
     draining: bool,
+    /// Settled jobs that actually ran (elapsed > 0) and their total wall
+    /// milliseconds — the running mean behind the `stats` frame's `eta_ms`.
+    timed_settles: u64,
+    timed_settle_ms: u64,
 }
 
 /// The shared core of a [`Frontend`]: scheduler queue, client registry, and
@@ -597,6 +686,8 @@ struct Hub {
     queue: ScheduledQueue<SolverJob>,
     state: Mutex<HubState>,
     epoch: Instant,
+    /// Resolved worker-thread count (the ETA estimate's divisor).
+    worker_count: usize,
 }
 
 impl Hub {
@@ -608,6 +699,20 @@ impl Hub {
             Some(f) => real.saturating_add_signed(f.skew_ms()),
             None => real,
         }
+    }
+
+    /// Backlog drain estimate: queued jobs × mean settled-job wall ms ÷
+    /// workers. Deliberately rough — it answers "seconds or hours?", not
+    /// "which millisecond" — and `0` until one timed job has settled.
+    fn eta_ms(&self, state: &HubState) -> u64 {
+        if state.timed_settles == 0 {
+            return 0;
+        }
+        let mean_ms = state.timed_settle_ms / state.timed_settles;
+        (self.queue.len() as u64)
+            .saturating_mul(mean_ms)
+            .checked_div(self.worker_count.max(1) as u64)
+            .unwrap_or(0)
     }
 
     fn send_to(state: &HubState, client: u64, response: Response) {
@@ -725,6 +830,8 @@ impl Hub {
                     let response = Response::Stats {
                         client: slot.stats,
                         fleet: state.fleet,
+                        queue_depth: self.queue.len() as u64,
+                        eta_ms: self.eta_ms(&state),
                     };
                     let _ = slot.tx.send(response);
                 }
@@ -813,6 +920,12 @@ impl Hub {
     ) {
         let mut state = self.state.lock().expect("hub lock is never poisoned");
         state.running.remove(&seq);
+        if let Response::Outcome { outcome } = &response {
+            if outcome.elapsed_ns > 0 {
+                state.timed_settles += 1;
+                state.timed_settle_ms += outcome.elapsed_ns / 1_000_000;
+            }
+        }
         bucket(&mut state.fleet);
         if let Some(slot) = state.clients.get_mut(&client) {
             bucket(&mut slot.stats);
@@ -976,8 +1089,11 @@ impl Frontend {
                 fleet: ClientStats::default(),
                 next_client: 1,
                 draining: false,
+                timed_settles: 0,
+                timed_settle_ms: 0,
             }),
             epoch: Instant::now(),
+            worker_count,
         });
         let workers = (0..worker_count)
             .map(|_| {
@@ -1235,7 +1351,10 @@ impl Drop for ClientHandle {
 /// a clean EOF (`Ok(None)`), a complete line, an oversized line, a timeout
 /// with a partial line buffered (the slow-loris signature), and transport
 /// errors.
-fn read_line_capped<R: BufRead>(reader: &mut R, limit: usize) -> Result<Option<String>, ReadError> {
+pub(crate) fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+) -> Result<Option<String>, ReadError> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
         let chunk = match reader.fill_buf() {
@@ -1276,7 +1395,7 @@ fn read_line_capped<R: BufRead>(reader: &mut R, limit: usize) -> Result<Option<S
     }
 }
 
-enum ReadError {
+pub(crate) enum ReadError {
     Oversized,
     Stalled,
     Transport,
@@ -1432,8 +1551,9 @@ impl NdjsonClient {
 
     /// Submits with retry: on [`Response::Overloaded`] sleeps the larger of
     /// the server's hint and the [`Backoff`]'s next deterministic delay,
-    /// then resubmits, up to `max_attempts`. Returns the first non-overload
-    /// response (for an admitted job: [`Response::Accepted`]).
+    /// then resubmits, up to `max_attempts` (clamped to at least 1).
+    /// Returns the first non-overload response (for an admitted job:
+    /// [`Response::Accepted`]).
     ///
     /// The server serializes every response to this client on one ordered
     /// stream, so the admission response to this submit is the next frame
@@ -1442,8 +1562,9 @@ impl NdjsonClient {
     ///
     /// # Errors
     ///
-    /// Socket errors, or the last `Overloaded` when `max_attempts` runs
-    /// out.
+    /// [`RetryError::Io`] on socket errors, and
+    /// [`RetryError::RetriesExhausted`] when every attempt in the budget
+    /// was shed — the retry loop is capped, never unbounded.
     pub fn submit_retrying(
         &mut self,
         spec: &JobSpec,
@@ -1451,27 +1572,33 @@ impl NdjsonClient {
         deadline_ms: Option<u64>,
         backoff: &mut Backoff,
         max_attempts: u32,
-    ) -> std::io::Result<Response> {
+    ) -> Result<Response, RetryError> {
         let request = Request::Submit {
             spec: spec.clone(),
             priority,
             deadline_ms,
         };
-        let mut last = None;
-        for _ in 0..max_attempts.max(1) {
+        let attempts = max_attempts.max(1);
+        let mut last_hint = 0;
+        for attempt in 0..attempts {
             self.send(&request)?;
             match self.recv()? {
                 Response::Overloaded { retry_after_ms } => {
-                    let wait = backoff
-                        .next_delay()
-                        .max(Duration::from_millis(retry_after_ms));
-                    std::thread::sleep(wait);
-                    last = Some(Response::Overloaded { retry_after_ms });
+                    last_hint = retry_after_ms;
+                    if attempt + 1 < attempts {
+                        let wait = backoff
+                            .next_delay()
+                            .max(Duration::from_millis(retry_after_ms));
+                        std::thread::sleep(wait);
+                    }
                 }
                 other => return Ok(other),
             }
         }
-        Ok(last.expect("at least one attempt ran"))
+        Err(RetryError::RetriesExhausted {
+            attempts,
+            last_retry_after_ms: last_hint,
+        })
     }
 }
 
@@ -1589,6 +1716,8 @@ mod tests {
                     rejected: 1,
                     ..ClientStats::default()
                 },
+                queue_depth: 4,
+                eta_ms: 1200,
             },
         ];
         for frame in frames {
@@ -1611,12 +1740,30 @@ mod tests {
             }))
         ));
         assert!(matches!(
-            Request::from_line(r#"{"schema":2,"frame":"teleport"}"#),
+            Request::from_line(r#"{"schema":3,"frame":"teleport"}"#),
             Err(FrameError::UnknownFrame(tag)) if tag == "teleport"
         ));
         assert!(matches!(
-            Request::from_line(r#"{"schema":2,"frame":"stats","extra":1}"#),
+            Request::from_line(r#"{"schema":3,"frame":"stats","extra":1}"#),
             Err(FrameError::Schema(SchemaError::UnknownField(f))) if f == "extra"
+        ));
+        // the v3 stats fields are version-gated: a v2 stats frame (which
+        // could not carry them) reads as a version problem, and a v3 frame
+        // missing them is malformed, not silently defaulted
+        assert!(matches!(
+            Response::from_line(
+                r#"{"schema":2,"frame":"stats","client":{"accepted":0,"rejected":0,"completed":0,"failed":0,"cancelled":0,"expired":0},"fleet":{"accepted":0,"rejected":0,"completed":0,"failed":0,"cancelled":0,"expired":0}}"#
+            ),
+            Err(FrameError::Schema(SchemaError::VersionMismatch {
+                found: 2,
+                expected: SCHEMA_VERSION
+            }))
+        ));
+        assert!(matches!(
+            Response::from_line(
+                r#"{"schema":3,"frame":"stats","client":{"accepted":0,"rejected":0,"completed":0,"failed":0,"cancelled":0,"expired":0},"fleet":{"accepted":0,"rejected":0,"completed":0,"failed":0,"cancelled":0,"expired":0}}"#
+            ),
+            Err(FrameError::Schema(SchemaError::Malformed(_)))
         ));
         // strictness reaches inside the embedded spec
         let mut submit = Request::Submit {
@@ -1649,6 +1796,22 @@ mod tests {
     }
 
     #[test]
+    fn backoff_jitter_sequence_matches_pinned_vector() {
+        // the exact SplitMix64-derived schedule for seed 42, base 10 ms,
+        // cap 80 ms — pinned so any change to the generator or the
+        // jitter-window arithmetic is a deliberate, visible decision
+        let mut backoff = Backoff::new(42, 10, 80);
+        let delays: Vec<u64> = (0..8)
+            .map(|_| backoff.next_delay().as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![6, 15, 20, 40, 51, 41, 68, 45]);
+        // reset keeps the stream position but restarts the exponential
+        backoff.reset();
+        let restarted = backoff.next_delay().as_millis() as u64;
+        assert!((5..=10).contains(&restarted), "attempt-0 window again");
+    }
+
+    #[test]
     fn submit_completes_and_matches_direct_run() {
         let frontend = Frontend::start(test_config(2, None));
         let handle = frontend.connect();
@@ -1659,12 +1822,51 @@ mod tests {
         assert_eq!(outcome.canonical(), spec.run().canonical());
         handle.send(Request::Stats);
         match handle.recv_timeout(Duration::from_secs(5)) {
-            Some(Response::Stats { client, fleet }) => {
+            Some(Response::Stats {
+                client,
+                fleet,
+                queue_depth,
+                ..
+            }) => {
                 assert_eq!(client.accepted, 1);
                 assert_eq!(client.completed, 1);
                 assert_eq!(client.in_flight(), 0);
                 assert_eq!(fleet.accepted, fleet.settled());
+                assert_eq!(queue_depth, 0, "nothing queued after settlement");
             }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_report_queue_depth_and_eta_estimate() {
+        let plan = Arc::new(faults::FaultPlan::new());
+        plan.hold_workers();
+        let frontend = Frontend::start(test_config(1, Some(Arc::clone(&plan))));
+        let handle = frontend.connect();
+        for job in 0..3u64 {
+            handle.submit(toy_spec(job, job), 0, None);
+            expect_accepted(&handle, job);
+        }
+        handle.send(Request::Stats);
+        match handle.recv_timeout(Duration::from_secs(5)) {
+            Some(Response::Stats {
+                queue_depth,
+                eta_ms,
+                ..
+            }) => {
+                assert_eq!(queue_depth, 3, "held workers leave the backlog queued");
+                assert_eq!(eta_ms, 0, "no settled job yet, so no mean to project");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        plan.release_workers();
+        for _ in 0..3 {
+            expect_outcome(&handle);
+        }
+        handle.send(Request::Stats);
+        match handle.recv_timeout(Duration::from_secs(5)) {
+            Some(Response::Stats { queue_depth, .. }) => assert_eq!(queue_depth, 0),
             other => panic!("expected stats, got {other:?}"),
         }
     }

@@ -29,6 +29,26 @@
 //! partial frames, slow-loris writers — need no hooks: the loopback tests
 //! in `tests/net_frontend.rs` produce them with raw socket writes.
 //!
+//! # Backend-level faults
+//!
+//! The cluster layer ([`crate::cluster`]) adds a second fault surface: the
+//! router↔backend links. A [`BackendFaultPlan`] scripts those, per backend
+//! index, through the cluster's `FaultyLink` wrapper:
+//!
+//! - [`BackendFaultPlan::kill`] — the link dies fatally (every send and
+//!   poll errors), the backend-crash script. The router must mark the
+//!   backend down and re-route its unsettled jobs. Recovery is a restart:
+//!   drain the backend's fleet, resume it, and re-attach a fresh link.
+//! - [`BackendFaultPlan::stall`] / [`BackendFaultPlan::heal`] — a network
+//!   partition: requests still reach the backend and it keeps computing,
+//!   but its responses are held invisible, so health probes time out and
+//!   the router trips the breaker. `heal` releases the held responses *in
+//!   order* — the delayed-partition-heal script, which delivers exactly
+//!   the late/duplicate outcomes the router's settlement dedup must drop.
+//! - [`BackendFaultPlan::duplicate_outcomes`] — every outcome frame from
+//!   that backend is replayed twice (an at-least-once transport script);
+//!   the router must still settle each job exactly once.
+//!
 //! [`Frontend`]: crate::frontend::Frontend
 //! [`FrontendConfig::faults`]: crate::frontend::FrontendConfig::faults
 
@@ -126,5 +146,86 @@ impl FaultPlan {
             .lock()
             .expect("fault lock is never poisoned")
             .clone()
+    }
+}
+
+/// Scripted router↔backend link faults, keyed by backend index; see the
+/// [module docs](self#backend-level-faults). Deterministic and
+/// always-compiled, like [`FaultPlan`]: the plan only flips switches — the
+/// cluster's `FaultyLink` wrapper consults them on every send and poll.
+#[derive(Debug, Default)]
+pub struct BackendFaultPlan {
+    killed: Mutex<HashSet<usize>>,
+    stalled: Mutex<HashSet<usize>>,
+    duplicating: Mutex<HashSet<usize>>,
+}
+
+impl BackendFaultPlan {
+    /// A plan with every backend healthy.
+    pub fn new() -> Self {
+        BackendFaultPlan::default()
+    }
+
+    /// Kills backend `b`'s link fatally: every subsequent send and poll on
+    /// it errors. The crash script — recovery requires re-attaching a new
+    /// link (a restarted backend).
+    pub fn kill(&self, b: usize) {
+        self.killed
+            .lock()
+            .expect("fault lock is never poisoned")
+            .insert(b);
+    }
+
+    /// Whether backend `b` is scripted dead.
+    pub fn is_killed(&self, b: usize) -> bool {
+        self.killed
+            .lock()
+            .expect("fault lock is never poisoned")
+            .contains(&b)
+    }
+
+    /// Partitions backend `b`: sends still go through (the backend keeps
+    /// working) but its responses are held invisible until
+    /// [`BackendFaultPlan::heal`].
+    pub fn stall(&self, b: usize) {
+        self.stalled
+            .lock()
+            .expect("fault lock is never poisoned")
+            .insert(b);
+    }
+
+    /// Heals a partition: held responses become visible again, in order —
+    /// arriving late, after the router has already failed over.
+    pub fn heal(&self, b: usize) {
+        self.stalled
+            .lock()
+            .expect("fault lock is never poisoned")
+            .remove(&b);
+    }
+
+    /// Whether backend `b` is currently partitioned.
+    pub fn is_stalled(&self, b: usize) -> bool {
+        self.stalled
+            .lock()
+            .expect("fault lock is never poisoned")
+            .contains(&b)
+    }
+
+    /// Scripts backend `b` to replay every outcome frame twice — the
+    /// at-least-once-transport script behind the exactly-once settlement
+    /// proof.
+    pub fn duplicate_outcomes(&self, b: usize) {
+        self.duplicating
+            .lock()
+            .expect("fault lock is never poisoned")
+            .insert(b);
+    }
+
+    /// Whether backend `b` replays its outcomes.
+    pub fn is_duplicating(&self, b: usize) -> bool {
+        self.duplicating
+            .lock()
+            .expect("fault lock is never poisoned")
+            .contains(&b)
     }
 }

@@ -64,6 +64,14 @@
 //!   ([`ClientStats`]), and a deterministic fault-injection harness
 //!   ([`frontend::faults`]) — the machinery the `saim-server` binary
 //!   serves over TCP,
+//! - [`cluster`] — sharded multi-backend routing over N such front-ends:
+//!   rendezvous-hash placement keyed by instance digest with per-backend
+//!   bounded in-flight windows, a probe-driven `Up → Suspect → Down →
+//!   HalfOpen` health state machine acting as a circuit breaker, and a
+//!   versioned checksummed write-ahead intent journal
+//!   ([`cluster::journal`]) giving exactly-once job settlement across
+//!   backend kills, restarts, partitions, and duplicate deliveries — the
+//!   machinery the `saim-router` binary serves over TCP,
 //! - [`checkpoint`] — the fault-tolerance layer under all of the engines: a
 //!   [`RunController`] cooperatively cancels, deadlines, or checkpoints any
 //!   sweep loop from cheap every-k-sweeps polls, and a versioned,
@@ -110,6 +118,7 @@
 mod batch;
 pub mod bracket;
 pub mod checkpoint;
+pub mod cluster;
 mod descent;
 mod ensemble;
 pub mod frontend;

@@ -456,8 +456,11 @@ impl<J, R> Drop for JobService<J, R> {
 /// change; parsers reject other versions with
 /// [`SchemaError::VersionMismatch`] instead of guessing. Version 2 added
 /// [`JobOutcome::outcome_kind`] (partial results from cancelled,
-/// deadline-stopped, or checkpointed runs).
-pub const SCHEMA_VERSION: u32 = 2;
+/// deadline-stopped, or checkpointed runs); version 3 added the
+/// queue-depth and ETA fields to the front-end's `stats` frame (the spec
+/// and outcome shapes are unchanged, but the whole protocol versions as
+/// one unit).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Which solver a job runs, with its full configuration. The seed lives on
 /// the [`JobSpec`], not here, so one spec can be fanned out over seeds.
@@ -1705,7 +1708,7 @@ mod tests {
             Err(SchemaError::UnknownField("surprise".into()))
         );
 
-        let wrong_version = json.replacen("\"schema\":2", "\"schema\":99", 1);
+        let wrong_version = json.replacen("\"schema\":3", "\"schema\":99", 1);
         assert_eq!(
             JobSpec::from_json(&wrong_version),
             Err(SchemaError::VersionMismatch {
@@ -1715,17 +1718,17 @@ mod tests {
         );
 
         // a future version's unknown fields must read as a version problem
-        let future = extra.replacen("\"schema\":2", "\"schema\":3", 1);
+        let future = extra.replacen("\"schema\":3", "\"schema\":4", 1);
         assert_eq!(
             JobSpec::from_json(&future),
             Err(SchemaError::VersionMismatch {
-                found: 3,
+                found: 4,
                 expected: SCHEMA_VERSION
             })
         );
 
         assert!(matches!(
-            JobSpec::from_json("{\"schema\":2}"),
+            JobSpec::from_json("{\"schema\":3}"),
             Err(SchemaError::Malformed(_))
         ));
 

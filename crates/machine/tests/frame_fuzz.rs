@@ -10,6 +10,7 @@ use proptest::prelude::*;
 use saim_ising::QuboBuilder;
 use saim_machine::frontend::{FrameError, Request, Response};
 use saim_machine::service::{JobOutcome, JobSpec, SolverSpec};
+use saim_machine::ClientStats;
 
 /// A small but real spec: enough structure that mutations can land inside
 /// nested objects, arrays, floats, and string literals.
@@ -70,7 +71,7 @@ fn corrupt(line: &str, mutations: &[Mutation]) -> String {
     String::from_utf8_lossy(&bytes).into_owned()
 }
 
-/// The four frame producers under test, by index.
+/// The five frame producers under test, by index.
 fn frame_line(kind: usize, job: u64, seed: u64, n: usize) -> String {
     let spec = sample_spec(job, seed, n);
     match kind {
@@ -86,10 +87,29 @@ fn frame_line(kind: usize, job: u64, seed: u64, n: usize) -> String {
             },
         }
         .to_line(),
-        _ => Response::Outcome {
+        3 => Response::Outcome {
             outcome: spec.run(),
         }
         .to_line(),
+        _ => Response::Stats {
+            client: sample_stats(seed),
+            fleet: sample_stats(seed.rotate_left(13)),
+            queue_depth: seed % 512,
+            eta_ms: seed.rotate_right(7) % 100_000,
+        }
+        .to_line(),
+    }
+}
+
+/// Deterministic nonzero tallies so mutations land on real digits.
+fn sample_stats(seed: u64) -> ClientStats {
+    ClientStats {
+        accepted: seed % 97,
+        rejected: seed % 13,
+        completed: seed % 89,
+        failed: seed % 7,
+        cancelled: seed % 5,
+        expired: seed % 3,
     }
 }
 
@@ -119,7 +139,7 @@ proptest! {
     /// codes, so a client can dispatch on it.
     #[test]
     fn corrupted_protocol_frames_earn_documented_codes(
-        kind in 2usize..4,
+        kind in 2usize..5,
         job in 0u64..1000,
         seed in 0u64..=u64::MAX,
         n in 1usize..5,
@@ -161,6 +181,16 @@ proptest! {
         prop_assert_eq!(
             Request::from_line(&submit.to_line()).expect("valid"),
             submit
+        );
+        let stats = Response::Stats {
+            client: sample_stats(seed),
+            fleet: sample_stats(seed.rotate_left(13)),
+            queue_depth: seed % 512,
+            eta_ms: seed.rotate_right(7) % 100_000,
+        };
+        prop_assert_eq!(
+            Response::from_line(&stats.to_line()).expect("valid"),
+            stats
         );
     }
 

@@ -1,0 +1,314 @@
+//! Corruption-injection tests of the router's write-ahead intent journal:
+//! every way the file can rot on disk — torn tails, bit flips, duplicate
+//! `settled` records, orphaned gids, foreign-version and damaged
+//! envelopes — must surface as the expected typed [`JournalError`] or
+//! [`JournalAnomaly`], never a panic, and recovery must always err the
+//! safe way: re-route a survivor rather than risk a double settlement.
+//!
+//! Journals here are grown by a real [`Journal`] writer so the corruption
+//! lands on exactly the bytes production would write, then damaged with
+//! raw file edits.
+
+use saim_ising::QuboBuilder;
+use saim_machine::checkpoint::digest64;
+use saim_machine::cluster::journal::{
+    Journal, JournalAnomaly, JournalError, JournalRecord, JOURNAL_VERSION,
+};
+use saim_machine::service::{JobSpec, SolverSpec};
+use std::path::{Path, PathBuf};
+
+/// A unique scratch directory, removed when dropped.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "saim-journal-corruption-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+        ScratchDir(dir)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spec(gid: u64) -> JobSpec {
+    let mut b = QuboBuilder::new(4);
+    for i in 0..4 {
+        b.add_linear(i, -1.0).expect("index in range");
+    }
+    JobSpec::new(gid, b.build(), SolverSpec::Descent { max_sweeps: 16 }, gid)
+        .with_instance_digest(gid ^ 0xD1)
+}
+
+fn routed(gid: u64) -> JournalRecord {
+    JournalRecord::Routed {
+        gid,
+        client_job: gid + 100,
+        spec: spec(gid),
+    }
+}
+
+/// Writes a journal tracing `routed 1..=n`, `accepted` for each, and
+/// `settled` for the given gids, through the production writer.
+fn grow_journal(path: &Path, n: u64, settle: &[u64]) {
+    let (mut journal, recovery) = Journal::open(path).expect("fresh journal opens");
+    assert!(recovery.unsettled.is_empty());
+    for gid in 1..=n {
+        journal.append(&routed(gid)).expect("append routed");
+        journal
+            .append(&JournalRecord::Accepted { gid, backend: 0 })
+            .expect("append accepted");
+    }
+    for &gid in settle {
+        journal
+            .append(&JournalRecord::Settled { gid })
+            .expect("append settled");
+    }
+}
+
+fn unsettled_gids(recovery: &saim_machine::cluster::journal::JournalRecovery) -> Vec<u64> {
+    recovery.unsettled.iter().map(|j| j.gid).collect()
+}
+
+#[test]
+fn clean_journal_recovers_only_the_unsettled_jobs() {
+    let dir = ScratchDir::new("clean");
+    let path = dir.file("intents.ndjson");
+    grow_journal(&path, 4, &[2, 4]);
+    let (_journal, recovery) = Journal::open(&path).expect("replay");
+    assert_eq!(unsettled_gids(&recovery), vec![1, 3]);
+    assert_eq!(recovery.settled, 2);
+    assert!(recovery.anomalies.is_empty());
+    assert!(recovery.next_gid > 4, "next gid clears every journaled gid");
+    // the reopen compacted: a third open sees only the survivors, with the
+    // settled gids physically gone
+    let (_journal, again) = Journal::open(&path).expect("replay compacted");
+    assert_eq!(unsettled_gids(&again), vec![1, 3]);
+    assert_eq!(again.settled, 0);
+    assert!(again.anomalies.is_empty());
+}
+
+/// A tail torn mid-line (the crash the journal exists to survive) stops
+/// replay with a typed anomaly; the torn record is treated as never
+/// written, so the job it described re-routes.
+#[test]
+fn torn_tail_is_reported_and_replay_stops_before_it() {
+    let dir = ScratchDir::new("torn");
+    let path = dir.file("intents.ndjson");
+    grow_journal(&path, 2, &[1]);
+    let mut bytes = std::fs::read(&path).expect("read journal");
+    // tear the final line: drop its newline and half its checksum
+    bytes.truncate(bytes.len() - 9);
+    std::fs::write(&path, &bytes).expect("tear tail");
+    let (_journal, recovery) = Journal::open(&path).expect("replay survives a torn tail");
+    // the torn line was `settled 1`, so gid 1 conservatively re-routes
+    assert_eq!(unsettled_gids(&recovery), vec![1, 2]);
+    assert_eq!(recovery.settled, 0);
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [JournalAnomaly::TornTail { .. }]
+        ),
+        "expected a torn-tail anomaly, got {:?}",
+        recovery.anomalies
+    );
+}
+
+/// A flipped bit mid-file fails that line's checksum; replay keeps what
+/// came before and conservatively discards the line and everything after.
+#[test]
+fn bit_flip_fails_the_checksum_and_discards_the_suspect_suffix() {
+    let dir = ScratchDir::new("flip");
+    let path = dir.file("intents.ndjson");
+    grow_journal(&path, 3, &[1, 2, 3]);
+    let text = std::fs::read_to_string(&path).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    // flip one bit inside the `settled 1` payload (line index 7: header +
+    // three routed/accepted pairs), keeping its stale checksum
+    let target = 7;
+    let mut damaged: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    let mut line_bytes = damaged[target].clone().into_bytes();
+    line_bytes[10] ^= 0x01;
+    damaged[target] = String::from_utf8(line_bytes).expect("still utf-8");
+    std::fs::write(&path, damaged.join("\n") + "\n").expect("write damaged");
+    let (_journal, recovery) = Journal::open(&path).expect("replay survives a bit flip");
+    // every settled record was at or after the damage: all three re-route
+    assert_eq!(unsettled_gids(&recovery), vec![1, 2, 3]);
+    assert_eq!(recovery.settled, 0);
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [JournalAnomaly::ChecksumMismatch { line: 8 }]
+        ),
+        "expected a checksum anomaly at line 8, got {:?}",
+        recovery.anomalies
+    );
+}
+
+/// A duplicate `settled` record is harmless (settlement is idempotent) but
+/// surfaced, and must not resurrect or double-drop the gid.
+#[test]
+fn duplicate_settled_is_surfaced_and_stays_settled() {
+    let dir = ScratchDir::new("dup-settled");
+    let path = dir.file("intents.ndjson");
+    grow_journal(&path, 2, &[2, 2]);
+    let (_journal, recovery) = Journal::open(&path).expect("replay");
+    assert_eq!(unsettled_gids(&recovery), vec![1]);
+    assert_eq!(recovery.settled, 1, "gid 2 settled once, not twice");
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [JournalAnomaly::DuplicateSettled { gid: 2, .. }]
+        ),
+        "expected a duplicate-settled anomaly, got {:?}",
+        recovery.anomalies
+    );
+}
+
+/// `accepted`/`settled` records whose `routed` line was lost to damage are
+/// reported and ignored — with no spec there is nothing to re-route.
+#[test]
+fn orphaned_records_are_reported_and_ignored() {
+    let dir = ScratchDir::new("orphan");
+    let path = dir.file("intents.ndjson");
+    {
+        let (mut journal, _) = Journal::open(&path).expect("fresh journal");
+        journal.append(&routed(1)).expect("append");
+        journal
+            .append(&JournalRecord::Settled { gid: 9 })
+            .expect("append orphan settled");
+        journal
+            .append(&JournalRecord::Accepted { gid: 8, backend: 1 })
+            .expect("append orphan accepted");
+    }
+    let (_journal, recovery) = Journal::open(&path).expect("replay");
+    assert_eq!(unsettled_gids(&recovery), vec![1]);
+    assert_eq!(recovery.settled, 0);
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [
+                JournalAnomaly::UnknownGid { gid: 9, .. },
+                JournalAnomaly::UnknownGid { gid: 8, .. }
+            ]
+        ),
+        "expected two unknown-gid anomalies, got {:?}",
+        recovery.anomalies
+    );
+    assert!(recovery.next_gid > 9, "orphaned gids still fence next_gid");
+}
+
+/// A record that passes its checksum but parses as no known kind (writer
+/// drift) stops replay at that line with a typed anomaly.
+#[test]
+fn malformed_record_behind_a_valid_checksum_stops_replay() {
+    let dir = ScratchDir::new("malformed");
+    let path = dir.file("intents.ndjson");
+    grow_journal(&path, 1, &[]);
+    {
+        let mut text = std::fs::read_to_string(&path).expect("read journal");
+        let payload = r#"{"record":"vaporized","gid":1}"#;
+        text.push_str(&format!(
+            "{payload}\t{:016x}\n",
+            digest64(payload.as_bytes())
+        ));
+        std::fs::write(&path, text).expect("append drifted record");
+    }
+    let (_journal, recovery) = Journal::open(&path).expect("replay");
+    assert_eq!(unsettled_gids(&recovery), vec![1]);
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [JournalAnomaly::MalformedRecord { .. }]
+        ),
+        "expected a malformed-record anomaly, got {:?}",
+        recovery.anomalies
+    );
+}
+
+/// A foreign-version envelope is refused outright with the typed error —
+/// nothing in the file can be trusted, so recovery must not guess.
+#[test]
+fn foreign_version_envelope_is_refused() {
+    let dir = ScratchDir::new("version");
+    let path = dir.file("intents.ndjson");
+    let payload = r#"{"journal":"saim-cluster","version":99}"#;
+    let line = format!("{payload}\t{:016x}\n", digest64(payload.as_bytes()));
+    std::fs::write(&path, line).expect("write foreign envelope");
+    match Journal::open(&path) {
+        Err(JournalError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, 99);
+            assert_eq!(expected, JOURNAL_VERSION);
+        }
+        other => panic!("expected a version mismatch, got {other:?}"),
+    }
+}
+
+/// An envelope that is damaged, or names some other file format, is a
+/// typed malformed error — the journal never appends below a header it
+/// cannot vouch for.
+#[test]
+fn damaged_or_foreign_envelopes_are_malformed_errors() {
+    let dir = ScratchDir::new("envelope");
+    let bad_checksum = dir.file("bad-checksum.ndjson");
+    std::fs::write(
+        &bad_checksum,
+        "{\"journal\":\"saim-cluster\",\"version\":1}\t0000000000000000\n",
+    )
+    .expect("write damaged envelope");
+    assert!(
+        matches!(
+            Journal::open(&bad_checksum),
+            Err(JournalError::Malformed(_))
+        ),
+        "a checksum-failing envelope must be malformed"
+    );
+
+    let foreign_tag = dir.file("foreign-tag.ndjson");
+    let payload = r#"{"journal":"other-system","version":1}"#;
+    std::fs::write(
+        &foreign_tag,
+        format!("{payload}\t{:016x}\n", digest64(payload.as_bytes())),
+    )
+    .expect("write foreign tag");
+    assert!(
+        matches!(Journal::open(&foreign_tag), Err(JournalError::Malformed(_))),
+        "a foreign tag must be malformed, not guessed at"
+    );
+
+    let not_json = dir.file("not-json.ndjson");
+    std::fs::write(&not_json, "this was never a journal\n").expect("write junk");
+    assert!(
+        matches!(Journal::open(&not_json), Err(JournalError::Malformed(_))),
+        "junk bytes must be malformed"
+    );
+}
+
+/// Compaction physically removes damage: after one recovering open, a
+/// second open of the same file replays clean.
+#[test]
+fn compaction_scrubs_damage_so_the_next_open_is_clean() {
+    let dir = ScratchDir::new("compact");
+    let path = dir.file("intents.ndjson");
+    grow_journal(&path, 2, &[1]);
+    let mut bytes = std::fs::read(&path).expect("read journal");
+    bytes.truncate(bytes.len() - 5);
+    std::fs::write(&path, &bytes).expect("tear tail");
+    let (_journal, first) = Journal::open(&path).expect("recovering open");
+    assert!(!first.anomalies.is_empty(), "the damage was seen");
+    drop(_journal);
+    let (_journal, second) = Journal::open(&path).expect("clean open");
+    assert!(second.anomalies.is_empty(), "the damage was compacted away");
+    assert_eq!(unsettled_gids(&second), unsettled_gids(&first));
+}

@@ -206,7 +206,15 @@ fn run_server(opts: &Options) -> Result<(), String> {
                     .expect("stats serialize to finite JSON");
                 println!("{stats}");
             }
-            other => eprintln!("saim-server: unknown admin command {other:?}"),
+            other => {
+                // the admin channel answers in frames too: a typed error
+                // line a wrapping supervisor can parse, never a silent drop
+                let error = Response::Rejected {
+                    code: "unknown_admin".into(),
+                    error: format!("unknown admin command {other:?} (try `shutdown` or `stats`)"),
+                };
+                println!("{}", error.to_line());
+            }
         }
     }
     // `shutdown` typed, or stdin closed under us: drain either way.

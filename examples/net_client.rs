@@ -112,7 +112,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // ---- 4. malformed frames earn typed rejections ---------------------
-    client.send_raw(b"{\"schema\":2,\"frame\":\"teleport\"}\n")?;
+    client.send_raw(b"{\"schema\":3,\"frame\":\"teleport\"}\n")?;
     if let Response::Rejected { code, error } = client.recv()? {
         println!("rejected as expected: code={code} ({error})");
     }

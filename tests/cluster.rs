@@ -1,0 +1,481 @@
+//! Loopback integration tests of the sharded cluster router: in-process
+//! `saim-server` fleets behind `saim_machine::cluster`, with every backend
+//! fault scripted through `frontend::faults::BackendFaultPlan` (kill,
+//! partition + delayed heal, duplicate-outcome replay) and worker holds
+//! scripted through each backend's own `FaultPlan`.
+//!
+//! The headline invariant is **exactly-once settlement**: K submitted jobs
+//! observe exactly K terminal frames, each bit-identical to the direct
+//! `spec.run()` oracle, across backend kills, drain/`--resume` restarts,
+//! partitions that heal late, and at-least-once transports that replay
+//! outcomes. CI runs this suite in the same 1/2/8-thread matrix as
+//! `tests/determinism.rs` (`SAIM_DETERMINISM_THREADS`).
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use saim_ising::QuboBuilder;
+use saim_machine::cluster::{
+    BackendLink, BackendState, Cluster, ClusterConfig, FaultyLink, ManagedBackend, RouterHandle,
+};
+use saim_machine::frontend::{
+    faults::{BackendFaultPlan, FaultPlan},
+    FrontendConfig, NdjsonClient, Request, Response,
+};
+use saim_machine::service::{JobOutcome, JobSpec, SolverSpec};
+use saim_machine::OutcomeKind;
+
+fn env_workers() -> usize {
+    std::env::var("SAIM_DETERMINISM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// A fast deterministic job; distinct digests spread jobs across shards.
+fn quick_spec(job: u64, seed: u64) -> JobSpec {
+    let mut b = QuboBuilder::new(5);
+    for i in 0..5 {
+        b.add_linear(i, -1.0).expect("index in range");
+    }
+    b.add_pair(0, 1, 0.5).expect("indices in range");
+    JobSpec::new(job, b.build(), SolverSpec::Descent { max_sweeps: 40 }, seed)
+        .with_instance_digest(job.wrapping_mul(0x9E37_79B9) ^ 0xC1u64)
+}
+
+/// A unique scratch directory under the system tmpdir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("saim-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+fn backend_config(faults: Option<Arc<FaultPlan>>) -> FrontendConfig {
+    FrontendConfig {
+        workers: env_workers(),
+        faults,
+        ..FrontendConfig::default()
+    }
+}
+
+fn fast_probes() -> ClusterConfig {
+    ClusterConfig {
+        probe_interval: Duration::from_millis(10),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Collects exactly `n` outcome frames from a router handle, panicking on
+/// duplicates, failures, or a stall.
+fn collect_outcomes(handle: &RouterHandle, n: usize) -> HashMap<u64, JobOutcome> {
+    let mut outcomes = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while outcomes.len() < n {
+        assert!(
+            Instant::now() < deadline,
+            "timed out with {}/{n} outcomes settled",
+            outcomes.len()
+        );
+        match handle.recv_timeout(Duration::from_millis(200)) {
+            Some(Response::Outcome { outcome }) => {
+                let job = outcome.job;
+                assert!(
+                    outcomes.insert(job, outcome).is_none(),
+                    "job {job} delivered a second terminal frame"
+                );
+            }
+            Some(Response::Accepted { .. }) | None => {}
+            Some(other) => panic!("unexpected frame {other:?}"),
+        }
+    }
+    outcomes
+}
+
+fn assert_oracle(outcomes: &HashMap<u64, JobOutcome>, specs: &[JobSpec]) {
+    for spec in specs {
+        let oracle = spec.run().canonical();
+        let got = outcomes
+            .get(&spec.job)
+            .unwrap_or_else(|| panic!("job {} never settled", spec.job));
+        assert_eq!(
+            got.canonical(),
+            oracle,
+            "job {} diverged from the direct-run oracle",
+            spec.job
+        );
+    }
+}
+
+fn wait_for<F: FnMut() -> bool>(mut ready: F, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The tentpole proof, over a real TCP socket: K jobs across a backend
+/// kill, failover, and a drain/`--resume` restart observe exactly K
+/// terminal frames, each bit-identical to the direct-run oracle — and the
+/// restarted shard's recovery stream (re-delivering the work that was
+/// already failed over) is absorbed by settlement dedup, after which the
+/// shard walks the half-open probe ritual back to `Up`.
+#[test]
+fn kills_and_restarts_settle_k_jobs_exactly_once_over_tcp() {
+    let hold0 = Arc::new(FaultPlan::new());
+    let plan = Arc::new(BackendFaultPlan::new());
+    // arm the hold before the workers spawn: shard 0's share of the stream
+    // is then guaranteed to be unsettled when the kill lands
+    hold0.hold_workers();
+    let mut b0 = ManagedBackend::start(
+        backend_config(Some(Arc::clone(&hold0))),
+        scratch_dir("kill-b0"),
+    );
+    let mut b1 = ManagedBackend::start(backend_config(None), scratch_dir("kill-b1"));
+    let links: Vec<Box<dyn BackendLink>> = vec![
+        Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0)),
+        Box::new(FaultyLink::new(b1.link(), Arc::clone(&plan), 1)),
+    ];
+    let (cluster, _recovery) = Cluster::start(fast_probes(), links).expect("no journal");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let serving = cluster.serve(listener);
+    let specs: Vec<JobSpec> = (1..=8).map(|j| quick_spec(j, 90 + j)).collect();
+    let mut client = NdjsonClient::connect(&addr).expect("connect");
+    client.send(&Request::Hello { weight: 1 }).expect("hello");
+    client
+        .set_read_timeout(Duration::from_secs(30))
+        .expect("timeout");
+    for spec in &specs {
+        client
+            .send(&Request::Submit {
+                spec: spec.clone(),
+                priority: 0,
+                deadline_ms: None,
+            })
+            .expect("submit");
+    }
+    // both shards must own part of the stream for the kill to mean anything
+    wait_for(
+        || cluster.stats().fleet.accepted == 8,
+        "all submits admitted",
+    );
+    std::thread::sleep(Duration::from_millis(50)); // let the pumps forward
+    plan.kill(0);
+    wait_for(
+        || cluster.backend_states()[0] == BackendState::Down,
+        "shard 0 marked down",
+    );
+    assert!(
+        cluster.stats().reroutes > 0,
+        "the kill should have forced failovers (placement constants put \
+         no jobs on shard 0 — adjust the digests)"
+    );
+
+    let mut outcomes = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut accepted = 0;
+    while outcomes.len() < specs.len() {
+        assert!(Instant::now() < deadline, "outcomes stalled");
+        match client.recv().expect("frame") {
+            Response::Accepted { .. } => accepted += 1,
+            Response::Outcome { outcome } => {
+                let job = outcome.job;
+                assert!(
+                    outcomes.insert(job, outcome).is_none(),
+                    "job {job} delivered twice"
+                );
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(accepted, specs.len(), "one acceptance per job");
+    assert_oracle(&outcomes, &specs);
+
+    // restart the killed shard from its drain directory: the resumed jobs'
+    // outcomes re-enter through the recovery link and must all be dropped
+    // as duplicates, then the probe ritual re-admits the shard
+    let rerouted = cluster.stats().reroutes;
+    b0.drain().expect("drain shard 0");
+    let link = b0.restart().expect("resume shard 0");
+    // the restarted shard gets a fresh, fault-free plan — the old one still
+    // has its kill switch thrown
+    let healthy = Arc::new(BackendFaultPlan::new());
+    cluster.attach_backend(0, Box::new(FaultyLink::new(link, healthy, 0)));
+    wait_for(
+        || cluster.backend_states()[0] == BackendState::Up,
+        "shard 0 re-admitted",
+    );
+    wait_for(
+        || cluster.stats().duplicates_dropped >= rerouted,
+        "recovery stream deduplicated",
+    );
+
+    // the recovered shard takes new work again
+    let extra = quick_spec(100, 7);
+    client
+        .send(&Request::Submit {
+            spec: extra.clone(),
+            priority: 0,
+            deadline_ms: None,
+        })
+        .expect("submit");
+    let mut tail = HashMap::new();
+    loop {
+        match client.recv().expect("frame") {
+            Response::Accepted { .. } => {}
+            Response::Outcome { outcome } => {
+                tail.insert(outcome.job, outcome);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_oracle(&tail, &[extra]);
+
+    let report = cluster.shutdown();
+    let _ = serving.join();
+    assert_eq!(report.fleet.completed, 9, "every job settled exactly once");
+    assert_eq!(report.unsettled, 0);
+    b0.drain().expect("final drain shard 0");
+    b1.drain().expect("final drain shard 1");
+}
+
+/// A partition (responses held, backend still computing) trips the breaker
+/// and fails the shard's jobs over; the delayed heal then delivers exactly
+/// the late duplicate outcomes settlement dedup must drop, and the healed
+/// shard walks `Down → HalfOpen → Up`.
+#[test]
+fn partition_heal_late_duplicates_are_dropped() {
+    let hold0 = Arc::new(FaultPlan::new());
+    let plan = Arc::new(BackendFaultPlan::new());
+    hold0.hold_workers(); // armed before the workers spawn
+    let mut b0 = ManagedBackend::start(
+        backend_config(Some(Arc::clone(&hold0))),
+        scratch_dir("stall-b0"),
+    );
+    let mut b1 = ManagedBackend::start(backend_config(None), scratch_dir("stall-b1"));
+    let links: Vec<Box<dyn BackendLink>> = vec![
+        Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0)),
+        Box::new(FaultyLink::new(b1.link(), Arc::clone(&plan), 1)),
+    ];
+    let (cluster, _recovery) = Cluster::start(fast_probes(), links).expect("no journal");
+    let handle = cluster.connect();
+    let specs: Vec<JobSpec> = (1..=8).map(|j| quick_spec(j, 30 + j)).collect();
+    for spec in &specs {
+        handle.submit(spec.clone(), 0, None);
+    }
+    wait_for(
+        || cluster.stats().fleet.accepted == 8,
+        "all submits admitted",
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    plan.stall(0);
+    wait_for(
+        || cluster.backend_states()[0] == BackendState::Down,
+        "partitioned shard marked down",
+    );
+    let rerouted = cluster.stats().reroutes;
+    assert!(rerouted > 0, "partition should have forced failovers");
+
+    // the failed-over stream settles on the healthy shard
+    let outcomes = collect_outcomes(&handle, specs.len());
+    assert_oracle(&outcomes, &specs);
+
+    // meanwhile the partitioned shard finishes its copies into the held
+    // buffer; healing releases them late, in order — all duplicates now
+    hold0.release_workers();
+    std::thread::sleep(Duration::from_millis(100));
+    plan.heal(0);
+    wait_for(
+        || cluster.stats().duplicates_dropped >= rerouted,
+        "late outcomes deduplicated",
+    );
+    wait_for(
+        || cluster.backend_states()[0] == BackendState::Up,
+        "healed shard re-admitted",
+    );
+
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.completed, 8);
+    assert_eq!(report.unsettled, 0);
+    b0.drain().expect("drain shard 0");
+    b1.drain().expect("drain shard 1");
+}
+
+/// An at-least-once transport that replays every outcome twice still
+/// settles each job exactly once.
+#[test]
+fn duplicate_outcome_replay_settles_each_job_once() {
+    let plan = Arc::new(BackendFaultPlan::new());
+    plan.duplicate_outcomes(0);
+    let mut b0 = ManagedBackend::start(backend_config(None), scratch_dir("dup-b0"));
+    let links: Vec<Box<dyn BackendLink>> =
+        vec![Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0))];
+    let (cluster, _recovery) = Cluster::start(fast_probes(), links).expect("no journal");
+    let handle = cluster.connect();
+
+    let specs: Vec<JobSpec> = (1..=6).map(|j| quick_spec(j, 70 + j)).collect();
+    for spec in &specs {
+        handle.submit(spec.clone(), 0, None);
+    }
+    let outcomes = collect_outcomes(&handle, specs.len());
+    assert_oracle(&outcomes, &specs);
+    wait_for(
+        || cluster.stats().duplicates_dropped >= specs.len() as u64,
+        "every replayed outcome dropped",
+    );
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.completed, 6);
+    assert_eq!(report.unsettled, 0);
+    b0.drain().expect("drain");
+}
+
+/// With every shard down the router sheds with `overloaded` — it never
+/// hangs and never silently drops a submit.
+#[test]
+fn fully_down_fleet_sheds_with_overloaded() {
+    let plan = Arc::new(BackendFaultPlan::new());
+    let mut b0 = ManagedBackend::start(backend_config(None), scratch_dir("shed-b0"));
+    let mut b1 = ManagedBackend::start(backend_config(None), scratch_dir("shed-b1"));
+    let links: Vec<Box<dyn BackendLink>> = vec![
+        Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0)),
+        Box::new(FaultyLink::new(b1.link(), Arc::clone(&plan), 1)),
+    ];
+    let (cluster, _recovery) = Cluster::start(fast_probes(), links).expect("no journal");
+    let handle = cluster.connect();
+
+    plan.kill(0);
+    plan.kill(1);
+    wait_for(
+        || {
+            cluster
+                .backend_states()
+                .iter()
+                .all(|s| *s == BackendState::Down)
+        },
+        "both shards down",
+    );
+    handle.submit(quick_spec(1, 5), 0, None);
+    match handle.recv_timeout(Duration::from_secs(10)) {
+        Some(Response::Overloaded { retry_after_ms }) => assert!(retry_after_ms > 0),
+        other => panic!("expected an overloaded shed, got {other:?}"),
+    }
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.rejected, 1);
+    assert_eq!(report.fleet.accepted, 0);
+    b0.drain().expect("drain");
+    b1.drain().expect("drain");
+}
+
+/// The router-restart half of exactly-once: jobs journaled but unsettled
+/// when the router dies are re-admitted by the next incarnation from the
+/// write-ahead journal, complete bit-identically through the restarted
+/// backend, and the journal ends fully settled.
+#[test]
+fn router_restart_replays_journal_and_settles_drained_jobs_bit_identically() {
+    let scratch = scratch_dir("journal");
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let journal_path = scratch.join("intents.ndjson");
+    let hold = Arc::new(FaultPlan::new());
+    hold.hold_workers(); // armed before the workers spawn: nothing settles
+    let mut backend = ManagedBackend::start(
+        backend_config(Some(Arc::clone(&hold))),
+        scratch.join("drain"),
+    );
+    let config = ClusterConfig {
+        journal: Some(journal_path.clone()),
+        ..fast_probes()
+    };
+    let specs: Vec<JobSpec> = (1..=6).map(|j| quick_spec(j, 50 + j)).collect();
+
+    // first incarnation: admit everything, settle nothing
+    let first_unsettled = {
+        let links: Vec<Box<dyn BackendLink>> = vec![backend.link()];
+        let (cluster, _recovery) = Cluster::start(config.clone(), links).expect("fresh journal");
+        let handle = cluster.connect();
+        for spec in &specs {
+            handle.submit(spec.clone(), 0, None);
+        }
+        wait_for(|| cluster.stats().fleet.accepted == 6, "submits admitted");
+        std::thread::sleep(Duration::from_millis(100)); // let forwards land
+        cluster.shutdown().unsettled
+    };
+    assert_eq!(first_unsettled, 6, "nothing settled before the crash");
+    backend.drain().expect("backend drains its share");
+
+    // second incarnation: journal replay re-admits the jobs, owned by the
+    // recovery handle; the restarted backend both resumes its drained copy
+    // and receives the re-routed fresh copy — dedup keeps exactly one
+    let link = backend.restart().expect("backend resumes");
+    let (cluster, recovery) = Cluster::start(config, vec![link]).expect("journal replays");
+    assert!(cluster.recovery_anomalies().is_empty(), "clean journal");
+    let outcomes = collect_outcomes(&recovery, specs.len());
+    assert_oracle(&outcomes, &specs);
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.accepted, 6, "recovered jobs re-admitted");
+    assert_eq!(report.fleet.completed, 6, "each settled exactly once");
+    assert_eq!(report.unsettled, 0);
+    drop(recovery);
+    backend.drain().expect("final drain");
+
+    // a third open proves the journal closed the loop: every routed gid
+    // has its settled record, nothing left to re-route
+    let (_journal, replay) =
+        saim_machine::cluster::journal::Journal::open(&journal_path).expect("reopen");
+    assert!(replay.unsettled.is_empty(), "no orphaned intents");
+    assert_eq!(replay.settled, 6);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Cancels route through the cluster: a job already forwarded to a shard
+/// is cancelled there and settles exactly once as cancelled; an unknown id
+/// earns the typed rejection.
+#[test]
+fn cancel_settles_exactly_once_through_the_cluster() {
+    let hold = Arc::new(FaultPlan::new());
+    hold.hold_workers(); // armed before the workers spawn
+    let mut backend = ManagedBackend::start(
+        backend_config(Some(Arc::clone(&hold))),
+        scratch_dir("cancel"),
+    );
+    let links: Vec<Box<dyn BackendLink>> = vec![backend.link()];
+    let (cluster, _recovery) = Cluster::start(fast_probes(), links).expect("no journal");
+    let handle = cluster.connect();
+
+    let spec = quick_spec(7, 77);
+    handle.submit(spec.clone(), 0, None);
+    wait_for(|| cluster.stats().fleet.accepted == 1, "submit admitted");
+    std::thread::sleep(Duration::from_millis(50)); // let the forward land
+                                                   // workers stay held: the hub cancels the still-queued job directly, so
+                                                   // the terminal frame must be Cancelled, never Completed
+    handle.send(Request::Cancel { job: 7 });
+
+    let mut cancelled = None;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while cancelled.is_none() {
+        assert!(Instant::now() < deadline, "cancel never settled");
+        match handle.recv_timeout(Duration::from_millis(200)) {
+            Some(Response::Outcome { outcome }) => cancelled = Some(outcome),
+            Some(Response::Accepted { .. }) | None => {}
+            Some(other) => panic!("unexpected frame {other:?}"),
+        }
+    }
+    let outcome = cancelled.expect("settled");
+    assert_eq!(outcome.job, 7);
+    assert_eq!(outcome.outcome_kind, OutcomeKind::Cancelled);
+
+    // a second cancel of the now-settled job is the typed unknown-job error
+    handle.send(Request::Cancel { job: 7 });
+    match handle.recv_timeout(Duration::from_secs(10)) {
+        Some(Response::Rejected { code, .. }) => assert_eq!(code, "unknown_job"),
+        other => panic!("expected unknown_job, got {other:?}"),
+    }
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.cancelled, 1);
+    assert_eq!(report.unsettled, 0);
+    backend.drain().expect("drain");
+}

@@ -101,11 +101,11 @@ fn malformed_frames_earn_typed_rejections_and_the_session_survives() {
         .expect("write");
     expect_code(&mut client, "version");
     client
-        .send_raw(b"{\"schema\":2,\"frame\":\"warp\"}\n")
+        .send_raw(b"{\"schema\":3,\"frame\":\"warp\"}\n")
         .expect("write");
     expect_code(&mut client, "unknown_frame");
     client
-        .send_raw(b"{\"schema\":2,\"frame\":\"stats\",\"x\":1}\n")
+        .send_raw(b"{\"schema\":3,\"frame\":\"stats\",\"x\":1}\n")
         .expect("write");
     expect_code(&mut client, "unknown_field");
     // four strikes and the session still schedules real work
@@ -197,7 +197,7 @@ fn truncated_and_interleaved_partial_frames_are_handled() {
     {
         let mut dying = TcpStream::connect(&addr).expect("connect");
         dying
-            .write_all(b"{\"schema\":2,\"frame\":\"sub")
+            .write_all(b"{\"schema\":3,\"frame\":\"sub")
             .expect("write");
         // dropped here: EOF with half a frame buffered
     }
@@ -217,7 +217,7 @@ fn slow_loris_writers_are_kicked_without_blocking_other_sessions() {
     config.read_timeout = Duration::from_millis(150);
     let (frontend, addr) = serve(config);
     let mut loris = TcpStream::connect(&addr).expect("connect");
-    loris.write_all(b"{\"schema\":2,").expect("write");
+    loris.write_all(b"{\"schema\":3,").expect("write");
     // while the loris stalls mid-frame, an honest session does real work
     let mut honest = NdjsonClient::connect(&addr).expect("connect");
     honest
