@@ -31,6 +31,7 @@
 //! cargo run -p saim-bench --release --bin bench_sweep -- --out path.json
 //! ```
 
+use saim_bench::snapshot::PrevSnapshot;
 use saim_core::{penalty_qubo, ConstrainedProblem};
 use saim_knapsack::generate;
 use saim_machine::service::{solver_service, ServiceConfig};
@@ -38,7 +39,7 @@ use saim_machine::{
     derive_seed, new_rng, parallel, BetaSchedule, Dynamics, EnsembleAnnealer, EnsembleConfig,
     IsingSolver, NoiseSource, ParallelTempering, PbitMachine, PtConfig, ReplicaBatch,
 };
-use serde::{Serialize, Value};
+use serde::Serialize;
 use std::time::Instant;
 
 #[derive(Debug, Serialize)]
@@ -195,74 +196,6 @@ struct Snapshot {
     service: Vec<ServicePoint>,
 }
 
-/// The previous snapshot at the output path, parsed as a raw JSON tree so
-/// any older schema version can supply deltas for whatever rows it shares
-/// with the new one.
-struct PrevSnapshot {
-    root: Value,
-}
-
-impl PrevSnapshot {
-    fn load(path: &str) -> Option<PrevSnapshot> {
-        let text = std::fs::read_to_string(path).ok()?;
-        let root = serde_json::parse_value_str(&text).ok()?;
-        Some(PrevSnapshot { root })
-    }
-
-    fn rev(&self) -> Option<String> {
-        match self.root.field("git_rev").ok()? {
-            Value::Str(s) => Some(s.clone()),
-            _ => None,
-        }
-    }
-
-    /// The `value_field` of the row in `section` whose `key_field` equals
-    /// `key` — the lookup every delta computation shares.
-    fn row_value(
-        &self,
-        section: &str,
-        key_field: &str,
-        key: f64,
-        value_field: &str,
-    ) -> Option<f64> {
-        let rows = match self.root.field(section).ok()? {
-            Value::Array(items) => items,
-            _ => return None,
-        };
-        rows.iter()
-            .find(|row| {
-                row.field(key_field)
-                    .ok()
-                    .and_then(value_as_f64)
-                    .is_some_and(|k| (k - key).abs() < 1e-9)
-            })
-            .and_then(|row| row.field(value_field).ok())
-            .and_then(value_as_f64)
-    }
-
-    /// Percent change of `new` vs the matching previous row.
-    fn delta_pct(
-        &self,
-        section: &str,
-        key_field: &str,
-        key: f64,
-        value_field: &str,
-        new: f64,
-    ) -> Option<f64> {
-        let old = self.row_value(section, key_field, key, value_field)?;
-        (old.abs() > 1e-12).then(|| (new - old) / old * 100.0)
-    }
-}
-
-fn value_as_f64(v: &Value) -> Option<f64> {
-    match v {
-        Value::Float(f) => Some(*f),
-        Value::Int(i) => Some(*i as f64),
-        Value::UInt(u) => Some(*u as f64),
-        _ => None,
-    }
-}
-
 /// Formats a delta for the console trajectory line.
 fn fmt_delta(delta: Option<f64>) -> String {
     delta.map_or_else(String::new, |d| format!("  Δ {d:+.1}% vs prev"))
@@ -339,21 +272,15 @@ fn time_batch(n: usize, density: f64, width: usize) -> BatchPoint {
     let seeds: Vec<u64> = (0..width as u64).map(|r| derive_seed(1, r)).collect();
     let sweeps = (8_000_000_usize / (model.len().max(1) * width)).clamp(200, 50_000);
 
-    // best of five timed repetitions per engine: the snapshot machine is a
-    // shared VM, and the minimum is the standard noise-robust estimator
+    // best of seven timed repetitions per engine, batch and serial
+    // interleaved round by round: the snapshot machine is a shared VM, the
+    // minimum is the standard noise-robust estimator, and interleaving
+    // keeps a slow host phase from skewing the recorded ratio by landing
+    // entirely on one engine's block
     let mut batch = ReplicaBatch::new(&model, &seeds);
     for _ in 0..200 {
         batch.sweep_uniform(&model, BATCH_BETA);
     }
-    let mut batch_secs = f64::INFINITY;
-    for _ in 0..5 {
-        let start = Instant::now();
-        for _ in 0..sweeps {
-            batch.sweep_uniform(&model, BATCH_BETA);
-        }
-        batch_secs = batch_secs.min(start.elapsed().as_secs_f64());
-    }
-
     let mut machines: Vec<(PbitMachine, NoiseSource)> = seeds
         .iter()
         .map(|&seed| {
@@ -367,8 +294,16 @@ fn time_batch(n: usize, density: f64, width: usize) -> BatchPoint {
             machine.sweep_buffered(&model, BATCH_BETA, noise);
         }
     }
+
+    let mut batch_secs = f64::INFINITY;
     let mut serial_secs = f64::INFINITY;
-    for _ in 0..5 {
+    for _ in 0..7 {
+        let start = Instant::now();
+        for _ in 0..sweeps {
+            batch.sweep_uniform(&model, BATCH_BETA);
+        }
+        batch_secs = batch_secs.min(start.elapsed().as_secs_f64());
+
         let start = Instant::now();
         for _ in 0..sweeps {
             for (machine, noise) in &mut machines {

@@ -27,8 +27,9 @@
 //!
 //! The library half of the crate hosts the shared machinery: CLI parsing
 //! ([`args`]), descriptive statistics ([`stats`]), table/CSV formatting
-//! ([`report`]), and the experiment drivers ([`experiments`]) used by both
-//! the binaries and the Criterion benches.
+//! ([`report`]), the cross-schema perf-snapshot reader ([`snapshot`]), and
+//! the experiment drivers ([`experiments`]) used by both the binaries and
+//! the Criterion benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,5 +37,6 @@
 pub mod args;
 pub mod experiments;
 pub mod report;
+pub mod snapshot;
 pub mod stats;
 pub mod tables;

@@ -105,21 +105,40 @@ impl Couplings {
         }
     }
 
-    /// Lane-broadcast axpy over row `i`: `planes[j*W + r] += M_ij *
-    /// deltas[r]` for every column `j` (dense) or stored neighbour `j`
-    /// (sparse) and every lane `r`, with `W = deltas.len()`.
+    /// Suffix axpy over row `i`: `fields[j] += M_ij * delta` for every
+    /// column `j ≥ i` (dense) or stored neighbour `j ≥ i` (sparse), where
+    /// `fields` is one replica lane's contiguous length-`n` field vector.
     ///
-    /// One pass over the coupling row updates the local-field lane of all
-    /// `W` replicas of a batched sweep — see
-    /// [`SymmetricMatrix::row_axpy_lanes`] and [`CsrMatrix::row_axpy_lanes`].
+    /// The immediate half of the batched sweep's split flip propagation:
+    /// the scan still reads fields at `j ≥ i` this sweep, so they update at
+    /// flip time; the `j < i` half defers to the end-of-sweep coalesced
+    /// pass ([`Couplings::row_axpy_prefix`]). See
+    /// [`SymmetricMatrix::row_axpy_suffix`] and
+    /// [`CsrMatrix::row_axpy_suffix`] for the bit-exactness argument.
     ///
     /// # Panics
     ///
-    /// Panics if `planes.len() != self.len() * deltas.len()`.
-    pub fn row_axpy_lanes(&self, i: usize, deltas: &[f64], planes: &mut [f64]) {
+    /// Panics if `fields.len() != self.len()` or `i` is out of bounds.
+    pub fn row_axpy_suffix(&self, i: usize, delta: f64, fields: &mut [f64]) {
         match self {
-            Couplings::Dense(m) => m.row_axpy_lanes(i, deltas, planes),
-            Couplings::Sparse(m) => m.row_axpy_lanes(i, deltas, planes),
+            Couplings::Dense(m) => m.row_axpy_suffix(i, delta, fields),
+            Couplings::Sparse(m) => m.row_axpy_suffix(i, delta, fields),
+        }
+    }
+
+    /// Prefix axpy over row `i`: `fields[j] += M_ij * delta` for every
+    /// column `j < i` (dense) or stored neighbour `j < i` (sparse) — the
+    /// deferred half of the split flip propagation
+    /// ([`Couplings::row_axpy_suffix`]), applied by the batched sweep's
+    /// end-of-sweep pass with the row cache-hot across lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() != self.len()` or `i` is out of bounds.
+    pub fn row_axpy_prefix(&self, i: usize, delta: f64, fields: &mut [f64]) {
+        match self {
+            Couplings::Dense(m) => m.row_axpy_prefix(i, delta, fields),
+            Couplings::Sparse(m) => m.row_axpy_prefix(i, delta, fields),
         }
     }
 
@@ -134,6 +153,21 @@ impl Couplings {
         match self {
             Couplings::Dense(m) => m.row_abs_sum(i),
             Couplings::Sparse(m) => m.row_abs_sum(i),
+        }
+    }
+
+    /// Largest `|M_ij|` over row `i` — a bound on how much one ±2 spin
+    /// flip of `i` can move any other spin's local field, used by the
+    /// batched sweep's settled-set slack budget
+    /// ([`ReplicaBatch`](../../saim_machine/struct.ReplicaBatch.html)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_max_abs(&self, i: usize) -> f64 {
+        match self {
+            Couplings::Dense(m) => m.row_max_abs(i),
+            Couplings::Sparse(m) => m.row_max_abs(i),
         }
     }
 

@@ -196,43 +196,54 @@ impl SymmetricMatrix {
         ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
     }
 
-    /// Lane-broadcast axpy over row `i`: for every column `j` and every lane
-    /// `r`, `planes[j*W + r] += M_ij * deltas[r]`, where `W = deltas.len()`.
-    ///
-    /// This is the batched-replica field update: `planes` is an `n × W`
-    /// structure-of-arrays plane (lane `r` of variable `j` at `j*W + r`) and
-    /// `deltas` carries one flip delta per replica lane. The row is streamed
-    /// from memory **once** for all `W` lanes — the amortization the
-    /// multi-replica sweep engine is built on — and the per-lane arithmetic
-    /// is element-wise, so each lane's result is identical to applying the
-    /// scalar axpy to that lane alone (a `0.0` delta only adds `±0.0`).
+    /// Largest `|M_ij|` over row `i` — a bound on how much one ±2 spin
+    /// flip of `i` can move any other spin's local field, used by the
+    /// batched sweep's settled-set slack budget.
     ///
     /// # Panics
     ///
-    /// Panics if `planes.len() != self.len() * deltas.len()`.
-    pub fn row_axpy_lanes(&self, i: usize, deltas: &[f64], planes: &mut [f64]) {
-        let width = deltas.len();
+    /// Panics if `i` is out of bounds.
+    pub fn row_max_abs(&self, i: usize) -> f64 {
+        self.row(i).iter().fold(0.0_f64, |acc, &m| acc.max(m.abs()))
+    }
+
+    /// Suffix axpy over row `i`: `fields[j] += M_ij * delta` for every
+    /// `j ≥ i`, where `fields` is one replica lane's contiguous length-`n`
+    /// field vector.
+    ///
+    /// One half of the batched sweep's split flip propagation: the suffix
+    /// is applied immediately at flip time (the scan still reads those
+    /// fields this sweep), the prefix ([`SymmetricMatrix::row_axpy_prefix`])
+    /// is deferred to the end-of-sweep coalesced pass. The per-element
+    /// arithmetic is the plain `f += J_ij · delta` of the serial machine's
+    /// full-row pass, so splitting at `i` cannot change any value — the two
+    /// halves together are bitwise the full-row axpy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() != self.len()` or `i` is out of bounds.
+    pub fn row_axpy_suffix(&self, i: usize, delta: f64, fields: &mut [f64]) {
+        assert_eq!(fields.len(), self.n, "field vector length mismatch");
         let row = self.row(i);
-        assert_eq!(
-            planes.len(),
-            self.n * width,
-            "plane length must be rows × lanes"
-        );
-        // monomorphize the common lane counts: a compile-time width turns
-        // the inner loop into one packed broadcast-multiply-add per block
-        match width {
-            0 => {}
-            2 => axpy_lanes::<2>(row, deltas, planes),
-            4 => axpy_lanes::<4>(row, deltas, planes),
-            8 => axpy_lanes::<8>(row, deltas, planes),
-            16 => axpy_lanes::<16>(row, deltas, planes),
-            _ => {
-                for (&jij, plane) in row.iter().zip(planes.chunks_exact_mut(width)) {
-                    for (p, &d) in plane.iter_mut().zip(deltas) {
-                        *p += jij * d;
-                    }
-                }
-            }
+        for (f, &jij) in fields[i..].iter_mut().zip(&row[i..]) {
+            *f += jij * delta;
+        }
+    }
+
+    /// Prefix axpy over row `i`: `fields[j] += M_ij * delta` for every
+    /// `j < i` — the deferred half of the split flip propagation (see
+    /// [`SymmetricMatrix::row_axpy_suffix`]). The end-of-sweep pass calls
+    /// this once per `(flipped spin, lane)` pair, spins ascending, so the
+    /// row stays cache-hot across every lane that flipped it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() != self.len()` or `i` is out of bounds.
+    pub fn row_axpy_prefix(&self, i: usize, delta: f64, fields: &mut [f64]) {
+        assert_eq!(fields.len(), self.n, "field vector length mismatch");
+        let row = self.row(i);
+        for (f, &jij) in fields[..i].iter_mut().zip(&row[..i]) {
+            *f += jij * delta;
         }
     }
 
@@ -299,18 +310,6 @@ impl SymmetricMatrix {
             out.data[i * new_n..i * new_n + self.n].copy_from_slice(src);
         }
         out
-    }
-}
-
-/// The lane-broadcast axpy with the lane count known at compile time; the
-/// per-lane arithmetic is identical to the runtime-width loop.
-fn axpy_lanes<const W: usize>(row: &[f64], deltas: &[f64], planes: &mut [f64]) {
-    let deltas: &[f64; W] = deltas.try_into().expect("width was matched");
-    for (plane, &jij) in planes.chunks_exact_mut(W).zip(row) {
-        let plane: &mut [f64; W] = plane.try_into().expect("exact chunks");
-        for (p, &d) in plane.iter_mut().zip(deltas) {
-            *p += jij * d;
-        }
     }
 }
 
@@ -391,33 +390,41 @@ mod tests {
     }
 
     #[test]
-    fn row_axpy_lanes_matches_per_lane_scalar_axpy() {
-        let mut m = SymmetricMatrix::zeros(4);
+    fn prefix_and_suffix_axpy_compose_to_the_full_row_pass() {
+        let mut m = SymmetricMatrix::zeros(5);
         m.set(0, 1, 2.0).unwrap();
         m.set(0, 3, -1.5).unwrap();
         m.set(1, 2, 0.5).unwrap();
-        let width = 3;
-        let deltas = [2.0, 0.0, -2.0];
-        let mut planes: Vec<f64> = (0..4 * width).map(|k| k as f64 * 0.25).collect();
-        let reference: Vec<f64> = {
-            let mut lanes = planes.clone();
-            for (r, &d) in deltas.iter().enumerate() {
-                for j in 0..4 {
-                    lanes[j * width + r] += m.get(0, j) * d;
-                }
+        m.set(2, 4, -0.25).unwrap();
+        let delta = -2.0;
+        for i in 0..5 {
+            let mut split: Vec<f64> = (0..5).map(|k| k as f64 * 0.25 - 0.5).collect();
+            let mut full = split.clone();
+            // the serial machine's one-pass reference
+            for (f, &jij) in full.iter_mut().zip(m.row(i)) {
+                *f += jij * delta;
             }
-            lanes
-        };
-        m.row_axpy_lanes(0, &deltas, &mut planes);
-        assert_eq!(planes, reference);
+            m.row_axpy_suffix(i, delta, &mut split);
+            m.row_axpy_prefix(i, delta, &mut split);
+            for (a, b) in split.iter().zip(&full) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
     }
 
     #[test]
-    fn row_axpy_lanes_with_zero_lanes_is_a_noop() {
-        let m = SymmetricMatrix::zeros(3);
-        let mut planes: Vec<f64> = Vec::new();
-        m.row_axpy_lanes(1, &[], &mut planes);
-        assert!(planes.is_empty());
+    fn suffix_axpy_leaves_the_prefix_untouched() {
+        let mut m = SymmetricMatrix::zeros(4);
+        m.set(0, 2, 1.0).unwrap();
+        m.set(2, 3, -1.0).unwrap();
+        let mut fields = vec![1.0, 2.0, 3.0, 4.0];
+        m.row_axpy_suffix(2, 2.0, &mut fields);
+        assert_eq!(fields[..2], [1.0, 2.0]);
+        assert_eq!(fields[3], 4.0 - 1.0 * 2.0);
+        let mut fields = vec![1.0, 2.0, 3.0, 4.0];
+        m.row_axpy_prefix(2, 2.0, &mut fields);
+        assert_eq!(fields[0], 1.0 + 1.0 * 2.0);
+        assert_eq!(fields[2..], [3.0, 4.0]);
     }
 
     #[test]
@@ -430,6 +437,16 @@ mod tests {
         assert_eq!(m.row_abs_sum(5), 0.0);
         // symmetric mirror contributes to the other row too
         assert_eq!(m.row_abs_sum(9), 1.5);
+    }
+
+    #[test]
+    fn row_max_abs_picks_the_largest_magnitude() {
+        let mut m = SymmetricMatrix::zeros(4);
+        m.set(0, 1, 2.0).unwrap();
+        m.set(0, 3, -3.5).unwrap();
+        assert_eq!(m.row_max_abs(0), 3.5);
+        assert_eq!(m.row_max_abs(1), 2.0); // symmetric mirror
+        assert_eq!(m.row_max_abs(2), 0.0); // uncoupled row
     }
 
     #[test]

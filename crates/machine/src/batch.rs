@@ -1,68 +1,112 @@
-//! Batched structure-of-arrays multi-replica sweep engine.
+//! Batched lane-major multi-replica sweep engine.
 //!
 //! [`ReplicaBatch`] advances `R` replicas of **one** [`IsingModel`] through
-//! Monte Carlo sweeps together. The sweep hot path is memory-bandwidth-bound:
-//! a serial [`PbitMachine`] re-streams spin *i*'s coupling row from memory
-//! once per flip per replica. The batch engine instead holds the whole
-//! ensemble in structure-of-arrays planes so **one pass over the coupling
-//! row (dense chunk or CSR neighbour list) updates the local-field lane of
-//! all `R` replicas at once** — the row load is amortized `R`-fold, and the
-//! per-lane arithmetic is a contiguous broadcast-multiply the compiler keeps
-//! in vector registers. This is the CPU-side proof of the exact kernel shape
-//! a GPU batch sweep needs: the same `n × R` planes map directly onto a
-//! kernel advancing one lane per GPU thread.
+//! Monte Carlo sweeps together. Each replica lane runs the *same*
+//! serial-shaped scan as a [`PbitMachine`](crate::PbitMachine) — settled
+//! scan, three-tier bracket decisions, immediate forward flip propagation —
+//! over its own contiguous plane slice, and the batch adds one thing on
+//! top: the **backward half of every flip's propagation is deferred into a
+//! per-sweep flip buffer and applied at the end of the sweep in one
+//! coalesced pass**, spin-by-spin across all lanes, so a coupling row that
+//! several lanes flipped is loaded once and reused.
 //!
 //! # Memory layout
 //!
-//! All per-replica data is *spin-major*: lane `r` of spin `i` lives at index
-//! `i * R + r`, so the `R` lanes a decision touches are one contiguous
-//! cache-line-friendly block, and the row-axpy writes
-//! (`fields[j*R + r] += J_ij · delta[r]`) stream linearly through the plane:
+//! All per-replica data is *lane-major*: lane `r` owns the contiguous
+//! slices `spins[r·n .. (r+1)·n]` and `fields[r·n .. (r+1)·n]` — each lane
+//! is bit-for-bit a serial machine's spin/field vector:
 //!
 //! ```text
-//! spins  = [ s₀⁰ s₀¹ … s₀ᴿ⁻¹ | s₁⁰ s₁¹ … s₁ᴿ⁻¹ | … ]   (±1.0 floats)
-//! fields = [ I₀⁰ I₀¹ … I₀ᴿ⁻¹ | I₁⁰ I₁¹ … I₁ᴿ⁻¹ | … ]
+//!           lane 0 (n floats)      lane 1 (n floats)
+//! spins  = [ s₀⁰ s₁⁰ … sₙ₋₁⁰ | s₀¹ s₁¹ … sₙ₋₁¹ | … ]   (±1.0 floats)
+//! fields = [ I₀⁰ I₁⁰ … Iₙ₋₁⁰ | I₀¹ I₁¹ … Iₙ₋₁¹ | … ]
 //! ```
+//!
+//! The previous spin-major `n × R` plane (`i·R + r`) optimized for the
+//! broadcast write `fields[j·R + r] += J_ij · delta[r]` — but that shape
+//! loses whenever lanes flip *different* spins, which is the common case:
+//! an uncorrelated single-lane flip either strides the whole plane (one
+//! useful f64 per 64-byte line) or broadcasts `±0.0` adds over the full
+//! slab (`R×` the memory traffic of the serial machine it replays). In the
+//! lane-major layout every per-lane operation — the settled scan, the
+//! forward suffix propagation, the deferred prefix pass, checkpoint
+//! gather/scatter, and the parallel-tempering lane swaps — streams a
+//! contiguous vector, exactly like the serial machine, so each lane costs
+//! what a serial sweep costs and the batch wins by sharing the coupling
+//! row between lanes (and by skipping the serial machine's `SpinState`
+//! mirror maintenance). This is also the layout the planned GPU batch
+//! sweep wants: one lane per thread block row, coalesced loads along the
+//! spin axis, the coupling row broadcast from shared memory.
+//!
+//! # Split flip propagation and the flip buffer
+//!
+//! A serial flip of spin `i` applies `fields[j] += J_ij · delta` for every
+//! `j` in ascending order, in one pass. The lane scan splits that row pass
+//! at `i`:
+//!
+//! * **suffix** (`j ≥ i`): applied immediately
+//!   ([`Couplings::row_axpy_suffix`]) — these are the fields the scan has
+//!   yet to read this sweep, so they must be current;
+//! * **prefix** (`j < i`): recorded in the flip buffer as
+//!   `(spin, lane, delta)` and applied after every lane has finished its
+//!   scan ([`Couplings::row_axpy_prefix`]) — the scan never re-reads
+//!   `fields[j < i]` within a sweep, so deferral is invisible to every
+//!   decision.
+//!
+//! The end-of-sweep pass sorts the buffer by spin and walks it groupwise:
+//! row `i` is fetched once and applied to every lane that flipped spin `i`
+//! this sweep. The buffer invariants that make this bit-exact:
+//!
+//! 1. a lane records at most one entry per spin per sweep (one visit per
+//!    spin per sweep), appended in ascending spin order;
+//! 2. the sort groups by spin and per lane preserves ascending spin order
+//!    (cross-lane order within a spin group is irrelevant — lanes' planes
+//!    are disjoint);
+//! 3. `fields[j]` therefore receives this sweep's adds from flips at
+//!    `i ≤ j` immediately (ascending `i`) and from flips at `i > j` in the
+//!    deferred pass (ascending `i`) — the same adds in the same order as
+//!    the serial machine's chronological `i = 0, 1, …, n-1` pass, so every
+//!    field is **bitwise identical** to the serial replay, signed zeros
+//!    included;
+//! 4. the buffer is empty between sweeps — checkpoints only ever observe
+//!    fully-propagated fields, so per-lane snapshot images are unaffected
+//!    by the deferral.
+//!
+//! Single-lane batches skip the buffer entirely: width-1 groups (narrow
+//! ensemble groups, narrow parallel-tempering ladder groups) take the
+//! serial-shaped sweep with the serial machine's one-pass full-row
+//! propagation — no lane machinery at all.
 //!
 //! # Decision kernel
 //!
-//! Every lane decision runs the same three-tier kernel as the serial
-//! machine (see [`PbitMachine`](crate::PbitMachine)): per-spin saturation
-//! classification from the model's drive bounds, the exact saturation
-//! short-circuit, and the certified tanh bracket ([`crate::bracket`]).
-//! On top of it the batch adds a **two-sided branchless lane
-//! classification** over the field plane: per spin, one unrolled pass
-//! counts lanes that are *settled* (saturated and aligned — skip with no
-//! draw) and lanes that are certified *unsaturated*; an all-settled spin is
-//! skipped whole, an all-unsaturated spin routes the whole lane group past
-//! the per-lane saturation compares straight to the drawn bracket
-//! decisions, and only mixed spins take the fully general per-lane path.
-//! Single-lane batches bypass the lane machinery entirely through a
-//! serial-shaped sweep. None of this changes any decision or draw — it
-//! only re-routes which code computes it.
+//! Per lane the decisions are exactly the serial machine's three-tier
+//! kernel (see [`PbitMachine`](crate::PbitMachine)): the blocked settled
+//! scan ([`SATURATION`]-threshold certificate), per-spin saturation
+//! classification from the model's drive bounds, and the certified tanh
+//! bracket ([`crate::bracket`]) on everything else. The batch holds one
+//! shared `drive_bounds` vector (the bound depends only on the model) and
+//! runs each lane against it at that lane's β.
 //!
 //! # RNG-stream layout
 //!
-//! Replica lane `r` owns the ChaCha8 stream seeded with `seeds[r]`, consumed
-//! exactly like a serial machine's: `n` coin flips for the initial state,
-//! then one block-buffered `U(-1, 1)` draw per undecided spin in spin order
-//! (see [`NoiseSource`] for why buffering preserves the draw order). Lanes
-//! never share a stream, so the batch width and the processing order of
-//! other lanes cannot influence a lane's trajectory.
+//! Replica lane `r` owns the ChaCha8 stream seeded with `seeds[r]`,
+//! consumed exactly like a serial machine's: `n` coin flips for the
+//! initial state, then one block-buffered `U(-1, 1)` draw per undecided
+//! spin in spin order (see [`NoiseSource`] for why buffering preserves the
+//! draw order). Lanes never share a stream, so the batch width and the
+//! processing order of other lanes cannot influence a lane's trajectory.
 //!
 //! # Batch-width invariance
 //!
-//! Replica `r`'s trajectory — every spin, field, energy and flip count — is
-//! identical whether it runs in a batch of 1, a batch of 8, or on a serial
-//! [`PbitMachine`] fed the same stream. Decisions use only lane-`r` data;
-//! field updates apply the same adds in the same order per lane (unflipped
-//! lanes receive `J_ij · 0.0 = ±0.0`, which is invisible by value); and the
-//! initial books are computed with the *same* blocked row-dot kernel as the
-//! serial machine. `tests/determinism.rs` and the machine crate's proptests
-//! assert the contract for R = 1 vs R = 8 vs serial replay, on dense and
-//! CSR models, including n = 0/1. (The only representational difference is
-//! the sign of zero on unflipped lanes' fields, which no decision, energy
-//! or comparison can observe.)
+//! Replica `r`'s trajectory — every spin, field, energy and flip count —
+//! is identical whether it runs in a batch of 1, a batch of 8, or on a
+//! serial [`PbitMachine`](crate::PbitMachine) fed the same stream: lanes
+//! are data-disjoint, decisions use only lane-`r` data, and the split
+//! propagation applies the serial adds in the serial order (see the flip
+//! buffer invariants above). `tests/determinism.rs` and the machine
+//! crate's proptests assert the contract for R = 1 vs R = 8 vs serial
+//! replay, on dense and CSR models, including n = 0/1 and widths that are
+//! not a multiple of any block size.
 //!
 //! ```
 //! use saim_ising::QuboBuilder;
@@ -87,25 +131,87 @@
 
 use crate::bracket::gibbs_decision;
 use crate::pbit::{
-    propagate_dense, settled_run, MachineSnapshot, CLASS_PAD, SATURATION, SETTLE_PAD_DOWN,
-    SETTLE_PAD_UP,
+    propagate_dense, settled_run, MachineSnapshot, CLASS_PAD, SATURATION, SETTLE_PAD_UP,
 };
 use crate::rng::{new_rng, NoiseSnapshot, NoiseSource};
 use rand::Rng;
 use saim_ising::{Couplings, IsingModel, Spin, SpinState};
 
-/// `R` replicas of one Ising model in structure-of-arrays layout, advanced
-/// by batched Monte Carlo sweeps.
+/// One deferred backward propagation: lane `lane` flipped spin `spin` with
+/// spin-value delta `delta`; `fields[lane·n + j] += J_spin,j · delta` for
+/// every `j < spin` is still owed when the record is in the buffer.
+#[derive(Debug, Clone, Copy)]
+struct FlipRec {
+    spin: u32,
+    lane: u32,
+    delta: f64,
+}
+
+/// Split flip propagation (suffix now, prefix deferred to the coalesced
+/// drain) engages only when one dense coupling row outgrows the caches:
+/// below this size the whole matrix stays resident, the drain's row reuse
+/// saves nothing, and the second pass plus sort measurably lose to the
+/// serial one-pass propagation (5–15% on the n = 213 bench model).
+const SPLIT_MIN_LEN: usize = 1024;
+
+/// A lane keeps its settled-set candidate list only while at most
+/// `n / ACTIVE_DIV` spins are unsettled — beyond that the masked visit
+/// approaches a full scan and the bookkeeping is pure overhead.
+const ACTIVE_DIV: usize = 8;
+
+/// Multiplicative pad on the per-flip slack charge `2 · max_j |J_ij|`,
+/// covering the (exact-in-theory) product's headroom with margin to spare.
+const CHARGE_PAD: f64 = 1.0 + 1e-9;
+
+/// Absolute per-flip pad, in units of the model's global field bound:
+/// one field update `f += J · ±2` rounds by at most
+/// `ε · (|f| + 2 max|J|) ≈ 2.2e-16 · field_bound`, and the rebuild's margin
+/// subtraction rounds once by the same order — `1e-12 · field_bound` per
+/// flip dominates both by four orders of magnitude.
+const CHARGE_ABS: f64 = 1e-12;
+
+/// Target lifetime, in worst-case flips, of a freshly rebuilt settled set.
 ///
-/// See the [module docs](self) for the memory layout, the RNG-stream layout
-/// and the batch-width-invariance contract.
+/// A list of *only* the unsettled spins can be worthless: on quenched
+/// knapsack models the binary-weighted slack bits leave a few settled
+/// spins barely over threshold, so the budget (the smallest out-of-list
+/// margin) dies after one flip and the lane thrashes between masked
+/// visits, fallback scans, and rebuilds. The rebuild therefore absorbs
+/// near-threshold *settled* spins into the list too, widening the guard
+/// band until the out-of-list margin would survive `GUARD_HORIZON`
+/// worst-case flips. The band is auto-tuned by trying geometric rungs
+/// `L, L/4, L/16, L/64` (with `L = GUARD_HORIZON · c_max`, `c_max` the
+/// largest per-flip charge among unsettled spins) and keeping the widest
+/// rung whose list still fits `n / ACTIVE_DIV`; typical flips charge far
+/// less than `c_max`, so accepted budgets usually last much longer than
+/// the nominal horizon.
+const GUARD_HORIZON: f64 = 64.0;
+
+/// A settled-set list must survive this many masked sweeps to pay for its
+/// rebuild scan; a list that dies younger puts its lane on rebuild
+/// cooldown instead of rebuilding straight away.
+const MIN_LIST_AGE: u32 = 8;
+
+/// Plain sweeps a lane waits after a short-lived list or an abandoned
+/// rebuild before trying another one. Hot lanes flip spins faster than
+/// any slack budget survives; without this back-off they would pay a
+/// masked visit, a fallback scan, *and* a rebuild every sweep — slower
+/// than never masking at all.
+const REBUILD_COOLDOWN: u32 = 256;
+
+/// `R` replicas of one Ising model in lane-major layout, advanced by
+/// batched Monte Carlo sweeps with coalesced flip propagation.
+///
+/// See the [module docs](self) for the memory layout, the flip-buffer
+/// invariants, the RNG-stream layout and the batch-width-invariance
+/// contract.
 #[derive(Debug, Clone)]
 pub struct ReplicaBatch {
     n: usize,
     width: usize,
-    /// `±1.0` spin plane, lane `r` of spin `i` at `i * width + r`.
+    /// `±1.0` spin planes, lane-major: lane `r` of spin `i` at `r * n + i`.
     spins: Vec<f64>,
-    /// Local-field plane `I_i = Σ_j J_ij s_j + h_i`, same indexing.
+    /// Local-field planes `I_i = Σ_j J_ij s_j + h_i`, same indexing.
     fields: Vec<f64>,
     /// Per-replica model energy, maintained incrementally.
     energies: Vec<f64>,
@@ -113,26 +219,56 @@ pub struct ReplicaBatch {
     flips: Vec<u64>,
     /// Per-replica noise streams (block-buffered ChaCha8).
     streams: Vec<NoiseSource>,
-    /// Scratch: per-lane flip deltas for the current spin.
-    deltas: Vec<f64>,
     /// Scratch: per-lane β for the uniform-temperature sweeps.
     betas_uniform: Vec<f64>,
-    /// Scratch: per-lane settled thresholds (`≈ SATURATION / β`, padded up
-    /// so the filter is conservative).
-    thresholds: Vec<f64>,
-    /// Scratch: per-lane *unsaturated* thresholds (`≈ SATURATION / β`,
-    /// padded down): `|field| < thresholds_lo[r]` certifies
-    /// `|β·field| < SATURATION` exactly, the other side of the two-sided
-    /// lane classification.
-    thresholds_lo: Vec<f64>,
     /// Per-spin drive bounds `D_i = |h_i| + Σ_j |J_ij|` of the construction
-    /// model (a batch is bound to one model for its lifetime) — computed
-    /// only for width-1 batches (empty otherwise): the serial path
-    /// classifies undecided spins from them on demand, exactly like
-    /// [`PbitMachine`](crate::PbitMachine), while the wide paths get the
-    /// same classification for free from the unsaturated side of the
-    /// two-sided lane filter and never read the bounds.
+    /// model (a batch is bound to one model for its lifetime): every lane's
+    /// serial-shaped scan classifies undecided spins from them on demand,
+    /// exactly like [`PbitMachine`](crate::PbitMachine). The bound depends
+    /// only on the model, so one vector serves all lanes.
     drive_bounds: Vec<f64>,
+    /// The per-sweep flip buffer: backward (`j < i`) propagation owed by
+    /// this sweep's flips, drained by the end-of-sweep coalesced pass.
+    /// Empty between sweeps (flip-buffer invariant 4).
+    flip_log: Vec<FlipRec>,
+    /// Per-lane settled-set candidate lists (ascending spin indices): while
+    /// `slack[r] > 0`, every spin *not* in `active[r]` is provably settled
+    /// at threshold `active_settle[r]`, so the sweep may skip the full scan
+    /// and visit only the list (see the module docs for the slack-budget
+    /// proof).
+    active: Vec<Vec<u32>>,
+    /// The settle threshold each lane's active list certifies against;
+    /// `NaN` marks the list invalid (compared bitwise, so a β change of any
+    /// size invalidates).
+    active_settle: Vec<f64>,
+    /// Per-lane remaining slack budget: the minimum settled margin observed
+    /// at the last rebuild, minus a conservative charge for every flip
+    /// since. Non-positive means out-of-list spins are no longer provably
+    /// settled.
+    slack: Vec<f64>,
+    /// The settle threshold of each lane's previous Gibbs sweep (`NaN`
+    /// before the first): rebuilds only trigger while β is stable across
+    /// consecutive sweeps, so annealed schedules never pay the rebuild
+    /// scan.
+    last_settle: Vec<f64>,
+    /// Per-lane rebuild requests, honoured after the flip-buffer drain (the
+    /// rebuild scan must observe fully-propagated fields).
+    rebuild: Vec<bool>,
+    /// Masked sweeps each lane's current list has survived — lists dying
+    /// under [`MIN_LIST_AGE`] trigger the rebuild cooldown.
+    age: Vec<u32>,
+    /// Plain sweeps left before lane `r` may request another rebuild
+    /// ([`REBUILD_COOLDOWN`]).
+    cooldown: Vec<u32>,
+    /// `max_j |J_ij|` per spin — the bound on how far one flip of `i` can
+    /// move any other spin's field, the slack-budget charge.
+    row_max_abs: Vec<f64>,
+    /// `max_i D_i`, a global bound on every `|field|` this model can
+    /// produce; scales the absolute rounding pad of the slack charges.
+    field_bound: f64,
+    /// Test/bench override for the split-propagation policy
+    /// ([`ReplicaBatch::force_split_propagation`]).
+    split_override: Option<bool>,
 }
 
 impl ReplicaBatch {
@@ -152,32 +288,32 @@ impl ReplicaBatch {
         let mut streams = Vec::with_capacity(width);
         for (r, &seed) in seeds.iter().enumerate() {
             let mut rng = new_rng(seed);
-            for i in 0..n {
-                spins[i * width + r] = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            for s in &mut spins[r * n..(r + 1) * n] {
+                *s = if rng.gen::<bool>() { 1.0 } else { -1.0 };
             }
             streams.push(NoiseSource::new(rng));
         }
 
-        // the initial books must replay the serial machine bit-for-bit, so
-        // each lane is gathered into a contiguous vector and run through the
-        // very same blocked row-dot kernel the serial resync uses
+        // the initial books must replay the serial machine bit-for-bit;
+        // each lane is already a contiguous spin vector, so it runs through
+        // the very same blocked row-dot kernel the serial resync uses
         let mut fields = vec![0.0; n * width];
         let mut energies = vec![0.0; width];
         let couplings = model.couplings();
-        let mut lane_spins = vec![0.0; n];
         for (r, energy) in energies.iter_mut().enumerate() {
-            for (i, s) in lane_spins.iter_mut().enumerate() {
-                *s = spins[i * width + r];
-            }
+            let lane_spins = &spins[r * n..(r + 1) * n];
+            let lane_fields = &mut fields[r * n..(r + 1) * n];
             let mut acc = 0.0;
             for (i, &h) in model.fields().iter().enumerate() {
-                let field = couplings.row_dot_f64(i, &lane_spins) + h;
-                fields[i * width + r] = field;
+                let field = couplings.row_dot_f64(i, lane_spins) + h;
+                lane_fields[i] = field;
                 acc += lane_spins[i] * (field + h);
             }
             *energy = model.offset() - 0.5 * acc;
         }
 
+        let drive_bounds = model.drive_bounds();
+        let field_bound = drive_bounds.iter().fold(0.0_f64, |a, &b| a.max(b));
         ReplicaBatch {
             n,
             width,
@@ -186,15 +322,19 @@ impl ReplicaBatch {
             energies,
             flips: vec![0; width],
             streams,
-            deltas: vec![0.0; width],
             betas_uniform: vec![0.0; width],
-            thresholds: vec![0.0; width],
-            thresholds_lo: vec![0.0; width],
-            drive_bounds: if width == 1 {
-                model.drive_bounds()
-            } else {
-                Vec::new()
-            },
+            drive_bounds,
+            flip_log: Vec::new(),
+            active: vec![Vec::new(); width],
+            active_settle: vec![f64::NAN; width],
+            slack: vec![0.0; width],
+            last_settle: vec![f64::NAN; width],
+            rebuild: vec![false; width],
+            age: vec![0; width],
+            cooldown: vec![0; width],
+            row_max_abs: (0..n).map(|i| couplings.row_max_abs(i)).collect(),
+            field_bound,
+            split_override: None,
         }
     }
 
@@ -202,23 +342,21 @@ impl ReplicaBatch {
     /// incrementally-maintained fields and energy, flip counter, and the
     /// lane's noise-stream state — for the checkpoint layer.
     ///
+    /// The snapshot is a layout-independent *serial* machine image (the
+    /// lane-major plane slice gathered into per-lane vectors), so
+    /// checkpoints written by one plane layout restore under any other.
+    ///
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
     pub(crate) fn lane_snapshot(&self, r: usize) -> (MachineSnapshot, NoiseSnapshot) {
         assert!(r < self.width, "lane index out of bounds");
-        let spins: Vec<i8> = (0..self.n)
-            .map(|i| {
-                if self.spins[i * self.width + r] > 0.0 {
-                    1
-                } else {
-                    -1
-                }
-            })
+        let base = r * self.n;
+        let spins: Vec<i8> = self.spins[base..base + self.n]
+            .iter()
+            .map(|&s| if s > 0.0 { 1 } else { -1 })
             .collect();
-        let fields: Vec<f64> = (0..self.n)
-            .map(|i| self.fields[i * self.width + r])
-            .collect();
+        let fields = self.fields[base..base + self.n].to_vec();
         (
             MachineSnapshot {
                 spins,
@@ -231,13 +369,12 @@ impl ReplicaBatch {
     }
 
     /// Rebuilds a batch from per-lane snapshots **without recomputing the
-    /// books**: stored fields and energies are scattered into the planes
-    /// verbatim, so the restored batch continues every lane's trajectory
-    /// bit-identically (see [`crate::PbitMachine`]'s snapshot docs for why
-    /// a resync would fork it). The restored lane's field plane holds the
-    /// serial field values exactly; sign-of-zero differences relative to an
-    /// uninterrupted batch are invisible by the batch-width-invariance
-    /// argument in the module docs.
+    /// books**: stored fields and energies are scattered into the lane
+    /// slices verbatim, so the restored batch continues every lane's
+    /// trajectory bit-identically (see [`crate::PbitMachine`]'s snapshot
+    /// docs for why a resync would fork it). Snapshots are per-lane serial
+    /// images, so this is a pure scatter at the checkpoint boundary — the
+    /// plane layout never leaks into the format.
     ///
     /// # Panics
     ///
@@ -258,14 +395,18 @@ impl ReplicaBatch {
         for (r, (machine, noise)) in lanes.iter().enumerate() {
             assert_eq!(machine.spins.len(), n, "snapshot length mismatch");
             assert_eq!(machine.fields.len(), n, "snapshot field mismatch");
-            for i in 0..n {
-                spins[i * width + r] = f64::from(machine.spins[i]);
-                fields[i * width + r] = machine.fields[i];
+            let base = r * n;
+            for (dst, &src) in spins[base..base + n].iter_mut().zip(&machine.spins) {
+                *dst = f64::from(src);
             }
+            fields[base..base + n].copy_from_slice(&machine.fields);
             energies[r] = machine.energy;
             flips[r] = machine.flips;
             streams.push(NoiseSource::from_snapshot(noise));
         }
+        let drive_bounds = model.drive_bounds();
+        let field_bound = drive_bounds.iter().fold(0.0_f64, |a, &b| a.max(b));
+        let couplings = model.couplings();
         ReplicaBatch {
             n,
             width,
@@ -274,52 +415,19 @@ impl ReplicaBatch {
             energies,
             flips,
             streams,
-            deltas: vec![0.0; width],
             betas_uniform: vec![0.0; width],
-            thresholds: vec![0.0; width],
-            thresholds_lo: vec![0.0; width],
-            drive_bounds: if width == 1 {
-                model.drive_bounds()
-            } else {
-                Vec::new()
-            },
-        }
-    }
-
-    /// Fills both per-lane threshold planes for this sweep's β values —
-    /// the two sides of the branchless lane classification.
-    ///
-    /// **Settled side** (`thresholds`): a lane with `field · spin ≥
-    /// thresholds[r]` is guaranteed to satisfy the serial
-    /// saturation-and-aligned test `β · field · spin ≥ SATURATION`: the
-    /// threshold is `SATURATION / β` padded *up* by a few ulps, so division
-    /// rounding can only make the filter conservative.
-    ///
-    /// **Unsaturated side** (`thresholds_lo`): `|field · spin| <
-    /// thresholds_lo[r]` — the same quantity padded *down* — certifies
-    /// `|β · field| < SATURATION` exactly, so a spin whose every lane
-    /// passes it can skip the per-lane saturation compares and go straight
-    /// to the drawn bracket decision.
-    ///
-    /// A lane that fails either filter merely takes the exact per-lane
-    /// path, never the other way around — trajectories are unaffected, the
-    /// fast paths just get cheaper. β = 0 maps to `+∞` on both sides
-    /// (nothing saturates, everything is unsaturated).
-    fn fill_thresholds(&mut self, betas: &[f64]) {
-        for ((t, lo), &b) in self
-            .thresholds
-            .iter_mut()
-            .zip(&mut self.thresholds_lo)
-            .zip(betas)
-        {
-            if b > 0.0 {
-                let base = SATURATION / b;
-                *t = base * SETTLE_PAD_UP;
-                *lo = base * SETTLE_PAD_DOWN;
-            } else {
-                *t = f64::INFINITY;
-                *lo = f64::INFINITY;
-            }
+            drive_bounds,
+            flip_log: Vec::new(),
+            active: vec![Vec::new(); width],
+            active_settle: vec![f64::NAN; width],
+            slack: vec![0.0; width],
+            last_settle: vec![f64::NAN; width],
+            rebuild: vec![false; width],
+            age: vec![0; width],
+            cooldown: vec![0; width],
+            row_max_abs: (0..n).map(|i| couplings.row_max_abs(i)).collect(),
+            field_bound,
+            split_override: None,
         }
     }
 
@@ -363,7 +471,8 @@ impl ReplicaBatch {
     /// Panics if `i` or `r` is out of bounds.
     pub fn local_field(&self, r: usize, i: usize) -> f64 {
         assert!(r < self.width, "lane index out of bounds");
-        self.fields[i * self.width + r]
+        assert!(i < self.n, "spin index out of bounds");
+        self.fields[r * self.n + i]
     }
 
     /// The spin configuration of replica `r` as a fresh [`SpinState`].
@@ -373,8 +482,10 @@ impl ReplicaBatch {
     /// Panics if `r` is out of bounds.
     pub fn state(&self, r: usize) -> SpinState {
         assert!(r < self.width, "lane index out of bounds");
-        (0..self.n)
-            .map(|i| Spin::from_sign(self.spins[i * self.width + r]))
+        let base = r * self.n;
+        self.spins[base..base + self.n]
+            .iter()
+            .map(|&s| Spin::from_sign(s))
             .collect()
     }
 
@@ -387,15 +498,17 @@ impl ReplicaBatch {
     pub fn copy_state_into(&self, r: usize, out: &mut SpinState) {
         assert!(r < self.width, "lane index out of bounds");
         assert_eq!(out.len(), self.n, "state length mismatch");
-        for i in 0..self.n {
-            out.set(i, Spin::from_sign(self.spins[i * self.width + r]));
+        let base = r * self.n;
+        for (i, &s) in self.spins[base..base + self.n].iter().enumerate() {
+            out.set(i, Spin::from_sign(s));
         }
     }
 
     /// Exchanges the full replica payload (spins, fields, energy, flips) of
     /// lanes `a` and `b`. Noise streams stay attached to their lanes — the
     /// parallel-tempering exchange semantics, where machines move between
-    /// ladder slots but each slot keeps its stream.
+    /// ladder slots but each slot keeps its stream. In the lane-major
+    /// layout this is two contiguous `n`-vector swaps.
     ///
     /// # Panics
     ///
@@ -405,12 +518,23 @@ impl ReplicaBatch {
         if a == b {
             return;
         }
-        for i in 0..self.n {
-            self.spins.swap(i * self.width + a, i * self.width + b);
-            self.fields.swap(i * self.width + a, i * self.width + b);
-        }
+        let n = self.n;
+        let swap_ranges = |v: &mut [f64]| {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let (head, tail) = v.split_at_mut(hi * n);
+            head[lo * n..lo * n + n].swap_with_slice(&mut tail[..n]);
+        };
+        swap_ranges(&mut self.spins);
+        swap_ranges(&mut self.fields);
         self.energies.swap(a, b);
         self.flips.swap(a, b);
+        // the settled-set cache describes a configuration at a tagged
+        // threshold, so it travels with the payload; a β mismatch in the
+        // new slot shows up as a tag mismatch and falls back to the scan
+        self.active.swap(a, b);
+        self.active_settle.swap(a, b);
+        self.slack.swap(a, b);
+        self.age.swap(a, b);
     }
 
     /// [`ReplicaBatch::swap_lanes`] across two batches of the same model —
@@ -424,22 +548,24 @@ impl ReplicaBatch {
     pub fn swap_lanes_between(x: &mut ReplicaBatch, a: usize, y: &mut ReplicaBatch, b: usize) {
         assert_eq!(x.n, y.n, "batches must share one model size");
         assert!(a < x.width && b < y.width, "lane index out of bounds");
-        for i in 0..x.n {
-            std::mem::swap(&mut x.spins[i * x.width + a], &mut y.spins[i * y.width + b]);
-            std::mem::swap(
-                &mut x.fields[i * x.width + a],
-                &mut y.fields[i * y.width + b],
-            );
-        }
+        let n = x.n;
+        x.spins[a * n..(a + 1) * n].swap_with_slice(&mut y.spins[b * n..(b + 1) * n]);
+        x.fields[a * n..(a + 1) * n].swap_with_slice(&mut y.fields[b * n..(b + 1) * n]);
         std::mem::swap(&mut x.energies[a], &mut y.energies[b]);
         std::mem::swap(&mut x.flips[a], &mut y.flips[b]);
+        std::mem::swap(&mut x.active[a], &mut y.active[b]);
+        std::mem::swap(&mut x.active_settle[a], &mut y.active_settle[b]);
+        std::mem::swap(&mut x.slack[a], &mut y.slack[b]);
+        std::mem::swap(&mut x.age[a], &mut y.age[b]);
     }
 
     /// One batched Gibbs sweep with per-lane inverse temperatures (the
     /// parallel-tempering shape: lane `r` samples at `betas[r]`).
     ///
     /// Every lane's decisions replay [`PbitMachine::sweep`] on that lane's
-    /// stream bit-for-bit; see the module docs.
+    /// stream bit-for-bit; see the module docs. Width-1 groups — including
+    /// narrow parallel-tempering ladder groups — take the serial-shaped
+    /// sweep with one-pass propagation and no flip buffer.
     ///
     /// # Panics
     ///
@@ -447,209 +573,122 @@ impl ReplicaBatch {
     pub fn sweep(&mut self, model: &IsingModel, betas: &[f64]) {
         assert_eq!(betas.len(), self.width, "one β per replica lane");
         assert_eq!(self.n, model.len(), "batch built for a different model");
-        // a single-lane group is exactly a serial machine: route it through
-        // the serial-shaped sweep so width-1 batches (narrow ensemble /
-        // PT groups) pay no structure-of-arrays machinery
-        if self.width == 1 {
-            return self.sweep_gibbs_serial(model, betas[0]);
-        }
-        self.fill_thresholds(betas);
-        // monomorphize the per-spin lane classification for the common
-        // widths so the lane loop unrolls into straight-line code with
-        // maximal instruction-level parallelism; any other width takes the
-        // runtime-width loop (same semantics)
-        match self.width {
-            2 => self.sweep_gibbs::<2>(model, betas),
-            4 => self.sweep_gibbs::<4>(model, betas),
-            8 => self.sweep_gibbs::<8>(model, betas),
-            16 => self.sweep_gibbs::<16>(model, betas),
-            _ => self.sweep_gibbs_dyn(model, betas),
-        }
-    }
-
-    /// The Gibbs sweep with the lane count known at compile time: the
-    /// two-sided lane classification below unrolls to `W` fused
-    /// compare-and-accumulate lanes with no loop-carried control flow.
-    fn sweep_gibbs<const W: usize>(&mut self, model: &IsingModel, betas: &[f64]) {
-        debug_assert_eq!(self.width, W);
-        let thresh: [f64; W] = self.thresholds[..W].try_into().expect("width was checked");
-        let thresh_lo: [f64; W] = self.thresholds_lo[..W]
-            .try_into()
-            .expect("width was checked");
         let couplings = model.couplings();
-        // Spins per settled tile: a tile is the contiguous `TILE × W` plane
-        // slab of `TILE` consecutive spins; a fully settled tile (every
-        // lane of every spin saturated and aligned) is skipped whole, the
-        // batched counterpart of the serial machine's blocked settled scan.
-        const TILE: usize = 8;
-        let n = self.n;
-        let mut i = 0;
-        while i < n {
-            // Tile scan: branchless settled count over the contiguous slab.
-            while i + TILE <= n {
-                let base = i * W;
-                let tile_f = &self.fields[base..base + TILE * W];
-                let tile_s = &self.spins[base..base + TILE * W];
-                let mut settled = 0u32;
-                for k in 0..TILE {
-                    for r in 0..W {
-                        settled += u32::from(tile_f[k * W + r] * tile_s[k * W + r] >= thresh[r]);
-                    }
-                }
-                if settled != (TILE * W) as u32 {
-                    break;
-                }
-                i += TILE;
+        if self.split_propagation() {
+            for (r, &beta) in betas.iter().enumerate() {
+                self.sweep_lane_gibbs::<true>(couplings, r, beta);
             }
-            if i >= n {
-                break;
+            self.apply_deferred(couplings);
+        } else {
+            // single lanes and cache-resident models take the serial-shaped
+            // one-pass propagation; the flip buffer is never touched
+            for (r, &beta) in betas.iter().enumerate() {
+                self.sweep_lane_gibbs::<false>(couplings, r, beta);
             }
-            // Two-sided branchless lane classification over one spin's
-            // lanes: `field · spin ≥ thresholds` certifies saturated *and*
-            // aligned (no draw, no flip, no write), `|field · spin| <
-            // thresholds_lo` certifies unsaturated — the per-spin
-            // never-saturating classification falls out for free, since a
-            // spin whose drive bound sits below `SATURATION / β` reads
-            // all-unsaturated in every lane. The products are exact
-            // (spin = ±1.0); counting lanes instead of `&&`-ing them keeps
-            // the unrolled check branchless, so the W independent
-            // multiply-compare chains overlap in the pipeline.
-            let base = i * W;
-            let fields_i: &[f64; W] = self.fields[base..base + W]
-                .try_into()
-                .expect("plane is n × W");
-            let spins_i: &[f64; W] = self.spins[base..base + W]
-                .try_into()
-                .expect("plane is n × W");
-            let mut settled_lanes = 0u32;
-            let mut unsat_lanes = 0u32;
-            for r in 0..W {
-                let aligned = fields_i[r] * spins_i[r];
-                settled_lanes += u32::from(aligned >= thresh[r]);
-                unsat_lanes += u32::from(aligned.abs() < thresh_lo[r]);
-            }
-            if settled_lanes != W as u32 {
-                if unsat_lanes == W as u32 {
-                    // every lane unsaturated: the whole group skips the
-                    // per-lane saturation compares together
-                    self.gibbs_spin_lanes::<false>(couplings, i, betas);
-                } else {
-                    self.gibbs_spin_lanes::<true>(couplings, i, betas);
-                }
-            }
-            i += 1;
         }
-    }
-
-    /// Runtime-width fallback of [`ReplicaBatch::sweep_gibbs`].
-    fn sweep_gibbs_dyn(&mut self, model: &IsingModel, betas: &[f64]) {
-        let width = self.width;
-        let couplings = model.couplings();
-        for i in 0..self.n {
-            let base = i * width;
-            let fields_i = &self.fields[base..base + width];
-            let spins_i = &self.spins[base..base + width];
-            let mut settled_lanes = 0u32;
-            let mut unsat_lanes = 0u32;
-            for (((&f, &s), &t), &lo) in fields_i
-                .iter()
-                .zip(spins_i)
-                .zip(&self.thresholds)
-                .zip(&self.thresholds_lo)
-            {
-                let aligned = f * s;
-                settled_lanes += u32::from(aligned >= t);
-                unsat_lanes += u32::from(aligned.abs() < lo);
-            }
-            if settled_lanes == width as u32 {
-                continue;
-            }
-            if unsat_lanes == width as u32 {
-                self.gibbs_spin_lanes::<false>(couplings, i, betas);
-            } else {
-                self.gibbs_spin_lanes::<true>(couplings, i, betas);
+        // rebuilds observe fully-propagated fields, so they run after the
+        // drain, against the settle threshold each lane just swept at
+        for r in 0..self.width {
+            if self.rebuild[r] {
+                self.rebuild[r] = false;
+                self.rebuild_active(r, self.last_settle[r]);
             }
         }
     }
 
-    /// The exact per-lane decision for every lane of spin `i`, in lane
-    /// order — taken whenever some lane needs a draw or flips. Consumes
-    /// each undecided lane's noise stream exactly like
-    /// [`PbitMachine::sweep`]: one word per unsaturated lane, resolved by
-    /// the certified bracket with the exact `tanh` only on the residual
-    /// sliver ([`crate::bracket`]).
-    ///
-    /// `CHECK_SAT = false` drops the per-lane saturation compares — valid
-    /// only when the caller certified every lane unsaturated (tier 1
-    /// classification or the two-sided filter); both monomorphizations
-    /// make identical decisions and draws on such spins.
-    fn gibbs_spin_lanes<const CHECK_SAT: bool>(
-        &mut self,
-        couplings: &Couplings,
-        i: usize,
-        betas: &[f64],
-    ) {
-        let width = self.width;
-        let base = i * width;
-        let mut any_flip = false;
-        let spins_i = &mut self.spins[base..base + width];
-        let fields_i = &self.fields[base..base + width];
-        for (r, (s, (&f, (&b, d)))) in spins_i
-            .iter_mut()
-            .zip(fields_i.iter().zip(betas.iter().zip(&mut self.deltas)))
-            .enumerate()
-        {
-            let drive = b * f;
-            let new_up = if CHECK_SAT && drive >= SATURATION {
-                true
-            } else if CHECK_SAT && drive <= -SATURATION {
-                false
-            } else {
-                gibbs_decision(drive, self.streams[r].symmetric())
-            };
-            let old = *s;
-            if new_up != (old > 0.0) {
-                // ΔH for flipping spin i is 2 s_i I_i
-                self.energies[r] += 2.0 * old * f;
-                *s = -old;
-                self.flips[r] += 1;
-                *d = -2.0 * old; // new - old spin value
-                any_flip = true;
-            } else {
-                *d = 0.0;
-            }
-        }
-        if any_flip {
-            Self::propagate(couplings, i, &self.deltas, &mut self.fields);
-        }
+    /// Whether multi-lane sweeps split flip propagation through the flip
+    /// buffer: only once coupling rows outgrow the caches
+    /// ([`SPLIT_MIN_LEN`]) does the drain's cross-lane row reuse pay for
+    /// the second pass; an override from
+    /// [`ReplicaBatch::force_split_propagation`] wins.
+    fn split_propagation(&self) -> bool {
+        self.split_override
+            .unwrap_or(self.width >= 2 && self.n >= SPLIT_MIN_LEN)
     }
 
-    /// The width-1 Gibbs sweep in serial shape: for a single lane the spin
-    /// and field planes *are* the serial machine's contiguous vectors, so
-    /// this path mirrors [`PbitMachine::sweep`] — three-tier decision per
-    /// spin, direct flip propagation over the coupling row — with none of
-    /// the lane-group scaffolding (thresholds, delta scatter, lane-count
-    /// plumbing). Decisions, draws and field updates are element-wise
-    /// identical to the generic path, so trajectories are unchanged; only
-    /// the width-1 overhead disappears.
-    fn sweep_gibbs_serial(&mut self, model: &IsingModel, beta: f64) {
-        debug_assert_eq!(self.width, 1);
-        let couplings = model.couplings();
+    /// Forces the split-propagation policy for tests and benches. Both
+    /// settings are bit-identical (module docs); only throughput differs.
+    #[doc(hidden)]
+    pub fn force_split_propagation(&mut self, on: bool) {
+        self.split_override = Some(on);
+    }
+
+    /// One lane's Gibbs sweep. If the lane's settled-set candidate list is
+    /// valid for this β it takes the masked visit
+    /// ([`ReplicaBatch::masked_lane_gibbs`]); otherwise the serial-shaped
+    /// full scan ([`ReplicaBatch::scan_range_gibbs`]), which may request a
+    /// rebuild of the list when the lane has quenched and β is stable.
+    /// Both visit exactly the unsettled spins in ascending order, so both
+    /// replay [`PbitMachine::sweep`] bit-for-bit.
+    fn sweep_lane_gibbs<const DEFER: bool>(&mut self, couplings: &Couplings, r: usize, beta: f64) {
+        // `field · spin ≥ settle` certifies saturated *and* aligned (see
+        // `SETTLE_PAD_UP`); β = 0 maps to +∞ (nothing settles)
         let settle = if beta > 0.0 {
             (SATURATION / beta) * SETTLE_PAD_UP
         } else {
             f64::INFINITY
         };
+        let masked = self.n > 0
+            && self.slack[r] > 0.0
+            && self.active_settle[r].to_bits() == settle.to_bits();
+        if masked {
+            self.age[r] = self.age[r].saturating_add(1);
+            self.masked_lane_gibbs::<DEFER>(couplings, r, beta, settle);
+        } else {
+            let settled = self.scan_range_gibbs::<DEFER>(couplings, r, beta, settle, 0);
+            // quenched, β stable for two sweeps, and not cooling off after
+            // a short-lived list: invest one predicate scan after the
+            // drain to skip the full scan from next sweep on
+            let quenched = self.n > 0 && settled >= self.n - self.n / ACTIVE_DIV;
+            if self.cooldown[r] > 0 {
+                self.cooldown[r] -= 1;
+            } else if quenched
+                && settle.is_finite()
+                && self.last_settle[r].to_bits() == settle.to_bits()
+            {
+                self.rebuild[r] = true;
+            }
+        }
+        self.last_settle[r] = settle;
+    }
+
+    /// The serial-shaped Gibbs scan over spins `start..n`: blocked settled
+    /// scan, three-tier decision per unsettled spin, flip propagation over
+    /// the coupling row — exactly [`PbitMachine::sweep`]'s loop on the
+    /// lane's contiguous plane slices. Returns how many spins passed the
+    /// settled certificate.
+    ///
+    /// `DEFER = true` splits each flip's propagation: the suffix (`j ≥ i`)
+    /// is applied immediately, the prefix (`j < i`) is recorded in the flip
+    /// buffer for the end-of-sweep coalesced pass. `DEFER = false`
+    /// propagates the full row in one pass like the serial machine. Both
+    /// orderings apply identical adds to every field in identical per-lane
+    /// order (module docs), so decisions, draws, and all books are
+    /// bit-identical either way.
+    fn scan_range_gibbs<const DEFER: bool>(
+        &mut self,
+        couplings: &Couplings,
+        r: usize,
+        beta: f64,
+        settle: f64,
+        start: usize,
+    ) -> usize {
         let n = self.n;
-        let mut i = 0;
+        let base = r * n;
+        let spins = &mut self.spins[base..base + n];
+        let fields = &mut self.fields[base..base + n];
+        let stream = &mut self.streams[r];
+        let mut settled = 0;
+        let mut i = start;
         while i < n {
             // settled scan + three-tier decisions, exactly like
             // [`PbitMachine`]'s sweep (see its docs for the certificates)
-            let run = settled_run(&self.fields[i..n], &self.spins[i..n], settle);
+            let run = settled_run(&fields[i..n], &spins[i..n], settle);
+            settled += run;
             i += run;
             while i < n {
-                let f = self.fields[i];
-                if f * self.spins[i] >= settle {
+                let f = fields[i];
+                if f * spins[i] >= settle {
                     break;
                 }
                 let drive = beta * f;
@@ -659,22 +698,34 @@ impl ReplicaBatch {
                     } else if drive <= -SATURATION {
                         false
                     } else {
-                        gibbs_decision(drive, self.streams[0].symmetric())
+                        gibbs_decision(drive, stream.symmetric())
                     }
                 } else {
-                    gibbs_decision(drive, self.streams[0].symmetric())
+                    gibbs_decision(drive, stream.symmetric())
                 };
-                let old = self.spins[i];
+                let old = spins[i];
                 if new_up != (old > 0.0) {
-                    self.energies[0] += 2.0 * old * f;
-                    self.spins[i] = -old;
-                    self.flips[0] += 1;
-                    let delta = -2.0 * old;
-                    match couplings {
-                        Couplings::Dense(m) => propagate_dense(&mut self.fields, m.row(i), delta),
-                        Couplings::Sparse(m) => {
-                            for (j, jij) in m.row_iter(i) {
-                                self.fields[j] += jij * delta;
+                    // ΔH for flipping spin i is 2 s_i I_i
+                    self.energies[r] += 2.0 * old * f;
+                    spins[i] = -old;
+                    self.flips[r] += 1;
+                    let delta = -2.0 * old; // new - old spin value
+                    if DEFER {
+                        couplings.row_axpy_suffix(i, delta, fields);
+                        if i > 0 {
+                            self.flip_log.push(FlipRec {
+                                spin: i as u32,
+                                lane: r as u32,
+                                delta,
+                            });
+                        }
+                    } else {
+                        match couplings {
+                            Couplings::Dense(m) => propagate_dense(fields, m.row(i), delta),
+                            Couplings::Sparse(m) => {
+                                for (j, jij) in m.row_iter(i) {
+                                    fields[j] += jij * delta;
+                                }
                             }
                         }
                     }
@@ -682,47 +733,205 @@ impl ReplicaBatch {
                 i += 1;
             }
         }
+        settled
     }
 
-    /// Applies the flip deltas of spin `i` to the field plane with one pass
-    /// over the coupling row.
+    /// The masked Gibbs visit: only the lane's settled-set candidates are
+    /// tested — every other spin is provably settled while the slack budget
+    /// is positive (module docs), and a settled skip has no observable
+    /// effect (no draw, no write), so skipping its certificate test is
+    /// invisible. Each candidate re-tests the exact certificate before
+    /// deciding, in ascending order, replaying the serial scan bit-for-bit.
     ///
-    /// When only a few lanes flipped, per-lane strided updates skip the
-    /// untouched lanes' arithmetic (no `±0.0` adds); when most lanes
-    /// flipped, the full lane-broadcast kernel
-    /// ([`Couplings::row_axpy_lanes`]) reuses the single row pass for all
-    /// of them. Note the memory traffic is the same either way on dense
-    /// rows — in the spin-major plane a strided single-lane update touches
-    /// one f64 per 64-byte line, i.e. every line the contiguous slab pass
-    /// touches — which is why hot-regime batches are propagation-bound
-    /// regardless of this choice (see the ROADMAP's PR 5 perf finding; an
-    /// A/B of always-axpy measured no better). Per lane both shapes apply
-    /// the identical adds in identical order, so the choice is invisible
-    /// to trajectories.
-    fn propagate(couplings: &Couplings, i: usize, deltas: &[f64], fields: &mut [f64]) {
-        let width = deltas.len();
-        let flipped = deltas.iter().filter(|&&d| d != 0.0).count();
-        if flipped * 3 <= width {
-            for (r, &d) in deltas.iter().enumerate() {
-                if d == 0.0 {
-                    continue;
+    /// Every flip charges the budget `2 · max_j |J_ij|` (padded): the most
+    /// it can move any other spin's field. If the budget runs out
+    /// mid-sweep, out-of-list spins beyond that point are no longer
+    /// certified — the sweep finishes as a serial-shaped scan from the next
+    /// spin and the list is dropped.
+    fn masked_lane_gibbs<const DEFER: bool>(
+        &mut self,
+        couplings: &Couplings,
+        r: usize,
+        beta: f64,
+        settle: f64,
+    ) {
+        let n = self.n;
+        let base = r * n;
+        let mut fallback = None;
+        for k in 0..self.active[r].len() {
+            let i = self.active[r][k] as usize;
+            let f = self.fields[base + i];
+            if f * self.spins[base + i] >= settle {
+                continue;
+            }
+            let drive = beta * f;
+            let new_up = if beta * self.drive_bounds[i] * CLASS_PAD >= SATURATION {
+                if drive >= SATURATION {
+                    true
+                } else if drive <= -SATURATION {
+                    false
+                } else {
+                    gibbs_decision(drive, self.streams[r].symmetric())
                 }
-                match couplings {
-                    Couplings::Dense(m) => {
-                        for (plane, &jij) in fields.chunks_exact_mut(width).zip(m.row(i)) {
-                            plane[r] += jij * d;
+            } else {
+                gibbs_decision(drive, self.streams[r].symmetric())
+            };
+            let old = self.spins[base + i];
+            if new_up != (old > 0.0) {
+                self.energies[r] += 2.0 * old * f;
+                self.spins[base + i] = -old;
+                self.flips[r] += 1;
+                let delta = -2.0 * old;
+                let fields = &mut self.fields[base..base + n];
+                if DEFER {
+                    couplings.row_axpy_suffix(i, delta, fields);
+                    if i > 0 {
+                        self.flip_log.push(FlipRec {
+                            spin: i as u32,
+                            lane: r as u32,
+                            delta,
+                        });
+                    }
+                } else {
+                    match couplings {
+                        Couplings::Dense(m) => propagate_dense(fields, m.row(i), delta),
+                        Couplings::Sparse(m) => {
+                            for (j, jij) in m.row_iter(i) {
+                                fields[j] += jij * delta;
+                            }
                         }
                     }
-                    Couplings::Sparse(m) => {
-                        for (j, jij) in m.row_iter(i) {
-                            fields[j * width + r] += jij * d;
-                        }
-                    }
+                }
+                self.slack[r] -=
+                    2.0 * self.row_max_abs[i] * CHARGE_PAD + self.field_bound * CHARGE_ABS;
+                if self.slack[r] <= 0.0 {
+                    fallback = Some(i + 1);
+                    break;
                 }
             }
-        } else {
-            couplings.row_axpy_lanes(i, deltas, fields);
         }
+        if let Some(from) = fallback {
+            // budget exhausted: spins beyond `from` lost their certificate —
+            // drop the list and finish this sweep in serial shape (spins
+            // before `from` were already visited or certified in time)
+            self.active_settle[r] = f64::NAN;
+            self.scan_range_gibbs::<DEFER>(couplings, r, beta, settle, from);
+            if self.age[r] >= MIN_LIST_AGE {
+                // the list paid for itself — rebuild right after the drain
+                // instead of wasting a plain-scan sweep first
+                self.rebuild[r] = true;
+            } else {
+                // died young: this regime flips too fast for any budget
+                self.cooldown[r] = REBUILD_COOLDOWN;
+            }
+        }
+    }
+
+    /// Rebuilds lane `r`'s settled-set candidate list against `settle` from
+    /// fully-propagated fields.
+    ///
+    /// Every unsettled spin must join the list, but listing *only* them
+    /// seeds the budget with the raw minimum settled margin, which can be
+    /// one flip deep (see [`GUARD_HORIZON`]). So the rebuild also pulls
+    /// near-threshold settled spins in: it measures every spin's margin
+    /// `f·s − settle` (negative ⇔ unsettled), then widens a guard band
+    /// over geometric rungs `L, L/4, L/16, L/64` — `L` sized for
+    /// [`GUARD_HORIZON`] worst-case flips — keeping the widest band whose
+    /// list fits `n / ACTIVE_DIV`. Listed settled spins cost only a failed
+    /// certificate re-test per masked sweep; out-of-list spins all clear
+    /// the band, so the budget starts at the first margin *beyond* it.
+    /// Abandons the list if the unsettled spins alone overflow the cap or
+    /// no budget survives the rounding pad.
+    fn rebuild_active(&mut self, r: usize, settle: f64) {
+        let n = self.n;
+        let base = r * n;
+        let cap = n / ACTIVE_DIV + 1;
+        // pessimistic until a list validates: invalid tag, and a cooldown
+        // so an abandoned rebuild isn't re-attempted every sweep
+        self.active_settle[r] = f64::NAN;
+        self.cooldown[r] = REBUILD_COOLDOWN;
+
+        // pass 1: margins for every spin, plus the worst per-flip charge
+        // among the unsettled (the only spins guaranteed into the list)
+        let mut margins = vec![0.0_f64; n];
+        let mut unsettled = 0usize;
+        let mut c_max = 0.0_f64;
+        for (i, margin) in margins.iter_mut().enumerate() {
+            let m = self.fields[base + i] * self.spins[base + i] - settle;
+            *margin = m;
+            if m < 0.0 {
+                unsettled += 1;
+                c_max = c_max.max(2.0 * self.row_max_abs[i] * CHARGE_PAD);
+            }
+        }
+        if unsettled > cap {
+            return;
+        }
+
+        // pass 2: widest guard band whose candidate list fits the cap
+        let top = GUARD_HORIZON * (c_max + self.field_bound * CHARGE_ABS);
+        for rung in [top, top / 4.0, top / 16.0, top / 64.0] {
+            let list = &mut self.active[r];
+            list.clear();
+            let mut out_min = f64::INFINITY;
+            let mut fits = true;
+            for (i, &m) in margins.iter().enumerate() {
+                if m < rung {
+                    if list.len() >= cap {
+                        fits = false;
+                        break;
+                    }
+                    list.push(i as u32);
+                } else {
+                    out_min = out_min.min(m);
+                }
+            }
+            if fits {
+                // lower rungs only shrink out_min, so accept or abandon here
+                let slack = out_min - self.field_bound * CHARGE_ABS;
+                if slack > 0.0 {
+                    self.slack[r] = slack;
+                    self.active_settle[r] = settle;
+                    self.age[r] = 0;
+                    self.cooldown[r] = 0;
+                }
+                return;
+            }
+        }
+    }
+
+    /// Drains the flip buffer: the backward (`j < i`) halves of this
+    /// sweep's flip propagations, applied in ascending spin order with the
+    /// coupling row of each flipped spin fetched once and reused across
+    /// every lane that flipped it. Restores flip-buffer invariant 4 (empty
+    /// between sweeps).
+    fn apply_deferred(&mut self, couplings: &Couplings) {
+        if self.flip_log.is_empty() {
+            return;
+        }
+        let mut log = std::mem::take(&mut self.flip_log);
+        // records per lane arrive in ascending spin order and a lane holds
+        // at most one record per spin, so grouping by spin preserves each
+        // lane's ascending-spin application order (invariants 1–2); the
+        // sort key ignores lanes because their planes are disjoint
+        log.sort_unstable_by_key(|rec| rec.spin);
+        let n = self.n;
+        let mut k = 0;
+        while k < log.len() {
+            let spin = log[k].spin;
+            let i = spin as usize;
+            let mut end = k + 1;
+            while end < log.len() && log[end].spin == spin {
+                end += 1;
+            }
+            for rec in &log[k..end] {
+                let base = rec.lane as usize * n;
+                couplings.row_axpy_prefix(i, rec.delta, &mut self.fields[base..base + n]);
+            }
+            k = end;
+        }
+        log.clear();
+        self.flip_log = log;
     }
 
     /// One batched Gibbs sweep with a single inverse temperature shared by
@@ -738,6 +947,54 @@ impl ReplicaBatch {
         self.betas_uniform = betas;
     }
 
+    /// One lane's Metropolis sweep in serial shape, mirroring
+    /// [`PbitMachine::metropolis_sweep`]: propose every spin in order,
+    /// accept with probability `min(1, exp(-β ΔH))` (the accept test draws
+    /// from the lane's stream only when `ΔH > 0`, like the serial kernel).
+    /// Flip propagation is split or one-pass exactly as in
+    /// [`ReplicaBatch::sweep_lane_gibbs`].
+    fn metropolis_lane_sweep<const DEFER: bool>(
+        &mut self,
+        couplings: &Couplings,
+        r: usize,
+        beta: f64,
+    ) {
+        let n = self.n;
+        let base = r * n;
+        for i in 0..n {
+            let f = self.fields[base + i];
+            let old = self.spins[base + i];
+            let delta_h = 2.0 * old * f;
+            let accept = delta_h <= 0.0 || self.streams[r].unit() < (-beta * delta_h).exp();
+            if accept {
+                self.energies[r] += 2.0 * old * f;
+                self.spins[base + i] = -old;
+                self.flips[r] += 1;
+                let delta = -2.0 * old;
+                let fields = &mut self.fields[base..base + n];
+                if DEFER {
+                    couplings.row_axpy_suffix(i, delta, fields);
+                    if i > 0 {
+                        self.flip_log.push(FlipRec {
+                            spin: i as u32,
+                            lane: r as u32,
+                            delta,
+                        });
+                    }
+                } else {
+                    match couplings {
+                        Couplings::Dense(m) => propagate_dense(fields, m.row(i), delta),
+                        Couplings::Sparse(m) => {
+                            for (j, jij) in m.row_iter(i) {
+                                fields[j] += jij * delta;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// One batched Metropolis sweep with per-lane inverse temperatures.
     ///
     /// Every lane replays [`PbitMachine::metropolis_sweep`] on that lane's
@@ -749,30 +1006,21 @@ impl ReplicaBatch {
     pub fn metropolis_sweep(&mut self, model: &IsingModel, betas: &[f64]) {
         assert_eq!(betas.len(), self.width, "one β per replica lane");
         assert_eq!(self.n, model.len(), "batch built for a different model");
-        let width = self.width;
         let couplings = model.couplings();
-        for i in 0..self.n {
-            let base = i * width;
-            let mut any_flip = false;
+        if self.split_propagation() {
             for (r, &beta) in betas.iter().enumerate() {
-                let field = self.fields[base + r];
-                let old = self.spins[base + r];
-                let delta = 2.0 * old * field;
-                let accept = delta <= 0.0 || self.streams[r].unit() < (-beta * delta).exp();
-                if accept {
-                    self.energies[r] += 2.0 * old * field;
-                    self.spins[base + r] = -old;
-                    self.flips[r] += 1;
-                    self.deltas[r] = -2.0 * old;
-                    any_flip = true;
-                } else {
-                    self.deltas[r] = 0.0;
-                }
+                self.metropolis_lane_sweep::<true>(couplings, r, beta);
             }
-            if any_flip {
-                Self::propagate(couplings, i, &self.deltas, &mut self.fields);
+            self.apply_deferred(couplings);
+        } else {
+            for (r, &beta) in betas.iter().enumerate() {
+                self.metropolis_lane_sweep::<false>(couplings, r, beta);
             }
         }
+        // Metropolis flips are not slack-charged, so the settled-set caches
+        // are stale after this sweep; drop them
+        self.active_settle.fill(f64::NAN);
+        self.last_settle.fill(f64::NAN);
     }
 
     /// One batched Metropolis sweep at a single shared inverse temperature.
@@ -877,6 +1125,25 @@ mod tests {
         b.build().to_ising()
     }
 
+    /// A model whose leading `strong` spins carry a drive far past any
+    /// realistic `SATURATION / β` threshold, so the settled scan's blocked
+    /// prefix skip engages and ends exactly where the strong run ends —
+    /// the tile-boundary shapes the lane scan must survive.
+    fn settled_prefix_model(n: usize, strong: usize) -> IsingModel {
+        let mut b = QuboBuilder::new(n);
+        for i in 0..strong {
+            b.add_linear(i, -50.0).unwrap();
+        }
+        for i in strong..n {
+            b.add_linear(i, 0.2 - 0.1 * (i % 3) as f64).unwrap();
+        }
+        for i in 1..n {
+            b.add_pair(i - 1, i, if i % 2 == 0 { 0.4 } else { -0.3 })
+                .unwrap();
+        }
+        b.build().to_ising()
+    }
+
     /// Serial replay: a fresh machine on lane `r`'s stream must match the
     /// lane exactly after every sweep.
     fn assert_matches_serial(model: &IsingModel, seeds: &[u64], sweeps: usize) {
@@ -944,6 +1211,91 @@ mod tests {
     }
 
     #[test]
+    fn odd_widths_replay_serial_machines() {
+        // widths that are not a multiple of any tile/SIMD block: the lane
+        // loop and the flip buffer must not care
+        let model = frustrated_model();
+        for width in [3usize, 5, 7, 17] {
+            let seeds: Vec<u64> = (0..width as u64).map(|r| derive_seed(61, r)).collect();
+            assert_matches_serial(&model, &seeds, 30);
+        }
+    }
+
+    #[test]
+    fn settled_tile_boundaries_replay_serial_machines() {
+        // saturated prefixes ending exactly at, one short of, and one past
+        // the settled scan's 8-spin block boundary, plus deep into the
+        // vector — the scan must hand over to the decision loop at the
+        // right spin in every lane
+        for strong in [7usize, 8, 9, 16, 23] {
+            let model = settled_prefix_model(32, strong);
+            let seeds: Vec<u64> = (0..5).map(|r| derive_seed(strong as u64, r)).collect();
+            assert_matches_serial(&model, &seeds, 25);
+        }
+    }
+
+    #[test]
+    fn forced_split_propagation_replays_serial_machines() {
+        // the coalescing flip buffer is policy-gated off below
+        // SPLIT_MIN_LEN, so force it on to pin that the split path stays
+        // bit-exact on both coupling representations — including a held
+        // quench, where the masked settled-set sweeps defer flips too
+        for model in [frustrated_model(), sparse_ring_model(80)] {
+            let seeds: Vec<u64> = (0..5).map(|r| derive_seed(31, r)).collect();
+            let mut batch = ReplicaBatch::new(&model, &seeds);
+            batch.force_split_propagation(true);
+            let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+                .iter()
+                .map(|&s| {
+                    let mut rng = new_rng(s);
+                    let machine = PbitMachine::new(&model, &mut rng);
+                    (machine, NoiseSource::new(rng))
+                })
+                .collect();
+            for sweep in 0..40 {
+                let beta = if sweep < 20 { 0.3 * sweep as f64 } else { 25.0 };
+                batch.sweep_uniform(&model, beta);
+                for (r, (machine, noise)) in serial.iter_mut().enumerate() {
+                    machine.sweep_buffered(&model, beta, noise);
+                    assert_eq!(batch.state(r), *machine.state(), "sweep {sweep} lane {r}");
+                    assert_eq!(batch.energy(r).to_bits(), machine.energy().to_bits());
+                    assert_eq!(batch.flips(r), machine.flips());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slack_exhaustion_mid_masked_sweep_replays_serial_machines() {
+        // a long settled prefix plus four weak coin-flip tail spins: at a
+        // held β = 2 the lanes go masked with a finite budget (~40, the
+        // strong spins' margin) that the tail flips erode by ~0.8 each, so
+        // within this horizon every lane repeatedly crosses the mid-sweep
+        // budget-exhaustion fallback and the post-fallback rebuild — all
+        // of it pinned bit-for-bit to the serial oracle
+        let model = settled_prefix_model(32, 28);
+        let seeds: Vec<u64> = (0..3).map(|r| derive_seed(9, r)).collect();
+        let mut batch = ReplicaBatch::new(&model, &seeds);
+        let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = new_rng(s);
+                let machine = PbitMachine::new(&model, &mut rng);
+                (machine, NoiseSource::new(rng))
+            })
+            .collect();
+        for sweep in 0..200 {
+            batch.sweep_uniform(&model, 2.0);
+            for (r, (machine, noise)) in serial.iter_mut().enumerate() {
+                machine.sweep_buffered(&model, 2.0, noise);
+                assert_eq!(batch.state(r), *machine.state(), "sweep {sweep} lane {r}");
+                assert_eq!(batch.energy(r).to_bits(), machine.energy().to_bits());
+                assert_eq!(batch.flips(r), machine.flips());
+            }
+        }
+    }
+
+    #[test]
     fn lanes_are_independent_of_batch_width() {
         let model = frustrated_model();
         let seeds: Vec<u64> = (0..6).map(|r| derive_seed(77, r)).collect();
@@ -959,6 +1311,39 @@ mod tests {
                 solo.sweep_uniform(&model, beta);
                 assert_eq!(wide.state(r), solo.state(0), "sweep {sweep} lane {r}");
                 assert_eq!(wide.energy(r).to_bits(), solo.energy(0).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fields_match_serial_bitwise_after_hot_sweeps() {
+        // the split propagation applies the serial adds in the serial
+        // order, so even the signs of zero must agree with the serial
+        // machine after flip-heavy sweeps
+        let model = frustrated_model();
+        let seeds: Vec<u64> = (0..4).map(|r| derive_seed(95, r)).collect();
+        let mut batch = ReplicaBatch::new(&model, &seeds);
+        let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = new_rng(s);
+                let machine = PbitMachine::new(&model, &mut rng);
+                (machine, NoiseSource::new(rng))
+            })
+            .collect();
+        for _ in 0..40 {
+            batch.sweep_uniform(&model, 2.0);
+            for (machine, noise) in serial.iter_mut() {
+                machine.sweep_buffered(&model, 2.0, noise);
+            }
+        }
+        for (r, (machine, _)) in serial.iter().enumerate() {
+            for i in 0..model.len() {
+                assert_eq!(
+                    batch.local_field(r, i).to_bits(),
+                    machine.local_field(i).to_bits(),
+                    "field bits {i} lane {r}"
+                );
             }
         }
     }

@@ -1638,6 +1638,27 @@ mod tests {
         )
     }
 
+    /// A job that cannot finish before a cancel lands: the lane-major batch
+    /// sweeps small models in microseconds, so the running-cancel test needs
+    /// hours of scripted work to hold its race window open.
+    fn endless_spec(job: u64, seed: u64) -> JobSpec {
+        let mut b = QuboBuilder::new(6);
+        for i in 0..6 {
+            b.add_linear(i, -1.0).expect("index in range");
+        }
+        JobSpec::new(
+            job,
+            b.build(),
+            SolverSpec::Ensemble(EnsembleConfig {
+                replicas: 2,
+                threads: 1,
+                mcs_per_run: 2_000_000_000,
+                ..EnsembleConfig::default()
+            }),
+            seed,
+        )
+    }
+
     fn test_config(workers: usize, faults: Option<Arc<faults::FaultPlan>>) -> FrontendConfig {
         FrontendConfig {
             workers,
@@ -1918,7 +1939,7 @@ mod tests {
             other => panic!("expected rejected, got {other:?}"),
         }
         // running cancel: a long job is stopped cooperatively
-        handle.submit(slow_spec(2, 7), 0, None);
+        handle.submit(endless_spec(2, 7), 0, None);
         expect_accepted(&handle, 2);
         plan.release_workers();
         // wait for the worker to actually pick it up, then cancel mid-run

@@ -39,11 +39,6 @@ pub(crate) const CLASS_PAD: f64 = 1.0 + 1.0 / (1u64 << 16) as f64;
 /// compares. Shared by the serial and batched engines.
 pub(crate) const SETTLE_PAD_UP: f64 = 1.0 + 16.0 * f64::EPSILON;
 
-/// Downward pad for the reverse certificate: `|field| < (SATURATION / β) ·
-/// SETTLE_PAD_DOWN` certifies `|β · field| < SATURATION` exactly — the
-/// unsaturated side of the batched engine's two-sided lane classification.
-pub(crate) const SETTLE_PAD_DOWN: f64 = 1.0 - 16.0 * f64::EPSILON;
-
 /// Plain-data image of a [`PbitMachine`]'s books — exact field and energy
 /// values included — used by the checkpoint layer. The fields must be the
 /// *incrementally maintained* values, not a recompute (see

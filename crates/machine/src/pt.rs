@@ -646,6 +646,49 @@ mod tests {
         assert!((r0 - r1).abs() < 1e-9);
     }
 
+    /// Width-1 lane groups — the grouping every many-worker host produces
+    /// when workers outnumber ladder slots — take the batch's serial-shaped
+    /// scan sweep: each slot must replay a serial [`PbitMachine`] fed the
+    /// same stream bit for bit, held β and annealing alike.
+    #[test]
+    fn width_one_pt_groups_replay_serial_machines() {
+        use crate::pbit::PbitMachine;
+        use crate::rng::NoiseSource;
+
+        let model = rugged_model();
+        let betas = [0.7, 1.3, 2.9, 40.0];
+        let mut groups: Vec<PtGroup> = betas
+            .iter()
+            .enumerate()
+            .map(|(k, &beta)| PtGroup::new(&model, &[derive_seed(5, k as u64)], vec![beta]))
+            .collect();
+        let mut serial: Vec<(PbitMachine, NoiseSource)> = (0..betas.len() as u64)
+            .map(|k| {
+                let mut rng = new_rng(derive_seed(5, k));
+                let machine = PbitMachine::new(&model, &mut rng);
+                (machine, NoiseSource::new(rng))
+            })
+            .collect();
+        for _round in 0..6 {
+            for g in &mut groups {
+                g.run_round(&model, 10);
+            }
+            for ((machine, noise), &beta) in serial.iter_mut().zip(&betas) {
+                for _ in 0..10 {
+                    machine.sweep_buffered(&model, beta, noise);
+                }
+            }
+            for (k, (g, (machine, _))) in groups.iter().zip(&serial).enumerate() {
+                assert_eq!(g.batch.state(0), *machine.state(), "slot {k}");
+                assert_eq!(
+                    g.batch.energy(0).to_bits(),
+                    machine.energy().to_bits(),
+                    "slot {k} energy"
+                );
+            }
+        }
+    }
+
     #[test]
     fn thread_count_never_changes_results() {
         let model = rugged_model();

@@ -108,6 +108,37 @@ fn assert_batch_width_invariance(model: &saim_ising::IsingModel, seed: u64, swee
     }
 }
 
+/// Serial-oracle replay at one batch width: every lane of a width-`width`
+/// batch must track a serial [`PbitMachine`] fed the same stream, sweep by
+/// sweep, through an anneal ramp *and* a held deep quench — the held tail
+/// keeps β stable so the lane-major engine's settled-set fast path engages
+/// and its masked sweeps are pinned against the oracle too.
+fn assert_oracle_replay_at_width(model: &saim_ising::IsingModel, seed: u64, width: usize) {
+    let seeds: Vec<u64> = (0..width as u64).map(|r| derive_seed(seed, r)).collect();
+    let mut batch = ReplicaBatch::new(model, &seeds);
+    let mut serial: Vec<(PbitMachine, NoiseSource)> = seeds
+        .iter()
+        .map(|&s| {
+            let mut rng = new_rng(s);
+            let machine = PbitMachine::new(model, &mut rng);
+            (machine, NoiseSource::new(rng))
+        })
+        .collect();
+    for sweep in 0..30 {
+        let beta = if sweep < 10 { 0.6 * sweep as f64 } else { 40.0 };
+        batch.sweep_uniform(model, beta);
+        for (r, (machine, noise)) in serial.iter_mut().enumerate() {
+            machine.sweep_buffered(model, beta, noise);
+            assert_eq!(batch.state(r), *machine.state(), "lane {r} of {width}");
+            assert_eq!(
+                batch.energy(r).to_bits(),
+                machine.energy().to_bits(),
+                "energy, lane {r} of {width}"
+            );
+        }
+    }
+}
+
 proptest! {
     /// Batch-width invariance on dense models, including n = 0 and n = 1:
     /// R = 1, R = 8 and serial replay are trajectory-identical.
@@ -127,6 +158,30 @@ proptest! {
     ) {
         prop_assume!(matches!(model.couplings(), saim_ising::Couplings::Sparse(_)));
         assert_batch_width_invariance(&model, seed, 8);
+    }
+
+    /// Oracle replay at widths that are not a multiple of any SIMD/tile
+    /// width, on dense models including n = 0 and n = 1.
+    #[test]
+    fn odd_width_batches_replay_serial_on_dense_models(
+        model in arb_model_with_edge_sizes(),
+        seed in 0u64..200,
+        width_idx in 0usize..4,
+    ) {
+        let width = [3usize, 5, 7, 17][width_idx];
+        assert_oracle_replay_at_width(&model, seed, width);
+    }
+
+    /// Oracle replay at odd widths on CSR-backed models.
+    #[test]
+    fn odd_width_batches_replay_serial_on_csr_models(
+        model in arb_csr_model(),
+        seed in 0u64..100,
+        width_idx in 0usize..4,
+    ) {
+        prop_assume!(matches!(model.couplings(), saim_ising::Couplings::Sparse(_)));
+        let width = [3usize, 5, 7, 17][width_idx];
+        assert_oracle_replay_at_width(&model, seed, width);
     }
 
     /// The batched Metropolis sweep replays the serial machine too.

@@ -380,6 +380,28 @@ fn engines_are_invariant_at_env_selected_thread_count() {
         ParallelTempering::new(hot_pt(1), 23).solve(&model),
         "hot PT at {threads} threads"
     );
+
+    // batch legs in the same env-selected matrix: the lane-major batched
+    // sweep at widths 2 and 16 must reproduce the width-1 serial-shaped
+    // replay at this thread count, on an anneal ramp and a hot hold alike
+    for schedule in [BetaSchedule::linear(9.0), BetaSchedule::constant(4.0)] {
+        let batch_ens = |threads: usize, batch_width: usize| EnsembleConfig {
+            replicas: 5,
+            threads,
+            batch_width,
+            schedule,
+            mcs_per_run: 80,
+            dynamics: Dynamics::Gibbs,
+        };
+        let reference = EnsembleAnnealer::new(batch_ens(1, 1), 37).solve_ensemble(&model);
+        for batch_width in [2, 16] {
+            assert_eq!(
+                EnsembleAnnealer::new(batch_ens(threads, batch_width), 37).solve_ensemble(&model),
+                reference,
+                "batch width {batch_width} at {threads} threads, {schedule:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -4,7 +4,9 @@
 //! service's graceful drain safe to use at all. Covers every engine, hot
 //! (β ∈ {2, 8}) and deep-quench schedule legs, batch widths 1/4/8, the
 //! CI-matrix-selected worker count (`SAIM_DETERMINISM_THREADS` = 1/2/8),
-//! and the on-disk checkpoint round trip.
+//! the on-disk checkpoint round trip at every width, and a fixture
+//! checkpoint written by the old spin-major batch build restoring under
+//! the lane-major layout.
 
 use proptest::prelude::*;
 use saim_core::ConstrainedProblem;
@@ -241,7 +243,8 @@ fn chained_interrupts_still_replay_the_uninterrupted_run() {
 fn a_checkpoint_file_resumes_bit_identically_after_the_disk_round_trip() {
     // the full production path: interrupt a spec'd job, persist the
     // checkpoint, load it back, and resume from the *file* — the completed
-    // outcome must be canonical-equal to a never-interrupted `run()`
+    // outcome must be canonical-equal to a never-interrupted `run()`, at
+    // every batch width the lane-major engine groups replicas into
     let dir = std::env::temp_dir().join(format!("saim-resume-determinism-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
@@ -249,38 +252,65 @@ fn a_checkpoint_file_resumes_bit_identically_after_the_disk_round_trip() {
     let inst = generate::qkp(20, 0.5, 7).expect("valid parameters");
     let enc = inst.encode().expect("encodes");
     let qubo = saim_core::penalty_qubo(&enc, enc.penalty_for_alpha(2.0)).expect("valid penalty");
-    let spec = JobSpec::new(
-        0,
-        qubo,
-        SolverSpec::Ensemble(EnsembleConfig {
-            replicas: 4,
-            threads: env_threads(),
-            batch_width: 4,
-            schedule: BetaSchedule::constant(8.0),
-            mcs_per_run: 90,
-            dynamics: Dynamics::Gibbs,
-        }),
-        31,
-    )
-    .with_instance_digest(inst.digest());
-    let oracle = spec.run();
+    for (job, batch_width) in [(0u64, 1usize), (1, 4), (2, 8)] {
+        let spec = JobSpec::new(
+            job,
+            qubo.clone(),
+            SolverSpec::Ensemble(EnsembleConfig {
+                replicas: 4,
+                threads: env_threads(),
+                batch_width,
+                schedule: BetaSchedule::constant(8.0),
+                mcs_per_run: 90,
+                dynamics: Dynamics::Gibbs,
+            }),
+            31,
+        )
+        .with_instance_digest(inst.digest());
+        let oracle = spec.run();
 
-    let cut = spec.run_controlled(&interrupt_at(40));
-    assert_eq!(cut.outcome.outcome_kind, OutcomeKind::Checkpointed);
-    let checkpoint = *cut
-        .checkpoint
-        .expect("the interrupted run carries a checkpoint");
-    let path: PathBuf = dir.join("job-000000.ckpt");
-    checkpoint.save(&path).expect("saves");
+        let cut = spec.run_controlled(&interrupt_at(40));
+        assert_eq!(cut.outcome.outcome_kind, OutcomeKind::Checkpointed);
+        let checkpoint = *cut
+            .checkpoint
+            .expect("the interrupted run carries a checkpoint");
+        let path: PathBuf = dir.join(format!("job-{job:06}.ckpt"));
+        checkpoint.save(&path).expect("saves");
 
-    let loaded = Checkpoint::load(&path).expect("an untouched file loads");
-    assert_eq!(loaded, checkpoint);
+        let loaded = Checkpoint::load(&path).expect("an untouched file loads");
+        assert_eq!(loaded, checkpoint);
+        let resumed = loaded
+            .spec
+            .resume_controlled(&loaded.engine, &RunController::unlimited())
+            .expect("the checkpoint fits its embedded spec");
+        assert_eq!(resumed.outcome.outcome_kind, OutcomeKind::Completed);
+        assert_eq!(
+            resumed.outcome.canonical(),
+            oracle.canonical(),
+            "batch width {batch_width}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_spin_major_era_checkpoint_restores_under_the_lane_major_layout() {
+    // `tests/fixtures/spin_major_ensemble_w4.ckpt` was written by the
+    // spin-major (n × W plane) build of the batch engine, interrupted at
+    // sweep 40 of a width-4 ensemble job. Checkpoints store per-lane
+    // *serial machine* images, not plane slabs, so the lane-major engine
+    // must scatter them into its own layout and finish bit-identically to
+    // the embedded spec's uninterrupted run — a layout change is not a
+    // checkpoint format bump.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/spin_major_ensemble_w4.ckpt");
+    let loaded = Checkpoint::load(&path).expect("the spin-major fixture still loads");
+    let oracle = loaded.spec.run();
     let resumed = loaded
         .spec
         .resume_controlled(&loaded.engine, &RunController::unlimited())
-        .expect("the checkpoint fits its embedded spec");
+        .expect("the fixture fits its embedded spec");
     assert_eq!(resumed.outcome.outcome_kind, OutcomeKind::Completed);
     assert_eq!(resumed.outcome.canonical(), oracle.canonical());
-
-    let _ = std::fs::remove_dir_all(&dir);
 }
