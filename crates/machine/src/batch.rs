@@ -635,6 +635,11 @@ impl ReplicaBatch {
             self.age[r] = self.age[r].saturating_add(1);
             self.masked_lane_gibbs::<DEFER>(couplings, r, beta, settle);
         } else {
+            // this scan can flip any spin without charging the slack
+            // budget, so a list built under an earlier β is stale the
+            // moment it runs — kill the tag or a later sweep at that β
+            // would resume the old certificate against a moved state
+            self.active_settle[r] = f64::NAN;
             let settled = self.scan_range_gibbs::<DEFER>(couplings, r, beta, settle, 0);
             // quenched, β stable for two sweeps, and not cooling off after
             // a short-lived list: invest one predicate scan after the

@@ -33,6 +33,43 @@
 //! next-highest shard. Jobs with no eligible shard park in the router and
 //! flow as capacity frees.
 //!
+//! # Replication (hedged k-replica routing)
+//!
+//! With [`ReplicationPolicy::k`] `> 1` each job is placed on the top-k
+//! rendezvous-ranked healthy backends instead of just the winner — but
+//! **speculatively, not eagerly**: only the primary replica dispatches at
+//! submit time. The 2nd…kth replicas are armed on a *hedge timer* whose
+//! delay is `max(hedge_delay_ms, primary's settlement-time EMA)` — the
+//! per-backend EMA of recent settled-job wall times, seeded from the
+//! backend's `stats`-probe `eta_ms` until real settlements exist. A
+//! healthy backend settles its jobs before the timer fires, so an idle or
+//! well-behaved fleet pays **zero** extra compute; a slow, stalled, or
+//! partitioned backend silently forfeits the race long before the circuit
+//! breaker would trip, bounding the job's settlement latency by
+//! `hedge delay + healthy-backend time` instead of the breaker's
+//! `down_after_misses × probe_interval`.
+//!
+//! Replica dispatches are budgeted: at most
+//! [`ReplicationPolicy::max_extra_load`] extra copies may be live
+//! fleet-wide; due hedges beyond the budget defer (counted `suppressed` in
+//! [`HedgeStats`]) until settlements free it.
+//!
+//! Settlement is **first outcome wins, exactly once**: the first terminal
+//! frame for a gid settles the job through the journal as always, and
+//! every losing replica is sent a best-effort `cancel` frame (reclaiming
+//! its worker via the engine `RunController` path) and journaled as
+//! `superseded`. A loser's late terminal frame — cancelled, completed, or
+//! replayed — lands in the settlement dedup like any other duplicate.
+//! Because engines are deterministic per seed, a late *completed* loser
+//! must be bit-identical to the settled winner; a disagreement is a
+//! **correctness alarm** (a backend with a broken RNG stream or a corrupt
+//! resume), counted in [`ClusterReport::outcome_mismatches`], logged, and
+//! surfaced on the router's `stats` admin report — never double-settled.
+//!
+//! `k = 1` (the default) preserves single-placement routing bit-for-bit,
+//! journal bytes included: no `hedged`/`superseded` records are ever
+//! written and no hedge timer exists.
+//!
 //! # Health
 //!
 //! A per-backend state machine `Up → Suspect → Down → HalfOpen → Up`
@@ -105,7 +142,7 @@ use crate::frontend::{
     NdjsonClient, ReadError, Request, Response,
 };
 use crate::service::{JobOutcome, JobSpec, SolverSpec};
-use crate::telemetry::ClientStats;
+use crate::telemetry::{ClientStats, HedgeStats};
 use journal::{Journal, JournalAnomaly, JournalError, JournalRecord};
 use saim_ising::QuboBuilder;
 
@@ -255,11 +292,29 @@ impl FaultyLink {
         }
     }
 
+    /// Applies the wrong-seed-outcome script: a corrupting backend's
+    /// completed outcomes have their energies perturbed, so the frame still
+    /// correlates by gid but can never match the deterministic oracle —
+    /// exactly what a backend with a broken RNG stream would produce.
+    fn tamper(&self, response: &mut Response) {
+        if !self.plan.is_corrupting(self.backend) {
+            return;
+        }
+        if let Response::Outcome { outcome } = response {
+            if outcome.outcome_kind == OutcomeKind::Completed {
+                outcome.best_energy += 1.0;
+                outcome.last_energy += 1.0;
+            }
+        }
+    }
+
     /// Moves every already-arrived inner response into the hold buffer,
-    /// duplicating outcomes when scripted — so a partition holds frames the
-    /// backend produced *during* the partition too, not only before it.
+    /// corrupting and duplicating outcomes when scripted — so a partition
+    /// holds frames the backend produced *during* the partition too, not
+    /// only before it.
     fn ingest(&mut self) -> Result<(), LinkError> {
-        while let Some(response) = self.inner.poll(Duration::ZERO)? {
+        while let Some(mut response) = self.inner.poll(Duration::ZERO)? {
+            self.tamper(&mut response);
             let duplicate = matches!(response, Response::Outcome { .. })
                 && self.plan.is_duplicating(self.backend);
             if duplicate {
@@ -294,7 +349,8 @@ impl BackendLink for FaultyLink {
             return Ok(Some(response));
         }
         match self.inner.poll(timeout)? {
-            Some(response) => {
+            Some(mut response) => {
+                self.tamper(&mut response);
                 if matches!(response, Response::Outcome { .. })
                     && self.plan.is_duplicating(self.backend)
                 {
@@ -413,6 +469,36 @@ impl HealthTracker {
 
 // ---------------------------------------------------------------- config
 
+/// How many backends each job is placed on and when speculative replicas
+/// fire; see the [module docs](self#replication-hedged-k-replica-routing).
+#[derive(Debug, Clone)]
+pub struct ReplicationPolicy {
+    /// Total replicas per job including the primary. `1` (the default)
+    /// disables hedging entirely and preserves single-placement routing
+    /// bit-for-bit, journal bytes included.
+    pub k: usize,
+    /// Floor on the hedge delay in milliseconds. The effective delay for a
+    /// job is `max(hedge_delay_ms, primary backend's settlement-time
+    /// EMA)`, so a fleet whose jobs settle quickly never fires a replica
+    /// at all — deadline-aware speculation, not eager 2× dispatch.
+    pub hedge_delay_ms: u64,
+    /// Fleet-wide cap on concurrently-live extra replicas. A due hedge is
+    /// deferred (counted [`HedgeStats::suppressed`]) while the budget is
+    /// exhausted; `0` never fires a replica, degrading to pure
+    /// breaker-driven failover.
+    pub max_extra_load: usize,
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy {
+            k: 1,
+            hedge_delay_ms: 50,
+            max_extra_load: 4,
+        }
+    }
+}
+
 /// Configuration of a [`Cluster`].
 #[derive(Clone)]
 pub struct ClusterConfig {
@@ -436,6 +522,8 @@ pub struct ClusterConfig {
     /// Where the write-ahead intent journal lives; `None` keeps settlement
     /// state in memory only (no crash recovery).
     pub journal: Option<PathBuf>,
+    /// Hedged k-replica routing; the default (`k = 1`) disables it.
+    pub replication: ReplicationPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -448,6 +536,7 @@ impl Default for ClusterConfig {
             max_frame_bytes: 1 << 20,
             read_timeout: Duration::from_secs(30),
             journal: None,
+            replication: ReplicationPolicy::default(),
         }
     }
 }
@@ -459,6 +548,10 @@ impl ClusterConfig {
         assert!(
             !self.probe_interval.is_zero(),
             "probe interval must be positive"
+        );
+        assert!(
+            self.replication.k >= 1,
+            "replication factor includes the primary and must be at least 1"
         );
     }
 }
@@ -474,6 +567,40 @@ struct JobRecord {
     deadline_ms: Option<u64>,
     settled: bool,
     probe: bool,
+    /// The first backend the job was placed on — the hedge timer's EMA
+    /// source. `None` until first placement (or forever, when parked).
+    primary: Option<usize>,
+    /// Backends that received a speculative replica, in firing order.
+    hedge_backends: Vec<usize>,
+    /// Canonical digest of the settling completed outcome, kept after the
+    /// settle so a late loser's outcome can be cross-checked against it.
+    settled_digest: Option<u64>,
+}
+
+impl JobRecord {
+    fn new(client: u64, client_job: u64, spec: JobSpec, priority: u8) -> Self {
+        JobRecord {
+            client,
+            client_job,
+            spec,
+            priority,
+            deadline_ms: None,
+            settled: false,
+            probe: false,
+            primary: None,
+            hedge_backends: Vec::new(),
+            settled_digest: None,
+        }
+    }
+}
+
+/// One armed hedge timer: when it comes `due`, up to `remaining` extra
+/// replicas of the gid fire (budget and capacity permitting), re-arming
+/// every `delay` ms between firings.
+struct PendingHedge {
+    due: u64,
+    remaining: usize,
+    delay: u64,
 }
 
 /// One connected client's router-side state.
@@ -505,6 +632,10 @@ struct BackendSlot {
     probe_outstanding: bool,
     /// Half-open and owed its one probe job.
     want_probe_job: bool,
+    /// EMA of this backend's settlement wall time in ms, seeded from the
+    /// first probe `stats` frame's `eta_ms`. Deliberately survives link
+    /// re-attachment: a restarted backend is the same hardware.
+    ema_settle_ms: Option<u64>,
 }
 
 impl BackendSlot {
@@ -520,6 +651,7 @@ impl BackendSlot {
             last_probe: 0,
             probe_outstanding: false,
             want_probe_job: false,
+            ema_settle_ms: None,
         }
     }
 
@@ -544,6 +676,14 @@ struct CoreState {
     reroutes: u64,
     timed_settles: u64,
     timed_settle_ms: u64,
+    /// Armed hedge timers by gid; empty whenever `replication.k == 1`.
+    pending_hedges: HashMap<u64, PendingHedge>,
+    /// Extra replicas currently live beyond each job's one primary copy —
+    /// the quantity `ReplicationPolicy::max_extra_load` bounds.
+    extra_live: u64,
+    hedges: HedgeStats,
+    /// Settled-vs-late-loser divergences observed (the determinism alarm).
+    outcome_mismatches: u64,
 }
 
 /// The terminal payload a settle delivers, pre-rewrite.
@@ -688,13 +828,10 @@ impl RouterCore {
             if let Some(slot) = state.clients.get_mut(&client) {
                 slot.stats.rejected += 1;
             }
-            Self::send_to(
-                state,
-                client,
-                Response::Overloaded {
-                    retry_after_ms: self.config.retry_after_ms,
-                },
-            );
+            // the hint names the soonest half-open probe time, so a
+            // backed-off client returns exactly when capacity can exist
+            let retry_after_ms = self.shed_retry_ms(state, now);
+            Self::send_to(state, client, Response::Overloaded { retry_after_ms });
             return;
         }
         let gid = state.next_gid;
@@ -728,13 +865,8 @@ impl RouterCore {
         state.jobs.insert(
             gid,
             JobRecord {
-                client,
-                client_job,
-                spec,
-                priority,
                 deadline_ms,
-                settled: false,
-                probe: false,
+                ..JobRecord::new(client, client_job, spec, priority)
             },
         );
         state.fleet.accepted += 1;
@@ -765,32 +897,30 @@ impl RouterCore {
             );
             return;
         };
-        // still router-side (parked or queued): settle the cancel locally —
-        // the backend never saw the job
-        let parked = state.parked.iter().position(|&g| g == gid);
-        if let Some(i) = parked {
-            state.parked.remove(i);
+        // running on a backend (any replica of it): forward the cancel
+        // ahead of any submits; the backend's terminal frame settles it
+        let running = state
+            .backends
+            .iter()
+            .any(|slot| slot.assigned.contains(&gid) || slot.awaiting == Some(gid));
+        if running {
+            for slot in &mut state.backends {
+                if slot.assigned.contains(&gid) || slot.awaiting == Some(gid) {
+                    slot.control.push_back(Request::Cancel { job: gid });
+                }
+            }
+            return;
+        }
+        // still router-side everywhere (parked or queued): settle the
+        // cancel locally — no backend has accepted the job yet; settlement
+        // clears every queued copy
+        let parked = state.parked.contains(&gid);
+        let queued = state.backends.iter().any(|slot| slot.queued.contains(&gid));
+        if parked || queued {
             let outcome = JobOutcome::expired(&state.jobs[&gid].spec)
                 .with_outcome_kind(OutcomeKind::Cancelled);
             self.settle(state, None, gid, Settlement::Outcome(outcome));
             return;
-        }
-        for slot in &mut state.backends {
-            if let Some(i) = slot.queued.iter().position(|&g| g == gid) {
-                slot.queued.remove(i);
-                let outcome = JobOutcome::expired(&state.jobs[&gid].spec)
-                    .with_outcome_kind(OutcomeKind::Cancelled);
-                self.settle(state, None, gid, Settlement::Outcome(outcome));
-                return;
-            }
-        }
-        // on a backend already: forward the cancel ahead of any submits;
-        // the backend's terminal frame settles it
-        for slot in &mut state.backends {
-            if slot.assigned.contains(&gid) || slot.awaiting == Some(gid) {
-                slot.control.push_back(Request::Cancel { job: gid });
-                return;
-            }
         }
         // routed but nowhere: should be unreachable, treat as unknown
         Self::send_to(
@@ -863,6 +993,52 @@ impl RouterCore {
             .collect()
     }
 
+    /// Every backend currently holding a copy of `gid` — queued toward it,
+    /// forwarded-unacked, or accepted-unsettled.
+    fn holders_of(state: &CoreState, gid: u64) -> Vec<usize> {
+        state
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| {
+                slot.assigned.contains(&gid)
+                    || slot.awaiting == Some(gid)
+                    || slot.queued.contains(&gid)
+            })
+            .map(|(b, _)| b)
+            .collect()
+    }
+
+    /// Records a placement of `gid` on backend `b` and, with k > 1, arms
+    /// its hedge timer: replicas fire only after `max(hedge_delay_ms,
+    /// primary's settlement EMA)` ms — deadline-aware speculation, so a
+    /// fleet whose jobs settle fast never pays for a replica.
+    fn placed_on(&self, state: &mut CoreState, gid: u64, b: usize, now: u64) {
+        state.backends[b].queued.push_back(gid);
+        let policy = &self.config.replication;
+        let Some(record) = state.jobs.get_mut(&gid) else {
+            return;
+        };
+        if policy.k <= 1 || record.probe {
+            return;
+        }
+        if record.primary.is_none() {
+            record.primary = Some(b);
+        }
+        let primary = record.primary.expect("just set when absent");
+        let delay = policy
+            .hedge_delay_ms
+            .max(state.backends[primary].ema_settle_ms.unwrap_or(0));
+        state
+            .pending_hedges
+            .entry(gid)
+            .or_insert_with(|| PendingHedge {
+                due: now.saturating_add(delay),
+                remaining: policy.k - 1,
+                delay: delay.max(1),
+            });
+    }
+
     /// Places `gid` on its rendezvous shard among the eligible backends, or
     /// parks it when none qualifies.
     fn place(&self, state: &mut CoreState, gid: u64, exclude: Option<usize>, now: u64) {
@@ -875,7 +1051,7 @@ impl RouterCore {
         let key = shard_key(&record.spec);
         let candidates = self.eligible(state, now, exclude);
         match rendezvous_choice(key, &candidates) {
-            Some(b) => state.backends[b].queued.push_back(gid),
+            Some(b) => self.placed_on(state, gid, b, now),
             None => state.parked.push_back(gid),
         }
     }
@@ -892,7 +1068,7 @@ impl RouterCore {
             let key = shard_key(&state.jobs[&gid].spec);
             let candidates = self.eligible(state, now, None);
             match rendezvous_choice(key, &candidates) {
-                Some(b) => state.backends[b].queued.push_back(gid),
+                Some(b) => self.placed_on(state, gid, b, now),
                 None => still_parked.push_back(gid),
             }
         }
@@ -900,7 +1076,9 @@ impl RouterCore {
     }
 
     /// Re-places one job after its backend failed it (died, shed it, or
-    /// went down before settling it).
+    /// went down before settling it). When other replicas of the job are
+    /// still live the failed copy just evaporates — the survivors already
+    /// cover the settlement, so re-placing would multiply the fan-out.
     fn reroute(&self, state: &mut CoreState, gid: u64, exclude: Option<usize>, now: u64) {
         let Some(record) = state.jobs.get(&gid) else {
             return;
@@ -913,8 +1091,107 @@ impl RouterCore {
             state.jobs.remove(&gid);
             return;
         }
+        if !Self::holders_of(state, gid).is_empty() {
+            state.extra_live = state.extra_live.saturating_sub(1);
+            return;
+        }
         state.reroutes += 1;
         self.place(state, gid, exclude, now);
+    }
+
+    /// Fires every due hedge timer: each picks the best eligible backend
+    /// not already holding the job, journals the `hedged` intent, and
+    /// queues the replica. Deferred (and re-armed) while the fleet-wide
+    /// `max_extra_load` budget is exhausted or no distinct backend exists.
+    fn fire_due_hedges(&self, state: &mut CoreState, now: u64) {
+        if self.config.replication.k <= 1 || state.pending_hedges.is_empty() {
+            return;
+        }
+        let mut due: Vec<u64> = state
+            .pending_hedges
+            .iter()
+            .filter(|(_, h)| now >= h.due)
+            .map(|(&gid, _)| gid)
+            .collect();
+        due.sort_unstable();
+        for gid in due {
+            if state.jobs.get(&gid).is_none_or(|r| r.settled) {
+                state.pending_hedges.remove(&gid);
+                continue;
+            }
+            if state.extra_live >= self.config.replication.max_extra_load as u64 {
+                state.hedges.suppressed += 1;
+                let hedge = state
+                    .pending_hedges
+                    .get_mut(&gid)
+                    .expect("gid drawn from the map above");
+                hedge.due = now.saturating_add(hedge.delay);
+                continue;
+            }
+            let holders = Self::holders_of(state, gid);
+            let key = shard_key(&state.jobs[&gid].spec);
+            let candidates: Vec<usize> = self
+                .eligible(state, now, None)
+                .into_iter()
+                .filter(|b| !holders.contains(b))
+                .collect();
+            let Some(b) = rendezvous_choice(key, &candidates) else {
+                // nowhere distinct to speculate yet — try again next round
+                let hedge = state
+                    .pending_hedges
+                    .get_mut(&gid)
+                    .expect("gid drawn from the map above");
+                hedge.due = now.saturating_add(hedge.delay);
+                continue;
+            };
+            if let Some(journal) = &mut state.journal {
+                // best-effort, like `accepted`: the record narrows recovery
+                // fan-out but a lost one never loses a job
+                let _ = journal.append(&JournalRecord::Hedged { gid, backend: b });
+            }
+            state.backends[b].queued.push_back(gid);
+            state
+                .jobs
+                .get_mut(&gid)
+                .expect("liveness checked above")
+                .hedge_backends
+                .push(b);
+            state.extra_live += 1;
+            state.hedges.fired += 1;
+            let hedge = state
+                .pending_hedges
+                .get_mut(&gid)
+                .expect("gid drawn from the map above");
+            hedge.remaining -= 1;
+            if hedge.remaining == 0 {
+                state.pending_hedges.remove(&gid);
+            } else {
+                let hedge = state
+                    .pending_hedges
+                    .get_mut(&gid)
+                    .expect("remaining > 0 keeps the entry");
+                hedge.due = now.saturating_add(hedge.delay);
+            }
+        }
+    }
+
+    /// The shed-path retry hint: the soonest moment any backend's next
+    /// health probe can run — i.e. the earliest instant capacity can exist
+    /// again — instead of a flat constant. Falls back to the configured
+    /// constant when no pump survives to probe at all.
+    fn shed_retry_ms(&self, state: &CoreState, now: u64) -> u64 {
+        state
+            .backends
+            .iter()
+            .filter(|slot| slot.pump_alive)
+            .map(|slot| {
+                slot.last_probe
+                    .saturating_add(self.probe_interval_ms())
+                    .saturating_sub(now)
+                    .max(1)
+            })
+            .min()
+            .unwrap_or(self.config.retry_after_ms)
     }
 
     /// Backend `b` can no longer settle anything: every journaled-but-
@@ -954,7 +1231,12 @@ impl RouterCore {
             {
                 self.unreachable(state, b, now);
             }
-            state.backends[b].last_probe = now;
+            // `last_probe == 0` is the probe-immediately sentinel (fresh
+            // start, pump restart); stamp at least 1 so a probe sent inside
+            // the epoch's first millisecond still clears it — otherwise the
+            // probe stays perpetually "due" and the breaker counts a miss
+            // per pump iteration instead of per probe interval
+            state.backends[b].last_probe = now.max(1);
             state.backends[b].probe_outstanding = true;
             out.push(Request::Stats);
         }
@@ -964,18 +1246,14 @@ impl RouterCore {
             state.jobs.insert(
                 gid,
                 JobRecord {
-                    client: 0,
-                    client_job: gid,
-                    spec: probe_spec(gid),
-                    priority: 0,
-                    deadline_ms: None,
-                    settled: false,
                     probe: true,
+                    ..JobRecord::new(0, gid, probe_spec(gid), 0)
                 },
             );
             state.backends[b].queued.push_back(gid);
             state.backends[b].want_probe_job = false;
         }
+        self.fire_due_hedges(state, now);
         if state.backends[b].awaiting.is_none() && now >= state.backends[b].backoff_until {
             while let Some(gid) = state.backends[b].queued.pop_front() {
                 match state.jobs.get(&gid) {
@@ -1004,8 +1282,13 @@ impl RouterCore {
         }
         let now = self.now_ms();
         match response {
-            Response::Stats { .. } => {
+            Response::Stats { eta_ms, .. } => {
                 state.backends[b].probe_outstanding = false;
+                if state.backends[b].ema_settle_ms.is_none() && eta_ms > 0 {
+                    // seed the hedge timer before any settle has been timed,
+                    // so the first hedge delay is already backend-aware
+                    state.backends[b].ema_settle_ms = Some(eta_ms);
+                }
                 let was = state.health.state(b);
                 let is = state.health.probe_ok(b);
                 if was != is && is == BackendState::HalfOpen {
@@ -1086,6 +1369,39 @@ impl RouterCore {
 
     // -------------------------------------------------------- settlement
 
+    /// Canonical digest of an outcome: the FNV-1a-64 of its canonical JSON
+    /// (elapsed wall time zeroed), so two replicas of one deterministic
+    /// solve digest identically no matter which backend ran them or when.
+    fn outcome_digest(outcome: &JobOutcome) -> u64 {
+        digest64(outcome.canonical().to_json().as_bytes())
+    }
+
+    /// The determinism alarm: a late losing replica's completed outcome
+    /// must digest identically to the settled winner's — engines are
+    /// deterministic per seed. Divergence means a backend solved the wrong
+    /// problem (broken RNG stream, corrupted resume) and is counted,
+    /// logged, and surfaced on [`ClusterReport::outcome_mismatches`].
+    fn check_mismatch(state: &mut CoreState, gid: u64, payload: &Settlement) {
+        let Settlement::Outcome(outcome) = payload else {
+            return;
+        };
+        if outcome.outcome_kind != OutcomeKind::Completed {
+            return;
+        }
+        let Some(expected) = state.jobs.get(&gid).and_then(|r| r.settled_digest) else {
+            return;
+        };
+        let got = Self::outcome_digest(outcome);
+        if got != expected {
+            state.outcome_mismatches += 1;
+            eprintln!(
+                "saim-cluster: outcome mismatch on job {gid}: late replica \
+                 digest {got:016x} != settled {expected:016x} — a backend \
+                 diverged from the deterministic solve"
+            );
+        }
+    }
+
     /// Exactly-once settlement: the first terminal frame for a live gid
     /// wins — it is journaled, counted, rewritten back to the client's job
     /// id, and delivered; every later frame for the gid (partition heals,
@@ -1096,31 +1412,64 @@ impl RouterCore {
         let now = self.now_ms();
         let live = state.jobs.get(&gid).is_some_and(|r| !r.settled);
         if !live {
+            // a late loser's outcome is cross-checked against the winner's
+            // digest before it is dropped — engines are deterministic per
+            // seed, so divergence here is a correctness alarm
+            Self::check_mismatch(state, gid, &payload);
             state.duplicates_dropped += 1;
             return;
         }
-        // clear every copy of the gid — failover may have spread it
-        for slot in &mut state.backends {
-            slot.assigned.remove(&gid);
+        // clear every copy of the gid — failover or hedging may have
+        // spread it — and cancel (best-effort) each losing copy a backend
+        // is still running; its late terminal frame dedups right here
+        let holders = Self::holders_of(state, gid);
+        let mut losers: Vec<usize> = Vec::new();
+        for (b, slot) in state.backends.iter_mut().enumerate() {
+            let running = slot.assigned.remove(&gid) || slot.awaiting == Some(gid);
             if let Some(i) = slot.queued.iter().position(|&g| g == gid) {
                 slot.queued.remove(i);
+            }
+            if running && from != Some(b) {
+                slot.control.push_back(Request::Cancel { job: gid });
+                losers.push(b);
             }
         }
         if let Some(i) = state.parked.iter().position(|&g| g == gid) {
             state.parked.remove(i);
         }
+        state.extra_live = state
+            .extra_live
+            .saturating_sub(holders.len().saturating_sub(1) as u64);
+        state.pending_hedges.remove(&gid);
         let record = state.jobs.get_mut(&gid).expect("liveness checked above");
         record.settled = true;
         let client = record.client;
         let client_job = record.client_job;
         let probe = record.probe;
+        let hedged = record.hedge_backends.len() as u64;
+        let hedge_won = from.is_some_and(|b| record.hedge_backends.contains(&b));
         if !probe {
             if let Some(journal) = &mut state.journal {
                 // best-effort: a lost `settled` record costs one duplicate
                 // delivery attempt after a router restart, which the
-                // backend-side dedup of the next incarnation absorbs
+                // backend-side dedup of the next incarnation absorbs.
+                // Losers are journaled first, so a replay that sees a
+                // `superseded` with no `settled` re-routes exactly once —
+                // as if the hedge had never fired.
+                for &b in &losers {
+                    let _ = journal.append(&JournalRecord::Superseded { gid, backend: b });
+                }
                 let _ = journal.append(&JournalRecord::Settled { gid });
             }
+            if hedged > 0 {
+                if hedge_won {
+                    state.hedges.won += 1;
+                    state.hedges.wasted += hedged - 1;
+                } else {
+                    state.hedges.wasted += hedged;
+                }
+            }
+            state.hedges.cancelled += losers.len() as u64;
         }
         if probe {
             if let Some(b) = from {
@@ -1135,6 +1484,24 @@ impl RouterCore {
                 if outcome.elapsed_ns > 0 {
                     state.timed_settles += 1;
                     state.timed_settle_ms += outcome.elapsed_ns / 1_000_000;
+                    if let Some(b) = from {
+                        // fold this settle into the backend's EMA — the
+                        // source of future hedge delays
+                        let sample = outcome.elapsed_ns / 1_000_000;
+                        let slot = &mut state.backends[b];
+                        slot.ema_settle_ms = Some(match slot.ema_settle_ms {
+                            None => sample,
+                            Some(e) => (3 * e + sample) / 4,
+                        });
+                    }
+                }
+                if outcome.outcome_kind == OutcomeKind::Completed {
+                    // remember the winner's canonical digest so late losers
+                    // can be cross-checked (the determinism alarm)
+                    let digest = Self::outcome_digest(&outcome);
+                    if let Some(record) = state.jobs.get_mut(&gid) {
+                        record.settled_digest = Some(digest);
+                    }
                 }
                 let bucket = match outcome.outcome_kind {
                     OutcomeKind::Cancelled => 2,
@@ -1219,6 +1586,11 @@ pub struct ClusterReport {
     pub duplicates_dropped: u64,
     /// Routed jobs still owed a terminal frame.
     pub unsettled: u64,
+    /// Hedged-replication counters (all zero with `k = 1`).
+    pub hedges: HedgeStats,
+    /// Settled-vs-late-replica outcome divergences — the determinism
+    /// alarm; any nonzero value means a backend computed a wrong answer.
+    pub outcome_mismatches: u64,
 }
 
 /// The sharded router; see the [module docs](self). Construct with
@@ -1276,6 +1648,10 @@ impl Cluster {
                 reroutes: 0,
                 timed_settles: 0,
                 timed_settle_ms: 0,
+                pending_hedges: HashMap::new(),
+                extra_live: 0,
+                hedges: HedgeStats::default(),
+                outcome_mismatches: 0,
             }),
             config,
             epoch: Instant::now(),
@@ -1293,15 +1669,7 @@ impl Cluster {
             for job in recovered.unsettled {
                 state.jobs.insert(
                     job.gid,
-                    JobRecord {
-                        client: recovery_handle.id,
-                        client_job: job.client_job,
-                        spec: job.spec,
-                        priority: 0,
-                        deadline_ms: None,
-                        settled: false,
-                        probe: false,
-                    },
+                    JobRecord::new(recovery_handle.id, job.client_job, job.spec, 0),
                 );
                 state.fleet.accepted += 1;
                 if let Some(slot) = state.clients.get_mut(&recovery_handle.id) {
@@ -1432,6 +1800,8 @@ impl Cluster {
                 .values()
                 .filter(|r| !r.settled && !r.probe)
                 .count() as u64,
+            hedges: state.hedges,
+            outcome_mismatches: state.outcome_mismatches,
         }
     }
 

@@ -15,20 +15,32 @@
 //! first line is a version envelope
 //! (`{"journal":"saim-cluster","version":1}`); foreign-version journals
 //! are refused with a typed [`JournalError::VersionMismatch`] rather than
-//! guessed at. After it, three record kinds trace each job's lifecycle:
+//! guessed at. After it, five record kinds trace each job's lifecycle:
 //!
 //! - `routed` — the router accepted the job and owes the client exactly
 //!   one terminal frame; carries the full spec so the job can be re-routed
 //!   even by a restarted router that never saw the original submit.
 //! - `accepted` — a backend admitted the forwarded job.
+//! - `hedged` — a speculative extra replica of the job was dispatched to a
+//!   second backend (k > 1 replication); purely informational for
+//!   recovery, since the `routed` record alone drives re-routing.
+//! - `superseded` — a replica lost the first-outcome settlement race and
+//!   was sent a best-effort cancel; informational, like `hedged`.
 //! - `settled` — the terminal frame was delivered; the job must never be
 //!   routed, re-routed, or delivered again.
+//!
+//! A k=1 router never writes `hedged` or `superseded`, so its journal is
+//! byte-identical to the pre-replication (PR 8) format — pinned by a
+//! committed fixture in `tests/journal_corruption.rs`.
 //!
 //! # Recovery
 //!
 //! [`Journal::open`] on an existing file replays it under a conservative
 //! contract: **a journaled-but-unsettled job is re-routed; a settled job
-//! is never re-routed** (so it can never settle twice). Corruption stops
+//! is never re-routed** (so it can never settle twice). A
+//! journaled-but-unsettled job re-routes exactly once no matter how many
+//! `hedged` replicas it had in flight — replication is re-established by
+//! the live hedging policy, never by replay. Corruption stops
 //! the replay at the first bad line — records before it stand, records
 //! after it are treated as never written, which errs exactly the safe way:
 //! a lost `settled` record re-routes a finished job (the settlement dedup
@@ -74,6 +86,21 @@ pub enum JournalRecord {
         /// Backend index that admitted it.
         backend: usize,
     },
+    /// A speculative extra replica was dispatched (k > 1 hedging).
+    Hedged {
+        /// Router-global job id.
+        gid: u64,
+        /// Backend index the replica was dispatched to.
+        backend: usize,
+    },
+    /// A replica lost the first-outcome race and was cancelled
+    /// best-effort.
+    Superseded {
+        /// Router-global job id.
+        gid: u64,
+        /// Backend index whose replica lost.
+        backend: usize,
+    },
     /// The terminal frame was delivered; the gid is dead forever.
     Settled {
         /// Router-global job id.
@@ -97,6 +124,16 @@ impl JournalRecord {
             }
             JournalRecord::Accepted { gid, backend } => {
                 fields.push(("record".into(), Value::Str("accepted".into())));
+                fields.push(("gid".into(), gid.to_value()));
+                fields.push(("backend".into(), (*backend as u64).to_value()));
+            }
+            JournalRecord::Hedged { gid, backend } => {
+                fields.push(("record".into(), Value::Str("hedged".into())));
+                fields.push(("gid".into(), gid.to_value()));
+                fields.push(("backend".into(), (*backend as u64).to_value()));
+            }
+            JournalRecord::Superseded { gid, backend } => {
+                fields.push(("record".into(), Value::Str("superseded".into())));
                 fields.push(("gid".into(), gid.to_value()));
                 fields.push(("backend".into(), (*backend as u64).to_value()));
             }
@@ -124,13 +161,16 @@ impl JournalRecord {
                     spec,
                 })
             }
-            "accepted" => {
+            "accepted" | "hedged" | "superseded" => {
                 check_known_fields(value, &["record", "gid", "backend"])
                     .map_err(|e| e.to_string())?;
                 let backend: u64 = parse_field(value, "backend").map_err(|e| e.to_string())?;
-                Ok(JournalRecord::Accepted {
-                    gid: parse_field(value, "gid").map_err(|e| e.to_string())?,
-                    backend: backend as usize,
+                let backend = backend as usize;
+                let gid: u64 = parse_field(value, "gid").map_err(|e| e.to_string())?;
+                Ok(match tag.as_str() {
+                    "accepted" => JournalRecord::Accepted { gid, backend },
+                    "hedged" => JournalRecord::Hedged { gid, backend },
+                    _ => JournalRecord::Superseded { gid, backend },
                 })
             }
             "settled" => {
@@ -450,7 +490,12 @@ fn replay(text: &str) -> Result<JournalRecovery, JournalError> {
                     spec,
                 });
             }
-            JournalRecord::Accepted { gid, .. } => {
+            // hedged/superseded replicas never multiply re-routes: the one
+            // surviving `routed` record drives recovery, so these only
+            // fence the gid allocator and surface orphans
+            JournalRecord::Accepted { gid, .. }
+            | JournalRecord::Hedged { gid, .. }
+            | JournalRecord::Superseded { gid, .. } => {
                 max_gid = max_gid.max(gid);
                 if !routed.iter().any(|j| j.gid == gid) {
                     recovery

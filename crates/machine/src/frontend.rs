@@ -1201,12 +1201,15 @@ impl Frontend {
                 running.ctrl.request_checkpoint();
             }
         }
+        // Seal the queue before waking any frozen workers: a woken worker
+        // must find the queue closed, not race this capture and run a
+        // queued job to completion into a connection nobody reads anymore.
+        let pending = self.hub.queue.take_pending();
         if let Some(f) = &self.hub.config.faults {
             // frozen workers can't drain; a scripted hold must not deadlock
             // the shutdown path
             f.release_workers();
         }
-        let pending = self.hub.queue.take_pending();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }

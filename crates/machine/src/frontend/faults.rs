@@ -48,6 +48,13 @@
 //! - [`BackendFaultPlan::duplicate_outcomes`] — every outcome frame from
 //!   that backend is replayed twice (an at-least-once transport script);
 //!   the router must still settle each job exactly once.
+//! - [`BackendFaultPlan::corrupt_outcomes`] — every completed outcome frame
+//!   from that backend has its energies perturbed before the router sees
+//!   it, simulating a backend that solved the wrong seed (a broken RNG
+//!   stream, a corrupted checkpoint resume). Engines are deterministic per
+//!   seed, so when such a frame loses a hedged settlement race the router
+//!   must raise its outcome-mismatch alarm — a correctness signal, never a
+//!   double settlement.
 //!
 //! [`Frontend`]: crate::frontend::Frontend
 //! [`FrontendConfig::faults`]: crate::frontend::FrontendConfig::faults
@@ -158,6 +165,7 @@ pub struct BackendFaultPlan {
     killed: Mutex<HashSet<usize>>,
     stalled: Mutex<HashSet<usize>>,
     duplicating: Mutex<HashSet<usize>>,
+    corrupting: Mutex<HashSet<usize>>,
 }
 
 impl BackendFaultPlan {
@@ -224,6 +232,25 @@ impl BackendFaultPlan {
     /// Whether backend `b` replays its outcomes.
     pub fn is_duplicating(&self, b: usize) -> bool {
         self.duplicating
+            .lock()
+            .expect("fault lock is never poisoned")
+            .contains(&b)
+    }
+
+    /// Scripts backend `b` to return wrong-seed outcomes: every completed
+    /// outcome frame it emits has its energies perturbed before the router
+    /// sees it — the broken-determinism script behind the outcome-mismatch
+    /// alarm proof.
+    pub fn corrupt_outcomes(&self, b: usize) {
+        self.corrupting
+            .lock()
+            .expect("fault lock is never poisoned")
+            .insert(b);
+    }
+
+    /// Whether backend `b` corrupts its outcomes.
+    pub fn is_corrupting(&self, b: usize) -> bool {
+        self.corrupting
             .lock()
             .expect("fault lock is never poisoned")
             .contains(&b)

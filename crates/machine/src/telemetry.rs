@@ -105,9 +105,65 @@ impl ClientStats {
     }
 }
 
+/// Hedged-replication counters the cluster router keeps (see
+/// `saim_machine::cluster`): one tally per speculative-replica event, so
+/// the compute cost and tail-latency benefit of k > 1 routing are both
+/// visible from telemetry alone. `fired == won + wasted` once every hedged
+/// job has settled; `suppressed` counts the firings the
+/// `max_extra_load` budget deferred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HedgeStats {
+    /// Speculative extra replicas dispatched to a second backend.
+    pub fired: u64,
+    /// Settlements won by a hedge replica (the primary was still slower).
+    pub won: u64,
+    /// Hedges fired whose primary settled first anyway — the pure compute
+    /// overhead of speculation.
+    pub wasted: u64,
+    /// Best-effort cancel frames sent to losing replicas at settlement.
+    pub cancelled: u64,
+    /// Due hedges deferred because the fleet-wide extra-load budget
+    /// (`ReplicationPolicy::max_extra_load`) was exhausted.
+    pub suppressed: u64,
+}
+
+impl HedgeStats {
+    /// Folds another tally into this one.
+    pub fn absorb(&mut self, other: &HedgeStats) {
+        self.fired += other.fired;
+        self.won += other.won;
+        self.wasted += other.wasted;
+        self.cancelled += other.cancelled;
+        self.suppressed += other.suppressed;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hedge_stats_absorb_and_roundtrip() {
+        let mut a = HedgeStats {
+            fired: 4,
+            won: 3,
+            wasted: 1,
+            cancelled: 3,
+            suppressed: 2,
+        };
+        let b = HedgeStats {
+            fired: 1,
+            won: 0,
+            wasted: 1,
+            cancelled: 0,
+            suppressed: 0,
+        };
+        a.absorb(&b);
+        assert_eq!(a.fired, 5);
+        assert_eq!(a.won + a.wasted, a.fired, "every settled hedge is binned");
+        let s = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<HedgeStats>(&s).unwrap(), a);
+    }
 
     #[test]
     fn client_stats_buckets_are_exhaustive() {

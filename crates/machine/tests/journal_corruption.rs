@@ -295,6 +295,167 @@ fn damaged_or_foreign_envelopes_are_malformed_errors() {
     );
 }
 
+/// Interleaved `hedged`/`superseded` records from k-replica routing replay
+/// to exactly one re-route per unsettled gid: a job with two journaled
+/// live replicas must not be re-delivered twice, and a settled gid stays
+/// dead no matter which replica records surround it.
+#[test]
+fn interleaved_hedge_records_replay_to_exactly_one_reroute() {
+    let dir = ScratchDir::new("hedge-interleave");
+    let path = dir.file("intents.ndjson");
+    {
+        let (mut journal, _) = Journal::open(&path).expect("fresh journal");
+        // gid 1: full hedged life — primary accepted, replica fired, the
+        // primary lost the race and was superseded, then settlement
+        journal.append(&routed(1)).expect("append");
+        journal
+            .append(&JournalRecord::Accepted { gid: 1, backend: 0 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Hedged { gid: 1, backend: 1 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Superseded { gid: 1, backend: 0 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Settled { gid: 1 })
+            .expect("append");
+        // gid 2: crash with two live replicas journaled (accepted + hedged)
+        journal.append(&routed(2)).expect("append");
+        journal
+            .append(&JournalRecord::Accepted { gid: 2, backend: 0 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Hedged { gid: 2, backend: 1 })
+            .expect("append");
+        // gid 3: crash between the loser's `superseded` and the winner's
+        // `settled` — conservatively still unsettled
+        journal.append(&routed(3)).expect("append");
+        journal
+            .append(&JournalRecord::Hedged { gid: 3, backend: 1 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Superseded { gid: 3, backend: 1 })
+            .expect("append");
+    }
+    let (_journal, recovery) = Journal::open(&path).expect("replay");
+    assert_eq!(
+        unsettled_gids(&recovery),
+        vec![2, 3],
+        "each unsettled hedged gid re-routes exactly once"
+    );
+    assert_eq!(recovery.settled, 1);
+    assert!(recovery.anomalies.is_empty(), "{:?}", recovery.anomalies);
+    assert!(recovery.next_gid > 3, "hedge records fence next_gid");
+}
+
+/// A tail torn through the `settled` line of a hedged job treats the
+/// settlement as never written: the gid re-routes once, and the `hedged`
+/// record before the tear neither resurrects a second copy nor is lost.
+#[test]
+fn torn_tail_after_hedged_reroutes_the_job_once() {
+    let dir = ScratchDir::new("hedge-torn");
+    let path = dir.file("intents.ndjson");
+    {
+        let (mut journal, _) = Journal::open(&path).expect("fresh journal");
+        journal.append(&routed(1)).expect("append");
+        journal
+            .append(&JournalRecord::Accepted { gid: 1, backend: 0 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Hedged { gid: 1, backend: 1 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Settled { gid: 1 })
+            .expect("append");
+    }
+    let mut bytes = std::fs::read(&path).expect("read journal");
+    bytes.truncate(bytes.len() - 9); // tear into the settled line
+    std::fs::write(&path, &bytes).expect("tear tail");
+    let (_journal, recovery) = Journal::open(&path).expect("replay survives the tear");
+    assert_eq!(unsettled_gids(&recovery), vec![1]);
+    assert_eq!(recovery.settled, 0);
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [JournalAnomaly::TornTail { .. }]
+        ),
+        "expected a torn-tail anomaly, got {:?}",
+        recovery.anomalies
+    );
+}
+
+/// A duplicate `settled` surrounded by replica records (the
+/// crash-mid-settlement shape: losers journaled, settled, then a re-played
+/// settle after restart) is surfaced once and the gid stays dead.
+#[test]
+fn duplicate_settled_amid_hedge_records_stays_dead() {
+    let dir = ScratchDir::new("hedge-dup-settled");
+    let path = dir.file("intents.ndjson");
+    {
+        let (mut journal, _) = Journal::open(&path).expect("fresh journal");
+        journal.append(&routed(1)).expect("append");
+        journal
+            .append(&JournalRecord::Hedged { gid: 1, backend: 1 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Settled { gid: 1 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Superseded { gid: 1, backend: 1 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Settled { gid: 1 })
+            .expect("append");
+    }
+    let (_journal, recovery) = Journal::open(&path).expect("replay");
+    assert!(
+        unsettled_gids(&recovery).is_empty(),
+        "the gid stays settled"
+    );
+    assert_eq!(recovery.settled, 1, "settled once, not twice");
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [JournalAnomaly::DuplicateSettled { gid: 1, .. }]
+        ),
+        "expected one duplicate-settled anomaly, got {:?}",
+        recovery.anomalies
+    );
+}
+
+/// `hedged`/`superseded` records whose `routed` line was lost are orphans
+/// like any other: reported, ignored, and still fencing `next_gid`.
+#[test]
+fn orphaned_hedge_records_are_reported_and_ignored() {
+    let dir = ScratchDir::new("hedge-orphan");
+    let path = dir.file("intents.ndjson");
+    {
+        let (mut journal, _) = Journal::open(&path).expect("fresh journal");
+        journal.append(&routed(1)).expect("append");
+        journal
+            .append(&JournalRecord::Hedged { gid: 7, backend: 1 })
+            .expect("append orphan hedged");
+        journal
+            .append(&JournalRecord::Superseded { gid: 6, backend: 0 })
+            .expect("append orphan superseded");
+    }
+    let (_journal, recovery) = Journal::open(&path).expect("replay");
+    assert_eq!(unsettled_gids(&recovery), vec![1]);
+    assert!(
+        matches!(
+            recovery.anomalies.as_slice(),
+            [
+                JournalAnomaly::UnknownGid { gid: 7, .. },
+                JournalAnomaly::UnknownGid { gid: 6, .. }
+            ]
+        ),
+        "expected two unknown-gid anomalies, got {:?}",
+        recovery.anomalies
+    );
+    assert!(recovery.next_gid > 7, "orphaned hedge gids fence next_gid");
+}
+
 /// Compaction physically removes damage: after one recovering open, a
 /// second open of the same file replays clean.
 #[test]

@@ -25,10 +25,9 @@ fn hot_excursion_then_requench_replays_serial_machines() {
         .collect();
     // hold β=2 (list builds), one β=0 scramble sweep (flips never charged
     // against the slack budget), then back to β=2 (tag matches again)
-    let schedule: Vec<f64> = std::iter::repeat(2.0)
-        .take(10)
+    let schedule: Vec<f64> = std::iter::repeat_n(2.0, 10)
         .chain(std::iter::once(0.0))
-        .chain(std::iter::repeat(2.0).take(5))
+        .chain(std::iter::repeat_n(2.0, 5))
         .collect();
     for (sweep, &beta) in schedule.iter().enumerate() {
         batch.sweep_uniform(&model, beta);

@@ -14,11 +14,18 @@
 //!   settlement exactly-once across router restarts,
 //! - a stdin admin channel — `shutdown` stops routing and exits (closing
 //!   stdin does the same); `stats` prints router counters as JSON,
+//! - `--replicas` / `--hedge-ms` / `--hedge-cap` — the hedged k-replica
+//!   routing policy ([`ReplicationPolicy`]): how many backends each job is
+//!   placed on, the speculation-delay floor, and the fleet-wide budget of
+//!   live extra replicas,
 //! - `--smoke` — a self-contained loopback self-test used by CI: route
 //!   jobs over a real socket across two in-process shards, kill one
 //!   mid-stream, and verify every job still settles exactly once with an
 //!   outcome bit-identical to a direct in-process run, then verify a
-//!   fully-down fleet sheds with `overloaded` instead of hanging.
+//!   fully-down fleet sheds with `overloaded` instead of hanging; a second
+//!   phase re-runs the fleet with `k = 2` hedged routing and one stalled
+//!   shard and verifies speculation alone (no breaker verdict) settles
+//!   every job exactly once.
 //!
 //! Run `saim-router --help` for the flag list.
 
@@ -32,7 +39,8 @@ use std::time::{Duration, Instant};
 
 use saim_ising::QuboBuilder;
 use saim_machine::cluster::{
-    BackendLink, BackendState, Cluster, ClusterConfig, FaultyLink, ManagedBackend, TcpLink,
+    BackendLink, BackendState, Cluster, ClusterConfig, FaultyLink, ManagedBackend,
+    ReplicationPolicy, TcpLink,
 };
 use saim_machine::frontend::faults::BackendFaultPlan;
 use saim_machine::frontend::{FrontendConfig, NdjsonClient, Request, Response};
@@ -52,7 +60,15 @@ OPTIONS:
     --probe-ms N        backend health-probe interval in ms (default 25)
     --journal PATH      write-ahead intent journal for exactly-once
                         settlement across router restarts
-    --smoke             run a loopback failover self-test and exit (CI hook)
+    --replicas K        backends per job including the primary (default 1;
+                        2+ hedges a speculative replica against the tail)
+    --hedge-ms N        floor on the speculation delay before a hedge
+                        replica fires, in ms (default 50; the effective
+                        delay is max of this and the primary's settle EMA)
+    --hedge-cap N       fleet-wide cap on live hedge replicas (default 4;
+                        due hedges over the cap defer, never drop)
+    --smoke             run a loopback failover + hedging self-test and
+                        exit (CI hook)
     --help              print this text
 
 ADMIN (stdin):
@@ -66,17 +82,24 @@ struct Options {
     window: usize,
     probe_ms: u64,
     journal: Option<PathBuf>,
+    replicas: usize,
+    hedge_ms: u64,
+    hedge_cap: usize,
     smoke: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
+        let replication = ReplicationPolicy::default();
         Options {
             listen: "127.0.0.1:7900".into(),
             backends: Vec::new(),
             window: 8,
             probe_ms: 25,
             journal: None,
+            replicas: replication.k,
+            hedge_ms: replication.hedge_delay_ms,
+            hedge_cap: replication.max_extra_load,
             smoke: false,
         }
     }
@@ -113,6 +136,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.probe_ms = n;
             }
             "--journal" => opts.journal = Some(PathBuf::from(value("--journal")?)),
+            "--replicas" => {
+                let k: usize = value("--replicas")?
+                    .parse()
+                    .map_err(|_| "--replicas needs an integer".to_string())?;
+                if k == 0 {
+                    return Err("--replicas must be at least 1".into());
+                }
+                opts.replicas = k;
+            }
+            "--hedge-ms" => {
+                opts.hedge_ms = value("--hedge-ms")?
+                    .parse()
+                    .map_err(|_| "--hedge-ms needs an integer".to_string())?;
+            }
+            "--hedge-cap" => {
+                opts.hedge_cap = value("--hedge-cap")?
+                    .parse()
+                    .map_err(|_| "--hedge-cap needs an integer".to_string())?;
+            }
             "--smoke" => opts.smoke = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -126,6 +168,11 @@ fn config_of(opts: &Options) -> ClusterConfig {
         window: opts.window,
         probe_interval: Duration::from_millis(opts.probe_ms),
         journal: opts.journal.clone(),
+        replication: ReplicationPolicy {
+            k: opts.replicas,
+            hedge_delay_ms: opts.hedge_ms,
+            max_extra_load: opts.hedge_cap,
+        },
         ..ClusterConfig::default()
     }
 }
@@ -360,6 +407,121 @@ fn run_smoke(opts: &Options) -> Result<(), String> {
         "smoke ok: 8 jobs exactly-once and bit-identical across a shard kill \
          ({} reroutes), malformed frame rejected, fully-down fleet sheds",
         report.reroutes
+    );
+    run_smoke_hedging()
+}
+
+/// The hedging smoke phase: k = 2 speculative routing over a two-shard
+/// fleet with one shard stalled (it receives work but its responses never
+/// arrive). The probe interval is deliberately long, so the breaker cannot
+/// fail the stalled shard over within the test window — every job placed
+/// there can only settle through its hedge replica. Asserts exactly-once
+/// settlement, bit-identity with the direct-run oracle, a wall clock
+/// bounded well under the first probe verdict, and live hedge counters.
+fn run_smoke_hedging() -> Result<(), String> {
+    let scratch =
+        std::env::temp_dir().join(format!("saim-router-smoke-hedge-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| e.to_string())?;
+    let plan = Arc::new(BackendFaultPlan::new());
+    plan.stall(0);
+    let backend_config = FrontendConfig {
+        workers: 1,
+        ..FrontendConfig::default()
+    };
+    let mut shards: Vec<ManagedBackend> = (0..2)
+        .map(|b| ManagedBackend::start(backend_config.clone(), scratch.join(format!("drain-{b}"))))
+        .collect();
+    let links: Vec<Box<dyn BackendLink>> = shards
+        .iter_mut()
+        .enumerate()
+        .map(|(b, shard)| {
+            Box::new(FaultyLink::new(shard.link(), Arc::clone(&plan), b)) as Box<dyn BackendLink>
+        })
+        .collect();
+    let config = ClusterConfig {
+        probe_interval: Duration::from_secs(5),
+        replication: ReplicationPolicy {
+            k: 2,
+            hedge_delay_ms: 25,
+            max_extra_load: 8,
+        },
+        journal: Some(scratch.join("journal.ndjson")),
+        ..ClusterConfig::default()
+    };
+    let (cluster, _recovery) =
+        Cluster::start(config, links).map_err(|e| format!("journal: {e}"))?;
+    let handle = cluster.connect();
+    let specs: Vec<JobSpec> = (1..=8).map(smoke_spec).collect();
+    let started = Instant::now();
+    for spec in &specs {
+        handle.submit(spec.clone(), 0, None);
+    }
+    let mut outcomes = HashMap::new();
+    let deadline = started + Duration::from_secs(4);
+    while outcomes.len() < specs.len() {
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "hedging smoke stalled with {}/{} outcomes — speculation never \
+                 rescued the stalled shard's jobs",
+                outcomes.len(),
+                specs.len()
+            ));
+        }
+        match handle.recv_timeout(Duration::from_millis(200)) {
+            Some(Response::Outcome { outcome }) => {
+                if outcomes.insert(outcome.job, outcome).is_some() {
+                    return Err("duplicate terminal frame delivered".into());
+                }
+            }
+            Some(Response::Accepted { .. }) | None => {}
+            Some(other) => return Err(format!("unexpected frame {other:?}")),
+        }
+    }
+    let settled_in = started.elapsed();
+    for spec in &specs {
+        let oracle = spec.run().canonical();
+        let got = outcomes
+            .get(&spec.job)
+            .ok_or_else(|| format!("job {} never settled", spec.job))?;
+        if got.canonical() != oracle {
+            return Err(format!("job {} outcome diverged from direct run", spec.job));
+        }
+    }
+    let stats = cluster.stats();
+    if stats.hedges.fired == 0 {
+        return Err("no hedge replicas fired against the stalled shard".into());
+    }
+    if stats.hedges.won == 0 {
+        return Err("no settlement was won by a hedge replica".into());
+    }
+    if stats.hedges.won + stats.hedges.wasted != stats.hedges.fired {
+        return Err(format!(
+            "hedge accounting leaked: fired {} != won {} + wasted {}",
+            stats.hedges.fired, stats.hedges.won, stats.hedges.wasted
+        ));
+    }
+    if stats.outcome_mismatches != 0 {
+        return Err(format!(
+            "{} outcome mismatches on a deterministic fleet",
+            stats.outcome_mismatches
+        ));
+    }
+    let report = cluster.shutdown();
+    if report.unsettled != 0 {
+        return Err(format!("{} jobs left unsettled", report.unsettled));
+    }
+    plan.heal(0);
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "smoke ok: hedged k=2 routing settled {} jobs exactly-once and \
+         bit-identical in {}ms against a stalled shard ({} hedges fired, \
+         {} won, {} wasted, {} cancels)",
+        specs.len(),
+        settled_in.as_millis(),
+        stats.hedges.fired,
+        stats.hedges.won,
+        stats.hedges.wasted,
+        stats.hedges.cancelled
     );
     Ok(())
 }

@@ -19,7 +19,8 @@ use std::time::{Duration, Instant};
 
 use saim_ising::QuboBuilder;
 use saim_machine::cluster::{
-    BackendLink, BackendState, Cluster, ClusterConfig, FaultyLink, ManagedBackend, RouterHandle,
+    BackendLink, BackendState, Cluster, ClusterConfig, FaultyLink, ManagedBackend,
+    ReplicationPolicy, RouterHandle,
 };
 use saim_machine::frontend::{
     faults::{BackendFaultPlan, FaultPlan},
@@ -64,6 +65,21 @@ fn backend_config(faults: Option<Arc<FaultPlan>>) -> FrontendConfig {
 fn fast_probes() -> ClusterConfig {
     ClusterConfig {
         probe_interval: Duration::from_millis(10),
+        ..ClusterConfig::default()
+    }
+}
+
+/// A k = 2 hedged-routing config. The probe interval doubles as the
+/// experiment control: make it long and the breaker cannot rescue anything
+/// inside the test window, so any fast settlement is speculation's doing.
+fn hedged_config(probe: Duration, hedge_delay_ms: u64, cap: usize) -> ClusterConfig {
+    ClusterConfig {
+        probe_interval: probe,
+        replication: ReplicationPolicy {
+            k: 2,
+            hedge_delay_ms,
+            max_extra_load: cap,
+        },
         ..ClusterConfig::default()
     }
 }
@@ -371,6 +387,244 @@ fn fully_down_fleet_sheds_with_overloaded() {
     b1.drain().expect("drain");
 }
 
+/// The hedging tentpole: with one shard stalled (it receives work but its
+/// responses never arrive) and the probe interval too long for any breaker
+/// verdict, k = 2 speculation alone must settle every job exactly once,
+/// bit-identical, well before the first probe could even be missed.
+#[test]
+fn hedged_replicas_rescue_a_stalled_shard_before_any_probe_verdict() {
+    let plan = Arc::new(BackendFaultPlan::new());
+    plan.stall(0);
+    let mut b0 = ManagedBackend::start(backend_config(None), scratch_dir("hedge-b0"));
+    let mut b1 = ManagedBackend::start(backend_config(None), scratch_dir("hedge-b1"));
+    let links: Vec<Box<dyn BackendLink>> = vec![
+        Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0)),
+        Box::new(FaultyLink::new(b1.link(), Arc::clone(&plan), 1)),
+    ];
+    let (cluster, _recovery) =
+        Cluster::start(hedged_config(Duration::from_secs(5), 25, 8), links).expect("no journal");
+    let handle = cluster.connect();
+
+    let specs: Vec<JobSpec> = (1..=8).map(|j| quick_spec(j, 40 + j)).collect();
+    let started = Instant::now();
+    for spec in &specs {
+        handle.submit(spec.clone(), 0, None);
+    }
+    let outcomes = collect_outcomes(&handle, specs.len());
+    let settled_in = started.elapsed();
+    assert_oracle(&outcomes, &specs);
+    assert!(
+        settled_in < Duration::from_secs(4),
+        "all jobs settled in {settled_in:?} — inside the first probe \
+         interval, so speculation (not failover) did the rescue"
+    );
+
+    let stats = cluster.stats();
+    assert!(
+        stats.hedges.fired > 0,
+        "the stalled shard's jobs must have fired hedges (placement \
+         constants put no jobs on shard 0 — adjust the seeds)"
+    );
+    assert!(stats.hedges.won > 0, "a hedge replica won a settlement");
+    assert_eq!(
+        stats.hedges.won + stats.hedges.wasted,
+        stats.hedges.fired,
+        "every fired hedge is binned as won or wasted once all jobs settle"
+    );
+    assert_eq!(stats.outcome_mismatches, 0);
+    assert_eq!(stats.reroutes, 0, "no breaker verdict was ever reached");
+
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.completed, 8);
+    assert_eq!(report.unsettled, 0);
+    plan.heal(0);
+    b0.drain().expect("drain shard 0");
+    b1.drain().expect("drain shard 1");
+}
+
+/// The speculation control: on a healthy fleet whose jobs settle far
+/// faster than the hedge delay, k = 2 never fires a single replica — the
+/// deadline-aware delay makes hedging free when the fleet is fast.
+#[test]
+fn healthy_fleet_fires_no_hedges() {
+    let plan = Arc::new(BackendFaultPlan::new());
+    let mut b0 = ManagedBackend::start(backend_config(None), scratch_dir("nohedge-b0"));
+    let mut b1 = ManagedBackend::start(backend_config(None), scratch_dir("nohedge-b1"));
+    let links: Vec<Box<dyn BackendLink>> = vec![
+        Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0)),
+        Box::new(FaultyLink::new(b1.link(), Arc::clone(&plan), 1)),
+    ];
+    let (cluster, _recovery) =
+        Cluster::start(hedged_config(Duration::from_millis(10), 500, 8), links)
+            .expect("no journal");
+    let handle = cluster.connect();
+
+    let specs: Vec<JobSpec> = (1..=8).map(|j| quick_spec(j, 50 + j)).collect();
+    for spec in &specs {
+        handle.submit(spec.clone(), 0, None);
+    }
+    let outcomes = collect_outcomes(&handle, specs.len());
+    assert_oracle(&outcomes, &specs);
+
+    let stats = cluster.stats();
+    assert_eq!(
+        stats.hedges.fired, 0,
+        "every job settled inside the hedge delay, so no replica ever fired"
+    );
+    assert_eq!(stats.hedges.suppressed, 0);
+    assert_eq!(stats.duplicates_dropped, 0);
+
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.completed, 8);
+    assert_eq!(report.unsettled, 0);
+    b0.drain().expect("drain shard 0");
+    b1.drain().expect("drain shard 1");
+}
+
+/// A zero extra-load budget suppresses every due hedge (counted, never
+/// fired), degrading k = 2 to pure breaker-driven failover — which must
+/// still settle every job exactly once.
+#[test]
+fn zero_hedge_budget_suppresses_speculation_and_fails_over() {
+    let plan = Arc::new(BackendFaultPlan::new());
+    plan.stall(0);
+    let mut b0 = ManagedBackend::start(backend_config(None), scratch_dir("cap0-b0"));
+    let mut b1 = ManagedBackend::start(backend_config(None), scratch_dir("cap0-b1"));
+    let links: Vec<Box<dyn BackendLink>> = vec![
+        Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0)),
+        Box::new(FaultyLink::new(b1.link(), Arc::clone(&plan), 1)),
+    ];
+    let (cluster, _recovery) =
+        Cluster::start(hedged_config(Duration::from_millis(50), 25, 0), links).expect("no journal");
+    let handle = cluster.connect();
+
+    let specs: Vec<JobSpec> = (1..=8).map(|j| quick_spec(j, 40 + j)).collect();
+    for spec in &specs {
+        handle.submit(spec.clone(), 0, None);
+    }
+    let outcomes = collect_outcomes(&handle, specs.len());
+    assert_oracle(&outcomes, &specs);
+
+    let stats = cluster.stats();
+    assert_eq!(stats.hedges.fired, 0, "a zero budget never fires a hedge");
+    assert_eq!(stats.hedges.won, 0);
+    assert!(
+        stats.hedges.suppressed > 0,
+        "the stalled shard's due hedges were deferred, visibly"
+    );
+    assert!(
+        stats.reroutes > 0,
+        "with speculation off, only the breaker could have rescued the \
+         stalled shard's jobs"
+    );
+
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.completed, 8);
+    assert_eq!(report.unsettled, 0);
+    plan.heal(0);
+    b0.drain().expect("drain shard 0");
+    b1.drain().expect("drain shard 1");
+}
+
+/// The determinism alarm: a stalled shard that also corrupts its outcomes
+/// (the wrong-seed script) loses every settlement race; when the
+/// partition heals, its late corrupted outcomes must be dropped as
+/// duplicates AND counted as outcome mismatches — a correctness signal,
+/// never a second terminal frame.
+#[test]
+fn corrupt_late_loser_raises_the_outcome_mismatch_alarm() {
+    let plan = Arc::new(BackendFaultPlan::new());
+    plan.stall(0);
+    plan.corrupt_outcomes(0);
+    let mut b0 = ManagedBackend::start(backend_config(None), scratch_dir("mismatch-b0"));
+    let mut b1 = ManagedBackend::start(backend_config(None), scratch_dir("mismatch-b1"));
+    let links: Vec<Box<dyn BackendLink>> = vec![
+        Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0)),
+        Box::new(FaultyLink::new(b1.link(), Arc::clone(&plan), 1)),
+    ];
+    let (cluster, _recovery) =
+        Cluster::start(hedged_config(Duration::from_secs(5), 25, 8), links).expect("no journal");
+    let handle = cluster.connect();
+
+    let specs: Vec<JobSpec> = (1..=8).map(|j| quick_spec(j, 40 + j)).collect();
+    for spec in &specs {
+        handle.submit(spec.clone(), 0, None);
+    }
+    let outcomes = collect_outcomes(&handle, specs.len());
+    // every winner came from the healthy shard, so the corruption never
+    // reaches a client
+    assert_oracle(&outcomes, &specs);
+    assert_eq!(cluster.stats().outcome_mismatches, 0);
+
+    // heal the partition: the stalled shard's corrupted completions arrive
+    // late, lose the dedup race, and trip the alarm
+    plan.heal(0);
+    wait_for(
+        || cluster.stats().outcome_mismatches >= 1,
+        "the late corrupted outcome to trip the mismatch alarm",
+    );
+    wait_for(
+        || cluster.stats().duplicates_dropped >= 1,
+        "the late outcome also counted as a dropped duplicate",
+    );
+    // no second terminal frame reaches the client — only stray acks drain
+    while let Some(frame) = handle.recv_timeout(Duration::from_millis(200)) {
+        assert!(
+            matches!(frame, Response::Accepted { .. }),
+            "a dropped duplicate must never surface as {frame:?}"
+        );
+    }
+
+    let report = cluster.shutdown();
+    assert!(report.outcome_mismatches >= 1);
+    assert_eq!(report.fleet.completed, 8, "settled exactly once each");
+    assert_eq!(report.unsettled, 0);
+    b0.drain().expect("drain shard 0");
+    b1.drain().expect("drain shard 1");
+}
+
+/// With every shard stalled-Down (pumps alive, probes unanswered) the shed
+/// hint is derived from the probe cadence — the soonest instant capacity
+/// can reappear — rather than the flat configured constant.
+#[test]
+fn stalled_fleet_sheds_with_a_probe_derived_retry_hint() {
+    let plan = Arc::new(BackendFaultPlan::new());
+    plan.stall(0);
+    let mut b0 = ManagedBackend::start(backend_config(None), scratch_dir("hint-b0"));
+    let links: Vec<Box<dyn BackendLink>> =
+        vec![Box::new(FaultyLink::new(b0.link(), Arc::clone(&plan), 0))];
+    let config = ClusterConfig {
+        probe_interval: Duration::from_millis(400),
+        // a deliberately huge flat fallback: any hint at or under the probe
+        // interval proves it was derived, not configured
+        retry_after_ms: 60_000,
+        ..ClusterConfig::default()
+    };
+    let (cluster, _recovery) = Cluster::start(config, links).expect("no journal");
+    let handle = cluster.connect();
+
+    wait_for(
+        || cluster.backend_states()[0] == BackendState::Down,
+        "the stalled shard to trip the breaker",
+    );
+    handle.submit(quick_spec(1, 5), 0, None);
+    match handle.recv_timeout(Duration::from_secs(10)) {
+        Some(Response::Overloaded { retry_after_ms }) => {
+            assert!(retry_after_ms >= 1);
+            assert!(
+                retry_after_ms <= 400,
+                "hint {retry_after_ms}ms exceeds the probe cadence — the \
+                 flat fallback leaked through"
+            );
+        }
+        other => panic!("expected an overloaded shed, got {other:?}"),
+    }
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.rejected, 1);
+    plan.heal(0);
+    b0.drain().expect("drain");
+}
+
 /// The router-restart half of exactly-once: jobs journaled but unsettled
 /// when the router dies are re-admitted by the next incarnation from the
 /// write-ahead journal, complete bit-identically through the restarted
@@ -478,4 +732,67 @@ fn cancel_settles_exactly_once_through_the_cluster() {
     assert_eq!(report.fleet.cancelled, 1);
     assert_eq!(report.unsettled, 0);
     backend.drain().expect("drain");
+}
+
+/// Runs a fixed sequential k = 1 workload against a journaling router and
+/// returns the exact journal bytes it produced. Submitting each job only
+/// after the previous one settles pins the record order.
+fn journal_bytes_for_k1_sequence() -> Vec<u8> {
+    let scratch = scratch_dir("journal-bytes");
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let journal_path = scratch.join("intents.ndjson");
+    let mut backend = ManagedBackend::start(
+        FrontendConfig {
+            workers: 1, // fixed: the fixture must not vary with the thread matrix
+            ..FrontendConfig::default()
+        },
+        scratch.join("shard"),
+    );
+    let config = ClusterConfig {
+        journal: Some(journal_path.clone()),
+        ..fast_probes()
+    };
+    let links: Vec<Box<dyn BackendLink>> = vec![backend.link()];
+    let (cluster, _recovery) = Cluster::start(config, links).expect("fresh journal");
+    let handle = cluster.connect();
+    for job in 1..=3u64 {
+        let spec = quick_spec(job, 60 + job);
+        handle.submit(spec.clone(), 0, None);
+        let outcomes = collect_outcomes(&handle, 1);
+        assert_oracle(&outcomes, &[spec]);
+    }
+    let report = cluster.shutdown();
+    assert_eq!(report.fleet.completed, 3);
+    assert_eq!(report.unsettled, 0);
+    backend.drain().expect("drain");
+    let bytes = std::fs::read(&journal_path).expect("journal bytes");
+    let _ = std::fs::remove_dir_all(&scratch);
+    bytes
+}
+
+/// The replication upgrade's compatibility contract: under the default
+/// `ReplicationPolicy` (k = 1) the router must behave — journal bytes
+/// included — exactly as it did before hedging existed. The committed
+/// fixture holds the journal an unreplicated router wrote for this same
+/// workload; regenerate it with `SAIM_BLESS_JOURNAL=1` only for a
+/// deliberate, reviewed format change.
+#[test]
+fn default_policy_journal_is_byte_identical_to_the_pre_hedging_fixture() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/pr8_journal.ndjson"
+    );
+    let bytes = journal_bytes_for_k1_sequence();
+    if std::env::var_os("SAIM_BLESS_JOURNAL").is_some() {
+        std::fs::write(fixture, &bytes).expect("bless fixture");
+        return;
+    }
+    let expected = std::fs::read(fixture).expect("committed pr8 journal fixture");
+    assert_eq!(
+        bytes,
+        expected,
+        "k = 1 journal bytes diverged from the pre-hedging fixture:\n--- got\n{}\n--- want\n{}",
+        String::from_utf8_lossy(&bytes),
+        String::from_utf8_lossy(&expected)
+    );
 }

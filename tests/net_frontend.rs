@@ -351,6 +351,19 @@ fn client_disconnect_cancels_queued_and_running_work() {
         Response::Accepted { job: 10 }
     ));
     drop(doomed);
+    // Let the reader thread register the EOF before any worker wakes: the
+    // dead client's jobs are all still queued, so cleanup cancels them on
+    // the spot. Releasing first is a race — the lone worker can run a
+    // doomed job to completion before the disconnect is even noticed.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while frontend.fleet_stats().cancelled < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnect cleanup never cancelled the dead client's queue: {:?}",
+            frontend.fleet_stats()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
     plan.release_workers();
     match survivor.recv().expect("frame") {
         Response::Outcome { outcome } => assert_eq!(outcome.job, 10),
